@@ -1,0 +1,120 @@
+//! Criterion bench: counters (Fig. 6 left panel, statistically
+//! disciplined). Compares `AtomicLong`, `LongAdder` and DEGO's
+//! `CounterIncrementOnly` at one and at several threads, plus the read
+//! path (`get` vs summing segments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dego_core::CounterIncrementOnly;
+use dego_juc::{AtomicLong, LongAdder};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn single_thread_increments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter/single-thread-inc");
+    group.bench_function("AtomicLong", |b| {
+        let a = AtomicLong::new(0);
+        b.iter(|| a.increment_and_get());
+    });
+    group.bench_function("LongAdder", |b| {
+        let a = LongAdder::new();
+        b.iter(|| a.increment());
+    });
+    group.bench_function("CounterIncrementOnly", |b| {
+        let ctr = CounterIncrementOnly::new(1);
+        let cell = ctr.cell();
+        b.iter(|| cell.inc());
+    });
+    group.finish();
+}
+
+/// Multithreaded throughput via iter_custom: measure the wall time for
+/// `iters` increments split across `threads` workers.
+fn contended_increments(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("counter/contended-inc");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("AtomicLong", threads), |b| {
+        b.iter_custom(|iters| {
+            let a = Arc::new(AtomicLong::new(0));
+            let per = iters / threads as u64 + 1;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let a = Arc::clone(&a);
+                    s.spawn(move || {
+                        for _ in 0..per {
+                            a.increment_and_get();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("LongAdder", threads), |b| {
+        b.iter_custom(|iters| {
+            let a = Arc::new(LongAdder::new());
+            let per = iters / threads as u64 + 1;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let a = Arc::clone(&a);
+                    s.spawn(move || {
+                        for _ in 0..per {
+                            a.increment();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("CounterIncrementOnly", threads), |b| {
+        b.iter_custom(|iters| {
+            let ctr = CounterIncrementOnly::new(threads);
+            let per = iters / threads as u64 + 1;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let ctr = Arc::clone(&ctr);
+                    s.spawn(move || {
+                        let cell = ctr.cell();
+                        for _ in 0..per {
+                            cell.inc();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        });
+    });
+    group.finish();
+}
+
+fn reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter/read");
+    group.bench_function("AtomicLong::get", |b| {
+        let a = AtomicLong::new(123);
+        b.iter(|| a.get());
+    });
+    group.bench_function("LongAdder::sum", |b| {
+        let a = LongAdder::new();
+        a.add(123);
+        b.iter(|| a.sum());
+    });
+    group.bench_function("CounterIncrementOnly::get(8 segs)", |b| {
+        let ctr = CounterIncrementOnly::new(8);
+        ctr.cell().add(123);
+        b.iter(|| ctr.get());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, single_thread_increments, contended_increments, reads);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Criterion bench: hash and skip-list maps (Figs. 6–8 companions) plus
+//! the segmentation ablations DESIGN.md calls out: lookup strategy
+//! (Base vs Hash vs Extended) and segment-count sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dego_core::{SegmentationKind, SegmentedHashMap, SegmentedSkipListMap};
+use dego_juc::{ConcurrentHashMap, ConcurrentSkipListMap};
+use std::time::Duration;
+
+const N: u64 = 8_192;
+
+fn hash_map_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps/hash-single-thread");
+    group.bench_function("JUC put", |b| {
+        let m = ConcurrentHashMap::with_capacity(N as usize * 2);
+        let mut k = 0u64;
+        b.iter(|| {
+            m.insert(k % N, k);
+            k += 1;
+        });
+    });
+    group.bench_function("DEGO put", |b| {
+        let m = SegmentedHashMap::new(1, N as usize * 2, SegmentationKind::Extended);
+        let mut w = m.writer();
+        let mut k = 0u64;
+        b.iter(|| {
+            w.put(k % N, k);
+            k += 1;
+        });
+    });
+    group.bench_function("JUC get", |b| {
+        let m = ConcurrentHashMap::with_capacity(N as usize * 2);
+        for k in 0..N {
+            m.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = m.get(&(k % N));
+            k += 1;
+            v
+        });
+    });
+    group.bench_function("DEGO get", |b| {
+        let m = SegmentedHashMap::new(1, N as usize * 2, SegmentationKind::Extended);
+        let mut w = m.writer();
+        for k in 0..N {
+            w.put(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = m.get(&(k % N));
+            k += 1;
+            v
+        });
+    });
+    group.finish();
+}
+
+fn skip_list_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps/skiplist-single-thread");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("JUC put", |b| {
+        let m = ConcurrentSkipListMap::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            m.insert(k % N, k);
+            k += 1;
+        });
+    });
+    group.bench_function("DEGO put", |b| {
+        let m = SegmentedSkipListMap::new(1, SegmentationKind::Extended);
+        let mut w = m.writer();
+        let mut k = 0u64;
+        b.iter(|| {
+            w.put(k % N, k);
+            k += 1;
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: lookup cost under the three segmentation kinds. Base scans
+/// all segments, Hash goes straight to the home segment, Extended
+/// follows the hint.
+fn segmentation_lookup_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps/segmentation-lookup");
+    let segments = 8usize;
+    for kind in [
+        SegmentationKind::Base,
+        SegmentationKind::Hash,
+        SegmentationKind::Extended,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("get", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let m = SegmentedHashMap::new(segments, N as usize * 2, kind);
+                // Populate from `segments` helper threads so every
+                // segment holds data (Hash kind requires hash routing,
+                // which a single writer can only satisfy for one
+                // segment: route keys accordingly).
+                std::thread::scope(|s| {
+                    for _ in 0..segments {
+                        let m = std::sync::Arc::clone(&m);
+                        s.spawn(move || {
+                            let mut w = m.writer();
+                            let slot = w.slot();
+                            for k in 0..N {
+                                let key = match kind {
+                                    SegmentationKind::Hash => {
+                                        // only keys homed at this segment
+                                        if dego_core::segmented::home_segment(&k, segments)
+                                            == slot
+                                        {
+                                            k
+                                        } else {
+                                            continue;
+                                        }
+                                    }
+                                    _ => {
+                                        if (k as usize) % segments == slot {
+                                            k
+                                        } else {
+                                            continue;
+                                        }
+                                    }
+                                };
+                                w.put(key, key);
+                            }
+                        });
+                    }
+                });
+                let mut k = 0u64;
+                b.iter(|| {
+                    let v = m.get(&(k % N));
+                    k += 1;
+                    v
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: segment-count sensitivity at a fixed thread count.
+fn segment_count_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps/segment-count");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let threads = 4usize;
+    for segments in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("contended-put", segments),
+            &segments,
+            |b, &segments| {
+                b.iter_custom(|iters| {
+                    let m =
+                        SegmentedHashMap::new(segments, N as usize, SegmentationKind::Extended);
+                    let per = iters / threads as u64 + 1;
+                    let start = std::time::Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let m = std::sync::Arc::clone(&m);
+                            s.spawn(move || {
+                                let mut w = m.writer();
+                                let slot = w.slot() as u64;
+                                for i in 0..per {
+                                    w.put(slot + threads as u64 * (i % 512), i);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    hash_map_single_thread,
+    skip_list_single_thread,
+    segmentation_lookup_ablation,
+    segment_count_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion bench: queues (Fig. 6 right panel). Single-thread
+//! offer/poll costs and the multi-producer single-consumer pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dego_core::mpsc;
+use dego_juc::ConcurrentLinkedQueue;
+use std::time::{Duration, Instant};
+
+fn single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue/single-thread");
+    group.bench_function("CLQ offer+poll", |b| {
+        let q = ConcurrentLinkedQueue::new();
+        b.iter(|| {
+            q.offer(1u64);
+            q.poll()
+        });
+    });
+    group.bench_function("MASP offer+poll", |b| {
+        let (p, mut cons) = mpsc::queue();
+        b.iter(|| {
+            p.offer(1u64);
+            cons.poll()
+        });
+    });
+    group.finish();
+}
+
+fn producer_consumer(c: &mut Criterion) {
+    let producers = std::thread::available_parallelism()
+        .map(|n| (n.get() - 1).clamp(1, 7))
+        .unwrap_or(3);
+    let mut group = c.benchmark_group("queue/producer-consumer");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("CLQ", producers), |b| {
+        b.iter_custom(|iters| {
+            let q = std::sync::Arc::new(ConcurrentLinkedQueue::new());
+            let per = iters / producers as u64 + 1;
+            let total = per * producers as u64;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..producers {
+                    let q = std::sync::Arc::clone(&q);
+                    s.spawn(move || {
+                        for i in 0..per {
+                            q.offer(i);
+                        }
+                    });
+                }
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    let mut got = 0u64;
+                    while got < total {
+                        if q.poll().is_some() {
+                            got += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            });
+            start.elapsed()
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("MASP", producers), |b| {
+        b.iter_custom(|iters| {
+            let (p, mut cons) = mpsc::queue();
+            let per = iters / producers as u64 + 1;
+            let total = per * producers as u64;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..producers {
+                    let p = p.clone();
+                    s.spawn(move || {
+                        for i in 0..per {
+                            p.offer(i);
+                        }
+                    });
+                }
+                s.spawn(move || {
+                    let mut got = 0u64;
+                    while got < total {
+                        if cons.poll().is_some() {
+                            got += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            });
+            start.elapsed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, single_thread, producer_consumer);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: references (Fig. 6 fourth panel) including the cache
+//! ablation — the write-once reader with and without the per-handle
+//! pointer cache, against the volatile `AtomicReference` baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dego_core::{WriteOnceReader, WriteOnceRef};
+use dego_juc::AtomicRef;
+use std::sync::Arc;
+
+fn reference_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference/get");
+
+    group.bench_function("AtomicReference (SeqCst + epoch pin)", |b| {
+        let r = AtomicRef::new(42u64);
+        b.iter(|| r.get());
+    });
+
+    group.bench_function("WriteOnceRef uncached (Acquire load)", |b| {
+        let r = WriteOnceRef::new();
+        r.set(42u64);
+        b.iter(|| r.get().copied());
+    });
+
+    group.bench_function("WriteOnceReader cached (plain read)", |b| {
+        let shared = Arc::new(WriteOnceRef::new());
+        shared.set(42u64);
+        let reader = WriteOnceReader::new(shared);
+        let _ = reader.get(); // prime the cache
+        b.iter(|| reader.get().copied());
+    });
+
+    group.finish();
+}
+
+fn reference_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference/set");
+    group.bench_function("AtomicReference swap", |b| {
+        let r = AtomicRef::new(0u64);
+        let mut i = 0u64;
+        b.iter(|| {
+            r.set(i);
+            i += 1;
+        });
+    });
+    group.bench_function("WriteOnceRef try_set (fails after first)", |b| {
+        let r = WriteOnceRef::new();
+        r.set(0u64);
+        b.iter(|| r.try_set(1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reference_reads, reference_writes);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: the Retwis application (Figs. 9–10 companion) —
+//! fixed-op-count comparisons of the three backends at a small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dego_retwis::{
+    run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix, SocialBackend,
+};
+use std::time::Duration;
+
+fn backend_throughput<B: SocialBackend>(c: &mut Criterion, label: &str) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let mut group = c.benchmark_group("retwis/throughput");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(label, threads), |b| {
+        b.iter_custom(|iters| {
+            // Scale the measured window with the requested iterations so
+            // criterion's calibration converges.
+            let window = Duration::from_millis((iters / 300).clamp(30, 300));
+            let cfg = BenchmarkConfig {
+                threads,
+                users: 4_000,
+                alpha: 1.0,
+                duration: window,
+                mix: OpMix::TABLE2,
+                mean_out_degree: 8,
+                seed: 0xBE7C,
+            };
+            let result = run_benchmark::<B>(&cfg);
+            // Report time-per-iter by normalizing the window over the
+            // completed ops relative to the requested iters.
+            let per_op = result.elapsed.as_secs_f64() / result.total_ops.max(1) as f64;
+            Duration::from_secs_f64(per_op * iters as f64)
+        });
+    });
+    group.finish();
+}
+
+fn retwis_backends(c: &mut Criterion) {
+    backend_throughput::<JucBackend>(c, "JUC");
+    backend_throughput::<DegoBackend>(c, "DEGO");
+    backend_throughput::<DapBackend>(c, "DAP");
+}
+
+criterion_group!(benches, retwis_backends);
+criterion_main!(benches);

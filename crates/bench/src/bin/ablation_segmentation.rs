@@ -1,0 +1,126 @@
+//! Ablations of the DEGO design choices DESIGN.md calls out:
+//!
+//! 1. **Lookup strategy** — Base (scan all segments) vs Hash (one
+//!    segment) vs Extended (hint then scan) read cost;
+//! 2. **Segment count** — over-provisioning segments beyond the thread
+//!    count;
+//! 3. **Write-once read cache** — reader-cached vs plain Acquire loads
+//!    (also part of Fig. 6's Reference panel);
+//! 4. **Counter striping** — plain-store segments (DEGO) vs CAS-striped
+//!    cells (LongAdder's design).
+
+use dego_bench::harness::{run_threads, BenchEnv};
+use dego_bench::workloads::{
+    run_counter_trial, run_reference_trial, run_segment_ablation, CounterImpl, RefImpl,
+};
+use dego_core::{SegmentationKind, SegmentedHashMap};
+use dego_metrics::table::{fmt_kops, Table};
+use std::sync::Arc;
+
+fn lookup_ablation(env: &BenchEnv) {
+    println!("--- lookup strategy: read throughput by segmentation kind ---");
+    let readers = *env.threads.last().unwrap_or(&4);
+    let segments = 8usize;
+    let items = 8_192u64;
+    let mut table = Table::new(["kind", &format!("Kops/s/thread ({readers} readers)")]);
+    for kind in [
+        SegmentationKind::Base,
+        SegmentationKind::Hash,
+        SegmentationKind::Extended,
+    ] {
+        let map = SegmentedHashMap::new(segments, items as usize * 2, kind);
+        // Populate every segment with its share of the keys.
+        std::thread::scope(|s| {
+            for _ in 0..segments {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let mut w = map.writer();
+                    let slot = w.slot();
+                    for k in 0..items {
+                        let home = match kind {
+                            SegmentationKind::Hash => {
+                                dego_core::segmented::home_segment(&k, segments)
+                            }
+                            _ => (k as usize) % segments,
+                        };
+                        if home == slot {
+                            w.put(k, k);
+                        }
+                    }
+                });
+            }
+        });
+        let m = run_threads(readers, env.duration, |_slot| {
+            let map = Arc::clone(&map);
+            Box::new(move |rng| {
+                let k = rng.next_bounded(items);
+                std::hint::black_box(map.get(&k));
+            })
+        });
+        table.row([format!("{kind:?}"), fmt_kops(m.ops_per_sec() / readers as f64)]);
+    }
+    println!("{}", table.render());
+    println!("(Base pays a full scan per lookup; Extended's hint recovers Hash-like reads\n while keeping writes unrestricted — §5.2's motivation)\n");
+}
+
+fn segment_count_ablation(env: &BenchEnv) {
+    println!("--- segment count: 4-thread put throughput vs #segments ---");
+    let threads = 4.min(*env.threads.last().unwrap_or(&4));
+    let mut table = Table::new(["segments", "Kops/s/thread"]);
+    for segments in [threads, threads * 2, threads * 4, threads * 8] {
+        let m = run_segment_ablation(segments, threads, env.duration, 16_384);
+        table.row([
+            segments.to_string(),
+            fmt_kops(m.ops_per_sec() / threads as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(extra segments cost little on the write path — each writer still owns one —\n but grow the scan fallback; sizing segments = threads is the sweet spot)\n");
+}
+
+fn reference_cache_ablation(env: &BenchEnv) {
+    println!("--- write-once read cache ---");
+    let mut table = Table::new(["threads", "cached", "uncached", "AtomicReference"]);
+    for &t in &env.threads {
+        let cached = run_reference_trial(RefImpl::DegoWriteOnce, t, env.duration);
+        let uncached = run_reference_trial(RefImpl::DegoWriteOnceUncached, t, env.duration);
+        let juc = run_reference_trial(RefImpl::JucAtomicRef, t, env.duration);
+        table.row([
+            t.to_string(),
+            fmt_kops(cached.ops_per_sec() / t as f64),
+            fmt_kops(uncached.ops_per_sec() / t as f64),
+            fmt_kops(juc.ops_per_sec() / t as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(on x86 the Acquire load is nearly free — the adjusted reference's win over\n the baseline comes from dropping the SeqCst fence and the epoch pin; the\n cache matters more on weaker memory models)\n");
+}
+
+fn counter_striping_ablation(env: &BenchEnv) {
+    println!("--- counter striping: plain-store segments vs CAS cells ---");
+    let mut table = Table::new(["threads", "CounterIncrementOnly", "LongAdder"]);
+    for &t in &env.threads {
+        let dego = run_counter_trial(CounterImpl::DegoIncrementOnly, t, env.duration);
+        let adder = run_counter_trial(CounterImpl::JucLongAdder, t, env.duration);
+        table.row([
+            t.to_string(),
+            fmt_kops(dego.ops_per_sec() / t as f64),
+            fmt_kops(adder.ops_per_sec() / t as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(§6.2: \"Because there is a single owner per segment, CounterIncrementOnly\n exclusively relies on longs\" — no CAS, no retries, hence the gap over the\n Striped64 design even when both are contention-free)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env = BenchEnv::from_args(&args);
+    println!(
+        "=== Segmentation & adjustment ablations ({:?} per point, threads {:?}) ===\n",
+        env.duration, env.threads
+    );
+    lookup_ablation(&env);
+    segment_count_ablation(&env);
+    reference_cache_ablation(&env);
+    counter_striping_ablation(&env);
+}

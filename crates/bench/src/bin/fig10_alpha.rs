@@ -1,0 +1,50 @@
+//! Figure 10: throughput vs the user-pick skew `α` for JUC, DEGO and
+//! DAP. Biased access (high α) concentrates traffic on hot users: high
+//! locality favours DEGO (contention dominates); uniform access (low α)
+//! spreads the working set and shrinks the gap.
+
+use dego_bench::harness::BenchEnv;
+use dego_metrics::table::Table;
+use dego_retwis::{
+    run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env = BenchEnv::from_args(&args);
+    let threads = *env.threads.last().unwrap_or(&4);
+    let users = if args.iter().any(|a| a == "--quick") {
+        10_000
+    } else {
+        50_000
+    };
+    println!(
+        "=== Figure 10: skew sweep ({threads} threads, {users} users, {:?} per point) ===\n",
+        env.duration
+    );
+
+    let mut table = Table::new(["alpha", "JUC Mops/s", "DEGO Mops/s", "DAP Mops/s"]);
+    for alpha in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
+        let cfg = BenchmarkConfig {
+            threads,
+            users,
+            alpha,
+            duration: env.duration,
+            mix: OpMix::TABLE2,
+            mean_out_degree: 10,
+            seed: 0xA1FA,
+        };
+        let juc = run_benchmark::<JucBackend>(&cfg);
+        let dego = run_benchmark::<DegoBackend>(&cfg);
+        let dap = run_benchmark::<DapBackend>(&cfg);
+        table.row([
+            format!("{alpha:.1}"),
+            format!("{:.3}", juc.throughput() / 1e6),
+            format!("{:.3}", dego.throughput() / 1e6),
+            format!("{:.3}", dap.throughput() / 1e6),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper shape: DEGO above JUC throughout; with a biased law (high alpha)");
+    println!("locality favours DEGO, with a uniform law the gap narrows; DAP on top.");
+}

@@ -1,0 +1,94 @@
+//! Figure 1: (left) AtomicLong method usage per project; (right) the
+//! return-value-use matrix for Cassandra. Pass `--matrix` to print only
+//! the right panel.
+
+use dego_corpus::generator::{generate_corpus, CorpusConfig};
+use dego_corpus::model::TrackedClass;
+use dego_corpus::report::CorpusReport;
+use dego_metrics::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let report = CorpusReport::build(&corpus);
+    let matrix_only = args.iter().any(|a| a == "--matrix");
+
+    if !matrix_only {
+        println!("=== Figure 1 (left): AtomicLong usage % per project ===\n");
+        let mut table = Table::new(["method", "Ignite", "Cassandra", "Hadoop"]);
+        // Union of methods used by the three showcased projects.
+        let projects = ["Ignite", "Cassandra", "Hadoop"];
+        let mut methods: Vec<String> = Vec::new();
+        for p in projects {
+            if let Some(mix) = report.atomic_long_by_project.get(p) {
+                for m in mix.keys() {
+                    if !methods.contains(m) {
+                        methods.push(m.clone());
+                    }
+                }
+            }
+        }
+        methods.sort();
+        let total = |p: &str| -> f64 {
+            report
+                .atomic_long_by_project
+                .get(p)
+                .map(|m| m.values().sum::<usize>() as f64)
+                .unwrap_or(0.0)
+        };
+        for m in &methods {
+            let cell = |p: &str| -> String {
+                let calls = report
+                    .atomic_long_by_project
+                    .get(p)
+                    .and_then(|mix| mix.get(m))
+                    .copied()
+                    .unwrap_or(0);
+                if calls == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * calls as f64 / total(p))
+                }
+            };
+            table.row([m.clone(), cell("Ignite"), cell("Cassandra"), cell("Hadoop")]);
+        }
+        println!("{}", table.render());
+        println!(
+            "(each project uses a handful of AtomicLong's {} methods)\n",
+            TrackedClass::AtomicLong.interface_size()
+        );
+    }
+
+    println!("=== Figure 1 (right): return value used (+) / ignored (x), Cassandra ===\n");
+    // Restrict the per-class matrix to classes from the Cassandra project
+    // (generated classes are named Service1_<file>).
+    let usage = report.class(TrackedClass::AtomicLong);
+    let mut methods: Vec<&String> = usage
+        .per_class
+        .values()
+        .flat_map(|row| row.keys())
+        .collect();
+    methods.sort();
+    methods.dedup();
+    let cassandra_rows: Vec<(&String, &std::collections::BTreeMap<String, bool>)> = usage
+        .per_class
+        .iter()
+        .filter(|(class, _)| class.starts_with("Service1_"))
+        .collect();
+    let mut header = vec!["class".to_string()];
+    header.extend(methods.iter().map(|m| m.to_string()));
+    let mut table = Table::new(header);
+    for (class, row) in cassandra_rows.iter().take(12) {
+        let mut cells = vec![class.to_string()];
+        for m in &methods {
+            cells.push(match row.get(*m) {
+                Some(true) => "+".to_string(),
+                Some(false) => "x".to_string(),
+                None => ".".to_string(),
+            });
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!("(+ = return value used, x = ignored, . = method not called)");
+}

@@ -1,0 +1,45 @@
+//! Figure 2: indistinguishability graphs of a reference, a set and a
+//! counter for the bag `{a, b, c}`.
+
+use dego_spec::graph::IndistGraph;
+use dego_spec::types::{counter_c1, op, reference_r1, set_s1};
+use dego_spec::Value;
+
+fn main() {
+    println!("=== Figure 2: indistinguishability graphs G({{a,b,c}}) ===\n");
+
+    println!("Reference (a = set(1), b = set(2), c = get()):");
+    let r = reference_r1();
+    let bag = vec![op("set", &[1]), op("set", &[2]), op("get", &[])];
+    let g = IndistGraph::build(&r, &bag, &Value::Bottom);
+    print!("{}", g.render(&["a".into(), "b".into(), "c".into()]));
+    println!(
+        "  a labeling: {}, b labeling: {}, c labeling: {}\n",
+        g.is_labeling(0),
+        g.is_labeling(1),
+        g.is_labeling(2)
+    );
+
+    println!("Set (a = add(1), b = add(1), c = contains(1)):");
+    let s = set_s1();
+    let bag = vec![op("add", &[1]), op("add", &[1]), op("contains", &[1])];
+    let g = IndistGraph::build(&s, &bag, &Value::empty_set());
+    print!("{}", g.render(&["a".into(), "b".into(), "c".into()]));
+    println!(
+        "  all labels strong: {}\n",
+        g.edges().iter().all(|e| e.strong)
+    );
+
+    println!("Counter (a = inc(1), b = inc(3), c = inc(5), rmw-style):");
+    let c = counter_c1();
+    let bag = vec![op("rmw", &[1]), op("rmw", &[3]), op("rmw", &[5])];
+    let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+    print!("{}", g.render(&["a".into(), "b".into(), "c".into()]));
+
+    println!("\nD(k,l) of the unit-increment counter (Theorem 1 witness):");
+    for k in 2..=4usize {
+        let bag: Vec<_> = (0..k).map(|_| op("inc", &[])).collect();
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        println!("  k = {k}: {} class(es)", g.class_count());
+    }
+}

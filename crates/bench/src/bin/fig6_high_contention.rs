@@ -1,0 +1,159 @@
+//! Figure 6: DEGO vs JUC under high contention — five object families,
+//! per-thread throughput across a thread sweep. A flat line means
+//! perfect scaling; a falling line means contention.
+//!
+//! Workloads (§6.2): counters run `incrementAndGet`-style updates; maps
+//! run 100 % `put` with commuting keys over a 16 K / 32 K working set;
+//! the queue is a producer–consumer (all threads offer, one polls);
+//! references run `get` after a single initialization. The write-once
+//! ablation (cached vs uncached reader) is included as an extra series.
+
+use dego_bench::harness::BenchEnv;
+use dego_bench::workloads::*;
+use dego_metrics::table::{fmt_kops, Table};
+use std::time::Duration;
+
+const INIT_ITEMS: usize = 16 * 1024;
+const KEY_RANGE: usize = 32 * 1024;
+
+fn sweep(
+    name: &str,
+    env: &BenchEnv,
+    series: &[(&str, &dyn Fn(usize, Duration) -> dego_bench::harness::Measurement)],
+    min_threads: usize,
+) {
+    println!("--- {name} (Kops/s per thread) ---");
+    let mut header = vec!["threads".to_string()];
+    header.extend(series.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(header);
+    for &t in env.threads.iter().filter(|&&t| t >= min_threads) {
+        let mut row = vec![t.to_string()];
+        for (_, run) in series {
+            let m = run(t, env.duration);
+            row.push(fmt_kops(m.ops_per_sec() / t as f64));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env = BenchEnv::from_args(&args);
+    println!(
+        "=== Figure 6: high contention, {:?} per point, threads {:?} ===\n",
+        env.duration, env.threads
+    );
+
+    sweep(
+        "Counter (100% incrementAndGet)",
+        &env,
+        &[
+            ("CounterJUC", &|t, d| {
+                run_counter_trial(CounterImpl::JucAtomicLong, t, d)
+            }),
+            ("LongAdder", &|t, d| {
+                run_counter_trial(CounterImpl::JucLongAdder, t, d)
+            }),
+            ("CounterIncrementOnly", &|t, d| {
+                run_counter_trial(CounterImpl::DegoIncrementOnly, t, d)
+            }),
+        ],
+        1,
+    );
+
+    sweep(
+        "HashMap (100% put, commuting keys)",
+        &env,
+        &[
+            ("ConcurrentHashMap", &|t, d| {
+                run_map_trial(
+                    MapImpl::JucHash,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    INIT_ITEMS,
+                    KEY_RANGE,
+                )
+            }),
+            ("ExtendedSegmentedHashMap", &|t, d| {
+                run_map_trial(
+                    MapImpl::DegoHash,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    INIT_ITEMS,
+                    KEY_RANGE,
+                )
+            }),
+        ],
+        1,
+    );
+
+    sweep(
+        "SkipListMap (100% put, commuting keys)",
+        &env,
+        &[
+            ("ConcurrentSkipListMap", &|t, d| {
+                run_map_trial(
+                    MapImpl::JucSkip,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    INIT_ITEMS / 4,
+                    KEY_RANGE / 4,
+                )
+            }),
+            ("ExtendedSegmentedSkipListMap", &|t, d| {
+                run_map_trial(
+                    MapImpl::DegoSkip,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    INIT_ITEMS / 4,
+                    KEY_RANGE / 4,
+                )
+            }),
+        ],
+        1,
+    );
+
+    sweep(
+        "Reference (get after initialization)",
+        &env,
+        &[
+            ("AtomicReference", &|t, d| {
+                run_reference_trial(RefImpl::JucAtomicRef, t, d)
+            }),
+            ("AtomicWriteOnceReference", &|t, d| {
+                run_reference_trial(RefImpl::DegoWriteOnce, t, d)
+            }),
+            ("WriteOnce-uncached (ablation)", &|t, d| {
+                run_reference_trial(RefImpl::DegoWriteOnceUncached, t, d)
+            }),
+        ],
+        1,
+    );
+
+    sweep(
+        "Queue (producer-consumer: n-1 offer, 1 poll)",
+        &env,
+        &[
+            ("ConcurrentLinkedQueue", &|t, d| {
+                run_queue_trial(QueueImpl::JucLinked, t, d)
+            }),
+            ("QueueMASP", &|t, d| {
+                run_queue_trial(QueueImpl::DegoMasp, t, d)
+            }),
+        ],
+        2,
+    );
+
+    println!("Paper shapes to compare: CounterIncrementOnly up to ~350x AtomicLong at");
+    println!("80 threads (LongAdder between); ESHM up to 4.4x CHM; ESSLM up to 1.7x");
+    println!("CSLM; write-once reference ~11.5x AtomicReference; QueueMASP ~4.3x CLQ.");
+}

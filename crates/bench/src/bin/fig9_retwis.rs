@@ -1,0 +1,76 @@
+//! Figure 9: social network speedups relative to JUC across thread
+//! counts and user populations, with the DAP upper bound.
+//!
+//! The paper sweeps 100 K / 500 K / 1 M users on a 160-core box; the
+//! default here scales the populations to the host (pass `--full` for
+//! the paper's populations, `--quick` for a smoke run).
+
+use dego_bench::harness::BenchEnv;
+use dego_metrics::table::{fmt_speedup, Table};
+use dego_retwis::{
+    run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env = BenchEnv::from_args(&args);
+    let full = args.iter().any(|a| a == "--full");
+    let populations: Vec<usize> = if full {
+        vec![100_000, 500_000, 1_000_000]
+    } else if args.iter().any(|a| a == "--quick") {
+        vec![5_000, 20_000]
+    } else {
+        vec![20_000, 100_000, 200_000]
+    };
+    println!(
+        "=== Figure 9: Retwis speedup vs JUC ({:?} per point, threads {:?}, users {:?}) ===\n",
+        env.duration, env.threads, populations
+    );
+
+    for &users in &populations {
+        println!("--- {users} users (alpha = 1) ---");
+        let mut table = Table::new(["threads", "JUC Mops/s", "DEGO speedup", "DAP speedup"]);
+        let mut dego_speedups = Vec::new();
+        for &threads in &env.threads {
+            if users < threads {
+                continue;
+            }
+            let cfg = BenchmarkConfig {
+                threads,
+                users,
+                alpha: 1.0,
+                duration: env.duration,
+                mix: OpMix::TABLE2,
+                mean_out_degree: 10,
+                seed: 0xF16_9,
+            };
+            let juc = run_benchmark::<JucBackend>(&cfg);
+            let dego = run_benchmark::<DegoBackend>(&cfg);
+            let dap = run_benchmark::<DapBackend>(&cfg);
+            let base = juc.throughput().max(1.0);
+            let s_dego = dego.throughput() / base;
+            let s_dap = dap.throughput() / base;
+            dego_speedups.push(s_dego);
+            table.row([
+                threads.to_string(),
+                format!("{:.3}", base / 1e6),
+                fmt_speedup(s_dego),
+                fmt_speedup(s_dap),
+            ]);
+        }
+        let avg = if dego_speedups.is_empty() {
+            0.0
+        } else {
+            dego_speedups.iter().sum::<f64>() / dego_speedups.len() as f64
+        };
+        table.row([
+            "Avg".to_string(),
+            "-".to_string(),
+            fmt_speedup(avg),
+            "-".to_string(),
+        ]);
+        println!("{}", table.render());
+    }
+    println!("Paper shape: DEGO between 0.89x and 1.7x of JUC (best at many threads,");
+    println!("100K users), approaching the DAP upper bound.");
+}

@@ -1,0 +1,207 @@
+//! The shared measurement loop of the micro-benchmark figures.
+//!
+//! §6.2's methodology, scaled to a repository harness: per thread count,
+//! run a warm-up then a measured window, count completed operations and
+//! the stall-proxy delta, and report **throughput per thread** (so a
+//! horizontal line = perfect scaling, exactly like the paper's plots).
+
+use dego_metrics::rng::XorShift64;
+use dego_metrics::ContentionSnapshot;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Thread count.
+    pub threads: usize,
+    /// Operations completed in the window.
+    pub total_ops: u64,
+    /// Window length.
+    pub elapsed: Duration,
+    /// Stall-proxy events during the window.
+    pub stalls: u64,
+}
+
+impl Measurement {
+    /// Thousands of operations per second **per thread** (the y-axis of
+    /// Figs. 6–8).
+    pub fn kops_per_thread(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 || self.threads == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 / secs / self.threads as f64 / 1e3
+    }
+
+    /// Total throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        dego_metrics::stats::ops_per_sec(self.total_ops, self.elapsed)
+    }
+}
+
+/// Run `threads` workers for `duration`.
+///
+/// `factory(slot)` is invoked **on** each worker thread (DEGO handles
+/// register per-thread slots) and returns the operation closure; the
+/// closure is called in batches until the window closes.
+pub fn run_threads<F>(threads: usize, duration: Duration, factory: F) -> Measurement
+where
+    F: Fn(usize) -> Box<dyn FnMut(&mut XorShift64) + Send> + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let ready = Barrier::new(threads + 1);
+    let before = dego_metrics::GLOBAL.snapshot();
+
+    std::thread::scope(|s| {
+        for slot in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let ready = &ready;
+            let factory = &factory;
+            s.spawn(move || {
+                let mut op = factory(slot);
+                let mut rng = XorShift64::new(0xB17E ^ ((slot as u64 + 1) << 20));
+                // Warm up outside the measured window.
+                for _ in 0..512 {
+                    op(&mut rng);
+                }
+                ready.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for _ in 0..128 {
+                        op(&mut rng);
+                    }
+                    ops += 128;
+                }
+                total_ops.fetch_add(ops, Ordering::AcqRel);
+            });
+        }
+        ready.wait();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+
+    let after = dego_metrics::GLOBAL.snapshot();
+    // Settle this trial's deferred epoch garbage so the next trial's
+    // threads are not charged for reclaiming it (the JVM would have
+    // collected it on GC threads in the meantime).
+    dego_core::reclaim::drain(4096);
+    Measurement {
+        threads,
+        total_ops: total_ops.load(Ordering::Acquire),
+        elapsed: duration,
+        stalls: diff(&before, &after),
+    }
+}
+
+fn diff(before: &ContentionSnapshot, after: &ContentionSnapshot) -> u64 {
+    after.since(before).stall_proxy()
+}
+
+/// Benchmark environment: thread sweep and window length, tunable from
+/// the command line / environment so CI smoke runs stay fast.
+#[derive(Clone, Debug)]
+pub struct BenchEnv {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Measured window per point.
+    pub duration: Duration,
+}
+
+impl BenchEnv {
+    /// Read the environment:
+    ///
+    /// * `DEGO_BENCH_MILLIS` — window per point (default 400 ms, or
+    ///   60 ms when `--quick` is among `args`);
+    /// * `DEGO_BENCH_THREADS` — comma-separated sweep (default
+    ///   1,2,4,…,available_parallelism).
+    pub fn from_args(args: &[String]) -> Self {
+        let quick = args.iter().any(|a| a == "--quick");
+        let millis = std::env::var("DEGO_BENCH_MILLIS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 60 } else { 400 });
+        let threads = std::env::var("DEGO_BENCH_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .filter(|&t| t > 0)
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| {
+                let max = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(8);
+                let mut sweep = vec![1usize];
+                let mut t = 2;
+                while t < max {
+                    sweep.push(t);
+                    t *= 2;
+                }
+                sweep.push(max);
+                sweep.dedup();
+                sweep
+            });
+        BenchEnv {
+            threads,
+            duration: Duration::from_millis(millis),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn run_threads_counts_operations() {
+        let shared = Arc::new(Counter::new(0));
+        let m = run_threads(2, Duration::from_millis(40), |_slot| {
+            let shared = Arc::clone(&shared);
+            Box::new(move |_rng| {
+                shared.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(m.threads, 2);
+        assert!(m.total_ops > 0);
+        // Warm-up ops (512/thread) are excluded from the measured count
+        // but included in the shared counter.
+        assert!(shared.load(Ordering::Relaxed) >= m.total_ops);
+        assert!(m.kops_per_thread() > 0.0);
+        assert!(m.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn factory_sees_distinct_slots() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let _ = run_threads(3, Duration::from_millis(10), |slot| {
+            seen.lock().unwrap().push(slot);
+            Box::new(move |_| {})
+        });
+        let mut slots = seen.lock().unwrap().clone();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn env_defaults_are_sane() {
+        let env = BenchEnv::from_args(&["--quick".to_string()]);
+        assert!(!env.threads.is_empty());
+        assert!(env.threads[0] >= 1);
+        assert!(env.duration.as_millis() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = run_threads(0, Duration::from_millis(1), |_| Box::new(|_| {}));
+    }
+}

@@ -1,0 +1,26 @@
+//! # dego-bench — harnesses regenerating every table and figure
+//!
+//! One binary per figure (see DESIGN.md's experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_usage` | Fig. 1 — per-project method usage & return-use matrix |
+//! | `fig2_graphs` | Fig. 2 — indistinguishability graphs |
+//! | `fig3_adjustments` | Fig. 3 — verified adjustment DAG |
+//! | `fig4_declarations` | Fig. 4 — declaration history & hot files |
+//! | `fig5_methods` | Fig. 5 — top-method shares |
+//! | `fig6_high_contention` | Fig. 6 — DEGO vs JUC under high contention |
+//! | `fig7_mixed` | Fig. 7 — mixed update ratios |
+//! | `fig8_working_set` | Fig. 8 — working-set sweep |
+//! | `stalls_pearson` | §6.2 — throughput ↔ stall-proxy correlation |
+//! | `fig9_retwis` | Fig. 9 — social network speedups |
+//! | `fig10_alpha` | Fig. 10 — skew sweep |
+//!
+//! This library holds the shared multithreaded measurement loop
+//! ([`harness`]) and the thread-sweep/duration conventions
+//! ([`harness::BenchEnv`]).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workloads;

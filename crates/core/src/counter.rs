@@ -1,0 +1,189 @@
+//! `CounterIncrementOnly`: the adjusted counter `(C3, CWSR)`.
+//!
+//! Each writing thread owns a cache-line-padded segment holding a plain
+//! `u64`; `inc` is an owner-only load/store pair with `Relaxed` ordering
+//! (no lock prefix, no read-modify-write — "CounterIncrementOnly
+//! exclusively relies on longs", §6.2). A read sums the segments; with
+//! unitary increments such a read is linearizable (§5.2).
+//!
+//! Single-ownership of a segment is enforced by the [`CounterCell`]
+//! handle: one per thread, obtained from the registry.
+
+use crate::registry::ThreadRegistry;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared state of an increment-only counter.
+#[derive(Debug)]
+pub struct CounterIncrementOnly {
+    segments: Vec<CachePadded<AtomicU64>>,
+    registry: ThreadRegistry,
+}
+
+impl CounterIncrementOnly {
+    /// A counter supporting up to `max_threads` incrementing threads.
+    pub fn new(max_threads: usize) -> Arc<Self> {
+        Arc::new(CounterIncrementOnly {
+            segments: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            registry: ThreadRegistry::new(max_threads),
+        })
+    }
+
+    /// A per-thread increment handle (the calling thread's segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than `max_threads` distinct threads ask for one.
+    pub fn cell(self: &Arc<Self>) -> CounterCell {
+        let slot = self.registry.slot();
+        CounterCell {
+            shared: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// Read the counter: sums every segment.
+    ///
+    /// For unitary increments the sum is a linearizable read (each
+    /// segment is monotone and single-writer).
+    pub fn get(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Number of segments (= supported threads).
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    #[inline]
+    fn bump(&self, slot: usize, delta: u64) {
+        let cell = &self.segments[slot];
+        // Owner-exclusive: plain load + plain store, no RMW.
+        let cur = cell.load(Ordering::Relaxed);
+        cell.store(cur + delta, Ordering::Release);
+    }
+}
+
+/// A single thread's increment handle. Not `Clone`: exactly one owner per
+/// segment, which is what makes the plain-store increment sound.
+#[derive(Debug)]
+pub struct CounterCell {
+    shared: Arc<CounterIncrementOnly>,
+    slot: usize,
+}
+
+impl CounterCell {
+    /// Increment by one (blind: no return value — the `C3` adjustment).
+    #[inline]
+    pub fn inc(&self) {
+        self.shared.bump(self.slot, 1);
+    }
+
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.shared.bump(self.slot, delta);
+    }
+
+    /// Read the whole counter (sums all segments).
+    pub fn get(&self) -> u64 {
+        self.shared.get()
+    }
+
+    /// The underlying shared counter.
+    pub fn shared(&self) -> &Arc<CounterIncrementOnly> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_counting() {
+        let c = CounterIncrementOnly::new(2);
+        let cell = c.cell();
+        cell.inc();
+        cell.inc();
+        cell.add(3);
+        assert_eq!(c.get(), 5);
+        assert_eq!(cell.get(), 5);
+    }
+
+    #[test]
+    fn cell_is_stable_per_thread() {
+        let c = CounterIncrementOnly::new(2);
+        let a = c.cell();
+        let b = c.cell(); // same thread: same slot, still fine
+        a.inc();
+        b.inc();
+        assert_eq!(c.get(), 2);
+        assert_eq!(c.segments(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let c = CounterIncrementOnly::new(8);
+        let per = 50_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let cell = c.cell();
+                    for _ in 0..per {
+                        cell.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8 * per);
+    }
+
+    #[test]
+    fn reads_are_monotone_under_concurrent_increments() {
+        let c = CounterIncrementOnly::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let cell = c.cell();
+                    for _ in 0..20_000 {
+                        cell.inc();
+                    }
+                });
+            }
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..10_000 {
+                    let v = c.get();
+                    assert!(v >= last, "counter went backwards: {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        assert_eq!(c.get(), 60_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry exhausted")]
+    fn too_many_threads_rejected() {
+        let c = CounterIncrementOnly::new(1);
+        let _mine = c.cell();
+        let c2 = Arc::clone(&c);
+        let res = std::thread::spawn(move || {
+            let _ = c2.cell();
+        })
+        .join();
+        if let Err(e) = res {
+            std::panic::resume_unwind(e);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! `QueueMasp`: the adjusted queue `(Q1, MWSR)` — multi-producer,
+//! single-consumer.
+//!
+//! §5.3: "This queue is implemented without compare-and-swap when
+//! invoking poll. Instead, the thread moves the head of the queue
+//! appropriately." The design is the intrusive Vyukov MPSC list: a
+//! producer `swap`s the shared tail and links its node behind the
+//! previous one; the unique consumer advances a private head pointer —
+//! no CAS, no retry loop, no contention on poll.
+//!
+//! The single-consumer restriction is enforced by ownership: [`Consumer`]
+//! is neither `Clone` nor shareable, and `poll` takes `&mut self`.
+//! Reclamation needs no epochs — by the time the consumer advances past a
+//! node, no producer can hold a reference to it (a producer touches its
+//! predecessor only until the one `store` that links it).
+
+use dego_metrics::count_rmw;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    tail: AtomicPtr<Node<T>>,
+    /// Updated by the consumer after each advance so that the final
+    /// owner can reclaim the whole chain.
+    head_for_cleanup: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: nodes are transferred between threads through the atomics with
+// Release/Acquire edges; `T: Send` is required to move values across.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Last owner: free every node from the consumer's last head.
+        let mut cur = self.head_for_cleanup.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            // SAFETY: exclusive teardown; all nodes came from Box::into_raw.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Create a multi-producer single-consumer queue.
+///
+/// # Examples
+///
+/// ```
+/// use dego_core::mpsc;
+///
+/// let (producer, mut consumer) = mpsc::queue();
+/// producer.offer(1);
+/// producer.clone().offer(2);
+/// assert_eq!(consumer.poll(), Some(1));
+/// assert_eq!(consumer.poll(), Some(2));
+/// assert_eq!(consumer.poll(), None);
+/// ```
+pub fn queue<T: Send>() -> (Producer<T>, Consumer<T>) {
+    let stub = Box::into_raw(Box::new(Node {
+        next: AtomicPtr::new(ptr::null_mut()),
+        value: None,
+    }));
+    let shared = Arc::new(Shared {
+        tail: AtomicPtr::new(stub),
+        head_for_cleanup: AtomicPtr::new(stub),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared, head: stub },
+    )
+}
+
+/// A producer handle: `Clone` one per producing thread.
+#[derive(Debug)]
+pub struct Producer<T: Send> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send> Clone for Producer<T> {
+    fn clone(&self) -> Self {
+        Producer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Send> Producer<T> {
+    /// Enqueue `value` (`offer`): one atomic swap, wait-free.
+    pub fn offer(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: Some(value),
+        }));
+        count_rmw();
+        let prev = self.shared.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` is a live node: the consumer never frees a node
+        // that is still the published tail or not yet linked past; once we
+        // complete this store we never touch `prev` again.
+        unsafe {
+            (*prev).next.store(node, Ordering::Release);
+        }
+    }
+}
+
+/// The unique consumer handle.
+#[derive(Debug)]
+pub struct Consumer<T: Send> {
+    shared: Arc<Shared<T>>,
+    head: *mut Node<T>,
+}
+
+// SAFETY: the consumer owns `head` exclusively; moving it to another
+// thread transfers that ownership wholesale.
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeue the oldest element (`poll`) — **no CAS**: a single Acquire
+    /// load plus a pointer move.
+    pub fn poll(&mut self) -> Option<T> {
+        // SAFETY: `head` is consumer-owned.
+        let next = unsafe { (*self.head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` is fully linked (we saw the Release store); the
+        // value slot of a linked node is written once by its producer
+        // before linking and read once by us.
+        let value = unsafe { (*next).value.take() };
+        let old = self.head;
+        self.head = next;
+        self.shared
+            .head_for_cleanup
+            .store(next, Ordering::Relaxed);
+        // SAFETY: `old` is unlinked: producers only ever touch the node
+        // they obtained from the tail swap, and `old` stopped being the
+        // tail before `next` was linked behind it.
+        drop(unsafe { Box::from_raw(old) });
+        debug_assert!(value.is_some(), "linked node must carry a value");
+        value
+    }
+
+    /// Whether the queue looks empty right now (consumer's view).
+    pub fn is_empty(&self) -> bool {
+        // SAFETY: `head` is consumer-owned.
+        unsafe { (*self.head).next.load(Ordering::Acquire).is_null() }
+    }
+
+    /// Peek at the oldest element without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        // SAFETY: as in `poll`; the borrow is tied to `&self`, and only
+        // `&mut self` methods can disturb the node.
+        let next = unsafe { (*self.head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        unsafe { (*next).value.as_ref() }
+    }
+
+    /// Number of currently-linked elements (O(n), consumer-only view).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        // SAFETY: traversal over linked nodes; the consumer cannot free
+        // them while it holds `&self`.
+        let mut cur = unsafe { (*self.head).next.load(Ordering::Acquire) };
+        while !cur.is_null() {
+            n += 1;
+            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+        }
+        n
+    }
+
+    /// Collect the currently-linked elements front-to-back without
+    /// consuming them (consumer-only traversal).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::new();
+        // SAFETY: as in `len` — nodes stay alive while we hold `&self`.
+        let mut cur = unsafe { (*self.head).next.load(Ordering::Acquire) };
+        while !cur.is_null() {
+            if let Some(v) = unsafe { (*cur).value.as_ref() } {
+                out.push(v.clone());
+            }
+            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+        }
+        out
+    }
+
+    /// Drain everything currently linked into a vector.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.poll() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (p, mut c) = queue();
+        assert!(c.is_empty());
+        assert_eq!(c.poll(), None);
+        for i in 0..50 {
+            p.offer(i);
+        }
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.peek(), Some(&0));
+        for i in 0..50 {
+            assert_eq!(c.poll(), Some(i));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_collects_in_order() {
+        let (p, mut c) = queue();
+        for i in 0..10 {
+            p.offer(i);
+        }
+        assert_eq!(c.drain(), (0..10).collect::<Vec<_>>());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn multi_producer_per_producer_fifo() {
+        let (p, mut c) = queue();
+        let producers = 6u64;
+        let per = 20_000u64;
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        p.offer(t * per + i);
+                    }
+                });
+            }
+            s.spawn(move || {
+                let mut seen = 0u64;
+                let mut last = vec![None::<u64>; producers as usize];
+                while seen < producers * per {
+                    if let Some(v) = c.poll() {
+                        let t = (v / per) as usize;
+                        let seq = v % per;
+                        if let Some(prev) = last[t] {
+                            assert!(seq > prev, "producer {t} reordered");
+                        }
+                        last[t] = Some(seq);
+                        seen += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                assert_eq!(c.poll(), None);
+            });
+        });
+    }
+
+    #[test]
+    fn consumer_can_move_between_threads() {
+        let (p, mut c) = queue();
+        p.offer(1);
+        let handle = std::thread::spawn(move || {
+            assert_eq!(c.poll(), Some(1));
+            c
+        });
+        let mut c = handle.join().unwrap();
+        p.offer(2);
+        assert_eq!(c.poll(), Some(2));
+    }
+
+    #[test]
+    fn dropping_with_pending_items_reclaims_them() {
+        let (p, c) = queue();
+        for i in 0..1_000 {
+            p.offer(vec![i as u8; 32]);
+        }
+        drop(c);
+        p.offer(vec![1; 32]); // producers may outlive the consumer
+        drop(p); // the final Arc frees the remaining chain
+    }
+
+    #[test]
+    fn interleaved_offer_poll_stress() {
+        let (p, mut c) = queue();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        p.offer(t * 10_000 + i);
+                    }
+                });
+            }
+            s.spawn(move || {
+                let mut got = 0;
+                while got < 40_000 {
+                    if c.poll().is_some() {
+                        got += 1;
+                    }
+                }
+            });
+        });
+    }
+}

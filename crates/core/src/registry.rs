@@ -1,0 +1,153 @@
+//! Thread registry: dense per-object thread slots.
+//!
+//! DEGO's segmentations map each participating thread to a *segment*
+//! (§5.2); the Java implementation uses a `ThreadLocal`. In Rust, a
+//! [`ThreadRegistry`] assigns each thread a dense slot id per registry
+//! instance the first time the thread asks, up to a fixed capacity.
+//! Handles returned by the concurrent objects capture their slot, so the
+//! access-permission map (who may write which segment) is enforced by
+//! ownership rather than by convention.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SLOTS: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+}
+
+/// Assigns dense slot ids (`0..capacity`) to threads, first-come
+/// first-served.
+#[derive(Debug)]
+pub struct ThreadRegistry {
+    id: u64,
+    next_slot: AtomicUsize,
+    capacity: usize,
+}
+
+impl ThreadRegistry {
+    /// A registry for up to `capacity` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "registry needs capacity for at least one thread");
+        ThreadRegistry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            next_slot: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Maximum number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many slots have been handed out so far.
+    pub fn registered(&self) -> usize {
+        self.next_slot.load(Ordering::Acquire).min(self.capacity)
+    }
+
+    /// The calling thread's slot, assigning one on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than `capacity` distinct threads register.
+    pub fn slot(&self) -> usize {
+        if let Some(slot) = self.try_slot() {
+            return slot;
+        }
+        panic!(
+            "thread registry exhausted: more than {} threads registered",
+            self.capacity
+        );
+    }
+
+    /// The calling thread's slot, or `None` when the registry is full.
+    pub fn try_slot(&self) -> Option<usize> {
+        SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some(&s) = slots.get(&self.id) {
+                return Some(s);
+            }
+            let s = self.next_slot.fetch_add(1, Ordering::AcqRel);
+            if s >= self.capacity {
+                // Roll back so `registered` stays meaningful.
+                self.next_slot.fetch_sub(1, Ordering::AcqRel);
+                return None;
+            }
+            slots.insert(self.id, s);
+            Some(s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn same_thread_same_slot() {
+        let r = ThreadRegistry::new(4);
+        assert_eq!(r.slot(), r.slot());
+        assert_eq!(r.registered(), 1);
+    }
+
+    #[test]
+    fn distinct_threads_distinct_slots() {
+        let r = Arc::new(ThreadRegistry::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || r.slot()));
+        }
+        let mut slots: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 8);
+        assert!(slots.iter().all(|&s| s < 8));
+    }
+
+    #[test]
+    fn independent_registries_do_not_interfere() {
+        let a = ThreadRegistry::new(2);
+        let b = ThreadRegistry::new(2);
+        assert_eq!(a.slot(), 0);
+        assert_eq!(b.slot(), 0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_returns_none() {
+        let r = Arc::new(ThreadRegistry::new(1));
+        assert_eq!(r.try_slot(), Some(0));
+        let r2 = Arc::clone(&r);
+        let other = std::thread::spawn(move || r2.try_slot()).join().unwrap();
+        assert_eq!(other, None);
+        // The registered count did not overrun.
+        assert_eq!(r.registered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry exhausted")]
+    fn slot_panics_when_full() {
+        let r = Arc::new(ThreadRegistry::new(1));
+        r.slot();
+        let r2 = Arc::clone(&r);
+        let res = std::thread::spawn(move || r2.slot()).join();
+        // Re-panic in this thread so should_panic sees it.
+        if let Err(e) = res {
+            std::panic::resume_unwind(e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_capacity_rejected() {
+        let _ = ThreadRegistry::new(0);
+    }
+}

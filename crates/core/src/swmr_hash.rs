@@ -1,0 +1,486 @@
+//! `SwmrHashMap`: a single-writer multi-reader hash table (§5.3).
+//!
+//! The map is built the way DEGO builds its segments: start from a
+//! sequential chained hash table, then make it safe for concurrent
+//! readers with publication stores:
+//!
+//! * updating an existing key swaps the value pointer with a
+//!   `SeqCst`-class store (`setVolatile` in the paper);
+//! * a new node is linked at the head of its bin with a Release store;
+//! * `resize` never re-orders nodes in place ("nodes cannot be re-ordered
+//!   on the fly due to potential readers"): it builds a fresh de-duplicated
+//!   table and swaps the table pointer.
+//!
+//! The single-writer permission is a type: [`SwmrHashWriter`] is unique
+//! and its mutators take `&mut self`; [`SwmrHashReader`] is `Clone` and
+//! fully lock-free — a reader never executes an atomic RMW.
+
+use crate::reclaim::RetireBin;
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    dego_metrics::rng::hash_key(key)
+}
+
+struct Entry<K, V> {
+    key: K,
+    value: Atomic<V>,
+    next: Atomic<Entry<K, V>>,
+}
+
+impl<K, V> Drop for Entry<K, V> {
+    fn drop(&mut self) {
+        let value = std::mem::replace(&mut self.value, Atomic::null());
+        // SAFETY: the entry is being reclaimed; its value goes with it.
+        unsafe {
+            let _ = value.try_into_owned();
+        }
+    }
+}
+
+struct Table<K, V> {
+    mask: usize,
+    bins: Box<[Atomic<Entry<K, V>>]>,
+}
+
+impl<K, V> Table<K, V> {
+    fn new(bins: usize) -> Self {
+        Table {
+            mask: bins - 1,
+            bins: (0..bins).map(|_| Atomic::null()).collect(),
+        }
+    }
+}
+
+struct Core<K, V> {
+    table: Atomic<Table<K, V>>,
+    len: AtomicUsize,
+}
+
+impl<K, V> Drop for Core<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: last owner; free every entry then the table itself.
+        unsafe {
+            let guard = epoch::unprotected();
+            let table = self.table.load(Ordering::Relaxed, guard);
+            if table.is_null() {
+                return;
+            }
+            for bin in table.deref().bins.iter() {
+                let mut cur = bin.load(Ordering::Relaxed, guard);
+                while !cur.is_null() {
+                    let next = cur.deref().next.load(Ordering::Relaxed, guard);
+                    drop(cur.into_owned());
+                    cur = next;
+                }
+            }
+            drop(table.into_owned());
+        }
+    }
+}
+
+/// Create a single-writer multi-reader hash map presized for about
+/// `capacity` entries.
+///
+/// # Examples
+///
+/// ```
+/// use dego_core::swmr_hash::swmr_hash_map;
+///
+/// let (mut writer, reader) = swmr_hash_map(16);
+/// writer.insert(1, "one");
+/// assert_eq!(reader.get(&1), Some("one"));
+/// assert_eq!(writer.remove(&1), Some("one"));
+/// assert_eq!(reader.get(&1), None);
+/// ```
+pub fn swmr_hash_map<K: Hash + Eq + Clone, V: Clone>(
+    capacity: usize,
+) -> (SwmrHashWriter<K, V>, SwmrHashReader<K, V>) {
+    let bins = capacity.max(8).next_power_of_two();
+    let core = Arc::new(Core {
+        table: Atomic::new(Table::new(bins)),
+        len: AtomicUsize::new(0),
+    });
+    (
+        SwmrHashWriter {
+            core: Arc::clone(&core),
+            retired_values: RetireBin::new(RETIRE_BATCH),
+            retired_entries: RetireBin::new(RETIRE_BATCH),
+        },
+        SwmrHashReader { core },
+    )
+}
+
+/// Retired pointers per deferred batch. Batching keeps the epoch's
+/// global garbage queue off the write path (one deferral per
+/// `RETIRE_BATCH` retirements instead of one per update).
+const RETIRE_BATCH: usize = 256;
+
+/// The unique write handle of a [`swmr_hash_map`].
+pub struct SwmrHashWriter<K, V> {
+    core: Arc<Core<K, V>>,
+    retired_values: RetireBin<V>,
+    retired_entries: RetireBin<Entry<K, V>>,
+}
+
+impl<K, V> std::fmt::Debug for SwmrHashWriter<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwmrHashWriter")
+            .field("len", &self.core.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SwmrHashWriter<K, V> {
+    /// Insert or update; returns the previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let guard = epoch::pin();
+        let table_ptr = self.core.table.load(Ordering::Acquire, &guard);
+        // SAFETY: the writer is the only one who replaces the table, so
+        // its load is always the current one.
+        let table = unsafe { table_ptr.deref() };
+        let bin = &table.bins[(hash_of(&key) as usize) & table.mask];
+        let head = bin.load(Ordering::Acquire, &guard);
+        let mut cur = head;
+        // SAFETY: entries are reclaimed only by this writer via epochs.
+        while let Some(entry) = unsafe { cur.as_ref() } {
+            if entry.key == key {
+                // Paper: existing key updated with setVolatile.
+                let old = entry.value.swap(Owned::new(value), Ordering::SeqCst, &guard);
+                // SAFETY: `old` was published; readers may still hold it.
+                let prev = unsafe { old.as_ref() }.cloned();
+                // SAFETY: unlinked by the swap above, retired once.
+                unsafe {
+                    self.retired_values.retire(old.as_raw() as *mut V, &guard);
+                }
+                return prev;
+            }
+            cur = entry.next.load(Ordering::Acquire, &guard);
+        }
+        // New node, linked atomically at the bin head (Release publish).
+        let entry = Owned::new(Entry {
+            key,
+            value: Atomic::new(value),
+            next: Atomic::null(),
+        });
+        entry.next.store(head, Ordering::Relaxed);
+        bin.store(entry, Ordering::Release);
+        let len = self.core.len.load(Ordering::Relaxed) + 1;
+        self.core.len.store(len, Ordering::Release);
+        if len > table.bins.len() {
+            self.resize(&guard);
+        }
+        None
+    }
+
+    /// Remove a key; returns the previous value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let table_ptr = self.core.table.load(Ordering::Acquire, &guard);
+        // SAFETY: see `insert`.
+        let table = unsafe { table_ptr.deref() };
+        let bin = &table.bins[(hash_of(key) as usize) & table.mask];
+        let mut pred: Option<&Entry<K, V>> = None;
+        let mut cur = bin.load(Ordering::Acquire, &guard);
+        while let Some(entry) = unsafe { cur.as_ref() } {
+            let next = entry.next.load(Ordering::Acquire, &guard);
+            if entry.key == *key {
+                // Unlink with a single Release store (readers either see
+                // the node or its successor — never a torn chain).
+                match pred {
+                    Some(p) => p.next.store(next, Ordering::Release),
+                    None => bin.store(next, Ordering::Release),
+                }
+                let v = entry.value.load(Ordering::Acquire, &guard);
+                // SAFETY: cloned before the entry (and value) is retired.
+                let out = unsafe { v.as_ref() }.cloned();
+                // SAFETY: unlinked above; Entry::drop frees its value.
+                unsafe {
+                    self.retired_entries.retire(cur.as_raw() as *mut Entry<K, V>, &guard);
+                }
+                self.core.len.store(
+                    self.core.len.load(Ordering::Relaxed) - 1,
+                    Ordering::Release,
+                );
+                return out;
+            }
+            pred = Some(entry);
+            cur = next;
+        }
+        None
+    }
+
+    /// Grow the table: copy entries (de-duplicated by construction) into
+    /// a table twice the size and swap the pointer.
+    fn resize(&mut self, guard: &Guard) {
+        let old_ptr = self.core.table.load(Ordering::Acquire, guard);
+        // SAFETY: writer-exclusive table replacement.
+        let old = unsafe { old_ptr.deref() };
+        let new = Table::new(old.bins.len() * 2);
+        for bin in old.bins.iter() {
+            let mut cur = bin.load(Ordering::Acquire, guard);
+            while let Some(entry) = unsafe { cur.as_ref() } {
+                let v = entry.value.load(Ordering::Acquire, guard);
+                // SAFETY: value pointers are live while linked.
+                let value = unsafe { v.deref() }.clone();
+                let new_bin = &new.bins[(hash_of(&entry.key) as usize) & new.mask];
+                let head = new_bin.load(Ordering::Relaxed, guard);
+                let fresh = Owned::new(Entry {
+                    key: entry.key.clone(),
+                    value: Atomic::new(value),
+                    next: Atomic::null(),
+                });
+                fresh.next.store(head, Ordering::Relaxed);
+                // Not yet published: plain store is fine.
+                new_bin.store(fresh, Ordering::Relaxed);
+                cur = entry.next.load(Ordering::Acquire, guard);
+            }
+        }
+        // Publish the new table, then retire the old one and its entries.
+        self.core
+            .table
+            .store(Owned::new(new), Ordering::Release);
+        for bin in old.bins.iter() {
+            let mut cur = bin.load(Ordering::Relaxed, guard);
+            while !cur.is_null() {
+                // SAFETY: old entries are unreachable through the new
+                // table; readers still traversing are pinned.
+                let next = unsafe { cur.deref() }.next.load(Ordering::Relaxed, guard);
+                unsafe {
+                    self.retired_entries.retire(cur.as_raw() as *mut Entry<K, V>, guard);
+                }
+                cur = next;
+            }
+        }
+        // SAFETY: the old table itself is unreachable now.
+        unsafe { guard.defer_destroy(old_ptr) };
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.core.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new reader handle.
+    pub fn reader(&self) -> SwmrHashReader<K, V> {
+        SwmrHashReader {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+/// A lock-free read handle of a [`swmr_hash_map`]; clone freely.
+pub struct SwmrHashReader<K, V> {
+    core: Arc<Core<K, V>>,
+}
+
+impl<K, V> Clone for SwmrHashReader<K, V> {
+    fn clone(&self) -> Self {
+        SwmrHashReader {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for SwmrHashReader<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwmrHashReader")
+            .field("len", &self.core.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SwmrHashReader<K, V> {
+    /// Read a key's value: Acquire loads only, no RMW.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let table_ptr = self.core.table.load(Ordering::Acquire, &guard);
+        // SAFETY: tables/entries are epoch-reclaimed.
+        let table = unsafe { table_ptr.deref() };
+        let bin = &table.bins[(hash_of(key) as usize) & table.mask];
+        let mut cur = bin.load(Ordering::Acquire, &guard);
+        while let Some(entry) = unsafe { cur.as_ref() } {
+            if entry.key == *key {
+                let v = entry.value.load(Ordering::Acquire, &guard);
+                return unsafe { v.as_ref() }.cloned();
+            }
+            cur = entry.next.load(Ordering::Acquire, &guard);
+        }
+        None
+    }
+
+    /// Membership test.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.core.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every entry (weakly consistent, like JUC iterators).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let guard = epoch::pin();
+        let table_ptr = self.core.table.load(Ordering::Acquire, &guard);
+        // SAFETY: see `get`.
+        let table = unsafe { table_ptr.deref() };
+        for bin in table.bins.iter() {
+            let mut cur = bin.load(Ordering::Acquire, &guard);
+            while let Some(entry) = unsafe { cur.as_ref() } {
+                let v = entry.value.load(Ordering::Acquire, &guard);
+                if let Some(v) = unsafe { v.as_ref() } {
+                    f(&entry.key, v);
+                }
+                cur = entry.next.load(Ordering::Acquire, &guard);
+            }
+        }
+    }
+}
+
+// Readers/writer move across threads; entries hold K/V.
+// SAFETY: all shared mutation goes through atomics + epochs.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SwmrHashWriter<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SwmrHashReader<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SwmrHashReader<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let (mut w, r) = swmr_hash_map(8);
+        assert_eq!(w.insert(1, 10), None);
+        assert_eq!(w.insert(2, 20), None);
+        assert_eq!(w.insert(1, 11), Some(10));
+        assert_eq!(r.get(&1), Some(11));
+        assert_eq!(r.get(&3), None);
+        assert!(r.contains_key(&2));
+        assert_eq!(w.remove(&2), Some(20));
+        assert_eq!(w.remove(&2), None);
+        assert_eq!(w.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn resize_preserves_contents() {
+        let (mut w, r) = swmr_hash_map(8);
+        for i in 0..10_000u64 {
+            w.insert(i, i * 3);
+        }
+        assert_eq!(w.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(r.get(&i), Some(i * 3), "key {i} lost in resize");
+        }
+    }
+
+    #[test]
+    fn removal_in_long_chains() {
+        let (mut w, r) = swmr_hash_map(8);
+        // Small table forces chains.
+        for i in 0..64u64 {
+            w.insert(i, i);
+        }
+        for i in (0..64).step_by(2) {
+            assert_eq!(w.remove(&i), Some(i));
+        }
+        for i in 0..64u64 {
+            assert_eq!(r.get(&i).is_some(), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let (mut w, r) = swmr_hash_map(16);
+        for i in 0..100u64 {
+            w.insert(i, 1u64);
+        }
+        let mut total = 0;
+        r.for_each(|_, v| total += *v);
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let (mut w, r) = swmr_hash_map(64);
+        for i in 0..1_000u64 {
+            w.insert(i, 0u64);
+        }
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for round in 1..=20u64 {
+                    for i in 0..1_000 {
+                        w.insert(i, round);
+                    }
+                }
+            });
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        let i = 997 % 1_000;
+                        if let Some(v) = r.get(&i) {
+                            assert!(v <= 20);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_readers_during_resizes() {
+        let (mut w, r) = swmr_hash_map(8);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..50_000u64 {
+                    w.insert(i, i);
+                }
+            });
+            for _ in 0..3 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..50_000u64 {
+                        if let Some(v) = r.get(&(i % 1000)) {
+                            assert_eq!(v, i % 1000);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reader_handles_share_state() {
+        let (mut w, r1) = swmr_hash_map(8);
+        let r2 = r1.clone();
+        let r3 = w.reader();
+        w.insert(5, 50);
+        assert_eq!(r1.get(&5), Some(50));
+        assert_eq!(r2.get(&5), Some(50));
+        assert_eq!(r3.get(&5), Some(50));
+    }
+
+    #[test]
+    fn drop_reclaims_everything() {
+        let (mut w, _r) = swmr_hash_map(8);
+        for i in 0..1_000 {
+            w.insert(i, vec![i as u8; 16]);
+        }
+        // Both handles drop here; Core::drop walks and frees.
+    }
+}

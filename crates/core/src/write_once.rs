@@ -1,0 +1,272 @@
+//! `WriteOnceRef`: the adjusted reference `(R2, ALL)` of Listing 1.
+//!
+//! The Concurrentli `AtomicWriteOnceReference` strengthens `set`'s
+//! precondition to "not yet set". Because the value can never change once
+//! published, a reader may buffer it and skip the volatile-read barriers
+//! on every subsequent `get` — the 11.5× of Fig. 6's Reference panel.
+//!
+//! Java caches in a plain field of the shared object, relying on benign
+//! data races. Rust's memory model has no benign races, so the cache
+//! lives in a per-handle [`WriteOnceReader`] (`Cell`, not shared): the
+//! first successful read performs one Acquire load, every later read is a
+//! plain pointer read with no atomic at all — strictly cheaper than the
+//! Java original.
+
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use dego_metrics::{count_cas_failure, count_rmw};
+
+/// A shared write-once reference (the adjusted object `(R2, ALL)`).
+///
+/// # Examples
+///
+/// ```
+/// use dego_core::WriteOnceRef;
+///
+/// let r = WriteOnceRef::new();
+/// assert!(r.try_set("config".to_string()));
+/// assert!(!r.try_set("other".to_string()));
+/// assert_eq!(r.get().map(|s| s.as_str()), Some("config"));
+/// ```
+#[derive(Debug)]
+pub struct WriteOnceRef<T> {
+    slot: AtomicPtr<T>,
+}
+
+impl<T> WriteOnceRef<T> {
+    /// An unset reference.
+    pub fn new() -> Self {
+        WriteOnceRef {
+            slot: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Attempt to publish `value`. Returns `false` (dropping `value`'s
+    /// box content by value semantics) when the reference was already set
+    /// — the silent failure of `R2`'s strengthened precondition.
+    pub fn try_set(&self, value: T) -> bool {
+        // Cheap pre-check, as in Listing 1 line 15.
+        if !self.slot.load(Ordering::Acquire).is_null() {
+            return false;
+        }
+        let boxed = Box::into_raw(Box::new(value));
+        count_rmw();
+        match self.slot.compare_exchange(
+            ptr::null_mut(),
+            boxed,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => true,
+            Err(_) => {
+                count_cas_failure();
+                // SAFETY: `boxed` was never published; we still own it.
+                drop(unsafe { Box::from_raw(boxed) });
+                false
+            }
+        }
+    }
+
+    /// Publish `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reference was already set (Listing 1's
+    /// `IllegalStateException`).
+    pub fn set(&self, value: T) {
+        assert!(self.try_set(value), "write-once reference already set");
+    }
+
+    /// Read the value (one Acquire load).
+    pub fn get(&self) -> Option<&T> {
+        let p = self.slot.load(Ordering::Acquire);
+        // SAFETY: a non-null pointer was published exactly once by
+        // `try_set` and is never replaced nor freed before `self` drops;
+        // the returned borrow is tied to `&self`.
+        unsafe { p.as_ref() }
+    }
+
+    /// Whether a value has been published.
+    pub fn is_set(&self) -> bool {
+        !self.slot.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T> Default for WriteOnceRef<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for WriteOnceRef<T> {
+    fn drop(&mut self) {
+        let p = *self.slot.get_mut();
+        if !p.is_null() {
+            // SAFETY: exclusive access at drop; the pointer came from
+            // `Box::into_raw` in `try_set`.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// A caching read handle over an [`Arc<WriteOnceRef<T>>`].
+///
+/// The first successful [`get`](WriteOnceReader::get) pays one Acquire
+/// load; later calls are plain reads of the cached pointer — no atomics,
+/// no barriers (the Concurrentli `_cachedObj` trick, made sound).
+///
+/// The handle is intentionally **not** `Sync` (the cache is a `Cell`);
+/// clone one per thread instead.
+#[derive(Debug)]
+pub struct WriteOnceReader<T> {
+    shared: Arc<WriteOnceRef<T>>,
+    cached: Cell<*const T>,
+}
+
+impl<T> WriteOnceReader<T> {
+    /// Wrap a shared reference into a caching reader.
+    pub fn new(shared: Arc<WriteOnceRef<T>>) -> Self {
+        WriteOnceReader {
+            shared,
+            cached: Cell::new(ptr::null()),
+        }
+    }
+
+    /// Read the value, caching the pointer after the first hit.
+    #[inline]
+    pub fn get(&self) -> Option<&T> {
+        let cached = self.cached.get();
+        if !cached.is_null() {
+            // SAFETY: `cached` was loaded from the shared slot (published
+            // with Release/Acquire) and the value outlives `self.shared`,
+            // of which we hold an Arc.
+            return Some(unsafe { &*cached });
+        }
+        match self.shared.get() {
+            Some(v) => {
+                self.cached.set(v as *const T);
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// The underlying shared reference.
+    pub fn shared(&self) -> &Arc<WriteOnceRef<T>> {
+        &self.shared
+    }
+}
+
+impl<T> Clone for WriteOnceReader<T> {
+    fn clone(&self) -> Self {
+        // The cache is per-handle; the clone re-discovers the pointer.
+        WriteOnceReader::new(Arc::clone(&self.shared))
+    }
+}
+
+// SAFETY: sending the handle to another thread is fine (the cache moves
+// with it); sharing it would race on the Cell, hence no Sync impl.
+unsafe impl<T: Send + Sync> Send for WriteOnceReader<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_publication() {
+        let r: WriteOnceRef<i64> = WriteOnceRef::new();
+        assert!(!r.is_set());
+        assert_eq!(r.get(), None);
+        assert!(r.try_set(5));
+        assert!(r.is_set());
+        assert_eq!(r.get(), Some(&5));
+        assert!(!r.try_set(9));
+        assert_eq!(r.get(), Some(&5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already set")]
+    fn double_set_panics() {
+        let r = WriteOnceRef::new();
+        r.set(1);
+        r.set(2);
+    }
+
+    #[test]
+    fn racing_setters_have_one_winner() {
+        let r = Arc::new(WriteOnceRef::new());
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let r = Arc::clone(&r);
+                let winners = &winners;
+                s.spawn(move || {
+                    if r.try_set(t) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+        assert!(r.get().is_some());
+    }
+
+    #[test]
+    fn reader_caches_after_first_hit() {
+        let shared = Arc::new(WriteOnceRef::new());
+        let reader = WriteOnceReader::new(Arc::clone(&shared));
+        assert_eq!(reader.get(), None); // not set yet: no caching of null
+        shared.set(41i64);
+        assert_eq!(reader.get(), Some(&41));
+        // Cached path returns the same pointer.
+        let p1 = reader.get().unwrap() as *const _;
+        let p2 = reader.get().unwrap() as *const _;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn cloned_readers_work_across_threads() {
+        let shared = Arc::new(WriteOnceRef::new());
+        shared.set(String::from("value"));
+        let reader = WriteOnceReader::new(Arc::clone(&shared));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = reader.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        assert_eq!(r.get().map(String::as_str), Some("value"));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reader_sees_value_published_after_creation() {
+        let shared: Arc<WriteOnceRef<u64>> = Arc::new(WriteOnceRef::new());
+        let reader = WriteOnceReader::new(Arc::clone(&shared));
+        let publisher = Arc::clone(&shared);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                publisher.set(7);
+            });
+            s.spawn(move || loop {
+                if let Some(v) = reader.get() {
+                    assert_eq!(*v, 7);
+                    break;
+                }
+                std::hint::spin_loop();
+            });
+        });
+    }
+
+    #[test]
+    fn drop_frees_published_value() {
+        let r = WriteOnceRef::new();
+        r.set(vec![1u8; 1024]);
+        drop(r); // no leak / double free under sanitizers
+    }
+}

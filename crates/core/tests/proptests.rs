@@ -1,0 +1,184 @@
+//! Property-based tests of the DEGO structures against sequential
+//! oracles and concurrency invariants.
+
+use dego_core::{
+    mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, WriteOnceRef,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A scripted map operation.
+#[derive(Clone, Debug)]
+enum MapOp {
+    Put(u8, u16),
+    Remove(u8),
+    Get(u8),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+        any::<u8>().prop_map(MapOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SWMR hash map agrees with a BTreeMap oracle over any script.
+    #[test]
+    fn swmr_hash_map_matches_oracle(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let (mut w, r) = dego_core::swmr_hash::swmr_hash_map::<u8, u16>(4);
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Put(k, v) => {
+                    prop_assert_eq!(w.insert(k, v), oracle.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(w.remove(&k), oracle.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(r.get(&k), oracle.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(w.len(), oracle.len());
+        let mut seen = 0;
+        r.for_each(|k, v| {
+            assert_eq!(oracle.get(k), Some(v));
+            seen += 1;
+        });
+        prop_assert_eq!(seen, oracle.len());
+    }
+
+    /// The SWMR skip list agrees with the oracle *and* iterates in key
+    /// order.
+    #[test]
+    fn swmr_skip_list_matches_oracle(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let (mut w, r) = dego_core::swmr_skiplist::swmr_skip_list_map::<u8, u16>();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Put(k, v) => {
+                    prop_assert_eq!(w.insert(k, v), oracle.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(w.remove(&k), oracle.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(r.get(&k), oracle.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(r.first_key(), oracle.keys().next().copied());
+        let mut keys = Vec::new();
+        r.for_each(|k, v| {
+            assert_eq!(oracle.get(k), Some(v));
+            keys.push(*k);
+        });
+        let oracle_keys: Vec<u8> = oracle.keys().copied().collect();
+        prop_assert_eq!(keys, oracle_keys);
+    }
+
+    /// The segmented map with partitioned scripts equals the union of
+    /// per-partition oracles (single-threaded replay through real
+    /// writers; the concurrent path is exercised by the loom-style
+    /// multithread tests in the crate).
+    #[test]
+    fn segmented_map_matches_partitioned_oracle(
+        ops in proptest::collection::vec(map_op(), 1..150),
+    ) {
+        let map = SegmentedHashMap::new(1, 64, SegmentationKind::Extended);
+        let mut w = map.writer();
+        let mut oracle: BTreeMap<u8, u16> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Put(k, v) => {
+                    w.put(k, v);
+                    oracle.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    w.remove(&k);
+                    oracle.remove(&k);
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&k), oracle.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(map.len(), oracle.len());
+    }
+
+    /// MPSC queue: any multiset of per-producer sequences is delivered
+    /// exactly once, per-producer FIFO.
+    #[test]
+    fn mpsc_delivers_exactly_once_in_order(
+        counts in proptest::collection::vec(1usize..60, 1..4),
+    ) {
+        let (p, mut c) = mpsc::queue::<(usize, usize)>();
+        std::thread::scope(|s| {
+            for (producer, &n) in counts.iter().enumerate() {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..n {
+                        p.offer((producer, i));
+                    }
+                });
+            }
+        });
+        let total: usize = counts.iter().sum();
+        let mut last = vec![None::<usize>; counts.len()];
+        let mut seen = 0;
+        while let Some((producer, i)) = c.poll() {
+            if let Some(prev) = last[producer] {
+                prop_assert!(i > prev, "producer {} reordered", producer);
+            }
+            last[producer] = Some(i);
+            seen += 1;
+        }
+        prop_assert_eq!(seen, total);
+    }
+
+    /// Write-once: whatever the race, exactly one proposal wins and it
+    /// is one of the proposed values.
+    #[test]
+    fn write_once_single_winner(proposals in proptest::collection::vec(any::<u32>(), 2..8)) {
+        let r = Arc::new(WriteOnceRef::new());
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for &v in &proposals {
+                let r = Arc::clone(&r);
+                let wins = &wins;
+                s.spawn(move || {
+                    if r.try_set(v) {
+                        wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(wins.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let winner = *r.get().expect("someone won");
+        prop_assert!(proposals.contains(&winner));
+    }
+
+    /// The counter is exact for any vector of per-thread increments.
+    #[test]
+    fn counter_is_exact(counts in proptest::collection::vec(0u64..2_000, 1..6)) {
+        let c = CounterIncrementOnly::new(counts.len());
+        std::thread::scope(|s| {
+            for &n in &counts {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let cell = c.cell();
+                    for _ in 0..n {
+                        cell.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.get(), counts.iter().sum::<u64>());
+    }
+}

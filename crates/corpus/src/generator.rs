@@ -1,0 +1,384 @@
+//! Synthetic corpus generation, calibrated to §6.1's published numbers.
+//!
+//! Each project gets its own *slice* of an object's interface: a handful
+//! of methods drawn by perturbed popularity ("projects only use a handful
+//! of the available methods, some much more frequently than others"),
+//! then Java source files are emitted whose call sites follow that
+//! per-project distribution and whose return-value usage follows the
+//! per-method rates. The scanner recovers every reported statistic from
+//! the emitted text — the calibration tables are never consulted by the
+//! reporting path.
+
+use crate::model::{MethodProfile, TrackedClass, TRACKED_CLASSES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of projects (the paper mines 50).
+    pub projects: usize,
+    /// Java files per project (the paper inspects the 20 most modified).
+    pub files_per_project: usize,
+    /// Mean call sites per tracked object per file.
+    pub sites_per_object: usize,
+    /// RNG seed — the corpus is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            projects: 50,
+            files_per_project: 20,
+            sites_per_object: 18,
+            seed: 0xDE60,
+        }
+    }
+}
+
+/// A generated Java file.
+#[derive(Clone, Debug)]
+pub struct JavaFile {
+    /// Repository-relative path.
+    pub path: String,
+    /// Java source text.
+    pub source: String,
+    /// Commit count over the modelled decade (Fig. 4 bottom's shading).
+    pub modifications: u32,
+}
+
+/// Yearly declaration statistics (Fig. 4 top).
+#[derive(Clone, Copy, Debug)]
+pub struct YearStats {
+    /// Calendar year.
+    pub year: u32,
+    /// `ConcurrentHashMap` declarations in the project that year.
+    pub chm_declarations: usize,
+    /// All declarations in the project that year.
+    pub total_declarations: usize,
+}
+
+/// A generated project.
+#[derive(Clone, Debug)]
+pub struct Project {
+    /// Project name (the first three echo Fig. 1's Ignite / Cassandra /
+    /// Hadoop).
+    pub name: String,
+    /// The project's files (its "20 most modified").
+    pub files: Vec<JavaFile>,
+    /// Ten-year declaration history.
+    pub history: Vec<YearStats>,
+}
+
+/// A generated corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// All projects.
+    pub projects: Vec<Project>,
+}
+
+/// A project's private view of one class's interface: the methods it
+/// uses and their (renormalized) weights.
+fn project_slice(
+    rng: &mut StdRng,
+    methods: &'static [MethodProfile],
+) -> Vec<(&'static MethodProfile, f64)> {
+    // Keep between 4 and 11 methods, biased toward the popular ones.
+    let keep = rng.gen_range(4..=11.min(methods.len()));
+    let mut perturbed: Vec<(&MethodProfile, f64)> = methods
+        .iter()
+        .map(|m| (m, m.weight * rng.gen_range(0.4..1.6)))
+        .collect();
+    perturbed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    perturbed.truncate(keep);
+    let total: f64 = perturbed.iter().map(|(_, w)| w).sum();
+    perturbed
+        .into_iter()
+        .map(|(m, w)| (m, w / total))
+        .collect()
+}
+
+fn pick<'a>(
+    rng: &mut StdRng,
+    slice: &[(&'a MethodProfile, f64)],
+) -> &'a MethodProfile {
+    let mut x: f64 = rng.gen_range(0.0..1.0);
+    for (m, w) in slice {
+        if x < *w {
+            return m;
+        }
+        x -= w;
+    }
+    slice.last().expect("non-empty slice").0
+}
+
+fn args_for(rng: &mut StdRng, m: &MethodProfile, class: TrackedClass) -> String {
+    let arg = |rng: &mut StdRng| -> String {
+        match class {
+            TrackedClass::AtomicLong => format!("{}L", rng.gen_range(0..100)),
+            _ => format!("key{}", rng.gen_range(0..50)),
+        }
+    };
+    (0..m.arity)
+        .map(|_| arg(rng))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn emit_file(
+    rng: &mut StdRng,
+    project_idx: usize,
+    file_idx: usize,
+    slices: &HashMap<TrackedClass, Vec<(&'static MethodProfile, f64)>>,
+    sites_per_object: usize,
+    uses_juc: bool,
+) -> JavaFile {
+    let class_name = format!("Service{project_idx}_{file_idx}");
+    let mut src = String::new();
+    src.push_str(&format!("package org.apache.p{project_idx};\n\n"));
+    src.push_str(&format!("public class {class_name} {{\n"));
+
+    let mut vars: Vec<(String, TrackedClass)> = Vec::new();
+    if uses_juc {
+        // Declare one to three tracked objects.
+        let mut classes: Vec<TrackedClass> = TRACKED_CLASSES.to_vec();
+        for i in (1..classes.len()).rev() {
+            classes.swap(i, rng.gen_range(0..=i));
+        }
+        let n_objects = rng.gen_range(1..=3);
+        for (oi, class) in classes.into_iter().take(n_objects).enumerate() {
+            let var = format!("shared{oi}");
+            let decl = match class {
+                TrackedClass::AtomicLong => {
+                    format!("    private final AtomicLong {var} = new AtomicLong();\n")
+                }
+                TrackedClass::ConcurrentHashMap => format!(
+                    "    private final ConcurrentHashMap<String, Long> {var} = new ConcurrentHashMap<>();\n"
+                ),
+                TrackedClass::ConcurrentSkipListSet => format!(
+                    "    private final ConcurrentSkipListSet<String> {var} = new ConcurrentSkipListSet<>();\n"
+                ),
+                TrackedClass::ConcurrentLinkedQueue => format!(
+                    "    private final ConcurrentLinkedQueue<String> {var} = new ConcurrentLinkedQueue<>();\n"
+                ),
+            };
+            src.push_str(&decl);
+            vars.push((var, class));
+        }
+    }
+    // A couple of untracked declarations (the scanner must skip them).
+    src.push_str("    private final HashMap<String, String> local = new HashMap<>();\n");
+    src.push_str("    private int plainCounter = 0;\n\n");
+
+    let mut method_no = 0;
+    for (var, class) in &vars {
+        let slice = &slices[class];
+        src.push_str(&format!("    public void handle{method_no}(String key0) {{\n"));
+        method_no += 1;
+        let sites = rng.gen_range(sites_per_object / 2..=sites_per_object * 3 / 2);
+        for s in 0..sites.max(1) {
+            let m = pick(rng, slice);
+            let args = args_for(rng, m, *class);
+            let used = !m.is_void && rng.gen_bool(m.return_used.clamp(0.0, 1.0));
+            let call = format!("{var}.{}({args})", m.name);
+            let line = if used {
+                match rng.gen_range(0..3) {
+                    0 => format!("        var r{s} = {call};\n"),
+                    1 => format!("        if ({call} != null) {{ plainCounter++; }}\n"),
+                    _ => format!("        log({call});\n"),
+                }
+            } else {
+                format!("        {call};\n")
+            };
+            src.push_str(&line);
+        }
+        src.push_str("    }\n\n");
+    }
+    src.push_str("    private void log(Object o) { }\n");
+    src.push_str("}\n");
+
+    JavaFile {
+        path: format!("src/main/java/org/apache/p{project_idx}/{class_name}.java"),
+        source: src,
+        // Power-law-ish modification counts (most files change rarely,
+        // a few change constantly).
+        modifications: (20.0 / rng.gen_range(0.02..1.0f64)) as u32,
+    }
+}
+
+fn project_history(rng: &mut StdRng) -> Vec<YearStats> {
+    // Fig. 4 top: mean CHM declarations 46.6 (2015) → 116.7 (2024),
+    // staying below 1 % of all declarations.
+    let anchors = [(2015u32, 46.6f64), (2018, 77.7), (2021, 96.8), (2024, 116.7)];
+    let mut out = Vec::new();
+    for year in 2015..=2024u32 {
+        // Piecewise-linear interpolation between the published anchors.
+        let mean = {
+            let mut v = anchors[0].1;
+            for w in anchors.windows(2) {
+                let (y0, m0) = w[0];
+                let (y1, m1) = w[1];
+                if year >= y0 && year <= y1 {
+                    let t = (year - y0) as f64 / (y1 - y0) as f64;
+                    v = m0 + t * (m1 - m0);
+                }
+            }
+            v
+        };
+        let chm = (mean * rng.gen_range(0.6..1.4)).round().max(1.0) as usize;
+        // Total declarations keep the proportion in the 0.5–1 % band.
+        let proportion = rng.gen_range(0.005..0.0095);
+        let total = (chm as f64 / proportion) as usize;
+        out.push(YearStats {
+            year,
+            chm_declarations: chm,
+            total_declarations: total,
+        });
+    }
+    out
+}
+
+/// Generate a corpus.
+pub fn generate_corpus(config: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut projects = Vec::with_capacity(config.projects);
+    for p in 0..config.projects {
+        let name = match p {
+            0 => "Ignite".to_string(),
+            1 => "Cassandra".to_string(),
+            2 => "Hadoop".to_string(),
+            _ => format!("Project{p:02}"),
+        };
+        // The project's interface slices.
+        let slices: HashMap<TrackedClass, Vec<(&'static MethodProfile, f64)>> =
+            TRACKED_CLASSES
+                .iter()
+                .map(|&c| (c, project_slice(&mut rng, c.methods())))
+                .collect();
+        // "Nearly half of the most modified files involve JUC objects."
+        let files = (0..config.files_per_project)
+            .map(|f| {
+                let uses_juc = rng.gen_bool(0.48);
+                emit_file(
+                    &mut rng,
+                    p,
+                    f,
+                    &slices,
+                    config.sites_per_object,
+                    uses_juc,
+                )
+            })
+            .collect();
+        projects.push(Project {
+            name,
+            files,
+            history: project_history(&mut rng),
+        });
+    }
+    Corpus { projects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    fn small() -> Corpus {
+        generate_corpus(&CorpusConfig {
+            projects: 6,
+            files_per_project: 10,
+            sites_per_object: 16,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = small();
+        assert_eq!(c.projects.len(), 6);
+        assert_eq!(c.projects[0].name, "Ignite");
+        assert_eq!(c.projects[1].name, "Cassandra");
+        assert!(c.projects.iter().all(|p| p.files.len() == 10));
+        assert!(c.projects.iter().all(|p| p.history.len() == 10));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.projects[3].files[2].source, b.projects[3].files[2].source);
+    }
+
+    #[test]
+    fn generated_sources_scan_cleanly() {
+        let c = small();
+        let mut total_calls = 0;
+        for p in &c.projects {
+            for f in &p.files {
+                let r = scan_source(&f.source);
+                // Every call's receiver must have been declared.
+                for call in &r.calls {
+                    assert!(r.declarations.iter().any(|d| d.var == call.receiver));
+                }
+                total_calls += r.calls.len();
+            }
+        }
+        assert!(total_calls > 500, "corpus too sparse: {total_calls}");
+    }
+
+    #[test]
+    fn about_half_the_files_use_juc() {
+        let c = generate_corpus(&CorpusConfig {
+            projects: 20,
+            files_per_project: 20,
+            sites_per_object: 10,
+            seed: 11,
+        });
+        let mut with = 0;
+        let mut total = 0;
+        for p in &c.projects {
+            for f in &p.files {
+                total += 1;
+                if !scan_source(&f.source).declarations.is_empty() {
+                    with += 1;
+                }
+            }
+        }
+        let frac = with as f64 / total as f64;
+        assert!((0.38..0.58).contains(&frac), "JUC fraction {frac}");
+    }
+
+    #[test]
+    fn history_proportion_stays_below_one_percent() {
+        let c = small();
+        for p in &c.projects {
+            for y in &p.history {
+                let prop = y.chm_declarations as f64 / y.total_declarations as f64;
+                assert!(prop < 0.01, "{}: {} {prop}", p.name, y.year);
+            }
+        }
+    }
+
+    #[test]
+    fn history_grows_over_the_decade() {
+        let c = generate_corpus(&CorpusConfig {
+            projects: 30,
+            files_per_project: 2,
+            sites_per_object: 4,
+            seed: 3,
+        });
+        let mean = |year: u32| -> f64 {
+            let xs: Vec<f64> = c
+                .projects
+                .iter()
+                .flat_map(|p| p.history.iter())
+                .filter(|y| y.year == year)
+                .map(|y| y.chm_declarations as f64)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(2024) > mean(2015) * 1.8, "{} vs {}", mean(2024), mean(2015));
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 4: declaration history and most-modified-file analysis.
+
+use crate::generator::Corpus;
+use crate::scanner::scan_source;
+
+/// One year of Fig. 4 (top): mean declarations and mean proportion.
+#[derive(Clone, Copy, Debug)]
+pub struct YearRow {
+    /// Calendar year.
+    pub year: u32,
+    /// Mean `ConcurrentHashMap` declarations per project.
+    pub mean_declarations: f64,
+    /// Mean proportion of all declarations (percent).
+    pub mean_proportion_pct: f64,
+}
+
+/// Compute the Fig. 4 (top) series.
+pub fn declaration_history(corpus: &Corpus) -> Vec<YearRow> {
+    let mut rows = Vec::new();
+    for year in 2015..=2024u32 {
+        let mut decls = Vec::new();
+        let mut props = Vec::new();
+        for p in &corpus.projects {
+            for y in &p.history {
+                if y.year == year {
+                    decls.push(y.chm_declarations as f64);
+                    props.push(y.chm_declarations as f64 / y.total_declarations as f64);
+                }
+            }
+        }
+        if decls.is_empty() {
+            continue;
+        }
+        rows.push(YearRow {
+            year,
+            mean_declarations: decls.iter().sum::<f64>() / decls.len() as f64,
+            mean_proportion_pct: 100.0 * props.iter().sum::<f64>() / props.len() as f64,
+        });
+    }
+    rows
+}
+
+/// One file of the Fig. 4 (bottom) heat map.
+#[derive(Clone, Debug)]
+pub struct FileCell {
+    /// Project name.
+    pub project: String,
+    /// File rank among the project's most-modified files (0 = most).
+    pub rank: usize,
+    /// Whether the file uses a `java.util.concurrent` object.
+    pub uses_juc: bool,
+    /// Modification (commit) count — the shading intensity.
+    pub modifications: u32,
+}
+
+/// Compute the Fig. 4 (bottom) matrix: each project's files sorted by
+/// modification count, flagged by actual scanning.
+pub fn most_modified_matrix(corpus: &Corpus) -> Vec<FileCell> {
+    let mut cells = Vec::new();
+    for p in &corpus.projects {
+        let mut files: Vec<_> = p.files.iter().collect();
+        files.sort_by(|a, b| b.modifications.cmp(&a.modifications));
+        for (rank, f) in files.iter().enumerate() {
+            cells.push(FileCell {
+                project: p.name.clone(),
+                rank,
+                uses_juc: !scan_source(&f.source).declarations.is_empty(),
+                modifications: f.modifications,
+            });
+        }
+    }
+    cells
+}
+
+/// Fraction of most-modified files using JUC ("nearly half", §6.1).
+pub fn juc_fraction(cells: &[FileCell]) -> f64 {
+    if cells.is_empty() {
+        return 0.0;
+    }
+    cells.iter().filter(|c| c.uses_juc).count() as f64 / cells.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate_corpus(&CorpusConfig {
+            projects: 30,
+            files_per_project: 20,
+            sites_per_object: 8,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn history_matches_published_anchors() {
+        let rows = declaration_history(&corpus());
+        assert_eq!(rows.len(), 10);
+        let at = |year: u32| rows.iter().find(|r| r.year == year).unwrap();
+        // ±25 % of the paper's means (we average 30 noisy projects).
+        assert!((at(2015).mean_declarations - 46.6).abs() < 12.0);
+        assert!((at(2024).mean_declarations - 116.7).abs() < 30.0);
+        // Proportion stays under 1 %.
+        assert!(rows.iter().all(|r| r.mean_proportion_pct < 1.0));
+    }
+
+    #[test]
+    fn matrix_is_sorted_by_modifications() {
+        let cells = most_modified_matrix(&corpus());
+        for pair in cells.windows(2) {
+            if pair[0].project == pair[1].project {
+                assert!(pair[0].modifications >= pair[1].modifications);
+                assert_eq!(pair[0].rank + 1, pair[1].rank);
+            }
+        }
+    }
+
+    #[test]
+    fn about_half_of_hot_files_use_juc() {
+        let cells = most_modified_matrix(&corpus());
+        let f = juc_fraction(&cells);
+        assert!((0.35..0.62).contains(&f), "fraction {f}");
+    }
+}

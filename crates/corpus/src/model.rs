@@ -1,0 +1,261 @@
+//! Tracked classes and the calibrated usage distributions of §6.1.
+//!
+//! The popularity weights come straight from Figure 5 (top-method shares
+//! plus an "others" bucket spread across representative JUC methods) and
+//! the return-use rates from Figure 1 (right): `get`-style reads always
+//! use their result, void mutators never do, and the RMW family is
+//! frequently called for effect only ("in many cases, e.g. for
+//! `incrementAndGet` and `addAndGet`, these calls do not use the return
+//! values").
+
+/// The four `java.util.concurrent` data types the study tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrackedClass {
+    /// `java.util.concurrent.atomic.AtomicLong`.
+    AtomicLong,
+    /// `java.util.concurrent.ConcurrentHashMap`.
+    ConcurrentHashMap,
+    /// `java.util.concurrent.ConcurrentSkipListSet`.
+    ConcurrentSkipListSet,
+    /// `java.util.concurrent.ConcurrentLinkedQueue`.
+    ConcurrentLinkedQueue,
+}
+
+/// All tracked classes, in the paper's reporting order.
+pub const TRACKED_CLASSES: [TrackedClass; 4] = [
+    TrackedClass::ConcurrentHashMap,
+    TrackedClass::ConcurrentSkipListSet,
+    TrackedClass::ConcurrentLinkedQueue,
+    TrackedClass::AtomicLong,
+];
+
+impl TrackedClass {
+    /// The Java simple type name (what a declaration mentions).
+    pub fn type_name(self) -> &'static str {
+        match self {
+            TrackedClass::AtomicLong => "AtomicLong",
+            TrackedClass::ConcurrentHashMap => "ConcurrentHashMap",
+            TrackedClass::ConcurrentSkipListSet => "ConcurrentSkipListSet",
+            TrackedClass::ConcurrentLinkedQueue => "ConcurrentLinkedQueue",
+        }
+    }
+
+    /// Parse a simple type name.
+    pub fn from_type_name(name: &str) -> Option<Self> {
+        match name {
+            "AtomicLong" => Some(TrackedClass::AtomicLong),
+            "ConcurrentHashMap" => Some(TrackedClass::ConcurrentHashMap),
+            "ConcurrentSkipListSet" => Some(TrackedClass::ConcurrentSkipListSet),
+            "ConcurrentLinkedQueue" => Some(TrackedClass::ConcurrentLinkedQueue),
+            _ => None,
+        }
+    }
+
+    /// Whether declarations of this type carry generic parameters.
+    pub fn is_generic(self) -> bool {
+        !matches!(self, TrackedClass::AtomicLong)
+    }
+
+    /// How many methods the paper counts on the full interface
+    /// (`others (N)` in Figure 5 plus the three reported ones).
+    pub fn interface_size(self) -> usize {
+        match self {
+            TrackedClass::AtomicLong => 134,
+            TrackedClass::ConcurrentHashMap => 92,
+            TrackedClass::ConcurrentSkipListSet => 18,
+            TrackedClass::ConcurrentLinkedQueue => 27,
+        }
+    }
+
+    /// The method catalogue with calibrated popularity weights (summing
+    /// to ~100) and the probability that a call site *uses* the returned
+    /// value.
+    pub fn methods(self) -> &'static [MethodProfile] {
+        match self {
+            TrackedClass::AtomicLong => ATOMIC_LONG_METHODS,
+            TrackedClass::ConcurrentHashMap => CHM_METHODS,
+            TrackedClass::ConcurrentSkipListSet => CSLS_METHODS,
+            TrackedClass::ConcurrentLinkedQueue => CLQ_METHODS,
+        }
+    }
+
+    /// The top-3 shares Figure 5 reports, for validation.
+    pub fn figure5_top3(self) -> [(&'static str, f64); 3] {
+        match self {
+            TrackedClass::ConcurrentHashMap => {
+                [("get", 26.6), ("put", 17.8), ("remove", 13.1)]
+            }
+            TrackedClass::ConcurrentSkipListSet => {
+                [("add", 31.9), ("remove", 20.8), ("contains", 19.6)]
+            }
+            TrackedClass::ConcurrentLinkedQueue => {
+                [("add", 28.8), ("size", 26.1), ("poll", 11.4)]
+            }
+            TrackedClass::AtomicLong => {
+                [("get", 36.9), ("incrementAndGet", 15.5), ("set", 14.1)]
+            }
+        }
+    }
+}
+
+/// One method's calibrated profile.
+#[derive(Clone, Copy, Debug)]
+pub struct MethodProfile {
+    /// Method name.
+    pub name: &'static str,
+    /// Popularity weight (Figure 5 share; "others" spread out).
+    pub weight: f64,
+    /// Probability that the call's return value is used (Figure 1 right).
+    pub return_used: f64,
+    /// Number of arguments the generator should emit.
+    pub arity: usize,
+    /// Whether the method returns `void` in Java (return never usable).
+    pub is_void: bool,
+}
+
+const fn m(
+    name: &'static str,
+    weight: f64,
+    return_used: f64,
+    arity: usize,
+    is_void: bool,
+) -> MethodProfile {
+    MethodProfile {
+        name,
+        weight,
+        return_used,
+        arity,
+        is_void,
+    }
+}
+
+/// `AtomicLong`: top-3 = get 36.9 %, incrementAndGet 15.5 %, set 14.1 %;
+/// others (131 methods) share 33.5 %.
+static ATOMIC_LONG_METHODS: &[MethodProfile] = &[
+    m("get", 36.9, 1.0, 0, false),
+    m("incrementAndGet", 15.5, 0.35, 0, false),
+    m("set", 14.1, 0.0, 1, true),
+    m("getAndIncrement", 6.0, 0.85, 0, false),
+    m("addAndGet", 5.5, 0.30, 1, false),
+    m("compareAndSet", 5.0, 0.75, 2, false),
+    m("getAndAdd", 4.0, 0.80, 1, false),
+    m("getAndSet", 3.5, 0.70, 1, false),
+    m("decrementAndGet", 3.0, 0.40, 0, false),
+    m("updateAndGet", 2.5, 0.45, 1, false),
+    m("getAndUpdate", 1.5, 0.60, 1, false),
+    m("accumulateAndGet", 1.0, 0.50, 2, false),
+    m("longValue", 0.8, 1.0, 0, false),
+    m("intValue", 0.4, 1.0, 0, false),
+    m("doubleValue", 0.3, 1.0, 0, false),
+];
+
+/// `ConcurrentHashMap`: top-3 = get 26.6 %, put 17.8 %, remove 13.1 %;
+/// others (89 methods) share 42.5 %.
+static CHM_METHODS: &[MethodProfile] = &[
+    m("get", 26.6, 1.0, 1, false),
+    m("put", 17.8, 0.15, 2, false),
+    m("remove", 13.1, 0.25, 1, false),
+    m("containsKey", 8.0, 1.0, 1, false),
+    m("putIfAbsent", 6.5, 0.55, 2, false),
+    m("computeIfAbsent", 6.0, 0.80, 2, false),
+    m("size", 5.5, 1.0, 0, false),
+    m("isEmpty", 3.5, 1.0, 0, false),
+    m("keySet", 3.0, 0.95, 0, false),
+    m("entrySet", 2.5, 0.95, 0, false),
+    m("values", 2.2, 0.95, 0, false),
+    m("clear", 1.8, 0.0, 0, true),
+    m("forEach", 1.5, 0.0, 1, true),
+    m("getOrDefault", 1.0, 1.0, 2, false),
+    m("merge", 0.6, 0.40, 2, false),
+    m("compute", 0.4, 0.45, 2, false),
+];
+
+/// `ConcurrentSkipListSet`: top-3 = add 31.9 %, remove 20.8 %,
+/// contains 19.6 %; others (15 methods) share 27.7 %.
+static CSLS_METHODS: &[MethodProfile] = &[
+    m("add", 31.9, 0.20, 1, false),
+    m("remove", 20.8, 0.30, 1, false),
+    m("contains", 19.6, 1.0, 1, false),
+    m("size", 7.0, 1.0, 0, false),
+    m("isEmpty", 5.5, 1.0, 0, false),
+    m("first", 4.0, 0.95, 0, false),
+    m("last", 3.0, 0.95, 0, false),
+    m("iterator", 2.7, 0.95, 0, false),
+    m("clear", 2.0, 0.0, 0, true),
+    m("floor", 1.5, 0.90, 1, false),
+    m("ceiling", 1.2, 0.90, 1, false),
+    m("pollFirst", 0.8, 0.70, 0, false),
+];
+
+/// `ConcurrentLinkedQueue`: top-3 = add 28.8 %, size 26.1 %, poll 11.4 %;
+/// others (24 methods) share 33.7 %.
+static CLQ_METHODS: &[MethodProfile] = &[
+    m("add", 28.8, 0.10, 1, false),
+    m("size", 26.1, 1.0, 0, false),
+    m("poll", 11.4, 0.90, 0, false),
+    m("offer", 8.0, 0.15, 1, false),
+    m("peek", 6.5, 0.95, 0, false),
+    m("isEmpty", 6.0, 1.0, 0, false),
+    m("contains", 4.0, 1.0, 1, false),
+    m("iterator", 3.2, 0.95, 0, false),
+    m("clear", 2.5, 0.0, 0, true),
+    m("remove", 2.0, 0.45, 1, false),
+    m("element", 1.5, 0.90, 0, false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_about_100() {
+        for class in TRACKED_CLASSES {
+            let total: f64 = class.methods().iter().map(|m| m.weight).sum();
+            assert!(
+                (total - 100.0).abs() < 0.5,
+                "{}: weights sum to {total}",
+                class.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn top3_matches_catalogue_heads() {
+        for class in TRACKED_CLASSES {
+            let methods = class.methods();
+            for (i, (name, share)) in class.figure5_top3().iter().enumerate() {
+                assert_eq!(methods[i].name, *name);
+                assert!((methods[i].weight - share).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn void_methods_never_use_returns() {
+        for class in TRACKED_CLASSES {
+            for m in class.methods() {
+                if m.is_void {
+                    assert_eq!(m.return_used, 0.0, "{}.{}", class.type_name(), m.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn type_name_roundtrip() {
+        for class in TRACKED_CLASSES {
+            assert_eq!(TrackedClass::from_type_name(class.type_name()), Some(class));
+        }
+        assert_eq!(TrackedClass::from_type_name("HashMap"), None);
+    }
+
+    #[test]
+    fn interface_sizes_match_paper() {
+        // 3 + |others| from Figure 5: 92 = 3+89, 18 = 3+15, 27 = 3+24,
+        // 134 = 3+131.
+        assert_eq!(TrackedClass::ConcurrentHashMap.interface_size(), 92);
+        assert_eq!(TrackedClass::ConcurrentSkipListSet.interface_size(), 18);
+        assert_eq!(TrackedClass::ConcurrentLinkedQueue.interface_size(), 27);
+        assert_eq!(TrackedClass::AtomicLong.interface_size(), 134);
+    }
+}

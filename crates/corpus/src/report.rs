@@ -1,0 +1,244 @@
+//! Aggregation of scanner output into the paper's Figures 1 and 5.
+
+use crate::generator::Corpus;
+use crate::model::{TrackedClass, TRACKED_CLASSES};
+use crate::scanner::scan_source;
+use std::collections::BTreeMap;
+
+/// One method's share of a class's calls (a Figure 5 pie slice).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodShare {
+    /// Method name.
+    pub method: String,
+    /// Number of call sites.
+    pub calls: usize,
+    /// Share of the class's calls, in percent.
+    pub percent: f64,
+    /// Fraction of the calls that use the return value.
+    pub return_used_rate: f64,
+}
+
+/// Aggregated usage of one tracked class.
+#[derive(Clone, Debug, Default)]
+pub struct ClassUsage {
+    /// Total call sites.
+    pub total_calls: usize,
+    /// Per-method counts: `(calls, return-used calls)`.
+    pub methods: BTreeMap<String, (usize, usize)>,
+    /// Per enclosing Java class: method → return used at least once /
+    /// never (the Fig. 1-right matrix).
+    pub per_class: BTreeMap<String, BTreeMap<String, bool>>,
+}
+
+impl ClassUsage {
+    /// Method shares sorted by popularity.
+    pub fn shares(&self) -> Vec<MethodShare> {
+        let mut out: Vec<MethodShare> = self
+            .methods
+            .iter()
+            .map(|(m, (calls, used))| MethodShare {
+                method: m.clone(),
+                calls: *calls,
+                percent: if self.total_calls == 0 {
+                    0.0
+                } else {
+                    *calls as f64 * 100.0 / self.total_calls as f64
+                },
+                return_used_rate: if *calls == 0 {
+                    0.0
+                } else {
+                    *used as f64 / *calls as f64
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.method.cmp(&b.method)));
+        out
+    }
+
+    /// Share of calls covered by the `k` most popular methods.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        self.shares().iter().take(k).map(|s| s.percent).sum()
+    }
+}
+
+/// The whole corpus report.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusReport {
+    /// Aggregate usage per tracked class.
+    pub usage: BTreeMap<&'static str, ClassUsage>,
+    /// Per-project AtomicLong method mix (Fig. 1 left):
+    /// project → method → call count.
+    pub atomic_long_by_project: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Total files scanned / files using at least one tracked object.
+    pub files_total: usize,
+    /// Files using at least one tracked object.
+    pub files_with_juc: usize,
+}
+
+impl CorpusReport {
+    /// Build the report by scanning every file of the corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut report = CorpusReport::default();
+        for class in TRACKED_CLASSES {
+            report.usage.insert(class.type_name(), ClassUsage::default());
+        }
+        for project in &corpus.projects {
+            let by_project = report
+                .atomic_long_by_project
+                .entry(project.name.clone())
+                .or_default();
+            for file in &project.files {
+                report.files_total += 1;
+                let scan = scan_source(&file.source);
+                if !scan.declarations.is_empty() {
+                    report.files_with_juc += 1;
+                }
+                for call in &scan.calls {
+                    let usage = report
+                        .usage
+                        .get_mut(call.class.type_name())
+                        .expect("all classes pre-registered");
+                    usage.total_calls += 1;
+                    let entry = usage.methods.entry(call.method.clone()).or_default();
+                    entry.0 += 1;
+                    if call.return_used {
+                        entry.1 += 1;
+                    }
+                    if let Some(cls) = &call.enclosing_class {
+                        let row = usage.per_class.entry(cls.clone()).or_default();
+                        let used = row.entry(call.method.clone()).or_insert(false);
+                        *used |= call.return_used;
+                    }
+                    if call.class == TrackedClass::AtomicLong {
+                        *by_project.entry(call.method.clone()).or_default() += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Usage of one class.
+    pub fn class(&self, class: TrackedClass) -> &ClassUsage {
+        &self.usage[class.type_name()]
+    }
+
+    /// Fraction of files touching a tracked object.
+    pub fn juc_file_fraction(&self) -> f64 {
+        if self.files_total == 0 {
+            0.0
+        } else {
+            self.files_with_juc as f64 / self.files_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, CorpusConfig};
+
+    fn report() -> CorpusReport {
+        let corpus = generate_corpus(&CorpusConfig {
+            projects: 25,
+            files_per_project: 16,
+            sites_per_object: 20,
+            seed: 99,
+        });
+        CorpusReport::build(&corpus)
+    }
+
+    #[test]
+    fn every_tracked_class_sees_calls() {
+        let r = report();
+        for class in TRACKED_CLASSES {
+            assert!(
+                r.class(class).total_calls > 100,
+                "{} undersampled",
+                class.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn popular_methods_lead_the_shares() {
+        let r = report();
+        for class in TRACKED_CLASSES {
+            let shares = r.class(class).shares();
+            let top: Vec<&str> = shares.iter().take(5).map(|s| s.method.as_str()).collect();
+            let expected = class.figure5_top3();
+            // The calibrated #1 method must appear among the recovered
+            // top-5 (per-project noise can reorder the tail).
+            assert!(
+                top.contains(&expected[0].0),
+                "{}: {:?} missing {}",
+                class.type_name(),
+                top,
+                expected[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn top3_covers_a_majority_like_figure5() {
+        let r = report();
+        // Paper: top-3 cover 57.5–72.3 % depending on the class. The
+        // synthetic corpus must land in the same ballpark.
+        for class in TRACKED_CLASSES {
+            let share = r.class(class).top_k_share(3);
+            assert!(
+                (45.0..90.0).contains(&share),
+                "{}: top-3 share {share}",
+                class.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn reads_use_returns_blind_writes_do_not() {
+        let r = report();
+        let al = r.class(TrackedClass::AtomicLong);
+        let shares = al.shares();
+        let rate = |m: &str| {
+            shares
+                .iter()
+                .find(|s| s.method == m)
+                .map(|s| s.return_used_rate)
+        };
+        if let Some(get) = rate("get") {
+            assert!(get > 0.95, "get return-use {get}");
+        }
+        if let Some(set) = rate("set") {
+            assert!(set < 0.05, "set return-use {set}");
+        }
+    }
+
+    #[test]
+    fn per_project_mixes_differ() {
+        let r = report();
+        // Different projects use different method subsets (Fig. 1 left).
+        let projects: Vec<&BTreeMap<String, usize>> =
+            r.atomic_long_by_project.values().collect();
+        let distinct: std::collections::BTreeSet<Vec<&String>> = projects
+            .iter()
+            .map(|m| m.keys().collect::<Vec<_>>())
+            .collect();
+        assert!(distinct.len() > 1, "all projects share one method set");
+    }
+
+    #[test]
+    fn file_fraction_is_about_half() {
+        let r = report();
+        let f = r.juc_file_fraction();
+        assert!((0.35..0.62).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn per_class_matrix_has_rows() {
+        let r = report();
+        let chm = r.class(TrackedClass::ConcurrentHashMap);
+        assert!(!chm.per_class.is_empty());
+        // Every row mentions at least one method.
+        assert!(chm.per_class.values().all(|row| !row.is_empty()));
+    }
+}

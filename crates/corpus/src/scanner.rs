@@ -1,0 +1,318 @@
+//! A Java call-site scanner: the executable equivalent of the paper's
+//! mining scripts (§6.1).
+//!
+//! The scanner works line by line over Java source text:
+//!
+//! * a **declaration** is recognized from `new <TrackedType>(…)` /
+//!   `new <TrackedType><…>(…)`, binding the variable named before the
+//!   `=` to the tracked class;
+//! * a **call site** is `receiver.method(…)` where `receiver` was
+//!   declared with a tracked class in the same file;
+//! * the call's **return value is used** when the call expression is not
+//!   a bare statement — i.e. something precedes it on the line
+//!   (assignment, `return`, a surrounding condition or argument
+//!   position).
+//!
+//! The same heuristics the paper's scripts apply; precise enough for
+//! generated and for idiomatic hand-written Java.
+
+use crate::model::TrackedClass;
+use std::collections::HashMap;
+
+/// A recognized declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Declaration {
+    /// Variable name.
+    pub var: String,
+    /// The tracked class.
+    pub class: TrackedClass,
+    /// 1-based source line.
+    pub line: usize,
+    /// Enclosing Java class name, when known.
+    pub enclosing_class: Option<String>,
+}
+
+/// A recognized call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Receiver variable name.
+    pub receiver: String,
+    /// The receiver's tracked class.
+    pub class: TrackedClass,
+    /// Method name.
+    pub method: String,
+    /// Whether the return value is used.
+    pub return_used: bool,
+    /// 1-based source line.
+    pub line: usize,
+    /// Enclosing Java class name, when known.
+    pub enclosing_class: Option<String>,
+}
+
+/// Scanner output for one compilation unit.
+#[derive(Clone, Debug, Default)]
+pub struct ScanResult {
+    /// Declarations found.
+    pub declarations: Vec<Declaration>,
+    /// Call sites found.
+    pub calls: Vec<CallSite>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$'
+}
+
+/// Extract the identifier ending right before byte offset `end`.
+fn ident_before(line: &str, end: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&line[start..end])
+    }
+}
+
+/// Extract the identifier starting at byte offset `start`.
+fn ident_at(line: &str, start: usize) -> Option<&str> {
+    let end = line[start..]
+        .find(|c: char| !is_ident_char(c))
+        .map(|i| start + i)
+        .unwrap_or(line.len());
+    if end == start {
+        None
+    } else {
+        Some(&line[start..end])
+    }
+}
+
+/// Scan one Java source file.
+pub fn scan_source(source: &str) -> ScanResult {
+    let mut result = ScanResult::default();
+    let mut vars: HashMap<String, TrackedClass> = HashMap::new();
+    let mut enclosing: Option<String> = None;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_line_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+
+        // Track the enclosing class: `class Name` / `public class Name`.
+        if let Some(pos) = find_word(line, "class") {
+            let after = pos + "class".len();
+            if let Some(rest) = line.get(after..) {
+                let trimmed = rest.trim_start();
+                let off = after + (rest.len() - trimmed.len());
+                if let Some(name) = ident_at(line, off) {
+                    enclosing = Some(name.to_string());
+                }
+            }
+        }
+
+        // Declarations: `… <var> = new <Type>…(…)`.
+        let mut search = 0;
+        while let Some(rel) = line[search..].find("new ") {
+            let at = search + rel + 4;
+            search = at;
+            let Some(type_name) = ident_at(line, skip_spaces(line, at)) else {
+                continue;
+            };
+            let Some(class) = TrackedClass::from_type_name(type_name) else {
+                continue;
+            };
+            // The variable name sits just before the `=` sign, left of
+            // the `new` keyword.
+            let Some(eq) = line[..at].rfind('=') else { continue };
+            let before_eq = line[..eq].trim_end();
+            let Some(var) = ident_before(before_eq, before_eq.len()) else {
+                continue;
+            };
+            vars.insert(var.to_string(), class);
+            result.declarations.push(Declaration {
+                var: var.to_string(),
+                class,
+                line: line_no,
+                enclosing_class: enclosing.clone(),
+            });
+        }
+
+        // Call sites: `receiver.method(`.
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'.' {
+                let Some(receiver) = ident_before(line, i) else {
+                    i += 1;
+                    continue;
+                };
+                let Some(&class) = vars.get(receiver) else {
+                    i += 1;
+                    continue;
+                };
+                let mstart = i + 1;
+                let Some(method) = ident_at(line, mstart) else {
+                    i += 1;
+                    continue;
+                };
+                let after_method = mstart + method.len();
+                if bytes.get(after_method) != Some(&b'(') {
+                    i += 1;
+                    continue;
+                }
+                // Return-use: anything significant before the receiver?
+                let recv_start = i - receiver.len();
+                let prefix = line[..recv_start].trim();
+                let return_used = !prefix.is_empty();
+                result.calls.push(CallSite {
+                    receiver: receiver.to_string(),
+                    class,
+                    method: method.to_string(),
+                    return_used,
+                    line: line_no,
+                    enclosing_class: enclosing.clone(),
+                });
+                i = after_method;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    result
+}
+
+fn skip_spaces(line: &str, mut at: usize) -> usize {
+    let bytes = line.as_bytes();
+    while at < bytes.len() && (bytes[at] as char).is_whitespace() {
+        at += 1;
+    }
+    at
+}
+
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Find `word` in `line` at a word boundary.
+fn find_word(line: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_ident_char(line.as_bytes()[pos - 1] as char);
+        let after = pos + word.len();
+        let after_ok =
+            after >= line.len() || !is_ident_char(line.as_bytes()[after] as char);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNIPPET: &str = r#"
+package org.example;
+
+public class RequestTracker {
+    private final AtomicLong hits = new AtomicLong();
+    private final ConcurrentHashMap<String, Long> table = new ConcurrentHashMap<>();
+
+    public long onRequest(String key) {
+        hits.incrementAndGet();
+        long total = hits.get();
+        table.put(key, total); // return ignored
+        if (table.containsKey(key)) {
+            return table.get(key);
+        }
+        table.remove(key);
+        return total;
+    }
+}
+"#;
+
+    #[test]
+    fn finds_declarations() {
+        let r = scan_source(SNIPPET);
+        assert_eq!(r.declarations.len(), 2);
+        assert_eq!(r.declarations[0].var, "hits");
+        assert_eq!(r.declarations[0].class, TrackedClass::AtomicLong);
+        assert_eq!(r.declarations[1].var, "table");
+        assert_eq!(r.declarations[1].class, TrackedClass::ConcurrentHashMap);
+        assert_eq!(
+            r.declarations[0].enclosing_class.as_deref(),
+            Some("RequestTracker")
+        );
+    }
+
+    #[test]
+    fn finds_calls_and_classifies_returns() {
+        let r = scan_source(SNIPPET);
+        let call = |m: &str| {
+            r.calls
+                .iter()
+                .find(|c| c.method == m)
+                .unwrap_or_else(|| panic!("missing call {m}"))
+        };
+        assert!(!call("incrementAndGet").return_used); // bare statement
+        assert!(call("get").return_used); // assignment
+        assert!(!call("put").return_used); // bare statement
+        assert!(call("containsKey").return_used); // if condition
+        assert!(!call("remove").return_used);
+        // `return table.get(key)`: used.
+        let gets: Vec<_> = r.calls.iter().filter(|c| c.method == "get").collect();
+        assert!(gets.iter().all(|c| c.return_used));
+        assert_eq!(r.calls.len(), 6);
+    }
+
+    #[test]
+    fn ignores_untracked_receivers() {
+        let src = "List<String> xs = new ArrayList<>();\nxs.add(\"x\");\n";
+        let r = scan_source(src);
+        assert!(r.declarations.is_empty());
+        assert!(r.calls.is_empty());
+    }
+
+    #[test]
+    fn ignores_commented_calls() {
+        let src = "AtomicLong c = new AtomicLong();\n// c.incrementAndGet();\nc.get();\n";
+        let r = scan_source(src);
+        assert_eq!(r.calls.len(), 1);
+        assert_eq!(r.calls[0].method, "get");
+    }
+
+    #[test]
+    fn generic_declarations_are_recognized() {
+        let src = "ConcurrentSkipListSet<Long> s = new ConcurrentSkipListSet<>();\nboolean b = s.add(5L);\n";
+        let r = scan_source(src);
+        assert_eq!(r.declarations.len(), 1);
+        assert_eq!(r.declarations[0].class, TrackedClass::ConcurrentSkipListSet);
+        assert_eq!(r.calls.len(), 1);
+        assert!(r.calls[0].return_used);
+    }
+
+    #[test]
+    fn nested_call_argument_counts_as_used() {
+        let src = "ConcurrentLinkedQueue<Long> q = new ConcurrentLinkedQueue<>();\nprocess(q.poll());\n";
+        let r = scan_source(src);
+        assert_eq!(r.calls.len(), 1);
+        assert!(r.calls[0].return_used);
+    }
+
+    #[test]
+    fn multiple_calls_on_one_line() {
+        let src = "AtomicLong a = new AtomicLong();\nlong x = a.get() + a.get();\n";
+        let r = scan_source(src);
+        assert_eq!(r.calls.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dego-juc — a `java.util.concurrent`-style baseline substrate
+//!
+//! The paper evaluates the DEGO library against the strongly-consistent,
+//! wide-interface shared objects of the JDK (§6.2). Those baselines are
+//! rebuilt here in Rust, preserving the JUC designs and their contention
+//! profiles:
+//!
+//! * [`AtomicLong`] — a sequentially-consistent counter with the full JUC
+//!   read-modify-write interface (`incrementAndGet`, `getAndAdd`,
+//!   `compareAndSet`, `updateAndGet`, …);
+//! * [`LongAdder`] — the JDK's striped counter (`Striped64`-style CAS
+//!   cells), the paper's intermediate baseline for Fig. 6;
+//! * [`AtomicRef`] — an `AtomicReference` analog with volatile-equivalent
+//!   (`SeqCst`) reads and writes, reclaimed through epochs;
+//! * [`ConcurrentHashMap`] — a bin-locked hash table with a shared
+//!   CAS-updated size count, mirroring the JDK 8+ design;
+//! * [`ConcurrentSkipListMap`] — a lazy skip list with per-node locks and
+//!   lock-free readers (see DESIGN.md for the substitution note vs. the
+//!   JDK's CAS-based list);
+//! * [`ConcurrentLinkedQueue`] — the Michael–Scott queue, CAS on both
+//!   ends;
+//! * [`ConcurrentSet`] / [`ConcurrentSkipListSet`] — set views.
+//!
+//! All structures report contention events (failed CAS, lock spins,
+//! contended RMWs) to [`dego_metrics::GLOBAL`], the software stall proxy
+//! standing in for `cycle_activity.stalls_total`.
+
+#![warn(missing_docs)]
+
+pub mod atomic_long;
+pub mod atomic_ref;
+pub mod hash_map;
+pub mod long_adder;
+pub mod queue;
+pub mod sets;
+pub mod skip_list;
+
+pub use atomic_long::AtomicLong;
+pub use atomic_ref::AtomicRef;
+pub use hash_map::ConcurrentHashMap;
+pub use long_adder::LongAdder;
+pub use queue::ConcurrentLinkedQueue;
+pub use sets::{ConcurrentSet, ConcurrentSkipListSet};
+pub use skip_list::ConcurrentSkipListMap;

@@ -1,0 +1,405 @@
+//! `ConcurrentLinkedQueue`: the Michael–Scott lock-free queue.
+//!
+//! Both ends are CAS-updated: producers race to link at the tail,
+//! consumers race to advance the head. Under a multi-producer
+//! single-consumer workload the consumer *still* pays a CAS per poll —
+//! the cost DEGO's `QueueMasp` eliminates (§5.3, Fig. 6's Queue panel).
+//! Failed CASes feed the stall proxy. Reclamation via `crossbeam-epoch`.
+//!
+//! Values live behind their own epoch-managed pointer so that `peek` and
+//! `contains` (which the JDK offers and the paper's `Q1` spec includes)
+//! can read them concurrently with a winning `poll` without a data race:
+//! the winner swaps the pointer out and defers destruction.
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use dego_metrics::{count_cas_failure, count_rmw};
+use std::sync::atomic::Ordering;
+
+struct QNode<T> {
+    /// Null for the stub; swapped to null by the winning `poll`.
+    value: Atomic<T>,
+    next: Atomic<QNode<T>>,
+}
+
+impl<T> QNode<T> {
+    fn stub() -> Self {
+        QNode {
+            value: Atomic::null(),
+            next: Atomic::null(),
+        }
+    }
+}
+
+impl<T> Drop for QNode<T> {
+    fn drop(&mut self) {
+        // Reclaim an un-polled value together with its node (queue drop,
+        // or node retired before its value was taken — the latter cannot
+        // happen, but the invariant is cheap to keep locally sound).
+        let value = std::mem::replace(&mut self.value, Atomic::null());
+        unsafe {
+            let _ = value.try_into_owned();
+        }
+    }
+}
+
+/// A Michael–Scott queue analog of
+/// `java.util.concurrent.ConcurrentLinkedQueue`.
+///
+/// # Examples
+///
+/// ```
+/// use dego_juc::ConcurrentLinkedQueue;
+///
+/// let q = ConcurrentLinkedQueue::new();
+/// q.offer(1);
+/// q.offer(2);
+/// assert_eq!(q.poll(), Some(1));
+/// assert_eq!(q.poll(), Some(2));
+/// assert_eq!(q.poll(), None);
+/// ```
+pub struct ConcurrentLinkedQueue<T> {
+    head: Atomic<QNode<T>>,
+    tail: Atomic<QNode<T>>,
+}
+
+impl<T> std::fmt::Debug for ConcurrentLinkedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentLinkedQueue").finish_non_exhaustive()
+    }
+}
+
+impl<T: Clone> ConcurrentLinkedQueue<T> {
+    /// Create an empty queue (one stub node, as in Michael–Scott).
+    pub fn new() -> Self {
+        let q = ConcurrentLinkedQueue {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+        };
+        // SAFETY: construction is single-threaded.
+        let guard = unsafe { epoch::unprotected() };
+        let stub = Owned::new(QNode::stub()).into_shared(guard);
+        q.head.store(stub, Ordering::Relaxed);
+        q.tail.store(stub, Ordering::Relaxed);
+        q
+    }
+
+    /// Append `value` at the tail (`offer`). Always succeeds.
+    pub fn offer(&self, value: T) {
+        let guard = epoch::pin();
+        let new = Owned::new(QNode {
+            value: Atomic::new(value),
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: tail is reachable under `guard`.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Tail is lagging: help swing it, then retry.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+                continue;
+            }
+            count_rmw();
+            match tail_ref.next.compare_exchange(
+                Shared::null(),
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    // Swing the tail; failure is benign (someone helped).
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        new,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        &guard,
+                    );
+                    return;
+                }
+                Err(_) => count_cas_failure(),
+            }
+        }
+    }
+
+    /// Remove and return the head (`poll`), or `None` when empty.
+    pub fn poll(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head is reachable under `guard`.
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
+            let next_ref = match unsafe { next.as_ref() } {
+                None => return None, // empty: head == stub, no successor
+                Some(n) => n,
+            };
+            count_rmw();
+            match self.head.compare_exchange(
+                head,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    // We won: `next` becomes the new stub. Detach its
+                    // value; concurrent peeks may still read the old
+                    // pointer, so destruction is deferred.
+                    let vptr = next_ref.value.swap(Shared::null(), Ordering::AcqRel, &guard);
+                    // SAFETY: a linked non-stub node always carries a
+                    // value, and only the winning poll swaps it out.
+                    let out = unsafe { vptr.deref() }.clone();
+                    unsafe {
+                        guard.defer_destroy(vptr);
+                        guard.defer_destroy(head);
+                    }
+                    return Some(out);
+                }
+                Err(_) => count_cas_failure(),
+            }
+        }
+    }
+
+    /// Peek at the head value without removing it.
+    pub fn peek(&self) -> Option<T> {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: reachable under `guard`.
+        let next = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
+        let node = unsafe { next.as_ref() }?;
+        let vptr = node.value.load(Ordering::Acquire, &guard);
+        // SAFETY: value destruction is epoch-deferred.
+        unsafe { vptr.as_ref() }.cloned()
+    }
+
+    /// Whether `value` is currently in the queue (`contains`):
+    /// a weakly-consistent traversal, like the JDK's.
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let guard = epoch::pin();
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: traversal under `guard`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let vptr = node.value.load(Ordering::Acquire, &guard);
+            if let Some(v) = unsafe { vptr.as_ref() } {
+                if v == value {
+                    return true;
+                }
+            }
+            curr = node.next.load(Ordering::Acquire, &guard);
+        }
+        false
+    }
+
+    /// Number of elements: O(n) traversal — `size` is *not* constant-time
+    /// in the JDK either, which is precisely why Apache Ignite wrote an
+    /// adjusted deque with constant-time sizing (§1).
+    pub fn size(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: traversal under `guard`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            if !node.value.load(Ordering::Acquire, &guard).is_null() {
+                n += 1;
+            }
+            curr = node.next.load(Ordering::Acquire, &guard);
+        }
+        n
+    }
+
+    /// Collect the current elements front-to-back (weakly consistent
+    /// traversal; used for timeline reads in the Retwis application).
+    pub fn to_vec(&self) -> Vec<T> {
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: traversal under `guard`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let vptr = node.value.load(Ordering::Acquire, &guard);
+            if let Some(v) = unsafe { vptr.as_ref() } {
+                out.push(v.clone());
+            }
+            curr = node.next.load(Ordering::Acquire, &guard);
+        }
+        out
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: reachable under `guard`.
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::Acquire, &guard)
+            .is_null()
+    }
+
+}
+
+impl<T: Clone> Default for ConcurrentLinkedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for ConcurrentLinkedQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: &mut self — nobody else holds references.
+        let guard = unsafe { epoch::unprotected() };
+        loop {
+            let head = self.head.load(Ordering::Relaxed, guard);
+            if head.is_null() {
+                break;
+            }
+            // SAFETY: single-threaded teardown; QNode::drop frees values.
+            let next = unsafe { head.deref() }.next.load(Ordering::Relaxed, guard);
+            self.head.store(next, Ordering::Relaxed);
+            unsafe {
+                drop(head.into_owned());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = ConcurrentLinkedQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.poll(), None);
+        for i in 0..100 {
+            q.offer(i);
+        }
+        assert!(!q.is_empty());
+        assert_eq!(q.peek(), Some(0));
+        assert_eq!(q.size(), 100);
+        for i in 0..100 {
+            assert_eq!(q.poll(), Some(i));
+        }
+        assert_eq!(q.poll(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn contains_traverses_live_values() {
+        let q = ConcurrentLinkedQueue::new();
+        q.offer(5);
+        q.offer(9);
+        assert!(q.contains(&5));
+        assert!(q.contains(&9));
+        assert!(!q.contains(&7));
+        q.poll();
+        assert!(!q.contains(&5));
+    }
+
+    #[test]
+    fn concurrent_producers_single_consumer_no_loss() {
+        let q = Arc::new(ConcurrentLinkedQueue::new());
+        let producers = 6u64;
+        let per = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.offer(t * per + i);
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut seen = 0u64;
+                let mut last_per_producer = vec![None::<u64>; producers as usize];
+                while seen < producers * per {
+                    if let Some(v) = q.poll() {
+                        let p = (v / per) as usize;
+                        let seq = v % per;
+                        // Per-producer FIFO must hold.
+                        if let Some(last) = last_per_producer[p] {
+                            assert!(seq > last, "producer {p} reordered");
+                        }
+                        last_per_producer[p] = Some(seq);
+                        seen += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_consumers_unique_delivery() {
+        let q = Arc::new(ConcurrentLinkedQueue::new());
+        let n = 40_000u64;
+        for i in 0..n {
+            q.offer(i);
+        }
+        let taken = Arc::new(std::sync::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let taken = Arc::clone(&taken);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(v) = q.poll() {
+                        local.push(v);
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = taken.lock().unwrap().clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, n, "every element delivered exactly once");
+    }
+
+    #[test]
+    fn peek_races_with_poll_without_tearing() {
+        let q = Arc::new(ConcurrentLinkedQueue::new());
+        for i in 0..20_000u64 {
+            q.offer(i);
+        }
+        std::thread::scope(|s| {
+            let qa = Arc::clone(&q);
+            s.spawn(move || while qa.poll().is_some() {});
+            let qb = Arc::clone(&q);
+            s.spawn(move || {
+                for _ in 0..50_000 {
+                    if let Some(v) = qb.peek() {
+                        assert!(v < 20_000);
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn drop_reclaims_pending_values() {
+        let q = ConcurrentLinkedQueue::new();
+        for i in 0..1000 {
+            q.offer(vec![i; 8]);
+        }
+        drop(q); // must not leak or double-free
+    }
+}

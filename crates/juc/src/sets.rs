@@ -1,0 +1,211 @@
+//! Set views over the concurrent maps, mirroring
+//! `ConcurrentHashMap.newKeySet()` and `ConcurrentSkipListSet`.
+
+use crate::hash_map::ConcurrentHashMap;
+use crate::skip_list::ConcurrentSkipListMap;
+use std::hash::Hash;
+
+/// An unordered concurrent set (a `ConcurrentHashMap.newKeySet()` analog).
+///
+/// # Examples
+///
+/// ```
+/// use dego_juc::ConcurrentSet;
+///
+/// let s = ConcurrentSet::with_capacity(16);
+/// assert!(s.add(7));
+/// assert!(!s.add(7));
+/// assert!(s.contains(&7));
+/// assert!(s.remove(&7));
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSet<T> {
+    map: ConcurrentHashMap<T, ()>,
+}
+
+impl<T: Hash + Eq + Clone> ConcurrentSet<T> {
+    /// Create a set presized for about `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ConcurrentSet {
+            map: ConcurrentHashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Add an element; returns whether it was absent.
+    pub fn add(&self, item: T) -> bool {
+        self.map.insert(item, ()).is_none()
+    }
+
+    /// Remove an element; returns whether it was present.
+    pub fn remove(&self, item: &T) -> bool {
+        self.map.remove(item).is_some()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> bool {
+        self.map.contains_key(item)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Visit every element (weakly consistent).
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        self.map.for_each(|k, _| f(k));
+    }
+
+    /// Visit elements until `f` returns `false`.
+    pub fn for_each_while(&self, mut f: impl FnMut(&T) -> bool) {
+        self.map.for_each_while(|k, _| f(k));
+    }
+
+    /// The first `k` elements in iteration order.
+    pub fn take_first(&self, k: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(k);
+        self.for_each_while(|x| {
+            out.push(x.clone());
+            out.len() < k
+        });
+        out
+    }
+}
+
+/// An ordered concurrent set (a `ConcurrentSkipListSet` analog).
+///
+/// # Examples
+///
+/// ```
+/// use dego_juc::ConcurrentSkipListSet;
+///
+/// let s = ConcurrentSkipListSet::new();
+/// s.add(5);
+/// s.add(2);
+/// assert_eq!(s.first(), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSkipListSet<T> {
+    map: ConcurrentSkipListMap<T, ()>,
+}
+
+impl<T: Ord + Clone> ConcurrentSkipListSet<T> {
+    /// Create an empty ordered set.
+    pub fn new() -> Self {
+        ConcurrentSkipListSet {
+            map: ConcurrentSkipListMap::new(),
+        }
+    }
+
+    /// Add an element; returns whether it was absent.
+    pub fn add(&self, item: T) -> bool {
+        self.map.insert(item, ()).is_none()
+    }
+
+    /// Remove an element; returns whether it was present.
+    pub fn remove(&self, item: &T) -> bool {
+        self.map.remove(item).is_some()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> bool {
+        self.map.contains_key(item)
+    }
+
+    /// Smallest element.
+    pub fn first(&self) -> Option<T> {
+        self.map.first_key()
+    }
+
+    /// Number of elements (O(n), as in the JDK).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Visit elements in order (weakly consistent).
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        self.map.for_each(|k, _| f(k));
+    }
+}
+
+impl<T: Ord + Clone> Default for ConcurrentSkipListSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hash_set_semantics() {
+        let s = ConcurrentSet::with_capacity(8);
+        assert!(s.is_empty());
+        assert!(s.add(1));
+        assert!(!s.add(1));
+        assert!(s.contains(&1));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn skip_list_set_is_ordered() {
+        let s = ConcurrentSkipListSet::new();
+        for x in [5, 1, 9, 3] {
+            s.add(x);
+        }
+        assert_eq!(s.first(), Some(1));
+        let mut seen = Vec::new();
+        s.for_each(|x| seen.push(*x));
+        assert_eq!(seen, vec![1, 3, 5, 9]);
+        assert_eq!(s.len(), 4);
+        s.remove(&1);
+        assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn concurrent_adds_are_idempotent() {
+        let s = Arc::new(ConcurrentSet::with_capacity(128));
+        let added = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                let added = &added;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        if s.add(i % 100) {
+                            added.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 100);
+        assert_eq!(added.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn for_each_on_hash_set_visits_everything() {
+        let s = ConcurrentSet::with_capacity(64);
+        for i in 0..50 {
+            s.add(i);
+        }
+        let mut n = 0;
+        s.for_each(|_| n += 1);
+        assert_eq!(n, 50);
+    }
+}

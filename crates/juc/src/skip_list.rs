@@ -1,0 +1,566 @@
+//! `ConcurrentSkipListMap`: an ordered concurrent map baseline.
+//!
+//! The JDK's skip list is CAS-based; this baseline is the classic *lazy
+//! skip list* (Herlihy–Lev–Luchangco–Shavit): per-node locks for writers,
+//! completely lock-free readers, logical deletion via a `marked` bit and
+//! lazy physical unlinking. The substitution (documented in DESIGN.md)
+//! preserves what the evaluation measures — strongly-consistent ordered
+//! maps whose writers contend on shared towers — while keeping memory
+//! reclamation tractable (`crossbeam-epoch` stands in for the JVM GC).
+//!
+//! Deadlock freedom: every operation acquires node locks in strictly
+//! decreasing key order (insert locks predecessors bottom-up, whose keys
+//! are non-increasing; remove locks the victim first, then its
+//! predecessors), so no lock cycle can form.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use dego_metrics::rng::XorShift64;
+use dego_metrics::{count_lock_spin, count_rmw};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Maximum tower height (the JDK uses up to 32 levels; 16 covers the
+/// benchmark working sets of ≤ 128 K items comfortably).
+const MAX_HEIGHT: usize = 16;
+
+thread_local! {
+    static TOWER_RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(
+        0x8497_11d3 ^ (std::process::id() as u64) << 17
+            ^ dego_metrics::rng::mix64(thread_id_bits()),
+    ));
+}
+
+fn thread_id_bits() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+struct Node<K, V> {
+    /// `None` for the head sentinel (conceptually `-∞`).
+    key: Option<K>,
+    /// Boxed value pointer, replaced on `put` under the node lock.
+    value: Atomic<V>,
+    lock: Mutex<()>,
+    /// Logical-deletion flag.
+    marked: AtomicBool,
+    /// Set once the node is linked at every level of its tower.
+    fully_linked: AtomicBool,
+    height: usize,
+    next: [Atomic<Node<K, V>>; MAX_HEIGHT],
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
+        Node {
+            key,
+            value: value.map(Atomic::new).unwrap_or_else(Atomic::null),
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            height,
+            next: std::array::from_fn(|_| Atomic::null()),
+        }
+    }
+
+    fn lock_reporting(&self) -> parking_lot::MutexGuard<'_, ()> {
+        match self.lock.try_lock() {
+            Some(g) => g,
+            None => {
+                count_lock_spin();
+                self.lock.lock()
+            }
+        }
+    }
+}
+
+impl<K, V> Drop for Node<K, V> {
+    fn drop(&mut self) {
+        // By the epoch contract nobody can be reading the value when the
+        // deferred destruction runs; reclaim it with the node.
+        let value = std::mem::replace(&mut self.value, Atomic::null());
+        unsafe {
+            let _ = value.try_into_owned();
+        }
+    }
+}
+
+/// A lazy skip-list analog of `java.util.concurrent.ConcurrentSkipListMap`.
+///
+/// # Examples
+///
+/// ```
+/// use dego_juc::ConcurrentSkipListMap;
+///
+/// let map = ConcurrentSkipListMap::new();
+/// map.insert(3, "three");
+/// map.insert(1, "one");
+/// assert_eq!(map.first_key(), Some(1));
+/// assert_eq!(map.get(&3), Some("three"));
+/// ```
+pub struct ConcurrentSkipListMap<K, V> {
+    head: Atomic<Node<K, V>>,
+}
+
+impl<K, V> std::fmt::Debug for ConcurrentSkipListMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSkipListMap").finish_non_exhaustive()
+    }
+}
+
+struct FindResult<'g, K, V> {
+    preds: [Shared<'g, Node<K, V>>; MAX_HEIGHT],
+    succs: [Shared<'g, Node<K, V>>; MAX_HEIGHT],
+    /// Highest level at which a node with the key was found.
+    found_level: Option<usize>,
+}
+
+impl<K: Ord, V: Clone> ConcurrentSkipListMap<K, V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        ConcurrentSkipListMap {
+            head: Atomic::new(Node::new(None, None, MAX_HEIGHT)),
+        }
+    }
+
+    fn find<'g>(&self, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
+        let head = self.head.load(Ordering::Acquire, guard);
+        let mut preds = [head; MAX_HEIGHT];
+        let mut succs = [Shared::null(); MAX_HEIGHT];
+        let mut found_level = None;
+        let mut pred = head;
+        for level in (0..MAX_HEIGHT).rev() {
+            // SAFETY: `pred` is the head or a node reached through
+            // Acquire loads under `guard`; epoch deferral keeps it alive.
+            let mut curr = unsafe { pred.deref() }.next[level].load(Ordering::Acquire, guard);
+            loop {
+                // SAFETY: as above — reached under the same guard.
+                let Some(c) = (unsafe { curr.as_ref() }) else { break };
+                let ck = c.key.as_ref().expect("only head has no key");
+                if ck < key {
+                    pred = curr;
+                    curr = c.next[level].load(Ordering::Acquire, guard);
+                } else {
+                    if found_level.is_none() && ck == key {
+                        found_level = Some(level);
+                    }
+                    break;
+                }
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        FindResult {
+            preds,
+            succs,
+            found_level,
+        }
+    }
+
+    /// Read a key's value (`get`): lock-free.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let r = self.find(key, &guard);
+        let node_ptr = r.succs[0];
+        // SAFETY: reached under `guard`.
+        let node = unsafe { node_ptr.as_ref() }?;
+        if node.key.as_ref() != Some(key)
+            || !node.fully_linked.load(Ordering::Acquire)
+            || node.marked.load(Ordering::Acquire)
+        {
+            return None;
+        }
+        let v = node.value.load(Ordering::Acquire, &guard);
+        // SAFETY: values are swapped under the node lock and retired via
+        // the epoch, so the loaded pointer stays valid under `guard`.
+        unsafe { v.as_ref() }.cloned()
+    }
+
+    /// Whether a key is present (`containsKey`): lock-free.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = epoch::pin();
+        let r = self.find(key, &guard);
+        match r.found_level {
+            None => false,
+            Some(l) => {
+                // SAFETY: reached under `guard`.
+                let node = unsafe { r.succs[l].deref() };
+                node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire)
+            }
+        }
+    }
+
+    /// Insert or replace (`put`); returns the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let height = TOWER_RNG.with(|r| r.borrow_mut().tower_height(MAX_HEIGHT));
+        let guard = epoch::pin();
+        loop {
+            let r = self.find(&key, &guard);
+            if let Some(l) = r.found_level {
+                // SAFETY: reached under `guard`.
+                let node = unsafe { r.succs[l].deref() };
+                if !node.marked.load(Ordering::Acquire) {
+                    while !node.fully_linked.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    let _g = node.lock_reporting();
+                    if node.marked.load(Ordering::Acquire) {
+                        continue; // deleted in the meantime: retry
+                    }
+                    count_rmw();
+                    let old =
+                        node.value
+                            .swap(Owned::new(value), Ordering::AcqRel, &guard);
+                    // SAFETY: `old` was the published value; retired below.
+                    let prev = unsafe { old.as_ref() }.cloned();
+                    unsafe { guard.defer_destroy(old) };
+                    return prev;
+                }
+                // Marked: wait for the unlink to settle, then retry.
+                std::hint::spin_loop();
+                continue;
+            }
+
+            // Lock the predecessors bottom-up and validate.
+            let mut locks: Vec<parking_lot::MutexGuard<'_, ()>> = Vec::with_capacity(height);
+            let mut prev_pred: Shared<'_, Node<K, V>> = Shared::null();
+            let mut valid = true;
+            for level in 0..height {
+                let pred = r.preds[level];
+                let succ = r.succs[level];
+                if pred != prev_pred {
+                    // SAFETY: reached under `guard`.
+                    locks.push(unsafe { pred.deref() }.lock_reporting());
+                    prev_pred = pred;
+                }
+                // SAFETY: reached under `guard`.
+                let p = unsafe { pred.deref() };
+                let succ_ok = match unsafe { succ.as_ref() } {
+                    Some(s) => !s.marked.load(Ordering::Acquire),
+                    None => true,
+                };
+                valid = !p.marked.load(Ordering::Acquire)
+                    && succ_ok
+                    && p.next[level].load(Ordering::Acquire, &guard) == succ;
+                if !valid {
+                    break;
+                }
+            }
+            if !valid {
+                drop(locks);
+                count_rmw(); // failed validation = wasted synchronization
+                continue;
+            }
+
+            let node = Node::new(Some(key), Some(value), height);
+            for (level, n) in node.next.iter().enumerate().take(height) {
+                n.store(r.succs[level], Ordering::Relaxed);
+            }
+            let node = Owned::new(node).into_shared(&guard);
+            for level in 0..height {
+                // SAFETY: preds are locked and validated.
+                unsafe { r.preds[level].deref() }.next[level].store(node, Ordering::Release);
+            }
+            // SAFETY: just created, still under `guard`.
+            unsafe { node.deref() }
+                .fully_linked
+                .store(true, Ordering::Release);
+            return None;
+        }
+        // `key` is moved into the node above; the loop re-reads it via
+        // the find result, so ownership transfer happens exactly once.
+    }
+
+    /// Remove a key (`remove`); returns the previous value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let mut victim_info: Option<(Shared<'_, Node<K, V>>, usize)> = None;
+        // The victim's lock guard, held across retries per the HLLS
+        // algorithm.
+        let mut victim_lock: Option<parking_lot::MutexGuard<'_, ()>> = None;
+        loop {
+            let r = self.find(key, &guard);
+            if victim_info.is_none() {
+                let Some(l) = r.found_level else { return None };
+                let node_ptr = r.succs[l];
+                // SAFETY: reached under `guard`.
+                let node = unsafe { node_ptr.deref() };
+                let ready = node.fully_linked.load(Ordering::Acquire)
+                    && node.height - 1 == l
+                    && !node.marked.load(Ordering::Acquire);
+                if !ready {
+                    return None;
+                }
+                let g = node.lock_reporting();
+                if node.marked.load(Ordering::Acquire) {
+                    return None; // lost the race to another remover
+                }
+                node.marked.store(true, Ordering::Release);
+                victim_lock = Some(g);
+                victim_info = Some((node_ptr, node.height));
+            }
+            let (victim, height) = victim_info.expect("set above");
+
+            let mut locks: Vec<parking_lot::MutexGuard<'_, ()>> = Vec::with_capacity(height);
+            let mut prev_pred: Shared<'_, Node<K, V>> = Shared::null();
+            let mut valid = true;
+            for level in 0..height {
+                let pred = r.preds[level];
+                if pred != prev_pred {
+                    // SAFETY: reached under `guard`.
+                    locks.push(unsafe { pred.deref() }.lock_reporting());
+                    prev_pred = pred;
+                }
+                // SAFETY: reached under `guard`.
+                let p = unsafe { pred.deref() };
+                valid = !p.marked.load(Ordering::Acquire)
+                    && p.next[level].load(Ordering::Acquire, &guard) == victim;
+                if !valid {
+                    break;
+                }
+            }
+            if !valid {
+                drop(locks);
+                count_rmw();
+                continue; // victim stays marked+locked; recompute preds
+            }
+
+            // SAFETY: victim is locked and marked; preds locked+validated.
+            let vnode = unsafe { victim.deref() };
+            for level in (0..height).rev() {
+                let succ = vnode.next[level].load(Ordering::Acquire, &guard);
+                unsafe { r.preds[level].deref() }.next[level].store(succ, Ordering::Release);
+            }
+            let value = vnode.value.load(Ordering::Acquire, &guard);
+            // SAFETY: value stays alive under `guard`; cloned before the
+            // node (and its value) are retired.
+            let out = unsafe { value.as_ref() }.cloned();
+            drop(locks);
+            drop(victim_lock.take());
+            // SAFETY: the victim is unlinked from every level; no new
+            // traversal can reach it, and current readers are pinned.
+            unsafe { guard.defer_destroy(victim) };
+            return out;
+        }
+    }
+
+    /// Smallest key currently present.
+    pub fn first_key(&self) -> Option<K>
+    where
+        K: Clone,
+    {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: head lives as long as the map.
+        let mut curr = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
+        // SAFETY: traversal under `guard`.
+        while let Some(c) = unsafe { curr.as_ref() } {
+            if !c.marked.load(Ordering::Acquire) && c.fully_linked.load(Ordering::Acquire) {
+                return c.key.clone();
+            }
+            curr = c.next[0].load(Ordering::Acquire, &guard);
+        }
+        None
+    }
+
+    /// Number of entries: O(n) level-0 walk, exactly like the JDK.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.has_no_live_entries()
+    }
+
+    fn has_no_live_entries(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: see `first_key`.
+        let mut curr = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            if !c.marked.load(Ordering::Acquire) && c.fully_linked.load(Ordering::Acquire) {
+                return false;
+            }
+            curr = c.next[0].load(Ordering::Acquire, &guard);
+        }
+        true
+    }
+
+    /// Visit entries in key order (weakly consistent, like JUC).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: traversal under `guard`.
+        let mut curr = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            if !c.marked.load(Ordering::Acquire) && c.fully_linked.load(Ordering::Acquire) {
+                let v = c.value.load(Ordering::Acquire, &guard);
+                if let Some(v) = unsafe { v.as_ref() } {
+                    f(c.key.as_ref().expect("non-head"), v);
+                }
+            }
+            curr = c.next[0].load(Ordering::Acquire, &guard);
+        }
+    }
+}
+
+impl<K: Ord, V: Clone> Default for ConcurrentSkipListMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for ConcurrentSkipListMap<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: &mut self — no concurrent access; walk level 0 and free
+        // every node (including the head) immediately.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut curr = self.head.load(Ordering::Relaxed, guard);
+            while !curr.is_null() {
+                let next = curr.deref().next[0].load(Ordering::Relaxed, guard);
+                drop(curr.into_owned());
+                curr = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove_ordered() {
+        let m = ConcurrentSkipListMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(5, 50), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.insert(3, 31), Some(30));
+        assert_eq!(m.get(&3), Some(31));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.first_key(), Some(1));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.remove(&1), Some(10));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.first_key(), Some(3));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_in_key_order() {
+        let m = ConcurrentSkipListMap::new();
+        for k in [9, 2, 7, 4, 1, 8] {
+            m.insert(k, k * 10);
+        }
+        let mut keys = Vec::new();
+        m.for_each(|k, v| {
+            assert_eq!(*v, k * 10);
+            keys.push(*k);
+        });
+        assert_eq!(keys, vec![1, 2, 4, 7, 8, 9]);
+    }
+
+    #[test]
+    fn many_sequential_operations() {
+        let m = ConcurrentSkipListMap::new();
+        for k in 0..2_000 {
+            assert_eq!(m.insert(k, k), None);
+        }
+        for k in 0..2_000 {
+            assert_eq!(m.get(&k), Some(k));
+        }
+        for k in (0..2_000).step_by(2) {
+            assert_eq!(m.remove(&k), Some(k));
+        }
+        assert_eq!(m.len(), 1_000);
+        assert!(!m.contains_key(&0));
+        assert!(m.contains_key(&1));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let m = Arc::new(ConcurrentSkipListMap::new());
+        let threads = 8usize;
+        let per = 2_000usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        m.insert((t * per + i) as u64, t as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), threads * per);
+        for t in 0..threads {
+            assert_eq!(m.get(&((t * per + 7) as u64)), Some(t as u64));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_add_remove_stays_consistent() {
+        let m = Arc::new(ConcurrentSkipListMap::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..4_000u64 {
+                        let k = (i + t * 13) % 64;
+                        if (i + t) % 3 == 0 {
+                            m.remove(&k);
+                        } else {
+                            m.insert(k, i);
+                        }
+                    }
+                });
+            }
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                for i in 0..8_000u64 {
+                    let _ = m2.get(&(i % 64));
+                    let _ = m2.contains_key(&(i % 64));
+                }
+            });
+        });
+        // Structural invariant: iteration yields strictly increasing keys.
+        let mut last: Option<u64> = None;
+        m.for_each(|k, _| {
+            if let Some(prev) = last {
+                assert!(*k > prev, "keys out of order: {prev} then {k}");
+            }
+            last = Some(*k);
+        });
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_remove_hammer() {
+        let m = Arc::new(ConcurrentSkipListMap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..3_000u64 {
+                        if t % 2 == 0 {
+                            m.insert(0u64, t * 100_000 + i);
+                        } else {
+                            m.remove(&0u64);
+                        }
+                    }
+                });
+            }
+        });
+        // Either present with some writer's value, or absent — never torn.
+        if let Some(v) = m.get(&0) {
+            assert!(v / 100_000 < 8);
+        }
+    }
+}

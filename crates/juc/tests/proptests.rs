@@ -1,0 +1,122 @@
+//! Property-based tests of the JUC baseline structures against
+//! sequential oracles.
+
+use dego_juc::{AtomicLong, ConcurrentHashMap, ConcurrentLinkedQueue, ConcurrentSkipListMap};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Put(u8, u16),
+    Remove(u8),
+    Get(u8),
+    Contains(u8),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+        any::<u8>().prop_map(MapOp::Get),
+        any::<u8>().prop_map(MapOp::Contains),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Offer(u16),
+    Poll,
+    Peek,
+    Size,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        any::<u16>().prop_map(QueueOp::Offer),
+        Just(QueueOp::Poll),
+        Just(QueueOp::Peek),
+        Just(QueueOp::Size),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn concurrent_hash_map_matches_oracle(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let m = ConcurrentHashMap::with_capacity(16);
+        let mut oracle: HashMap<u8, u16> = HashMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Put(k, v) => prop_assert_eq!(m.insert(k, v), oracle.insert(k, v)),
+                MapOp::Remove(k) => prop_assert_eq!(m.remove(&k), oracle.remove(&k)),
+                MapOp::Get(k) => prop_assert_eq!(m.get(&k), oracle.get(&k).copied()),
+                MapOp::Contains(k) => {
+                    prop_assert_eq!(m.contains_key(&k), oracle.contains_key(&k))
+                }
+            }
+        }
+        prop_assert_eq!(m.len(), oracle.len());
+    }
+
+    #[test]
+    fn skip_list_map_matches_oracle_in_order(
+        ops in proptest::collection::vec(map_op(), 1..200),
+    ) {
+        let m = ConcurrentSkipListMap::new();
+        let mut oracle: BTreeMap<u8, u16> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Put(k, v) => prop_assert_eq!(m.insert(k, v), oracle.insert(k, v)),
+                MapOp::Remove(k) => prop_assert_eq!(m.remove(&k), oracle.remove(&k)),
+                MapOp::Get(k) => prop_assert_eq!(m.get(&k), oracle.get(&k).copied()),
+                MapOp::Contains(k) => {
+                    prop_assert_eq!(m.contains_key(&k), oracle.contains_key(&k))
+                }
+            }
+        }
+        prop_assert_eq!(m.first_key(), oracle.keys().next().copied());
+        let mut keys = Vec::new();
+        m.for_each(|k, v| {
+            assert_eq!(oracle.get(k), Some(v));
+            keys.push(*k);
+        });
+        let oracle_keys: Vec<u8> = oracle.keys().copied().collect();
+        prop_assert_eq!(keys, oracle_keys);
+    }
+
+    #[test]
+    fn linked_queue_matches_oracle(ops in proptest::collection::vec(queue_op(), 1..200)) {
+        let q = ConcurrentLinkedQueue::new();
+        let mut oracle: VecDeque<u16> = VecDeque::new();
+        for op in &ops {
+            match *op {
+                QueueOp::Offer(v) => {
+                    q.offer(v);
+                    oracle.push_back(v);
+                }
+                QueueOp::Poll => prop_assert_eq!(q.poll(), oracle.pop_front()),
+                QueueOp::Peek => prop_assert_eq!(q.peek(), oracle.front().copied()),
+                QueueOp::Size => prop_assert_eq!(q.size(), oracle.len()),
+            }
+        }
+        prop_assert_eq!(q.to_vec(), oracle.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// AtomicLong's RMW family agrees with i64 arithmetic for any
+    /// sequential script.
+    #[test]
+    fn atomic_long_rmw_algebra(deltas in proptest::collection::vec(-100i64..100, 1..50)) {
+        let a = AtomicLong::new(0);
+        let mut model = 0i64;
+        for &d in &deltas {
+            prop_assert_eq!(a.get_and_add(d), model);
+            model += d;
+            prop_assert_eq!(a.add_and_get(d), model + d);
+            model += d;
+            prop_assert_eq!(a.increment_and_get(), model + 1);
+            model += 1;
+        }
+        prop_assert_eq!(a.get(), model);
+    }
+}

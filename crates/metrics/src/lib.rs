@@ -1,0 +1,204 @@
+//! # dego-metrics — contention instrumentation and benchmark statistics
+//!
+//! The paper correlates throughput with the hardware event
+//! `cycle_activity.stalls_total` read through `perf` (§6.2). That counter
+//! is not portably available, so this crate provides the software **stall
+//! proxy** used across the workspace: every substrate (`dego-core`,
+//! `dego-juc`) reports the events that *cause* those stall cycles —
+//! failed compare-and-swap attempts, lock-acquisition spins and atomic
+//! read-modify-writes on contended lines — into a process-wide
+//! [`ContentionStats`] sink.
+//!
+//! On top of the counters, the crate supplies the statistics the
+//! evaluation needs: [`stats::pearson`] correlation (the paper reports
+//! −0.88 on average, −0.93 for counters), mean/stddev summaries and the
+//! fixed-width table renderer shared by the figure harnesses.
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide contention counters (the software stall proxy).
+///
+/// All counters are updated with `Relaxed` ordering: they are statistics,
+/// not synchronization, and must stay cheap enough not to distort the
+/// benchmarks they observe.
+#[derive(Debug, Default)]
+pub struct ContentionStats {
+    cas_failures: AtomicU64,
+    lock_spins: AtomicU64,
+    rmw_ops: AtomicU64,
+}
+
+impl ContentionStats {
+    /// A new zeroed sink.
+    pub const fn new() -> Self {
+        ContentionStats {
+            cas_failures: AtomicU64::new(0),
+            lock_spins: AtomicU64::new(0),
+            rmw_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Record `n` failed CAS attempts.
+    #[inline]
+    pub fn add_cas_failures(&self, n: u64) {
+        if n > 0 {
+            self.cas_failures.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` lock-acquisition spins (lock found held).
+    #[inline]
+    pub fn add_lock_spins(&self, n: u64) {
+        if n > 0 {
+            self.lock_spins.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` atomic read-modify-write operations.
+    #[inline]
+    pub fn add_rmw(&self, n: u64) {
+        if n > 0 {
+            self.rmw_ops.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            lock_spins: self.lock_spins.load(Ordering::Relaxed),
+            rmw_ops: self.rmw_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.lock_spins.store(0, Ordering::Relaxed);
+        self.rmw_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`ContentionStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContentionSnapshot {
+    /// Failed CAS attempts.
+    pub cas_failures: u64,
+    /// Lock-acquisition spins.
+    pub lock_spins: u64,
+    /// Atomic read-modify-writes.
+    pub rmw_ops: u64,
+}
+
+impl ContentionSnapshot {
+    /// The aggregate stall proxy: the *waiting* events — failed CAS
+    /// attempts and lock-acquisition spins. (Plain RMW executions are
+    /// tracked separately in [`ContentionSnapshot::rmw_ops`]: they tell
+    /// how much synchronization an implementation issues, but a
+    /// successful uncontended RMW does not stall anyone.)
+    pub fn stall_proxy(&self) -> u64 {
+        self.cas_failures + self.lock_spins
+    }
+
+    /// Difference since `earlier` (saturating).
+    pub fn since(&self, earlier: &ContentionSnapshot) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+            lock_spins: self.lock_spins.saturating_sub(earlier.lock_spins),
+            rmw_ops: self.rmw_ops.saturating_sub(earlier.rmw_ops),
+        }
+    }
+}
+
+/// The global sink used by `dego-core` and `dego-juc`.
+pub static GLOBAL: ContentionStats = ContentionStats::new();
+
+/// Record a failed CAS in the global sink.
+#[inline]
+pub fn count_cas_failure() {
+    GLOBAL.add_cas_failures(1);
+}
+
+/// Record a lock spin in the global sink.
+#[inline]
+pub fn count_lock_spin() {
+    GLOBAL.add_lock_spins(1);
+}
+
+/// Record an atomic RMW in the global sink.
+#[inline]
+pub fn count_rmw() {
+    GLOBAL.add_rmw(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = ContentionStats::new();
+        s.add_cas_failures(3);
+        s.add_lock_spins(2);
+        s.add_rmw(5);
+        s.add_cas_failures(0); // no-op path
+        let snap = s.snapshot();
+        assert_eq!(snap.cas_failures, 3);
+        assert_eq!(snap.lock_spins, 2);
+        assert_eq!(snap.rmw_ops, 5);
+        assert_eq!(snap.stall_proxy(), 5);
+        s.reset();
+        assert_eq!(s.snapshot().stall_proxy(), 0);
+    }
+
+    #[test]
+    fn since_is_saturating_difference() {
+        let a = ContentionSnapshot {
+            cas_failures: 10,
+            lock_spins: 4,
+            rmw_ops: 1,
+        };
+        let b = ContentionSnapshot {
+            cas_failures: 12,
+            lock_spins: 4,
+            rmw_ops: 0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.cas_failures, 2);
+        assert_eq!(d.lock_spins, 0);
+        assert_eq!(d.rmw_ops, 0); // saturates rather than wrapping
+    }
+
+    #[test]
+    fn global_sink_is_reachable() {
+        GLOBAL.reset();
+        count_cas_failure();
+        count_lock_spin();
+        count_rmw();
+        let snap = GLOBAL.snapshot();
+        assert!(snap.stall_proxy() >= 2);
+        assert!(snap.rmw_ops >= 1);
+        GLOBAL.reset();
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = ContentionStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.add_rmw(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().rmw_ops, 4000);
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic workload RNG and hashing helpers.
+//!
+//! The substrates need cheap, dependency-free randomness (skip-list tower
+//! heights, workload key picks) that stays deterministic under test. A
+//! xorshift64* generator and a Stafford mix13 hash cover both needs.
+
+/// A xorshift64* PRNG: tiny, fast, good enough for tower heights and
+/// workload draws (not for cryptography).
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator; a zero seed is remapped to a fixed constant
+    /// (xorshift has a zero fixpoint).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (slight bias is fine for
+        // workload generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A geometric level in `[1, max]` with `P(level ≥ k+1) = 2^-k` —
+    /// the classic skip-list tower height.
+    #[inline]
+    pub fn tower_height(&mut self, max: usize) -> usize {
+        let bits = self.next_u64();
+        ((bits.trailing_ones() as usize) + 1).min(max)
+    }
+}
+
+/// A fast multiply-xor hasher (FxHash-style) for bucket/segment
+/// selection. SipHash (std's default) costs ~25 ns per key, which is
+/// material when a map operation itself takes ~60 ns; both substrates
+/// (`dego-core` and `dego-juc`) use this hasher so the comparison stays
+/// fair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Hash a key with [`FxHasher`].
+#[inline]
+pub fn hash_key<K: std::hash::Hash>(key: &K) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Stafford variant 13 of the murmur3 finalizer: a strong 64-bit mixer
+/// used for hashing keys to segments/buckets.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequences() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_draws_in_range() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_bounded(10) < 10);
+        }
+    }
+
+    #[test]
+    fn f64_draws_in_unit_interval() {
+        let mut r = XorShift64::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn tower_heights_geometric() {
+        let mut r = XorShift64::new(3);
+        let mut ones = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            let h = r.tower_height(16);
+            assert!((1..=16).contains(&h));
+            if h == 1 {
+                ones += 1;
+            }
+        }
+        // P(height = 1) = 1/2 ± noise.
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn mix64_spreads_sequential_keys() {
+        // Adjacent keys land in different low bits most of the time.
+        let mut same = 0;
+        for k in 0..1000u64 {
+            if mix64(k) & 0xFF == mix64(k + 1) & 0xFF {
+                same += 1;
+            }
+        }
+        assert!(same < 20);
+    }
+
+    #[test]
+    fn fx_hash_spreads_and_is_stable() {
+        let a = hash_key(&42u64);
+        let b = hash_key(&42u64);
+        assert_eq!(a, b);
+        let mut low_bits = std::collections::BTreeSet::new();
+        for k in 0..1024u64 {
+            low_bits.insert(hash_key(&k) & 0xFFF);
+        }
+        // Sequential keys must spread over the low bits.
+        assert!(low_bits.len() > 900, "only {} distinct", low_bits.len());
+        // Strings hash through write().
+        assert_ne!(hash_key(&"abc"), hash_key(&"abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_rejected() {
+        XorShift64::new(1).next_bounded(0);
+    }
+}

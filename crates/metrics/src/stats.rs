@@ -1,0 +1,221 @@
+//! Statistics for the evaluation: Pearson correlation, summaries,
+//! throughput helpers and a deterministic Zipf/power-law sampler.
+//!
+//! The Zipf sampler lives here (rather than pulling `rand_distr`) because
+//! both the Retwis workload (§6.3, the `α` parameter of Fig. 10) and the
+//! corpus generator need power-law draws.
+
+/// Pearson correlation coefficient between two equally-long series.
+///
+/// Returns `None` when the series lengths differ, are shorter than 2, or
+/// either variance is zero (the coefficient is undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Mean of a series (0 for an empty one).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Throughput in operations/second given an op count and elapsed time.
+pub fn ops_per_sec(ops: u64, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        ops as f64 / secs
+    }
+}
+
+/// A Zipf-like sampler over `0..n` with exponent `alpha`.
+///
+/// `alpha = 0` is uniform; `alpha = 1` matches the paper's biased
+/// distribution ("when α equals 1, it is biased and when it is close to 0
+/// the distribution is uniform", §6.3). Sampling uses the inverse-CDF
+/// over precomputed cumulative weights, so draws are `O(log n)`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(alpha >= 0.0, "negative exponents are not power laws");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to a rank in `0..n`.
+    ///
+    /// Taking `u` rather than an RNG keeps this crate dependency-free and
+    /// deterministic under test.
+    pub fn rank(&self, u: f64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Geometric speedup series: `each / baseline`, the format of Figure 9.
+pub fn speedups(baseline: &[f64], other: &[f64]) -> Vec<f64> {
+    baseline
+        .iter()
+        .zip(other)
+        .map(|(b, o)| if *b > 0.0 { o / b } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfectly_anticorrelated() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.5);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn throughput_helper() {
+        let t = ops_per_sec(1000, std::time::Duration::from_millis(500));
+        assert!((t - 2000.0).abs() < 1e-9);
+        assert_eq!(ops_per_sec(10, std::time::Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        assert_eq!(z.rank(0.0), 0);
+        assert_eq!(z.rank(0.30), 1);
+        assert_eq!(z.rank(0.60), 2);
+        assert_eq!(z.rank(0.90), 3);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        // The head of the distribution absorbs far more mass than under
+        // uniform sampling: rank(0.3) must be far below 300.
+        assert!(z.rank(0.3) < 50);
+        // And the tail is still reachable.
+        assert_eq!(z.rank(1.0 - 1e-15), 999);
+    }
+
+    #[test]
+    fn zipf_rank_is_monotone_in_u() {
+        let z = Zipf::new(100, 0.8);
+        let mut last = 0;
+        for i in 0..100 {
+            let r = z.rank(i as f64 / 100.0);
+            assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn zipf_empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn speedup_series() {
+        let s = speedups(&[2.0, 4.0, 0.0], &[3.0, 4.0, 1.0]);
+        assert_eq!(s, vec![1.5, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,574 @@
+//! The three backends of the social network application (§6.3).
+//!
+//! * [`JucBackend`] — every structure is a strongly-consistent `dego-juc`
+//!   object.
+//! * [`DegoBackend`] — the five structures adjusted as in the paper:
+//!   `mapFollowers`, `mapFollowing`, `mapTimelines`, `mapProfiles` are
+//!   CWMR segmented maps; each timeline queue is multi-producer
+//!   single-consumer; `community` is a CWMR segmented set. The *inner*
+//!   follower/following sets intentionally stay JUC-style concurrent
+//!   sets: the paper reports that adjusting them as well was defeated by
+//!   write amplification.
+//! * [`DapBackend`] — disjoint-access parallel: per-worker private state,
+//!   no sharing at all. An upper bound, not a correct implementation of
+//!   the shared semantics (cross-partition effects stay local).
+
+use crate::store::{
+    MessageId, SocialBackend, SocialWorker, UserId, FANOUT_LIMIT, TIMELINE_LIMIT,
+};
+use dego_core::{mpsc, SegmentationKind, SegmentedHashMap, SegmentedHashMapWriter};
+use dego_core::{SegmentedSet, SegmentedSetWriter};
+use dego_juc::{AtomicLong, ConcurrentHashMap, ConcurrentLinkedQueue, ConcurrentSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ------------------------------------------------------------------ JUC
+
+/// The baseline backend: all five structures from `dego-juc`.
+pub struct JucBackend {
+    followers: ConcurrentHashMap<UserId, Arc<ConcurrentSet<UserId>>>,
+    following: ConcurrentHashMap<UserId, Arc<ConcurrentSet<UserId>>>,
+    timelines: ConcurrentHashMap<UserId, Arc<ConcurrentLinkedQueue<MessageId>>>,
+    profiles: ConcurrentHashMap<UserId, Arc<AtomicLong>>,
+    community: ConcurrentSet<UserId>,
+}
+
+impl std::fmt::Debug for JucBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JucBackend").finish_non_exhaustive()
+    }
+}
+
+impl SocialBackend for JucBackend {
+    type Worker = JucWorker;
+
+    fn create(_n_workers: usize, expected_users: usize) -> Arc<Self> {
+        Arc::new(JucBackend {
+            followers: ConcurrentHashMap::with_capacity(expected_users),
+            following: ConcurrentHashMap::with_capacity(expected_users),
+            timelines: ConcurrentHashMap::with_capacity(expected_users),
+            profiles: ConcurrentHashMap::with_capacity(expected_users),
+            community: ConcurrentSet::with_capacity(expected_users / 4 + 16),
+        })
+    }
+
+    fn worker(self: &Arc<Self>) -> JucWorker {
+        JucWorker {
+            shared: Arc::clone(self),
+        }
+    }
+
+    fn name() -> &'static str {
+        "JUC"
+    }
+}
+
+/// Per-thread worker over [`JucBackend`] (stateless besides the handle).
+#[derive(Debug)]
+pub struct JucWorker {
+    shared: Arc<JucBackend>,
+}
+
+impl SocialWorker for JucWorker {
+    fn add_user(&mut self, user: UserId) {
+        let s = &self.shared;
+        s.followers
+            .insert(user, Arc::new(ConcurrentSet::with_capacity(32)));
+        s.following
+            .insert(user, Arc::new(ConcurrentSet::with_capacity(32)));
+        s.timelines
+            .insert(user, Arc::new(ConcurrentLinkedQueue::new()));
+        s.profiles.insert(user, Arc::new(AtomicLong::new(0)));
+    }
+
+    fn follow(&mut self, follower: UserId, followee: UserId) {
+        if let Some(set) = self.shared.following.get(&follower) {
+            set.add(followee);
+        }
+        if let Some(set) = self.shared.followers.get(&followee) {
+            set.add(follower);
+        }
+    }
+
+    fn unfollow(&mut self, follower: UserId, followee: UserId) {
+        if let Some(set) = self.shared.following.get(&follower) {
+            set.remove(&followee);
+        }
+        if let Some(set) = self.shared.followers.get(&followee) {
+            set.remove(&follower);
+        }
+    }
+
+    fn post(&mut self, author: UserId, msg: MessageId) {
+        if let Some(q) = self.shared.timelines.get(&author) {
+            q.offer(msg);
+        }
+        if let Some(fans) = self.shared.followers.get(&author) {
+            for fan in fans.take_first(FANOUT_LIMIT) {
+                if let Some(q) = self.shared.timelines.get(&fan) {
+                    q.offer(msg);
+                }
+            }
+        }
+    }
+
+    fn read_timeline(&mut self, user: UserId) -> Vec<MessageId> {
+        let Some(q) = self.shared.timelines.get(&user) else {
+            return Vec::new();
+        };
+        // Trim the backlog (CAS polls — the cost QueueMasp avoids),
+        // then fetch everything and keep the most recent TIMELINE_LIMIT.
+        while q.size() > TIMELINE_LIMIT {
+            if q.poll().is_none() {
+                break;
+            }
+        }
+        let mut all = q.to_vec();
+        let keep = all.len().saturating_sub(TIMELINE_LIMIT);
+        all.split_off(keep)
+    }
+
+    fn join_group(&mut self, user: UserId) {
+        self.shared.community.add(user);
+    }
+
+    fn leave_group(&mut self, user: UserId) {
+        self.shared.community.remove(&user);
+    }
+
+    fn update_profile(&mut self, user: UserId) {
+        if let Some(p) = self.shared.profiles.get(&user) {
+            p.increment_and_get();
+        }
+    }
+
+    fn is_following(&self, follower: UserId, followee: UserId) -> bool {
+        self.shared
+            .following
+            .get(&follower)
+            .is_some_and(|s| s.contains(&followee))
+    }
+
+    fn follower_count(&self, user: UserId) -> usize {
+        self.shared.followers.get(&user).map_or(0, |s| s.len())
+    }
+
+    fn in_group(&self, user: UserId) -> bool {
+        self.shared.community.contains(&user)
+    }
+
+    fn profile_version(&self, user: UserId) -> u64 {
+        self.shared
+            .profiles
+            .get(&user)
+            .map_or(0, |p| p.get().max(0) as u64)
+    }
+}
+
+// ----------------------------------------------------------------- DEGO
+
+type FollowSet = Arc<ConcurrentSet<UserId>>;
+
+/// The adjusted backend (§6.3's DEGO configuration).
+pub struct DegoBackend {
+    followers: Arc<SegmentedHashMap<UserId, FollowSet>>,
+    following: Arc<SegmentedHashMap<UserId, FollowSet>>,
+    timelines: Arc<SegmentedHashMap<UserId, mpsc::Producer<MessageId>>>,
+    profiles: Arc<SegmentedHashMap<UserId, u64>>,
+    community: Arc<SegmentedSet<UserId>>,
+}
+
+impl std::fmt::Debug for DegoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegoBackend").finish_non_exhaustive()
+    }
+}
+
+impl SocialBackend for DegoBackend {
+    type Worker = DegoWorker;
+
+    fn create(n_workers: usize, expected_users: usize) -> Arc<Self> {
+        let k = SegmentationKind::Extended;
+        Arc::new(DegoBackend {
+            followers: SegmentedHashMap::new(n_workers, expected_users, k),
+            following: SegmentedHashMap::new(n_workers, expected_users, k),
+            timelines: SegmentedHashMap::new(n_workers, expected_users, k),
+            profiles: SegmentedHashMap::new(n_workers, expected_users, k),
+            community: SegmentedSet::new(n_workers, expected_users / 4 + 16, k),
+        })
+    }
+
+    fn worker(self: &Arc<Self>) -> DegoWorker {
+        DegoWorker {
+            followers_w: self.followers.writer(),
+            following_w: self.following.writer(),
+            timelines_w: self.timelines.writer(),
+            profiles_w: self.profiles.writer(),
+            community_w: self.community.writer(),
+            consumers: HashMap::new(),
+            shared: Arc::clone(self),
+        }
+    }
+
+    fn name() -> &'static str {
+        "DEGO"
+    }
+}
+
+/// Per-thread worker over [`DegoBackend`]: owns the thread's segment
+/// writers and the timeline consumers of its user partition.
+pub struct DegoWorker {
+    followers_w: SegmentedHashMapWriter<UserId, FollowSet>,
+    following_w: SegmentedHashMapWriter<UserId, FollowSet>,
+    timelines_w: SegmentedHashMapWriter<UserId, mpsc::Producer<MessageId>>,
+    profiles_w: SegmentedHashMapWriter<UserId, u64>,
+    community_w: SegmentedSetWriter<UserId>,
+    consumers: HashMap<UserId, mpsc::Consumer<MessageId>>,
+    shared: Arc<DegoBackend>,
+}
+
+impl std::fmt::Debug for DegoWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegoWorker")
+            .field("owned_timelines", &self.consumers.len())
+            .finish()
+    }
+}
+
+impl SocialWorker for DegoWorker {
+    fn add_user(&mut self, user: UserId) {
+        self.followers_w
+            .put(user, Arc::new(ConcurrentSet::with_capacity(32)));
+        self.following_w
+            .put(user, Arc::new(ConcurrentSet::with_capacity(32)));
+        let (producer, consumer) = mpsc::queue();
+        self.timelines_w.put(user, producer);
+        self.consumers.insert(user, consumer);
+        self.profiles_w.put(user, 0);
+    }
+
+    fn follow(&mut self, follower: UserId, followee: UserId) {
+        if let Some(set) = self.shared.following.get(&follower) {
+            set.add(followee);
+        }
+        if let Some(set) = self.shared.followers.get(&followee) {
+            set.add(follower);
+        }
+    }
+
+    fn unfollow(&mut self, follower: UserId, followee: UserId) {
+        if let Some(set) = self.shared.following.get(&follower) {
+            set.remove(&followee);
+        }
+        if let Some(set) = self.shared.followers.get(&followee) {
+            set.remove(&follower);
+        }
+    }
+
+    fn post(&mut self, author: UserId, msg: MessageId) {
+        if let Some(producer) = self.shared.timelines.get(&author) {
+            producer.offer(msg);
+        }
+        if let Some(fans) = self.shared.followers.get(&author) {
+            for fan in fans.take_first(FANOUT_LIMIT) {
+                if let Some(producer) = self.shared.timelines.get(&fan) {
+                    producer.offer(msg);
+                }
+            }
+        }
+    }
+
+    fn read_timeline(&mut self, user: UserId) -> Vec<MessageId> {
+        let Some(consumer) = self.consumers.get_mut(&user) else {
+            // Not this worker's partition: the drivers never do this.
+            debug_assert!(false, "timeline read outside the home partition");
+            return Vec::new();
+        };
+        // Trim the backlog — plain pointer moves, no CAS (QueueMasp).
+        while consumer.len() > TIMELINE_LIMIT {
+            if consumer.poll().is_none() {
+                break;
+            }
+        }
+        let mut all = consumer.snapshot();
+        let keep = all.len().saturating_sub(TIMELINE_LIMIT);
+        all.split_off(keep)
+    }
+
+    fn join_group(&mut self, user: UserId) {
+        self.community_w.add(user);
+    }
+
+    fn leave_group(&mut self, user: UserId) {
+        self.community_w.remove(&user);
+    }
+
+    fn update_profile(&mut self, user: UserId) {
+        let version = self.shared.profiles.get(&user).unwrap_or(0);
+        self.profiles_w.put(user, version + 1);
+    }
+
+    fn is_following(&self, follower: UserId, followee: UserId) -> bool {
+        self.shared
+            .following
+            .get(&follower)
+            .is_some_and(|s| s.contains(&followee))
+    }
+
+    fn follower_count(&self, user: UserId) -> usize {
+        self.shared.followers.get(&user).map_or(0, |s| s.len())
+    }
+
+    fn in_group(&self, user: UserId) -> bool {
+        self.shared.community.contains(&user)
+    }
+
+    fn profile_version(&self, user: UserId) -> u64 {
+        self.shared.profiles.get(&user).unwrap_or(0)
+    }
+}
+
+// ------------------------------------------------------------------ DAP
+
+/// The disjoint-access-parallel upper bound: per-worker private state.
+#[derive(Debug, Default)]
+pub struct DapBackend;
+
+impl SocialBackend for DapBackend {
+    type Worker = DapWorker;
+
+    fn create(_n_workers: usize, _expected_users: usize) -> Arc<Self> {
+        Arc::new(DapBackend)
+    }
+
+    fn worker(self: &Arc<Self>) -> DapWorker {
+        DapWorker {
+            users: HashMap::new(),
+            group: std::collections::HashSet::new(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "DAP"
+    }
+}
+
+#[derive(Debug, Default)]
+struct DapUser {
+    followers: Vec<UserId>,
+    following: Vec<UserId>,
+    timeline: std::collections::VecDeque<MessageId>,
+    profile: u64,
+}
+
+/// Per-thread worker over [`DapBackend`]: everything thread-private.
+#[derive(Debug)]
+pub struct DapWorker {
+    users: HashMap<UserId, DapUser>,
+    group: std::collections::HashSet<UserId>,
+}
+
+impl DapWorker {
+    fn user(&mut self, user: UserId) -> &mut DapUser {
+        self.users.entry(user).or_default()
+    }
+}
+
+impl SocialWorker for DapWorker {
+    fn add_user(&mut self, user: UserId) {
+        self.users.insert(user, DapUser::default());
+    }
+
+    fn follow(&mut self, follower: UserId, followee: UserId) {
+        let f = self.user(follower);
+        if !f.following.contains(&followee) {
+            f.following.push(followee);
+        }
+        let e = self.user(followee);
+        if !e.followers.contains(&follower) {
+            e.followers.push(follower);
+        }
+    }
+
+    fn unfollow(&mut self, follower: UserId, followee: UserId) {
+        self.user(follower).following.retain(|&u| u != followee);
+        self.user(followee).followers.retain(|&u| u != follower);
+    }
+
+    fn post(&mut self, author: UserId, msg: MessageId) {
+        let fans: Vec<UserId> = {
+            let a = self.user(author);
+            a.timeline.push_back(msg);
+            a.followers.iter().take(FANOUT_LIMIT).copied().collect()
+        };
+        for fan in fans {
+            let t = &mut self.user(fan).timeline;
+            t.push_back(msg);
+            while t.len() > TIMELINE_LIMIT * 2 {
+                t.pop_front();
+            }
+        }
+    }
+
+    fn read_timeline(&mut self, user: UserId) -> Vec<MessageId> {
+        let t = &mut self.user(user).timeline;
+        while t.len() > TIMELINE_LIMIT {
+            t.pop_front();
+        }
+        t.iter().copied().collect()
+    }
+
+    fn join_group(&mut self, user: UserId) {
+        self.group.insert(user);
+    }
+
+    fn leave_group(&mut self, user: UserId) {
+        self.group.remove(&user);
+    }
+
+    fn update_profile(&mut self, user: UserId) {
+        self.user(user).profile += 1;
+    }
+
+    fn is_following(&self, follower: UserId, followee: UserId) -> bool {
+        self.users
+            .get(&follower)
+            .is_some_and(|u| u.following.contains(&followee))
+    }
+
+    fn follower_count(&self, user: UserId) -> usize {
+        self.users.get(&user).map_or(0, |u| u.followers.len())
+    }
+
+    fn in_group(&self, user: UserId) -> bool {
+        self.group.contains(&user)
+    }
+
+    fn profile_version(&self, user: UserId) -> u64 {
+        self.users.get(&user).map_or(0, |u| u.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::home_worker;
+
+    fn exercise<B: SocialBackend>() {
+        let backend = B::create(1, 64);
+        let mut w = backend.worker();
+        for u in 0..10 {
+            w.add_user(u);
+        }
+        w.follow(1, 2);
+        w.follow(3, 2);
+        assert!(w.is_following(1, 2));
+        assert!(!w.is_following(2, 1));
+        assert_eq!(w.follower_count(2), 2);
+
+        w.post(2, 100);
+        w.post(2, 101);
+        // 2's followers (1 and 3) and 2 itself see the messages.
+        for reader in [1u64, 2, 3] {
+            let tl = w.read_timeline(reader);
+            assert_eq!(tl, vec![100, 101], "user {reader}");
+        }
+        assert!(w.read_timeline(4).is_empty());
+
+        w.unfollow(1, 2);
+        assert!(!w.is_following(1, 2));
+        assert_eq!(w.follower_count(2), 1);
+
+        w.join_group(5);
+        assert!(w.in_group(5));
+        w.leave_group(5);
+        assert!(!w.in_group(5));
+
+        assert_eq!(w.profile_version(6), 0);
+        w.update_profile(6);
+        w.update_profile(6);
+        assert_eq!(w.profile_version(6), 2);
+    }
+
+    #[test]
+    fn juc_backend_semantics() {
+        exercise::<JucBackend>();
+    }
+
+    #[test]
+    fn dego_backend_semantics() {
+        exercise::<DegoBackend>();
+    }
+
+    #[test]
+    fn dap_backend_semantics() {
+        exercise::<DapBackend>();
+    }
+
+    #[test]
+    fn timeline_is_bounded() {
+        let backend = DegoBackend::create(1, 8);
+        let mut w = backend.worker();
+        w.add_user(1);
+        for m in 0..200u64 {
+            w.post(1, m);
+        }
+        let tl = w.read_timeline(1);
+        assert_eq!(tl.len(), TIMELINE_LIMIT);
+        assert_eq!(*tl.last().unwrap(), 199);
+        assert_eq!(tl[0], 150);
+    }
+
+    #[test]
+    fn fanout_is_limited() {
+        let backend = JucBackend::create(1, 128);
+        let mut w = backend.worker();
+        for u in 0..40 {
+            w.add_user(u);
+        }
+        for fan in 1..40 {
+            w.follow(fan, 0);
+        }
+        w.post(0, 7);
+        let delivered: usize = (1..40)
+            .filter(|&fan| w.read_timeline(fan) == vec![7])
+            .count();
+        assert_eq!(delivered, FANOUT_LIMIT);
+    }
+
+    #[test]
+    fn dego_two_workers_cross_partition_follow() {
+        let backend = DegoBackend::create(2, 64);
+        // Find one user per partition.
+        let u0 = (0..).find(|&u| home_worker(u, 2) == 0).unwrap();
+        let u1 = (0..).find(|&u| home_worker(u, 2) == 1).unwrap();
+        let b2 = Arc::clone(&backend);
+        std::thread::scope(|s| {
+            let t0 = s.spawn(move || {
+                let mut w = backend.worker();
+                w.add_user(u0);
+                w
+            });
+            let mut w0 = t0.join().unwrap();
+            let b3 = Arc::clone(&b2);
+            let t1 = s.spawn(move || {
+                let mut w = b3.worker();
+                w.add_user(u1);
+                // u1 follows u0 (cross-partition write to u0's row).
+                w.follow(u1, u0);
+                w
+            });
+            let w1 = t1.join().unwrap();
+            assert!(w1.is_following(u1, u0));
+            assert_eq!(w0.follower_count(u0), 1);
+            // A post by u0 reaches u1's timeline (read by u1's worker).
+            std::thread::scope(|s2| {
+                s2.spawn(move || {
+                    w0.post(u0, 55);
+                });
+            });
+            let mut w1 = w1;
+            assert_eq!(w1.read_timeline(u1), vec![55]);
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! Directed power-law follow-graph generation (§6.3).
+//!
+//! Following the method the paper adopts from Schweimer et al.: in- and
+//! out-degrees follow power laws, as observed in the Twitter follow
+//! graph. Each user draws an out-degree from a truncated Pareto-like
+//! distribution and picks followees by Zipf popularity rank — popular
+//! users accumulate followers. The clustering-coefficient boosting step
+//! is omitted, exactly as the paper omits it ("too time consuming at the
+//! scales we consider").
+
+use crate::store::UserId;
+use dego_metrics::stats::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A follow edge `(follower, followee)`.
+pub type Edge = (UserId, UserId);
+
+/// Configuration of the graph generator.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Mean out-degree (Twitter-like graphs: a handful to a few dozen).
+    pub mean_out_degree: usize,
+    /// Popularity skew of followee picks (≥ 0; 1 ≈ Twitter-like).
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            users: 10_000,
+            mean_out_degree: 12,
+            alpha: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the follow edges.
+///
+/// Self-follows and duplicate picks are skipped, so a user's realized
+/// out-degree can be slightly below its draw.
+pub fn generate_edges(config: &GraphConfig) -> Vec<Edge> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.users, config.alpha);
+    let mut edges = Vec::with_capacity(config.users * config.mean_out_degree);
+    for follower in 0..config.users as UserId {
+        let out = sample_out_degree(&mut rng, config.mean_out_degree);
+        let mut picked = std::collections::HashSet::with_capacity(out);
+        for _ in 0..out {
+            let followee = zipf.rank(rng.gen_range(0.0..1.0)) as UserId;
+            if followee != follower && picked.insert(followee) {
+                edges.push((follower, followee));
+            }
+        }
+    }
+    edges
+}
+
+/// Pareto-ish out-degree with the given mean: most users follow a few,
+/// some follow many.
+fn sample_out_degree(rng: &mut StdRng, mean: usize) -> usize {
+    // Inverse-CDF of a Pareto with shape 1.5, scaled to the target mean
+    // (mean of Pareto(x_m, 1.5) is 3·x_m).
+    let u: f64 = rng.gen_range(1e-6..1.0);
+    let x_m = mean as f64 / 3.0;
+    let d = x_m / u.powf(1.0 / 1.5);
+    (d.round() as usize).clamp(1, mean * 50)
+}
+
+/// In-degree histogram summary used to verify the power-law shape.
+#[derive(Clone, Debug)]
+pub struct DegreeStats {
+    /// Maximum in-degree.
+    pub max_in: usize,
+    /// Mean in-degree.
+    pub mean_in: f64,
+    /// Fraction of all edges landing on the top 1 % of users.
+    pub top1pct_share: f64,
+}
+
+/// Compute in-degree statistics over an edge list.
+pub fn in_degree_stats(users: usize, edges: &[Edge]) -> DegreeStats {
+    let mut indeg = vec![0usize; users];
+    for &(_, v) in edges {
+        indeg[v as usize] += 1;
+    }
+    let max_in = indeg.iter().copied().max().unwrap_or(0);
+    let mean_in = edges.len() as f64 / users.max(1) as f64;
+    let mut sorted = indeg.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (users / 100).max(1);
+    let top_sum: usize = sorted.iter().take(top).sum();
+    DegreeStats {
+        max_in,
+        mean_in,
+        top1pct_share: if edges.is_empty() {
+            0.0
+        } else {
+            top_sum as f64 / edges.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_valid() {
+        let cfg = GraphConfig {
+            users: 2_000,
+            mean_out_degree: 10,
+            alpha: 1.0,
+            seed: 1,
+        };
+        let edges = generate_edges(&cfg);
+        assert!(!edges.is_empty());
+        for &(a, b) in &edges {
+            assert!(a != b, "self-follow");
+            assert!((a as usize) < cfg.users && (b as usize) < cfg.users);
+        }
+        // No duplicate edges per follower.
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            assert!(seen.insert(*e), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn in_degrees_are_skewed_under_alpha_one() {
+        let cfg = GraphConfig {
+            users: 5_000,
+            mean_out_degree: 12,
+            alpha: 1.0,
+            seed: 9,
+        };
+        let edges = generate_edges(&cfg);
+        let stats = in_degree_stats(cfg.users, &edges);
+        // Power law: the top 1 % of users absorb a large share of edges.
+        assert!(
+            stats.top1pct_share > 0.15,
+            "top-1% share {}",
+            stats.top1pct_share
+        );
+        assert!(stats.max_in > 50);
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let cfg = GraphConfig {
+            users: 5_000,
+            mean_out_degree: 12,
+            alpha: 0.0,
+            seed: 9,
+        };
+        let stats = in_degree_stats(cfg.users, &generate_edges(&cfg));
+        assert!(
+            stats.top1pct_share < 0.05,
+            "uniform graph too skewed: {}",
+            stats.top1pct_share
+        );
+    }
+
+    #[test]
+    fn mean_out_degree_is_close_to_target() {
+        let cfg = GraphConfig {
+            users: 20_000,
+            mean_out_degree: 12,
+            alpha: 1.0,
+            seed: 5,
+        };
+        let edges = generate_edges(&cfg);
+        let mean = edges.len() as f64 / cfg.users as f64;
+        assert!((6.0..20.0).contains(&mean), "mean out-degree {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GraphConfig::default();
+        assert_eq!(generate_edges(&cfg), generate_edges(&cfg));
+    }
+}

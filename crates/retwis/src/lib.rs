@@ -1,0 +1,37 @@
+//! # dego-retwis — the social network application of §6.3
+//!
+//! A multithreaded Retwis-like benchmark (a simplified Twitter clone).
+//! The application maintains five shared structures: `mapFollowers`,
+//! `mapFollowing`, `mapTimelines`, `mapProfiles` and the `community`
+//! interest group. Users write messages, follow/unfollow each other,
+//! read their timelines, join/leave the group and update their profiles
+//! (Table 2's operation mix).
+//!
+//! Three interchangeable backends implement the same [`SocialWorker`]
+//! interface:
+//!
+//! * [`JucBackend`] — everything on `dego-juc` strongly-consistent
+//!   objects (the baseline);
+//! * [`DegoBackend`] — the outer maps are CWMR segmented maps, the
+//!   timeline queues multi-producer single-consumer, the interest group a
+//!   CWMR segmented set. Exactly as in the paper, the *inner*
+//!   follower/following sets stay JUC-style: adjusting them too was
+//!   tried and rejected because of write amplification (§6.3);
+//! * [`DapBackend`] — disjoint-access parallel: every worker keeps its
+//!   own private structures, an upper bound on parallel performance.
+//!
+//! Each worker thread owns a user partition by consistent hashing
+//! ([`home_worker`]); the follow graph is a directed power law
+//! ([`graph`]), and user picks follow a Zipf distribution with the
+//! paper's `α` skew parameter ([`workload`]).
+
+#![warn(missing_docs)]
+
+pub mod backends;
+pub mod graph;
+pub mod store;
+pub mod workload;
+
+pub use backends::{DapBackend, DegoBackend, JucBackend};
+pub use store::{home_worker, MessageId, SocialBackend, SocialWorker, UserId};
+pub use workload::{run_benchmark, BenchmarkConfig, BenchmarkResult, OpMix};

@@ -1,0 +1,113 @@
+//! The social-store interface shared by the three backends.
+
+use std::sync::Arc;
+
+/// A user identifier.
+pub type UserId = u64;
+/// A message identifier (the benchmark does not materialize bodies).
+pub type MessageId = u64;
+
+/// How many followers receive a post synchronously. The paper limits
+/// fan-out "to the first followers"; the rest would be asynchronous
+/// (not implemented there either).
+pub const FANOUT_LIMIT: usize = 16;
+
+/// Timeline length returned to the user ("the last 50 messages").
+pub const TIMELINE_LIMIT: usize = 50;
+
+/// The worker that owns a user under consistent hashing.
+pub fn home_worker(user: UserId, n_workers: usize) -> usize {
+    (dego_metrics::rng::mix64(user) % n_workers as u64) as usize
+}
+
+/// A backend: shared state plus per-thread worker construction.
+pub trait SocialBackend: Send + Sync + Sized + 'static {
+    /// The per-thread worker type.
+    type Worker: SocialWorker;
+
+    /// Create the shared state for `n_workers` worker threads and about
+    /// `expected_users` users.
+    fn create(n_workers: usize, expected_users: usize) -> Arc<Self>;
+
+    /// Build the calling thread's worker. Must be invoked **on** the
+    /// worker's own thread (slot registration and writer handles are
+    /// per-thread).
+    fn worker(self: &Arc<Self>) -> Self::Worker;
+
+    /// Backend name for reports.
+    fn name() -> &'static str;
+}
+
+/// Per-thread operations of the social application.
+///
+/// Routing discipline (enforced by the drivers, asserted in debug
+/// builds): `add_user`, `read_timeline`, `join_group`, `leave_group` and
+/// `update_profile` are invoked by the user's home worker; `follow` /
+/// `unfollow` / `post` are invoked by the *acting* user's home worker and
+/// may touch other users' shared rows.
+pub trait SocialWorker: Send {
+    /// Register a new user (creates its five rows).
+    fn add_user(&mut self, user: UserId);
+
+    /// `follower` starts following `followee`.
+    fn follow(&mut self, follower: UserId, followee: UserId);
+
+    /// `follower` stops following `followee`.
+    fn unfollow(&mut self, follower: UserId, followee: UserId);
+
+    /// `author` posts message `msg` (fans out to the first
+    /// [`FANOUT_LIMIT`] followers and the author's own timeline).
+    fn post(&mut self, author: UserId, msg: MessageId);
+
+    /// Read the last [`TIMELINE_LIMIT`] messages of `user`'s timeline.
+    fn read_timeline(&mut self, user: UserId) -> Vec<MessageId>;
+
+    /// `user` joins the interest group.
+    fn join_group(&mut self, user: UserId);
+
+    /// `user` leaves the interest group.
+    fn leave_group(&mut self, user: UserId);
+
+    /// Bump `user`'s profile version.
+    fn update_profile(&mut self, user: UserId);
+
+    /// Whether `follower` currently follows `followee` (test hook).
+    fn is_following(&self, follower: UserId, followee: UserId) -> bool;
+
+    /// Number of followers of `user` (test hook).
+    fn follower_count(&self, user: UserId) -> usize;
+
+    /// Whether `user` is in the interest group (test hook).
+    fn in_group(&self, user: UserId) -> bool;
+
+    /// Current profile version of `user` (test hook).
+    fn profile_version(&self, user: UserId) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_worker_is_stable_and_in_range() {
+        for n in [1usize, 2, 7, 80] {
+            for u in 0..200u64 {
+                let h = home_worker(u, n);
+                assert!(h < n);
+                assert_eq!(h, home_worker(u, n));
+            }
+        }
+    }
+
+    #[test]
+    fn home_worker_spreads_users() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for u in 0..8_000u64 {
+            counts[home_worker(u, n)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "unbalanced partition: {c}");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The Table 2 workload and the benchmark driver (§6.3).
+//!
+//! Each worker thread owns a user partition (consistent hashing). The
+//! benchmark first populates users and the power-law follow graph, then
+//! runs the measured phase: each thread repeatedly draws an operation by
+//! the Table 2 mix and an acting user from its partition by a Zipf
+//! distribution with exponent `α` ("when α equals 1, it is biased and
+//! when it is close to 0 the distribution is uniform").
+//!
+//! As in the paper, follow/unfollow (and join/leave) immediately apply
+//! the converse operation to preserve the network's invariants; the
+//! second call is not counted.
+
+use crate::graph::{generate_edges, GraphConfig};
+use crate::store::{home_worker, SocialBackend, SocialWorker, UserId};
+use dego_metrics::rng::XorShift64;
+use dego_metrics::stats::Zipf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Operation mix in percent (must sum to 100).
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Add a user.
+    pub add_user: u32,
+    /// Follow + converse unfollow.
+    pub follow_unfollow: u32,
+    /// Post a tweet.
+    pub post: u32,
+    /// Display the timeline.
+    pub timeline: u32,
+    /// Join + converse leave of the interest group.
+    pub join_leave: u32,
+    /// Update the profile.
+    pub update_profile: u32,
+}
+
+impl OpMix {
+    /// Table 2: 5 / 5 / 15 / 60 / 5 / 10.
+    pub const TABLE2: OpMix = OpMix {
+        add_user: 5,
+        follow_unfollow: 5,
+        post: 15,
+        timeline: 60,
+        join_leave: 5,
+        update_profile: 10,
+    };
+
+    fn validate(&self) {
+        let total = self.add_user
+            + self.follow_unfollow
+            + self.post
+            + self.timeline
+            + self.join_leave
+            + self.update_profile;
+        assert_eq!(total, 100, "operation mix must sum to 100%");
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct BenchmarkConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Initial user population.
+    pub users: usize,
+    /// User-pick skew (`α` of Fig. 10).
+    pub alpha: f64,
+    /// Measured duration.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Mean out-degree of the preloaded follow graph.
+    pub mean_out_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            threads: 4,
+            users: 10_000,
+            alpha: 1.0,
+            duration: Duration::from_millis(500),
+            mix: OpMix::TABLE2,
+            mean_out_degree: 10,
+            seed: 0x7E7815,
+        }
+    }
+}
+
+/// Benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct BenchmarkResult {
+    /// Backend name.
+    pub backend: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Initial user count.
+    pub users: usize,
+    /// Zipf exponent used.
+    pub alpha: f64,
+    /// Operations completed in the measured phase.
+    pub total_ops: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl BenchmarkResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        dego_metrics::stats::ops_per_sec(self.total_ops, self.elapsed)
+    }
+}
+
+struct WorkerPlan {
+    slot: usize,
+    /// This worker's user partition.
+    my_users: Vec<UserId>,
+    /// Follow edges whose follower lives in this partition.
+    my_edges: Vec<(UserId, UserId)>,
+}
+
+fn plan_workers(threads: usize, users: usize, cfg: &BenchmarkConfig) -> Vec<WorkerPlan> {
+    let edges = generate_edges(&GraphConfig {
+        users,
+        mean_out_degree: cfg.mean_out_degree,
+        alpha: cfg.alpha.max(0.2),
+        seed: cfg.seed,
+    });
+    let mut plans: Vec<WorkerPlan> = (0..threads)
+        .map(|slot| WorkerPlan {
+            slot,
+            my_users: Vec::new(),
+            my_edges: Vec::new(),
+        })
+        .collect();
+    for u in 0..users as UserId {
+        plans[home_worker(u, threads)].my_users.push(u);
+    }
+    for (a, b) in edges {
+        plans[home_worker(a, threads)].my_edges.push((a, b));
+    }
+    plans
+}
+
+/// Run the benchmark on backend `B`.
+pub fn run_benchmark<B: SocialBackend>(cfg: &BenchmarkConfig) -> BenchmarkResult {
+    cfg.mix.validate();
+    assert!(cfg.threads > 0 && cfg.users >= cfg.threads);
+    let backend = B::create(cfg.threads, cfg.users * 2);
+    let plans = plan_workers(cfg.threads, cfg.users, cfg);
+    let loaded = Arc::new(Barrier::new(cfg.threads));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let started = Arc::new(Barrier::new(cfg.threads + 1));
+
+    std::thread::scope(|s| {
+        for plan in plans {
+            let backend = Arc::clone(&backend);
+            let loaded = Arc::clone(&loaded);
+            let stop = Arc::clone(&stop);
+            let total_ops = Arc::clone(&total_ops);
+            let started = Arc::clone(&started);
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let mut worker = backend.worker();
+                // Phase 1: populate this partition's users.
+                for &u in &plan.my_users {
+                    worker.add_user(u);
+                }
+                loaded.wait();
+                // Phase 2: preload the follow graph (follower-side home).
+                for &(a, b) in &plan.my_edges {
+                    worker.follow(a, b);
+                }
+                started.wait();
+                // Phase 3: measured loop.
+                let ops = drive(&mut worker, &plan, &cfg, &stop);
+                total_ops.fetch_add(ops, Ordering::AcqRel);
+            });
+        }
+        started.wait();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Release);
+        // The scope joins every worker before returning.
+    });
+    // All workers joined: the counter is final. Workers observe `stop`
+    // within one 64-op batch, so the sleep window is the measured time.
+    // Settle deferred epoch garbage before the next benchmark starts.
+    dego_core::reclaim::drain(2048);
+    let elapsed = cfg.duration;
+    BenchmarkResult {
+        backend: B::name(),
+        threads: cfg.threads,
+        users: cfg.users,
+        alpha: cfg.alpha,
+        total_ops: total_ops.load(Ordering::Acquire),
+        elapsed,
+    }
+}
+
+fn drive<W: SocialWorker>(
+    worker: &mut W,
+    plan: &WorkerPlan,
+    cfg: &BenchmarkConfig,
+    stop: &AtomicBool,
+) -> u64 {
+    let mut rng = XorShift64::new(cfg.seed ^ (plan.slot as u64 + 1) * 0x9E37_79B9);
+    let my_zipf = Zipf::new(plan.my_users.len().max(1), cfg.alpha);
+    let all_zipf = Zipf::new(cfg.users, cfg.alpha);
+    let mix = cfg.mix;
+    let mut next_user_probe: UserId = cfg.users as UserId;
+    let mut msg_counter: u64 = (plan.slot as u64) << 40;
+    let mut new_users: Vec<UserId> = Vec::new();
+    let mut ops = 0u64;
+
+    // Thresholds over 0..100.
+    let t_add = mix.add_user;
+    let t_follow = t_add + mix.follow_unfollow;
+    let t_post = t_follow + mix.post;
+    let t_timeline = t_post + mix.timeline;
+    let t_group = t_timeline + mix.join_leave;
+
+    while !stop.load(Ordering::Acquire) {
+        // Check the stop flag every batch to keep overhead low.
+        for _ in 0..64 {
+            let my_user = if plan.my_users.is_empty() {
+                0
+            } else {
+                plan.my_users[my_zipf.rank(rng.next_f64())]
+            };
+            let roll = rng.next_bounded(100) as u32;
+            if roll < t_add {
+                // Allocate a fresh id homed at this worker.
+                let threads = cfg.threads;
+                let mut id = next_user_probe + plan.slot as UserId + 1;
+                while home_worker(id, threads) != plan.slot {
+                    id += 1;
+                }
+                next_user_probe = id + 1;
+                worker.add_user(id);
+                new_users.push(id);
+            } else if roll < t_follow {
+                let target = all_zipf.rank(rng.next_f64()) as UserId;
+                if target != my_user {
+                    worker.follow(my_user, target);
+                    // Converse operation, not measured (§6.3).
+                    worker.unfollow(my_user, target);
+                }
+            } else if roll < t_post {
+                msg_counter += 1;
+                worker.post(my_user, msg_counter);
+            } else if roll < t_timeline {
+                let tl = worker.read_timeline(my_user);
+                std::hint::black_box(tl);
+            } else if roll < t_group {
+                worker.join_group(my_user);
+                // Converse operation, not measured.
+                worker.leave_group(my_user);
+            } else {
+                worker.update_profile(my_user);
+            }
+            ops += 1;
+        }
+    }
+    std::hint::black_box(&new_users);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{DapBackend, DegoBackend, JucBackend};
+
+    fn quick(threads: usize) -> BenchmarkConfig {
+        BenchmarkConfig {
+            threads,
+            users: 600,
+            alpha: 1.0,
+            duration: Duration::from_millis(80),
+            mix: OpMix::TABLE2,
+            mean_out_degree: 6,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn mix_must_sum_to_100() {
+        OpMix::TABLE2.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_rejected() {
+        let mut mix = OpMix::TABLE2;
+        mix.post = 99;
+        mix.validate();
+    }
+
+    #[test]
+    fn juc_benchmark_runs() {
+        let r = run_benchmark::<JucBackend>(&quick(2));
+        assert_eq!(r.backend, "JUC");
+        assert!(r.total_ops > 100, "only {} ops", r.total_ops);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn dego_benchmark_runs() {
+        let r = run_benchmark::<DegoBackend>(&quick(2));
+        assert_eq!(r.backend, "DEGO");
+        assert!(r.total_ops > 100);
+    }
+
+    #[test]
+    fn dap_benchmark_runs() {
+        let r = run_benchmark::<DapBackend>(&quick(2));
+        assert_eq!(r.backend, "DAP");
+        assert!(r.total_ops > 100);
+    }
+
+    #[test]
+    fn single_thread_runs_all_backends() {
+        assert!(run_benchmark::<JucBackend>(&quick(1)).total_ops > 0);
+        assert!(run_benchmark::<DegoBackend>(&quick(1)).total_ops > 0);
+        assert!(run_benchmark::<DapBackend>(&quick(1)).total_ops > 0);
+    }
+
+    #[test]
+    fn four_threads_scale_without_errors() {
+        let r = run_benchmark::<DegoBackend>(&quick(4));
+        assert!(r.total_ops > 100);
+        assert_eq!(r.threads, 4);
+    }
+}

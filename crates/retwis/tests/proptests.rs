@@ -1,0 +1,122 @@
+//! Property-based tests of the Retwis substrate: graph-generator
+//! invariants and backend agreement on random scripts.
+
+use dego_retwis::backends::{DapBackend, DegoBackend, JucBackend};
+use dego_retwis::graph::{generate_edges, in_degree_stats, GraphConfig};
+use dego_retwis::{SocialBackend, SocialWorker};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum SocialOp {
+    Follow(u64, u64),
+    Unfollow(u64, u64),
+    Post(u64, u64),
+    Timeline(u64),
+    Join(u64),
+    Leave(u64),
+    Profile(u64),
+}
+
+fn social_op(users: u64) -> impl Strategy<Value = SocialOp> {
+    prop_oneof![
+        (0..users, 0..users).prop_map(|(a, b)| SocialOp::Follow(a, b)),
+        (0..users, 0..users).prop_map(|(a, b)| SocialOp::Unfollow(a, b)),
+        (0..users, 0..10_000u64).prop_map(|(a, m)| SocialOp::Post(a, m)),
+        (0..users).prop_map(SocialOp::Timeline),
+        (0..users).prop_map(SocialOp::Join),
+        (0..users).prop_map(SocialOp::Leave),
+        (0..users).prop_map(SocialOp::Profile),
+    ]
+}
+
+fn run_script<B: SocialBackend>(users: u64, ops: &[SocialOp]) -> Vec<u64> {
+    let backend = B::create(1, users as usize);
+    let mut w = backend.worker();
+    for u in 0..users {
+        w.add_user(u);
+    }
+    let mut observations = Vec::new();
+    for op in ops {
+        match *op {
+            SocialOp::Follow(a, b) if a != b => w.follow(a, b),
+            SocialOp::Follow(..) => {}
+            SocialOp::Unfollow(a, b) => w.unfollow(a, b),
+            SocialOp::Post(a, m) => w.post(a, m),
+            SocialOp::Timeline(u) => {
+                let tl = w.read_timeline(u);
+                observations.push(tl.len() as u64);
+                observations.extend(tl);
+            }
+            SocialOp::Join(u) => w.join_group(u),
+            SocialOp::Leave(u) => w.leave_group(u),
+            SocialOp::Profile(u) => w.update_profile(u),
+        }
+    }
+    // Final observable state summary.
+    for u in 0..users {
+        observations.push(w.follower_count(u) as u64);
+        observations.push(u64::from(w.in_group(u)));
+        observations.push(w.profile_version(u));
+    }
+    observations
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three backends observe identical state for any single-worker
+    /// script (DAP is only an upper bound *concurrently*; sequentially it
+    /// must agree exactly).
+    #[test]
+    fn backends_agree_on_random_scripts(
+        ops in proptest::collection::vec(social_op(12), 1..60),
+    ) {
+        let juc = run_script::<JucBackend>(12, &ops);
+        let dego = run_script::<DegoBackend>(12, &ops);
+        let dap = run_script::<DapBackend>(12, &ops);
+        prop_assert_eq!(&juc, &dego, "JUC vs DEGO diverged");
+        prop_assert_eq!(&juc, &dap, "JUC vs DAP diverged");
+    }
+
+    /// Graph generation: valid edges, no dupes, deterministic, skew
+    /// increases with alpha.
+    #[test]
+    fn graph_invariants(users in 50usize..500, seed in any::<u64>()) {
+        let cfg = GraphConfig {
+            users,
+            mean_out_degree: 6,
+            alpha: 1.0,
+            seed,
+        };
+        let edges = generate_edges(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &edges {
+            prop_assert!(a != b);
+            prop_assert!((a as usize) < users && (b as usize) < users);
+            prop_assert!(seen.insert((a, b)));
+        }
+        prop_assert_eq!(generate_edges(&cfg), edges);
+    }
+
+    /// In-degree concentration grows with alpha.
+    #[test]
+    fn skew_monotone_in_alpha(seed in any::<u64>()) {
+        let base = GraphConfig {
+            users: 2_000,
+            mean_out_degree: 8,
+            alpha: 0.0,
+            seed,
+        };
+        let uniform = in_degree_stats(base.users, &generate_edges(&base));
+        let skewed = in_degree_stats(
+            base.users,
+            &generate_edges(&GraphConfig { alpha: 1.2, ..base }),
+        );
+        prop_assert!(
+            skewed.top1pct_share > uniform.top1pct_share,
+            "alpha 1.2 share {} <= alpha 0 share {}",
+            skewed.top1pct_share,
+            uniform.top1pct_share
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! The adjustment relation (§4, Definition 1) and its consequences.
+//!
+//! `O` **adjusts** `O'` when `O'.T` is a *narrow subtype* of `O.T` and
+//! `O.m ⊆ O'.m`. Intuitively `O'` is the vanilla, wide-interface object
+//! and `O` the specialized one: every behaviour the adjusted object's
+//! specification constrains is honoured by the vanilla object, and the
+//! adjusted object's permission map only restricts access further.
+//!
+//! The narrow-subtype check follows Liskov & Wing (via the executable
+//! [`SpecType`] encoding): for every operation and every explored state,
+//!
+//! * **precondition rule** — wherever the supertype (adjusted spec)
+//!   allows a call, the subtype (vanilla spec) allows it too;
+//! * **postcondition rule** — wherever the supertype *constrains* the
+//!   post-state (resp. the response), the subtype produces exactly that
+//!   post-state (resp. response). Voided components (`None` in
+//!   [`OpSig`](crate::dtype::OpSig)) constrain nothing;
+//! * **narrowness** — both types define exactly the same operation names.
+//!
+//! Proposition 6 — adjusting densifies the graphs — is checked directly by
+//! [`prop6_edge_inclusion`].
+
+use crate::dtype::{DataType, Op, SpecType};
+use crate::graph::IndistGraph;
+use crate::perm::PermissionMap;
+use crate::value::Value;
+use std::fmt;
+
+/// A shared object: a sequential specification plus a permission map.
+#[derive(Clone, Debug)]
+pub struct SharedObject {
+    /// The data type `O.T`.
+    pub spec: SpecType,
+    /// The access-permission map `O.m`.
+    pub perm: PermissionMap,
+}
+
+impl SharedObject {
+    /// Bundle a spec and a permission map.
+    pub fn new(spec: SpecType, perm: PermissionMap) -> Self {
+        SharedObject { spec, perm }
+    }
+
+    /// Display name `(T, mode)` as in Figure 3.
+    pub fn label(&self) -> String {
+        format!("({}, {})", self.spec.name(), self.perm.mode())
+    }
+}
+
+/// Why an adjustment check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdjustError {
+    /// The operation sets differ (violates narrowness).
+    OpSetMismatch {
+        /// Ops only in the subtype.
+        only_in_sub: Vec<&'static str>,
+        /// Ops only in the supertype.
+        only_in_sup: Vec<&'static str>,
+    },
+    /// The subtype rejects a call the supertype allows.
+    PreconditionNarrowed {
+        /// Offending operation.
+        op: Op,
+        /// State witnessing the violation.
+        state: Value,
+    },
+    /// The subtype's post-state disagrees with a constrained effect.
+    EffectMismatch {
+        /// Offending operation.
+        op: Op,
+        /// State witnessing the violation.
+        state: Value,
+    },
+    /// The subtype's response disagrees with a constrained return.
+    ReturnMismatch {
+        /// Offending operation.
+        op: Op,
+        /// State witnessing the violation.
+        state: Value,
+    },
+    /// The candidate's permission map is not included in the vanilla one.
+    PermissionNotIncluded,
+}
+
+impl fmt::Display for AdjustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdjustError::OpSetMismatch {
+                only_in_sub,
+                only_in_sup,
+            } => write!(
+                f,
+                "operation sets differ (sub-only: {only_in_sub:?}, sup-only: {only_in_sup:?})"
+            ),
+            AdjustError::PreconditionNarrowed { op, state } => {
+                write!(f, "subtype rejects {op:?} in state {state:?}")
+            }
+            AdjustError::EffectMismatch { op, state } => {
+                write!(f, "post-state of {op:?} from {state:?} violates the supertype")
+            }
+            AdjustError::ReturnMismatch { op, state } => {
+                write!(f, "response of {op:?} from {state:?} violates the supertype")
+            }
+            AdjustError::PermissionNotIncluded => {
+                write!(f, "permission map is not included in the vanilla object's")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdjustError {}
+
+/// Check that `sub` is a **narrow subtype** of `sup` over the states
+/// reachable (to `depth`) under `domain`-instantiated operations.
+///
+/// `sub` is the vanilla (wide, fully-specified) type; `sup` the adjusted
+/// one whose pre/postconditions may be strengthened/voided.
+///
+/// # Errors
+///
+/// Returns the first [`AdjustError`] found; `Ok(())` means every explored
+/// state satisfies all three subtype rules.
+pub fn narrow_subtype(
+    sub: &SpecType,
+    sup: &SpecType,
+    domain: &[i64],
+    depth: usize,
+) -> Result<(), AdjustError> {
+    // Narrowness: identical operation name sets.
+    let mut only_in_sub: Vec<&'static str> = sub
+        .op_names()
+        .into_iter()
+        .filter(|n| sup.sig(n).is_none())
+        .collect();
+    let mut only_in_sup: Vec<&'static str> = sup
+        .op_names()
+        .into_iter()
+        .filter(|n| sub.sig(n).is_none())
+        .collect();
+    if !only_in_sub.is_empty() || !only_in_sup.is_empty() {
+        only_in_sub.sort_unstable();
+        only_in_sup.sort_unstable();
+        return Err(AdjustError::OpSetMismatch {
+            only_in_sub,
+            only_in_sup,
+        });
+    }
+
+    // Explore the union of both types' reachable states so strengthened
+    // preconditions cannot hide states from the check.
+    let universe = sub.op_universe(domain);
+    let mut states = sub.reachable_states(&universe, depth);
+    states.extend(sup.reachable_states(&universe, depth));
+    states.sort();
+    states.dedup();
+
+    for op in &universe {
+        let sup_sig = sup.sig(op.name).expect("checked narrowness");
+        for s in &states {
+            if !(sup_sig.pre)(s, &op.args) {
+                continue; // supertype does not allow the call here
+            }
+            let sub_sig = sub.sig(op.name).expect("checked narrowness");
+            if !(sub_sig.pre)(s, &op.args) {
+                return Err(AdjustError::PreconditionNarrowed {
+                    op: op.clone(),
+                    state: s.clone(),
+                });
+            }
+            let (sub_state, sub_ret) = sub.apply(s, op);
+            if let Some(effect) = sup_sig.effect {
+                if sub_state != effect(s, &op.args) {
+                    return Err(AdjustError::EffectMismatch {
+                        op: op.clone(),
+                        state: s.clone(),
+                    });
+                }
+            }
+            if let Some(ret) = sup_sig.ret {
+                if sub_ret != ret(s, &op.args) {
+                    return Err(AdjustError::ReturnMismatch {
+                        op: op.clone(),
+                        state: s.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Definition 1: does `adjusted` adjust `vanilla`?
+///
+/// Checks that `vanilla.spec` is a narrow subtype of `adjusted.spec` and
+/// that `adjusted.perm ⊆ vanilla.perm` over the instantiated universe.
+///
+/// # Errors
+///
+/// Returns the witnessing [`AdjustError`] when the relation does not hold.
+pub fn adjusts(
+    adjusted: &SharedObject,
+    vanilla: &SharedObject,
+    domain: &[i64],
+    depth: usize,
+) -> Result<(), AdjustError> {
+    narrow_subtype(&vanilla.spec, &adjusted.spec, domain, depth)?;
+    let universe = vanilla.spec.op_universe(domain);
+    if !adjusted.perm.included_in(&vanilla.perm, &universe) {
+        return Err(AdjustError::PermissionNotIncluded);
+    }
+    Ok(())
+}
+
+/// Proposition 6: if `O` adjusts `O'` then for every common state and
+/// compliant bag, `G_{O'.T}(B, s) ⊆ G_{O.T}(B, s)` — every edge of the
+/// vanilla graph appears (with at least the same labels) in the adjusted
+/// graph. Returns `true` when the inclusion holds for the given bag and
+/// state.
+///
+/// Reproduction note: for *postcondition*-voiding adjustments the
+/// inclusion holds unconditionally (voiding only erases distinctions).
+/// For *precondition*-strengthening adjustments (e.g. `R2`'s write-once
+/// `set`), the executable "fails silently" semantics makes runs of the
+/// two types diverge on bags that violate the strengthened precondition,
+/// so the inclusion is only meaningful on bags within the strengthened
+/// domain — the same proviso under which Liskov substitution applies in
+/// the paper's proof.
+pub fn prop6_edge_inclusion(
+    adjusted: &SpecType,
+    vanilla: &SpecType,
+    bag: &[Op],
+    state: &Value,
+) -> bool {
+    let ga = IndistGraph::build(adjusted, bag, state);
+    let gv = IndistGraph::build(vanilla, bag, state);
+    gv.edges().iter().all(|ev| {
+        ev.labels
+            .iter()
+            .all(|&c| ga.labels_edge(c, ev.a, ev.b))
+    })
+}
+
+/// Density gain from adjusting: `(adjusted density) - (vanilla density)`
+/// for one bag/state. Non-negative whenever Proposition 6 applies.
+pub fn density_gain(
+    adjusted: &SpecType,
+    vanilla: &SpecType,
+    bag: &[Op],
+    state: &Value,
+) -> f64 {
+    let ga = IndistGraph::build(adjusted, bag, state);
+    let gv = IndistGraph::build(vanilla, bag, state);
+    ga.density() - gv.density()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::AccessMode;
+    use crate::types::{
+        counter_c1, counter_c2, counter_c3, map_m1, map_m2, op, reference_r1, reference_r2,
+        set_s1, set_s2, set_s3,
+    };
+
+    const D: &[i64] = &[0, 1];
+
+    #[test]
+    fn r1_is_narrow_subtype_of_r2() {
+        // R2 strengthens set's precondition: vanilla R1 is a subtype.
+        assert_eq!(narrow_subtype(&reference_r1(), &reference_r2(), D, 2), Ok(()));
+        // The converse fails: R2 rejects a second set that R1 allows…
+        // (R1's pre is weaker, so checking R2 as the *sub* must fail).
+        let err = narrow_subtype(&reference_r2(), &reference_r1(), D, 2).unwrap_err();
+        assert!(matches!(err, AdjustError::EffectMismatch { .. } | AdjustError::PreconditionNarrowed { .. }));
+    }
+
+    #[test]
+    fn s1_subtypes_s2_subtypes_s3() {
+        assert_eq!(narrow_subtype(&set_s1(), &set_s2(), D, 2), Ok(()));
+        assert_eq!(narrow_subtype(&set_s2(), &set_s3(), D, 2), Ok(()));
+        assert_eq!(narrow_subtype(&set_s1(), &set_s3(), D, 2), Ok(()));
+        // Not the other way: S2 does not honour S1's return spec.
+        assert!(matches!(
+            narrow_subtype(&set_s2(), &set_s1(), D, 2),
+            Err(AdjustError::ReturnMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn c1_subtypes_c2_subtypes_c3() {
+        assert_eq!(narrow_subtype(&counter_c1(), &counter_c2(), D, 2), Ok(()));
+        assert_eq!(narrow_subtype(&counter_c2(), &counter_c3(), D, 2), Ok(()));
+        // C2 deleted reset (pre=false) so checking C2 under C1 must fail
+        // on reset's effect…
+        // …or on rmw's now-unhonoured effect/return, whichever the state
+        // sweep hits first.
+        let err = narrow_subtype(&counter_c2(), &counter_c1(), D, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            AdjustError::PreconditionNarrowed { .. }
+                | AdjustError::EffectMismatch { .. }
+                | AdjustError::ReturnMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn m1_subtypes_m2() {
+        assert_eq!(narrow_subtype(&map_m1(), &map_m2(), D, 2), Ok(()));
+        assert!(narrow_subtype(&map_m2(), &map_m1(), D, 2).is_err());
+    }
+
+    #[test]
+    fn op_set_mismatch_detected() {
+        let err = narrow_subtype(&set_s1(), &counter_c1(), D, 1).unwrap_err();
+        assert!(matches!(err, AdjustError::OpSetMismatch { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("operation sets differ"));
+    }
+
+    fn obj(spec: SpecType, mode: AccessMode) -> SharedObject {
+        let (writes, reads): (Vec<&'static str>, Vec<&'static str>) = match spec.name() {
+            n if n.starts_with('C') => (vec!["inc", "rmw", "reset"], vec!["get"]),
+            n if n.starts_with('S') => (vec!["add", "remove"], vec!["contains"]),
+            n if n.starts_with('R') => (vec!["set"], vec!["get"]),
+            n if n.starts_with('M') => (vec!["put", "remove"], vec!["contains"]),
+            _ => (vec![], vec![]),
+        };
+        let perm = PermissionMap::new(3, mode, &writes, &reads);
+        SharedObject::new(spec, perm)
+    }
+
+    #[test]
+    fn definition1_examples_from_figure3() {
+        // (R2, ALL) adjusts (R1, ALL): subtype via precondition.
+        assert_eq!(
+            adjusts(
+                &obj(reference_r2(), AccessMode::All),
+                &obj(reference_r1(), AccessMode::All),
+                D,
+                2
+            ),
+            Ok(())
+        );
+        // (R1, SWMR) adjusts (R1, ALL): permission restriction only.
+        assert_eq!(
+            adjusts(
+                &obj(reference_r1(), AccessMode::Swmr),
+                &obj(reference_r1(), AccessMode::All),
+                D,
+                2
+            ),
+            Ok(())
+        );
+        // But (R1, ALL) does not adjust (R1, SWMR): permissions widen.
+        assert_eq!(
+            adjusts(
+                &obj(reference_r1(), AccessMode::All),
+                &obj(reference_r1(), AccessMode::Swmr),
+                D,
+                2
+            ),
+            Err(AdjustError::PermissionNotIncluded)
+        );
+    }
+
+    #[test]
+    fn prop6_holds_for_catalogue_pairs() {
+        let cases: Vec<(SpecType, SpecType, Vec<Op>, Value)> = vec![
+            (
+                set_s2(),
+                set_s1(),
+                vec![op("add", &[1]), op("add", &[1]), op("contains", &[1])],
+                Value::empty_set(),
+            ),
+            (
+                counter_c3(),
+                counter_c1(),
+                vec![op("inc", &[]), op("inc", &[]), op("get", &[])],
+                Value::Int(0),
+            ),
+            (
+                // Single write: within R2's strengthened domain.
+                reference_r2(),
+                reference_r1(),
+                vec![op("set", &[1]), op("get", &[]), op("get", &[])],
+                Value::Bottom,
+            ),
+            (
+                map_m2(),
+                map_m1(),
+                vec![op("put", &[0, 1]), op("put", &[0, 0]), op("contains", &[0])],
+                Value::empty_map(),
+            ),
+        ];
+        for (adj, van, bag, s) in cases {
+            assert!(
+                prop6_edge_inclusion(&adj, &van, &bag, &s),
+                "Prop 6 fails for {} vs {}",
+                adj.name(),
+                van.name()
+            );
+            assert!(
+                density_gain(&adj, &van, &bag, &s) >= -1e-12,
+                "density must not decrease for {}",
+                adj.name()
+            );
+        }
+    }
+
+    #[test]
+    fn density_gain_is_strictly_positive_for_blind_sets() {
+        let bag = vec![op("add", &[1]), op("add", &[1])];
+        let gain = density_gain(&set_s2(), &set_s1(), &bag, &Value::empty_set());
+        assert!(gain > 0.0, "voiding add's return must add edges, gain={gain}");
+    }
+
+    #[test]
+    fn shared_object_label_format() {
+        let o = obj(counter_c3(), AccessMode::Cwsr);
+        assert_eq!(o.label(), "(C3, CWSR)");
+    }
+}

@@ -1,0 +1,228 @@
+//! A Commuter-style specification checker (§7).
+//!
+//! Clements et al.'s *Commuter* tool checks a sequential specification
+//! for non-commuting operation pairs — the SIM-commutativity rule says
+//! commuting intervals admit conflict-free implementations, and
+//! Proposition 2 makes that exact for deterministic objects: a long-lived
+//! object is conflict-free implementable iff every pair of operations is
+//! strongly labeling.
+//!
+//! [`commutativity_matrix`] reproduces that analysis for any
+//! [`SpecType`]: for every pair of instantiated operations and every
+//! explored state, classify the pair as strongly commuting (conflict-free
+//! implementable), weakly interacting (responses agree but states
+//! diverge, or vice versa) or conflicting. The `commuter_report` harness
+//! binary prints the matrix for the whole Table 1 catalogue.
+
+use crate::dtype::{DataType, Op, SpecType};
+use crate::graph::IndistGraph;
+use std::collections::BTreeMap;
+
+/// Pairwise classification of two operation instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PairVerdict {
+    /// Both orders agree on every response *and* the final state: the
+    /// pair is strongly labeling (Proposition 2's condition).
+    StronglyCommutes,
+    /// The pair is connected in the indistinguishability graph but some
+    /// label is weak (states diverge) or partial.
+    WeaklyInteracts,
+    /// No edge: the orders are fully distinguishable.
+    Conflicts,
+}
+
+impl PairVerdict {
+    /// One-character cell for matrix rendering.
+    pub fn symbol(self) -> char {
+        match self {
+            PairVerdict::StronglyCommutes => '+',
+            PairVerdict::WeaklyInteracts => '~',
+            PairVerdict::Conflicts => 'x',
+        }
+    }
+}
+
+/// Classify one pair from one state.
+pub fn classify<T: DataType>(dtype: &T, s: &T::State, c: &T::Op, d: &T::Op) -> PairVerdict {
+    let g = IndistGraph::build(dtype, &[c.clone(), d.clone()], s);
+    if g.bag_is_strongly_labeling() {
+        PairVerdict::StronglyCommutes
+    } else if g.edge_count() > 0 {
+        PairVerdict::WeaklyInteracts
+    } else {
+        PairVerdict::Conflicts
+    }
+}
+
+/// The worst verdict for each method-name pair across all instantiations
+/// and states (the conservative, Commuter-style summary).
+pub fn commutativity_matrix(
+    spec: &SpecType,
+    domain: &[i64],
+    depth: usize,
+) -> BTreeMap<(&'static str, &'static str), PairVerdict> {
+    let universe = spec.op_universe(domain);
+    let states = spec.reachable_states(&universe, depth);
+    let mut matrix: BTreeMap<(&'static str, &'static str), PairVerdict> = BTreeMap::new();
+    for (i, c) in universe.iter().enumerate() {
+        for d in &universe[i..] {
+            let key = ordered(c, d);
+            for s in &states {
+                let v = classify(spec, s, c, d);
+                matrix
+                    .entry(key)
+                    .and_modify(|cur| {
+                        if v > *cur {
+                            *cur = v;
+                        }
+                    })
+                    .or_insert(v);
+            }
+        }
+    }
+    matrix
+}
+
+fn ordered(c: &Op, d: &Op) -> (&'static str, &'static str) {
+    if c.name <= d.name {
+        (c.name, d.name)
+    } else {
+        (d.name, c.name)
+    }
+}
+
+/// Render the matrix as an aligned text table.
+pub fn render_matrix(
+    spec: &SpecType,
+    matrix: &BTreeMap<(&'static str, &'static str), PairVerdict>,
+) -> String {
+    use std::fmt::Write as _;
+    let names = spec.op_names();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(4) + 1;
+    let mut out = String::new();
+    let _ = write!(out, "{:>width$} ", "");
+    for n in &names {
+        let _ = write!(out, "{n:>width$}");
+    }
+    out.push('\n');
+    for a in &names {
+        let _ = write!(out, "{a:>width$} ");
+        for b in &names {
+            let key = if a <= b { (*a, *b) } else { (*b, *a) };
+            let cell = matrix.get(&key).map(|v| v.symbol()).unwrap_or('?');
+            let _ = write!(out, "{cell:>width$}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "  (+ strongly commutes, ~ weakly interacts, x conflicts)"
+    );
+    out
+}
+
+/// Whether the whole specification is conflict-free implementable
+/// (Proposition 2): every pair strongly commutes.
+pub fn is_conflict_free(spec: &SpecType, domain: &[i64], depth: usize) -> bool {
+    commutativity_matrix(spec, domain, depth)
+        .values()
+        .all(|&v| v == PairVerdict::StronglyCommutes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::types::{counter_c1, counter_c3, map_m2, op, set_s1, set_s2};
+
+    #[test]
+    fn classify_basic_pairs() {
+        let c1 = counter_c1();
+        // Two incs returning the new value conflict.
+        assert_eq!(
+            classify(&c1, &Value::Int(0), &op("inc", &[]), &op("inc", &[])),
+            PairVerdict::Conflicts
+        );
+        // get vs get strongly commutes.
+        assert_eq!(
+            classify(&c1, &Value::Int(0), &op("get", &[]), &op("get", &[])),
+            PairVerdict::StronglyCommutes
+        );
+        // Blind incs strongly commute.
+        let c3 = counter_c3();
+        assert_eq!(
+            classify(&c3, &Value::Int(0), &op("inc", &[]), &op("inc", &[])),
+            PairVerdict::StronglyCommutes
+        );
+    }
+
+    #[test]
+    fn s1_adds_conflict_s2_adds_commute() {
+        let s1 = set_s1();
+        let s2 = set_s2();
+        let a = op("add", &[1]);
+        assert_eq!(
+            classify(&s1, &Value::empty_set(), &a, &a),
+            PairVerdict::Conflicts
+        );
+        assert_eq!(
+            classify(&s2, &Value::empty_set(), &a, &a),
+            PairVerdict::StronglyCommutes
+        );
+    }
+
+    #[test]
+    fn matrix_is_conservative_across_states() {
+        // contains(1) and add(1) commute from {1} (already present) but
+        // not from {} — the matrix must keep the worst verdict.
+        let s2 = set_s2();
+        let m = commutativity_matrix(&s2, &[1], 2);
+        let v = m[&("add", "contains")];
+        assert_ne!(v, PairVerdict::StronglyCommutes);
+    }
+
+    #[test]
+    fn m2_same_key_puts_weakly_interact_distinct_keys_commute() {
+        let m2 = map_m2();
+        let same = classify(
+            &m2,
+            &Value::empty_map(),
+            &op("put", &[0, 1]),
+            &op("put", &[0, 2]),
+        );
+        // Blind puts to one key: responses agree (both ⊥) but final
+        // states differ — connected yet weak.
+        assert_eq!(same, PairVerdict::WeaklyInteracts);
+        let distinct = classify(
+            &m2,
+            &Value::empty_map(),
+            &op("put", &[0, 1]),
+            &op("put", &[1, 2]),
+        );
+        assert_eq!(distinct, PairVerdict::StronglyCommutes);
+    }
+
+    #[test]
+    fn render_mentions_all_methods() {
+        let s2 = set_s2();
+        let m = commutativity_matrix(&s2, &[1, 2], 1);
+        let txt = render_matrix(&s2, &m);
+        for name in ["add", "remove", "contains"] {
+            assert!(txt.contains(name), "missing {name} in\n{txt}");
+        }
+    }
+
+    #[test]
+    fn nothing_in_table1_is_fully_conflict_free_under_all_access() {
+        // With ALL access, even the blind types have same-item
+        // interactions; conflict freedom requires the access restriction
+        // (partitioned keys), which is the segmentation's whole point.
+        for spec in crate::types::table1() {
+            assert!(
+                !is_conflict_free(&spec, &[0, 1], 1),
+                "{} claimed conflict-free",
+                crate::dtype::DataType::name(&spec)
+            );
+        }
+    }
+}

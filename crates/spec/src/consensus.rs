@@ -1,0 +1,321 @@
+//! Consensus-number analysis (§3.1, Theorem 1, Corollary 1).
+//!
+//! Theorem 1: for a *readable* data type `T`,
+//! `CN(T) = max {k : ∃ l ≥ 2, T ∈ D(k, l)} ∪ {1}` —
+//! the consensus number is the largest bag size for which some
+//! indistinguishability graph has at least two classes.
+//!
+//! Corollary 1: a readable type is in `CN₁` iff it is *permissive*:
+//! every pair of write operations is either overwriting or
+//! weakly-commuting.
+//!
+//! Both are implemented as **bounded** decision procedures over a supplied
+//! operation universe and state set, which is how the paper itself deploys
+//! them (the data types of Table 1 are finite once the argument domain
+//! is).
+
+use crate::dtype::{DataType, Op, SpecType};
+use crate::graph::max_classes;
+use crate::value::Value;
+
+/// Estimate the consensus number of `dtype` via Theorem 1.
+///
+/// Searches bag sizes `k = 2..=max_k` over multisets of `universe` and all
+/// `states`; returns the largest `k` whose best graph has ≥ 2 classes, or
+/// 1 if none does. The result is exact provided the universe/states are
+/// rich enough to witness the distinguishing bags (for Table 1 objects a
+/// two-value argument domain and depth-2 states suffice).
+pub fn consensus_number_bounded<T: DataType>(
+    dtype: &T,
+    universe: &[T::Op],
+    states: &[T::State],
+    max_k: usize,
+) -> usize {
+    let mut cn = 1;
+    for k in 2..=max_k {
+        if max_classes(dtype, universe, states, k) >= 2 {
+            cn = k;
+        }
+    }
+    cn
+}
+
+/// Whether an operation *has consensus power*: the type restricted to just
+/// that operation (plus reads via the graph criterion) has consensus
+/// number > 1, i.e. some bag of two instances of `c` yields two classes.
+///
+/// Used as the necessary condition of Proposition 3: a left-mover is
+/// implementable without update conflicts *only if* it has no consensus
+/// power.
+pub fn has_consensus_power<T: DataType>(
+    dtype: &T,
+    instances_of_c: &[T::Op],
+    states: &[T::State],
+) -> bool {
+    max_classes(dtype, instances_of_c, states, 2) >= 2
+}
+
+/// Classification of a pair of write operations (Corollary 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairKind {
+    /// `τ(s, c) = τ(s.d, c)` or symmetrically — one overwrites the other.
+    Overwriting,
+    /// Same state either order, and at least one does not notice the other.
+    WeaklyCommuting,
+    /// Neither: the pair gives the type consensus power.
+    Interfering,
+}
+
+/// Classify a pair of operations in a given state per the Corollary 1
+/// proof's case analysis.
+pub fn classify_pair(spec: &SpecType, s: &Value, c: &Op, d: &Op) -> PairKind {
+    let (s_c, r_c) = spec.apply(s, c);
+    let (s_d, r_d) = spec.apply(s, d);
+    let (s_cd, r_d_after_c) = spec.apply(&s_c, d);
+    let (s_dc, r_c_after_d) = spec.apply(&s_d, c);
+
+    // Overwriting: applying c after d is the same as applying c directly
+    // (d's effect is overwritten), or symmetrically.
+    let c_overwrites_d = s_dc == s_c && r_c_after_d == r_c;
+    let d_overwrites_c = s_cd == s_d && r_d_after_c == r_d;
+    if c_overwrites_d || d_overwrites_c {
+        return PairKind::Overwriting;
+    }
+
+    // Weakly commuting: both orders reach the same state, and one of the
+    // two operations does not notice the other (same response either way).
+    let same_state = s_cd == s_dc;
+    let c_blind_to_d = r_c_after_d == r_c;
+    let d_blind_to_c = r_d_after_c == r_d;
+    if same_state && (c_blind_to_d || d_blind_to_c) {
+        return PairKind::WeaklyCommuting;
+    }
+
+    PairKind::Interfering
+}
+
+/// Whether `op` is a *write* in some reachable state: it changes the state.
+pub fn is_write(spec: &SpecType, states: &[Value], op: &Op) -> bool {
+    states.iter().any(|s| {
+        let (s2, _) = spec.apply(s, op);
+        s2 != *s
+    })
+}
+
+/// Corollary 1 check: the type is **permissive** iff every pair of write
+/// operations is overwriting or weakly-commuting in every state.
+pub fn is_permissive(spec: &SpecType, universe: &[Op], states: &[Value]) -> bool {
+    let writes: Vec<&Op> = universe
+        .iter()
+        .filter(|o| is_write(spec, states, o))
+        .collect();
+    for (i, c) in writes.iter().enumerate() {
+        for d in &writes[i..] {
+            for s in states {
+                if classify_pair(spec, s, c, d) == PairKind::Interfering {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A standard argument domain + exploration used by the report binaries.
+///
+/// The domain includes `0` so that operations interacting with the
+/// numeric initial states (counters at 0, CAS expecting 0) are reachable.
+pub fn default_analysis(spec: &SpecType) -> (Vec<Op>, Vec<Value>) {
+    let universe = spec.op_universe(&[0, 1]);
+    let states = spec.reachable_states(&universe, 2);
+    (universe, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{
+        compare_and_swap, counter_c1, counter_c3, fetch_and_add, max_register, op, queue_q1,
+        reference_r1, register, set_s1, set_s2, test_and_set,
+    };
+
+    fn cn(spec: &SpecType, max_k: usize) -> usize {
+        let (u, s) = default_analysis(spec);
+        consensus_number_bounded(spec, &u, &s, max_k)
+    }
+
+    #[test]
+    fn registers_have_consensus_number_one() {
+        assert_eq!(cn(&register(), 3), 1);
+    }
+
+    #[test]
+    fn max_register_is_cn1() {
+        // §3.1: the max-register is in CN₁ despite being update-heavy.
+        assert_eq!(cn(&max_register(), 3), 1);
+    }
+
+    #[test]
+    fn test_and_set_is_cn2() {
+        assert_eq!(cn(&test_and_set(), 4), 2);
+    }
+
+    #[test]
+    fn fetch_and_add_is_cn2() {
+        assert_eq!(cn(&fetch_and_add(), 4), 2);
+    }
+
+    #[test]
+    fn readable_queue_saturates_consensus_bounds() {
+        // Theorem 1 presumes a *readable* type: its construction lets a
+        // thread read the whole object state after its operation. A
+        // readable queue solves consensus among any number of threads
+        // (everyone offers, the head is the winner), so the bounded
+        // estimate saturates max_k. Herlihy's classic CN(queue) = 2 is
+        // for the non-readable enqueue/dequeue interface.
+        assert_eq!(cn(&queue_q1(), 4), 4);
+    }
+
+    #[test]
+    fn two_polls_distinguish_two_classes() {
+        // The enqueue/dequeue core alone still reaches CN >= 2: two polls
+        // on a non-empty queue cannot be ordered consistently.
+        let q = queue_q1();
+        let g = crate::graph::IndistGraph::build(
+            &q,
+            &[op("poll", &[]), op("poll", &[])],
+            &Value::seq_of(&[1, 2]),
+        );
+        assert_eq!(g.class_count(), 2);
+    }
+
+    #[test]
+    fn cas_exceeds_small_bounds() {
+        // CAS has infinite consensus number: with k distinct proposals
+        // (cas(0, 1..k)) every bound is saturated. The universe supplies
+        // one distinct written value per potential winner.
+        let cas = compare_and_swap();
+        let states = vec![Value::Int(0)];
+        for k in 2..=4 {
+            let universe: Vec<Op> = (1..=k as i64).map(|v| op("cas", &[0, v])).collect();
+            assert_eq!(
+                consensus_number_bounded(&cas, &universe, &states, k),
+                k,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_counter_is_cn2_blind_counter_is_cn1() {
+        assert_eq!(cn(&counter_c1(), 4), 2);
+        assert_eq!(cn(&counter_c3(), 3), 1);
+    }
+
+    #[test]
+    fn set_s1_has_consensus_power_s2_does_not() {
+        // §4.1: "S2 is in CN₁. On the contrary, the write operations of S1
+        // both have consensus power."
+        assert_eq!(cn(&set_s1(), 3), 2);
+        assert_eq!(cn(&set_s2(), 3), 1);
+    }
+
+    #[test]
+    fn add_of_s1_has_consensus_power() {
+        let s1 = set_s1();
+        let states = vec![Value::empty_set()];
+        assert!(has_consensus_power(
+            &s1,
+            &[op("add", &[1])],
+            &states
+        ));
+        let s2 = set_s2();
+        assert!(!has_consensus_power(&s2, &[op("add", &[1])], &states));
+    }
+
+    #[test]
+    fn register_writes_are_overwriting() {
+        let r = register();
+        let k = classify_pair(
+            &r,
+            &Value::Int(0),
+            &op("write", &[1]),
+            &op("write", &[2]),
+        );
+        assert_eq!(k, PairKind::Overwriting);
+    }
+
+    #[test]
+    fn max_register_writes_weakly_commute_or_overwrite() {
+        let mr = max_register();
+        let k = classify_pair(
+            &mr,
+            &Value::Int(0),
+            &op("write_max", &[1]),
+            &op("write_max", &[2]),
+        );
+        assert!(matches!(
+            k,
+            PairKind::Overwriting | PairKind::WeaklyCommuting
+        ));
+    }
+
+    #[test]
+    fn tas_pair_is_interfering_free_but_permissive_overall() {
+        // test_and_set pairs: the winner notices order, but the state is
+        // the same and the *second* application is overwritten… classify:
+        let t = test_and_set();
+        let k = classify_pair(
+            &t,
+            &Value::Bool(false),
+            &op("test_and_set", &[]),
+            &op("test_and_set", &[]),
+        );
+        // TAS responses depend on the order, states agree, neither is
+        // blind to the other => interfering (CN 2), as expected.
+        assert_eq!(k, PairKind::Interfering);
+    }
+
+    #[test]
+    fn permissiveness_matches_cn1() {
+        let cases: Vec<(SpecType, bool)> = vec![
+            (register(), true),
+            (max_register(), true),
+            (counter_c3(), true),
+            (set_s2(), true),
+            (counter_c1(), false),
+            (set_s1(), false),
+            (queue_q1(), false),
+            (test_and_set(), false),
+            (compare_and_swap(), false),
+            (reference_r1(), true),
+        ];
+        for (spec, expect) in cases {
+            let (u, s) = default_analysis(&spec);
+            assert_eq!(
+                is_permissive(&spec, &u, &s),
+                expect,
+                "permissiveness of {}",
+                crate::dtype::DataType::name(&spec)
+            );
+        }
+    }
+
+    #[test]
+    fn corollary1_agreement() {
+        // Corollary 1: readable T is CN₁ iff permissive. Cross-check the
+        // two independent procedures on the whole catalogue.
+        for spec in crate::types::table1() {
+            let (u, s) = default_analysis(&spec);
+            let perm = is_permissive(&spec, &u, &s);
+            let one = consensus_number_bounded(&spec, &u, &s, 3) == 1;
+            assert_eq!(
+                perm,
+                one,
+                "Corollary 1 violated for {}",
+                crate::dtype::DataType::name(&spec)
+            );
+        }
+    }
+}
+

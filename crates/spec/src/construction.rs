@@ -1,0 +1,268 @@
+//! Construction 1 — Theorem 1's (≥) direction, executable.
+//!
+//! The proof of Theorem 1 builds a *weak consensus* protocol from any
+//! readable object whose indistinguishability graph has at least two
+//! classes: each indistinguishability class is mapped (surjectively)
+//! onto `{0, 1}`; a thread applies its assigned operation, reads the
+//! object's state, locates a permutation consistent with its response
+//! and the observed state, and decides the value of that permutation's
+//! class. Agreement holds because every thread's consistent permutation
+//! lies in the class of the actual linearization.
+//!
+//! This module runs the construction for real: the shared object is a
+//! linearizable simulation of the data type, threads are driven through
+//! **every schedule** of apply/read steps, and the tests check agreement
+//! on all of them plus weak validity (both values decided on some
+//! schedule) — a mechanical certification of the theorem's constructive
+//! half on concrete objects.
+
+use crate::dtype::DataType;
+use crate::graph::IndistGraph;
+
+/// The outcome of driving Construction 1 over every schedule.
+#[derive(Clone, Debug)]
+pub struct ConsensusRuns {
+    /// Per schedule: the value each thread decided.
+    pub decisions_per_schedule: Vec<Vec<u8>>,
+}
+
+impl ConsensusRuns {
+    /// Every schedule reached agreement.
+    pub fn all_agree(&self) -> bool {
+        self.decisions_per_schedule
+            .iter()
+            .all(|ds| ds.windows(2).all(|w| w[0] == w[1]))
+    }
+
+    /// The set of decided values across schedules (weak validity needs
+    /// both 0 and 1 to appear).
+    pub fn decided_values(&self) -> Vec<u8> {
+        let mut vs: Vec<u8> = self
+            .decisions_per_schedule
+            .iter()
+            .filter_map(|ds| ds.first().copied())
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+/// Errors of the construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstructionError {
+    /// The graph has a single class: the object cannot distinguish the
+    /// orders, so Theorem 1 gives no protocol.
+    SingleClass,
+    /// A thread could not locate any permutation consistent with its
+    /// observation — would indicate a broken simulation.
+    NoConsistentPermutation,
+}
+
+impl std::fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructionError::SingleClass => {
+                write!(f, "indistinguishability graph has a single class")
+            }
+            ConstructionError::NoConsistentPermutation => {
+                write!(f, "no permutation consistent with an observation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstructionError {}
+
+/// Enumerate every interleaving of the threads' `apply` then `read`
+/// steps (each thread contributes the two steps in order).
+fn schedules(k: usize) -> Vec<Vec<usize>> {
+    // A schedule is a sequence over thread ids where each id appears
+    // exactly twice; the first occurrence is its apply, the second its
+    // read.
+    let mut out = Vec::new();
+    let mut remaining = vec![2u8; k];
+    let mut cur = Vec::with_capacity(2 * k);
+    fn rec(remaining: &mut [u8], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(cur.clone());
+            return;
+        }
+        for t in 0..remaining.len() {
+            if remaining[t] > 0 {
+                remaining[t] -= 1;
+                cur.push(t);
+                rec(remaining, cur, out);
+                cur.pop();
+                remaining[t] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut cur, &mut out);
+    out
+}
+
+/// Run Construction 1 for `bag` (instance `i` = thread `i`'s operation)
+/// from `state`, across every apply/read schedule.
+///
+/// # Errors
+///
+/// [`ConstructionError::SingleClass`] when the graph cannot distinguish
+/// the orders (the premise of Theorem 1's (≥) direction fails);
+/// [`ConstructionError::NoConsistentPermutation`] would indicate an
+/// unsound simulation.
+pub fn run_weak_consensus<T: DataType>(
+    dtype: &T,
+    bag: &[T::Op],
+    state: &T::State,
+) -> Result<ConsensusRuns, ConstructionError> {
+    let k = bag.len();
+    let g = IndistGraph::build(dtype, bag, state);
+    let classes = g.classes();
+    if classes.len() < 2 {
+        return Err(ConstructionError::SingleClass);
+    }
+    // Surjective map class → {0, 1}.
+    let mut class_of_node = vec![0usize; g.node_count()];
+    for (ci, class) in classes.iter().enumerate() {
+        for &node in class {
+            class_of_node[node] = ci;
+        }
+    }
+    let decision_of_class = |ci: usize| -> u8 { (ci % 2) as u8 };
+
+    let perms: Vec<Vec<usize>> = g.permutations().map(|p| p.to_vec()).collect();
+    let mut decisions_per_schedule = Vec::new();
+
+    for schedule in schedules(k) {
+        // Drive the linearizable object: a plain sequential simulation —
+        // the mutex-linearized object behaves exactly like this under
+        // the chosen schedule.
+        let mut s = state.clone();
+        let mut responses: Vec<Option<T::Ret>> = vec![None; k];
+        let mut observed: Vec<Option<T::State>> = vec![None; k];
+        let mut applied = vec![false; k];
+        for &t in &schedule {
+            if !applied[t] {
+                let (s2, r) = dtype.apply(&s, &bag[t]);
+                s = s2;
+                responses[t] = Some(r);
+                applied[t] = true;
+            } else {
+                // The read step: retrieve the current state (readable
+                // object assumption).
+                observed[t] = Some(s.clone());
+            }
+        }
+
+        // Each thread locates a consistent permutation and decides.
+        let mut decisions = Vec::with_capacity(k);
+        for t in 0..k {
+            let r = responses[t].as_ref().expect("applied");
+            let s_obs = observed[t].as_ref().expect("read");
+            let found = perms.iter().enumerate().find(|(pi, _)| {
+                g.response(*pi, t) == r && {
+                    // `s_obs` must be attainable after t in this perm:
+                    // replay the permutation and collect suffix states.
+                    let order = &perms[*pi];
+                    let mut st = state.clone();
+                    let mut after = false;
+                    let mut ok = false;
+                    for &i in order {
+                        let (s2, _) = dtype.apply(&st, &bag[i]);
+                        st = s2;
+                        if i == t {
+                            after = true;
+                        }
+                        if after && st == *s_obs {
+                            ok = true;
+                        }
+                    }
+                    ok
+                }
+            });
+            match found {
+                Some((pi, _)) => {
+                    decisions.push(decision_of_class(class_of_node[pi]));
+                }
+                None => return Err(ConstructionError::NoConsistentPermutation),
+            }
+        }
+        decisions_per_schedule.push(decisions);
+    }
+    Ok(ConsensusRuns {
+        decisions_per_schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{compare_and_swap, counter_c1, counter_c3, op, test_and_set};
+    use crate::value::Value;
+
+    #[test]
+    fn schedule_enumeration_counts() {
+        // 2 threads: (2k)! / 2^k = 4!/4 = 6 schedules.
+        assert_eq!(schedules(2).len(), 6);
+        // 3 threads: 6!/8 = 90.
+        assert_eq!(schedules(3).len(), 90);
+    }
+
+    #[test]
+    fn counter_with_returns_solves_2_consensus() {
+        // C1's inc returns the new value: D(2,2), so two threads agree.
+        let c1 = counter_c1();
+        let runs =
+            run_weak_consensus(&c1, &[op("inc", &[]), op("inc", &[])], &Value::Int(0))
+                .expect("two classes");
+        assert!(runs.all_agree(), "{:?}", runs.decisions_per_schedule);
+        // Weak validity: both outcomes occur across schedules.
+        assert_eq!(runs.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn test_and_set_solves_2_consensus() {
+        let tas = test_and_set();
+        let runs = run_weak_consensus(
+            &tas,
+            &[op("test_and_set", &[]), op("test_and_set", &[])],
+            &Value::Bool(false),
+        )
+        .expect("two classes");
+        assert!(runs.all_agree());
+        assert_eq!(runs.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cas_solves_3_consensus() {
+        let cas = compare_and_swap();
+        let bag = vec![op("cas", &[0, 1]), op("cas", &[0, 2]), op("cas", &[0, 3])];
+        let runs = run_weak_consensus(&cas, &bag, &Value::Int(0)).expect("≥2 classes");
+        assert!(runs.all_agree(), "a schedule disagreed");
+        assert_eq!(runs.decided_values(), vec![0, 1]);
+        // All 90 schedules ran.
+        assert_eq!(runs.decisions_per_schedule.len(), 90);
+    }
+
+    #[test]
+    fn blind_counter_cannot_distinguish() {
+        // C3 is D(k,1): the construction must refuse.
+        let c3 = counter_c3();
+        let err = run_weak_consensus(&c3, &[op("inc", &[]), op("inc", &[])], &Value::Int(0))
+            .unwrap_err();
+        assert_eq!(err, ConstructionError::SingleClass);
+    }
+
+    #[test]
+    fn counter_three_threads_is_single_class() {
+        // Theorem 1: CN(C1) = 2, so three unit increments cannot solve
+        // consensus — exactly one class.
+        let c1 = counter_c1();
+        let bag = vec![op("inc", &[]), op("inc", &[]), op("inc", &[])];
+        assert_eq!(
+            run_weak_consensus(&c1, &bag, &Value::Int(0)).unwrap_err(),
+            ConstructionError::SingleClass
+        );
+    }
+}

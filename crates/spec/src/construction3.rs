@@ -1,0 +1,259 @@
+//! Construction 3 — Proposition 4's invisible right-movers, executable.
+//!
+//! The proof of Proposition 4 implements an object over a shared
+//! announce queue: an operation that is **not** a right-mover announces
+//! itself by appending to the queue and computes its response from the
+//! prefix before it; a **right-mover** announces nothing — it observes
+//! the queue's current end, replays that prefix on a local copy, applies
+//! itself locally and returns. Right-movers are thereby *invisible*
+//! (they never write shared state), and the construction is linearizable:
+//! announcers linearize at their append, right-movers at their
+//! observation.
+//!
+//! This module executes the construction across **every schedule** of
+//! the announce/observe and compute steps, records the resulting
+//! concurrent history, and (in tests) certifies it against the
+//! sequential specification with the Wing–Gong checker — a mechanical
+//! verification of the proposition's constructive half on concrete
+//! objects.
+
+use crate::dtype::DataType;
+use crate::lin::Completed;
+
+/// How an operation participates in Construction 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Not a right-mover: appends itself to the shared announce queue.
+    Announcer,
+    /// A right-mover: reads the queue's end, stays invisible.
+    RightMover,
+}
+
+/// One thread's operation with its role.
+#[derive(Clone, Debug)]
+pub struct Assigned<O> {
+    /// The operation.
+    pub op: O,
+    /// Its role (derive it from a mover audit; see the tests).
+    pub role: Role,
+}
+
+/// The histories produced by running the construction over every
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct ConstructionRuns<T: DataType> {
+    /// One concurrent history per schedule.
+    pub histories: Vec<Vec<Completed<T>>>,
+    /// Number of shared-queue writes per schedule (must equal the number
+    /// of announcers — right-movers are invisible).
+    pub shared_writes: usize,
+}
+
+/// Enumerate every interleaving of the per-thread step pairs
+/// (announce/observe first, compute second).
+fn schedules(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut remaining = vec![2u8; k];
+    let mut cur = Vec::with_capacity(2 * k);
+    fn rec(remaining: &mut [u8], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(cur.clone());
+            return;
+        }
+        for t in 0..remaining.len() {
+            if remaining[t] > 0 {
+                remaining[t] -= 1;
+                cur.push(t);
+                rec(remaining, cur, out);
+                cur.pop();
+                remaining[t] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut cur, &mut out);
+    out
+}
+
+/// Run Construction 3 for one operation per thread from `state`, over
+/// every schedule of the announce/observe and compute steps.
+pub fn run_invisible_readers<T: DataType>(
+    dtype: &T,
+    bag: &[Assigned<T::Op>],
+    state: &T::State,
+) -> ConstructionRuns<T> {
+    let k = bag.len();
+    let mut histories = Vec::new();
+    for schedule in schedules(k) {
+        // The shared announce queue (indices into `bag`).
+        let mut queue: Vec<usize> = Vec::new();
+        // Per-thread bookkeeping.
+        let mut my_prefix: Vec<Option<usize>> = vec![None; k]; // ops before me / observed end
+        let mut step_done = vec![0u8; k];
+        let mut invoke = vec![0u64; k];
+        let mut respond = vec![0u64; k];
+        let mut responses: Vec<Option<T::Ret>> = vec![None; k];
+
+        for (time, &t) in schedule.iter().enumerate() {
+            let time = time as u64 + 1;
+            if step_done[t] == 0 {
+                // Step 1: announce or observe.
+                invoke[t] = time;
+                match bag[t].role {
+                    Role::Announcer => {
+                        my_prefix[t] = Some(queue.len());
+                        queue.push(t);
+                    }
+                    Role::RightMover => {
+                        my_prefix[t] = Some(queue.len());
+                    }
+                }
+                step_done[t] = 1;
+            } else {
+                // Step 2: compute from the frozen prefix.
+                let prefix = my_prefix[t].expect("step 1 ran");
+                let mut s = state.clone();
+                for &announced in &queue[..prefix] {
+                    let (s2, _) = dtype.apply(&s, &bag[announced].op);
+                    s = s2;
+                }
+                let (_, r) = dtype.apply(&s, &bag[t].op);
+                responses[t] = Some(r);
+                respond[t] = time;
+                step_done[t] = 2;
+            }
+        }
+
+        let history: Vec<Completed<T>> = (0..k)
+            .map(|t| {
+                Completed::new(
+                    bag[t].op.clone(),
+                    responses[t].clone().expect("computed"),
+                    invoke[t],
+                    respond[t],
+                )
+            })
+            .collect();
+        histories.push(history);
+    }
+    ConstructionRuns {
+        histories,
+        shared_writes: bag.iter().filter(|a| a.role == Role::Announcer).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IndistGraph;
+    use crate::lin::is_linearizable;
+    use crate::movers::right_moves_in_graph;
+    use crate::types::{counter_c1, counter_c3, op, register};
+    use crate::value::Value;
+    use crate::SpecType;
+
+    /// Derive roles with the bounded mover audit: right-mover iff the
+    /// instance right-moves against every other bag member from `state`.
+    fn assign(
+        spec: &SpecType,
+        bag: &[crate::dtype::Op],
+        state: &Value,
+    ) -> Vec<Assigned<crate::dtype::Op>> {
+        bag.iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let mut mover = true;
+                for (j, other) in bag.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let pair = vec![o.clone(), other.clone()];
+                    let g = IndistGraph::build(spec, &pair, state);
+                    mover &= right_moves_in_graph(&g, 0);
+                }
+                Assigned {
+                    op: o.clone(),
+                    role: if mover { Role::RightMover } else { Role::Announcer },
+                }
+            })
+            .collect()
+    }
+
+    fn certify(spec: &SpecType, bag: &[crate::dtype::Op], state: &Value) -> usize {
+        let assigned = assign(spec, bag, state);
+        let runs = run_invisible_readers(spec, &assigned, state);
+        for h in &runs.histories {
+            assert!(
+                is_linearizable(spec, state, h),
+                "history not linearizable: {h:?}"
+            );
+        }
+        // Invisibility: right-movers never wrote shared state.
+        assigned.iter().filter(|a| a.role == Role::RightMover).count()
+    }
+
+    #[test]
+    fn counter_with_returning_incs_and_reads() {
+        // C1: inc returns the new value → announcer; get → right-mover.
+        let c1 = counter_c1();
+        let bag = vec![op("inc", &[]), op("inc", &[]), op("get", &[])];
+        let invisible = certify(&c1, &bag, &Value::Int(0));
+        assert_eq!(invisible, 1, "get must be classified invisible");
+    }
+
+    #[test]
+    fn blind_counter_reads_are_invisible_incs_still_announce() {
+        // Blind incs are left-movers, not right-movers: they change what
+        // later reads see, so they announce; only the read is invisible.
+        let c3 = counter_c3();
+        let bag = vec![op("inc", &[]), op("inc", &[]), op("get", &[])];
+        let assigned = assign(&c3, &bag, &Value::Int(0));
+        assert_eq!(
+            assigned.iter().filter(|a| a.role == Role::RightMover).count(),
+            1,
+            "only get is a right-mover"
+        );
+        let runs = run_invisible_readers(&c3, &assigned, &Value::Int(0));
+        assert_eq!(runs.shared_writes, 2);
+        for h in &runs.histories {
+            assert!(is_linearizable(&c3, &Value::Int(0), h));
+        }
+    }
+
+    #[test]
+    fn all_reads_bag_runs_with_zero_shared_writes() {
+        // A read-only bag is entirely invisible (Prop. 4's ideal case).
+        let c3 = counter_c3();
+        let bag = vec![op("get", &[]), op("get", &[]), op("get", &[])];
+        let assigned = assign(&c3, &bag, &Value::Int(0));
+        let runs = run_invisible_readers(&c3, &assigned, &Value::Int(0));
+        assert_eq!(runs.shared_writes, 0);
+        for h in &runs.histories {
+            assert!(is_linearizable(&c3, &Value::Int(0), h));
+        }
+    }
+
+    #[test]
+    fn register_write_announces_read_does_not() {
+        let r = register();
+        let bag = vec![op("write", &[5]), op("read", &[]), op("read", &[])];
+        let invisible = certify(&r, &bag, &Value::Int(0));
+        assert_eq!(invisible, 2, "both reads invisible");
+    }
+
+    #[test]
+    fn two_writers_one_reader_register() {
+        // Blind overwriting writes are NOT right-movers against each
+        // other (the final state differs), so both announce; the read
+        // stays invisible and every schedule linearizes.
+        let r = register();
+        let bag = vec![op("write", &[1]), op("write", &[2]), op("read", &[])];
+        let invisible = certify(&r, &bag, &Value::Int(0));
+        assert_eq!(invisible, 1);
+    }
+
+    #[test]
+    fn schedules_cover_all_interleavings() {
+        assert_eq!(schedules(2).len(), 6);
+        assert_eq!(schedules(3).len(), 90);
+    }
+}

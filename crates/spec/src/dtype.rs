@@ -1,0 +1,338 @@
+//! Sequential data types as deterministic automata (Appendix A).
+//!
+//! A data type is an automaton `A = (S, s0, C, V, τ)`. All operations are
+//! total and deterministic: applying an operation whose Hoare precondition
+//! fails leaves the state unchanged and returns `⊥` (the paper's "fails
+//! silently" convention).
+//!
+//! Two layers are provided:
+//!
+//! * [`DataType`], a generic trait for user-defined types — the
+//!   indistinguishability-graph machinery and the linearizability checker
+//!   are generic over it;
+//! * [`SpecType`], a *dynamic* data type assembled from Hoare-style
+//!   operation signatures ([`OpSig`]) over the [`crate::value::Value`]
+//!   universe. All Table 1 objects are `SpecType` values (see
+//!   [`types`](crate::types)); keeping them in one dynamic universe is what
+//!   lets the adjustment checker relate different specifications.
+
+use crate::value::Value;
+use std::fmt;
+use std::hash::Hash;
+
+/// An operation instance: a named method plus its integer arguments.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Op {
+    /// Method name, e.g. `"add"`.
+    pub name: &'static str,
+    /// Argument list (all arguments are integers in the spec universe).
+    pub args: Vec<i64>,
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A sequential data type: deterministic, total transition function.
+///
+/// `apply` must be a pure function of `(state, op)` — this determinism is
+/// assumed throughout §3 (and required by Proposition 1's necessity
+/// direction).
+pub trait DataType {
+    /// Object states.
+    type State: Clone + Eq + Ord + Hash + fmt::Debug;
+    /// Operation instances.
+    type Op: Clone + Eq + Ord + Hash + fmt::Debug;
+    /// Response values.
+    type Ret: Clone + Eq + Ord + fmt::Debug;
+
+    /// The transition function `τ(s, c) = (s', r)`.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+
+    /// Human-readable name of the type (used in reports).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+
+    /// Apply a whole sequence, returning the final state and the response
+    /// of every operation (the paper's `τ⁺`).
+    fn apply_all(&self, state: &Self::State, ops: &[Self::Op]) -> (Self::State, Vec<Self::Ret>) {
+        let mut s = state.clone();
+        let mut rets = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (s2, r) = self.apply(&s, op);
+            s = s2;
+            rets.push(r);
+        }
+        (s, rets)
+    }
+}
+
+/// Precondition predicate: `pre(state, args)`.
+pub type PreFn = fn(&Value, &[i64]) -> bool;
+/// State-transformer component of a postcondition: `effect(state, args) = state'`.
+pub type EffectFn = fn(&Value, &[i64]) -> Value;
+/// Response component of a postcondition: `ret(state, args) = r`
+/// (evaluated in the *pre*-state, matching Table 1's `r = x ∉ s` style).
+pub type RetFn = fn(&Value, &[i64]) -> Value;
+
+/// A Hoare-style operation signature `[P] c [Q]`.
+///
+/// The postcondition `Q` is split into its state component (`effect`) and
+/// response component (`ret`). A `None` component is *unconstrained* in
+/// the specification sense — crucial for the subtype checks of
+/// Definition 1 — and is executed with the paper's defaults: unchanged
+/// state, `⊥` response.
+#[derive(Clone)]
+pub struct OpSig {
+    /// Method name.
+    pub name: &'static str,
+    /// Number of integer arguments the method takes.
+    pub arity: usize,
+    /// Precondition `P`.
+    pub pre: PreFn,
+    /// State component of `Q`; `None` = unconstrained (executes as no-op).
+    pub effect: Option<EffectFn>,
+    /// Response component of `Q`; `None` = unconstrained / blind
+    /// (executes as `⊥`).
+    pub ret: Option<RetFn>,
+}
+
+impl fmt::Debug for OpSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpSig")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .field("effect", &self.effect.map(|_| "…"))
+            .field("ret", &self.ret.map(|_| "…"))
+            .finish()
+    }
+}
+
+/// A dynamic sequential data type built from [`OpSig`]s.
+///
+/// This is the representation used for every Table 1 object. The
+/// executable semantics follow Appendix A:
+///
+/// * precondition fails ⇒ state unchanged, response `⊥` ("fails silently");
+/// * voided state postcondition ⇒ state unchanged;
+/// * voided response postcondition (blind write) ⇒ response `⊥`.
+#[derive(Clone, Debug)]
+pub struct SpecType {
+    name: String,
+    sigs: Vec<OpSig>,
+    initial: Value,
+}
+
+impl SpecType {
+    /// Create a new spec with the given name, initial state and signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two signatures share a name — operation names must be
+    /// unique within a type.
+    pub fn new(name: impl Into<String>, initial: Value, sigs: Vec<OpSig>) -> Self {
+        let name = name.into();
+        for (i, a) in sigs.iter().enumerate() {
+            for b in &sigs[i + 1..] {
+                assert!(a.name != b.name, "duplicate operation name {}", a.name);
+            }
+        }
+        SpecType {
+            name,
+            sigs,
+            initial,
+        }
+    }
+
+    /// The initial state `s0`.
+    pub fn initial(&self) -> &Value {
+        &self.initial
+    }
+
+    /// All operation signatures.
+    pub fn sigs(&self) -> &[OpSig] {
+        &self.sigs
+    }
+
+    /// Look up a signature by method name.
+    pub fn sig(&self, name: &str) -> Option<&OpSig> {
+        self.sigs.iter().find(|s| s.name == name)
+    }
+
+    /// The set of operation names this type defines.
+    pub fn op_names(&self) -> Vec<&'static str> {
+        self.sigs.iter().map(|s| s.name).collect()
+    }
+
+    /// Instantiate every operation over a small argument domain, producing
+    /// the finite operation universe used by the bounded analyses.
+    ///
+    /// An operation of arity `a` is instantiated with every tuple in
+    /// `domain^a`; zero-arity operations yield one instance.
+    pub fn op_universe(&self, domain: &[i64]) -> Vec<Op> {
+        let mut out = Vec::new();
+        for sig in &self.sigs {
+            let mut tuples: Vec<Vec<i64>> = vec![Vec::new()];
+            for _ in 0..sig.arity {
+                let mut next = Vec::new();
+                for t in &tuples {
+                    for d in domain {
+                        let mut t2 = t.clone();
+                        t2.push(*d);
+                        next.push(t2);
+                    }
+                }
+                tuples = next;
+            }
+            for args in tuples {
+                out.push(Op {
+                    name: sig.name,
+                    args,
+                });
+            }
+        }
+        out
+    }
+
+    /// Explore all states reachable from `initial` by sequences of at most
+    /// `depth` operations from `universe`. Used by the bounded subtype and
+    /// permissiveness checks.
+    pub fn reachable_states(&self, universe: &[Op], depth: usize) -> Vec<Value> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut frontier = vec![self.initial.clone()];
+        seen.insert(self.initial.clone());
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for op in universe {
+                    let (s2, _) = self.apply(s, op);
+                    if seen.insert(s2.clone()) {
+                        next.push(s2);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen.into_iter().collect()
+    }
+}
+
+impl DataType for SpecType {
+    type State = Value;
+    type Op = Op;
+    type Ret = Value;
+
+    fn apply(&self, state: &Value, op: &Op) -> (Value, Value) {
+        let Some(sig) = self.sig(op.name) else {
+            // Unknown operation: fails silently (models a deleted method).
+            return (state.clone(), Value::Bottom);
+        };
+        debug_assert_eq!(sig.arity, op.args.len(), "arity mismatch for {}", op.name);
+        if !(sig.pre)(state, &op.args) {
+            return (state.clone(), Value::Bottom);
+        }
+        let ret = sig
+            .ret
+            .map(|f| f(state, &op.args))
+            .unwrap_or(Value::Bottom);
+        let state2 = sig
+            .effect
+            .map(|f| f(state, &op.args))
+            .unwrap_or_else(|| state.clone());
+        (state2, ret)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{counter_c1, op, reference_r2, set_s1};
+
+    #[test]
+    fn apply_all_threads_state() {
+        let c = counter_c1();
+        let (s, rets) = c.apply_all(&Value::Int(0), &[op("inc", &[]), op("inc", &[])]);
+        assert_eq!(s, Value::Int(2));
+        assert_eq!(rets, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn failed_precondition_fails_silently() {
+        let r2 = reference_r2();
+        // Second set violates the write-once precondition.
+        let (s, rets) = r2.apply_all(&Value::Bottom, &[op("set", &[5]), op("set", &[9])]);
+        assert_eq!(s, Value::Int(5));
+        assert_eq!(rets[1], Value::Bottom);
+    }
+
+    #[test]
+    fn unknown_operation_is_a_silent_noop() {
+        let c = counter_c1();
+        let (s, r) = c.apply(&Value::Int(3), &op("frobnicate", &[]));
+        assert_eq!(s, Value::Int(3));
+        assert_eq!(r, Value::Bottom);
+    }
+
+    #[test]
+    fn op_universe_respects_arity() {
+        let s1 = set_s1();
+        let u = s1.op_universe(&[1, 2]);
+        // add(1), add(2), remove(1), remove(2), contains(1), contains(2)
+        assert_eq!(u.len(), 6);
+        assert!(u.iter().all(|o| o.args.len() == 1));
+    }
+
+    #[test]
+    fn reachable_states_bounded_exploration() {
+        let s1 = set_s1();
+        let u = s1.op_universe(&[1, 2]);
+        let states = s1.reachable_states(&u, 2);
+        // {}, {1}, {2}, {1,2} all reachable within two ops.
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate operation name")]
+    fn duplicate_names_rejected() {
+        fn t(_: &Value, _: &[i64]) -> bool {
+            true
+        }
+        let sig = OpSig {
+            name: "x",
+            arity: 0,
+            pre: t,
+            effect: None,
+            ret: None,
+        };
+        let _ = SpecType::new("bad", Value::Bottom, vec![sig.clone(), sig]);
+    }
+
+    #[test]
+    fn op_debug_format() {
+        assert_eq!(format!("{:?}", op("put", &[1, 2])), "put(1,2)");
+        assert_eq!(format!("{}", op("get", &[])), "get()");
+    }
+}

@@ -1,0 +1,229 @@
+//! The adjustment DAG of Figure 3.
+//!
+//! Nodes are shared objects `(T, mode)`; edges are elementary adjustments:
+//!
+//! * `p` — stronger precondition (e.g. `R1 → R2`);
+//! * `r` — weaker postcondition / voided return (e.g. `S1 → S2`);
+//! * `d` — deleted operation (e.g. `C1 → C2`'s `reset`);
+//! * `c` — commuting-writes access restriction (`ALL → CWMR`);
+//! * `m` — asymmetric access restriction (`ALL → SWMR`, `CWMR → CWSR`, …).
+//!
+//! [`figure3_dag`] reconstructs the figure; [`verify_dag`] replays every
+//! edge through the Definition 1 checker, which is how the `fig3`
+//! harness binary regenerates (and certifies) the figure.
+
+use crate::adjust::{adjusts, AdjustError, SharedObject};
+use crate::perm::{AccessMode, PermissionMap};
+use crate::types;
+
+/// The kind of elementary adjustment an edge applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjustKind {
+    /// Stronger precondition (`p`).
+    Precondition,
+    /// Weaker postcondition / voided return (`r`).
+    Return,
+    /// Operation deletion (`d`).
+    Deletion,
+    /// Commuting-writes restriction (`c`).
+    Commuting,
+    /// Asymmetric-access restriction (`m`).
+    Asymmetric,
+}
+
+impl AdjustKind {
+    /// The one-letter arrow label used in Figure 3.
+    pub fn letter(self) -> char {
+        match self {
+            AdjustKind::Precondition => 'p',
+            AdjustKind::Return => 'r',
+            AdjustKind::Deletion => 'd',
+            AdjustKind::Commuting => 'c',
+            AdjustKind::Asymmetric => 'm',
+        }
+    }
+}
+
+/// An edge of the adjustment DAG: `from --kind--> to`, meaning `to`
+/// adjusts `from`.
+#[derive(Clone, Debug)]
+pub struct AdjustEdge {
+    /// Index of the vanilla end.
+    pub from: usize,
+    /// Index of the adjusted end.
+    pub to: usize,
+    /// Elementary adjustment applied.
+    pub kind: AdjustKind,
+}
+
+/// The adjustment DAG: objects plus directed edges.
+#[derive(Debug)]
+pub struct AdjustDag {
+    /// The shared objects (nodes).
+    pub nodes: Vec<SharedObject>,
+    /// The adjustment edges.
+    pub edges: Vec<AdjustEdge>,
+}
+
+const N_THREADS: usize = 3;
+
+fn counter_obj(spec: crate::dtype::SpecType, mode: AccessMode) -> SharedObject {
+    SharedObject::new(
+        spec,
+        PermissionMap::new(N_THREADS, mode, &["inc", "rmw", "reset"], &["get"]),
+    )
+}
+
+fn set_obj(spec: crate::dtype::SpecType, mode: AccessMode) -> SharedObject {
+    SharedObject::new(
+        spec,
+        PermissionMap::new(N_THREADS, mode, &["add", "remove"], &["contains"]),
+    )
+}
+
+fn ref_obj(spec: crate::dtype::SpecType, mode: AccessMode) -> SharedObject {
+    SharedObject::new(
+        spec,
+        PermissionMap::new(N_THREADS, mode, &["set"], &["get"]),
+    )
+}
+
+/// Build the DAG of Figure 3.
+///
+/// Three families:
+///
+/// * references — `(R1,ALL) →p (R2,ALL) →m (R2,SWMR)` and
+///   `(R1,ALL) →m (R1,SWMR) →p (R2,SWMR)`;
+/// * sets — `(S1,ALL) →r (S2,ALL) →d (S3,ALL) →c (S3,CWMR) →m (S3,CWSR)`;
+/// * counters — `(C1,ALL) →d (C2,ALL) →r (C3,ALL) →m (C3,CWSR)`.
+pub fn figure3_dag() -> AdjustDag {
+    use AccessMode::*;
+    use AdjustKind::*;
+    let nodes = vec![
+        ref_obj(types::reference_r1(), All),  // 0
+        ref_obj(types::reference_r2(), All),  // 1
+        ref_obj(types::reference_r2(), Swmr), // 2
+        ref_obj(types::reference_r1(), Swmr), // 3
+        set_obj(types::set_s1(), All),        // 4
+        set_obj(types::set_s2(), All),        // 5
+        set_obj(types::set_s3(), All),        // 6
+        set_obj(types::set_s3(), Cwmr),       // 7
+        set_obj(types::set_s3(), Cwsr),       // 8
+        counter_obj(types::counter_c1(), All), // 9
+        counter_obj(types::counter_c2(), All), // 10
+        counter_obj(types::counter_c3(), All), // 11
+        counter_obj(types::counter_c3(), Cwsr), // 12
+    ];
+    let edges = vec![
+        AdjustEdge { from: 0, to: 1, kind: Precondition },
+        AdjustEdge { from: 1, to: 2, kind: Asymmetric },
+        AdjustEdge { from: 0, to: 3, kind: Asymmetric },
+        AdjustEdge { from: 3, to: 2, kind: Precondition },
+        AdjustEdge { from: 4, to: 5, kind: Return },
+        AdjustEdge { from: 5, to: 6, kind: Deletion },
+        AdjustEdge { from: 6, to: 7, kind: Commuting },
+        AdjustEdge { from: 7, to: 8, kind: Asymmetric },
+        AdjustEdge { from: 9, to: 10, kind: Deletion },
+        AdjustEdge { from: 10, to: 11, kind: Return },
+        AdjustEdge { from: 11, to: 12, kind: Asymmetric },
+    ];
+    AdjustDag { nodes, edges }
+}
+
+/// A verified edge report.
+#[derive(Debug)]
+pub struct EdgeReport {
+    /// Rendered `(T, mode) --k--> (T', mode')`.
+    pub description: String,
+    /// Result of the Definition 1 check.
+    pub result: Result<(), AdjustError>,
+}
+
+/// Replay every edge through [`adjusts`], returning one report per edge.
+pub fn verify_dag(dag: &AdjustDag) -> Vec<EdgeReport> {
+    dag.edges
+        .iter()
+        .map(|e| {
+            let from = &dag.nodes[e.from];
+            let to = &dag.nodes[e.to];
+            let description = format!(
+                "{} --{}--> {}",
+                from.label(),
+                e.kind.letter(),
+                to.label()
+            );
+            let result = adjusts(to, from, &[0, 1], 2);
+            EdgeReport {
+                description,
+                result,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_shape_matches_figure3() {
+        let dag = figure3_dag();
+        assert_eq!(dag.nodes.len(), 13);
+        assert_eq!(dag.edges.len(), 11);
+        // All five elementary adjustments appear.
+        for k in [
+            AdjustKind::Precondition,
+            AdjustKind::Return,
+            AdjustKind::Deletion,
+            AdjustKind::Commuting,
+            AdjustKind::Asymmetric,
+        ] {
+            assert!(dag.edges.iter().any(|e| e.kind == k), "missing {k:?}");
+        }
+    }
+
+    #[test]
+    fn every_edge_satisfies_definition1() {
+        let dag = figure3_dag();
+        for report in verify_dag(&dag) {
+            assert!(
+                report.result.is_ok(),
+                "{} failed: {:?}",
+                report.description,
+                report.result
+            );
+        }
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let dag = figure3_dag();
+        // Kahn's algorithm.
+        let n = dag.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &dag.edges {
+            indeg[e.to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for e in dag.edges.iter().filter(|e| e.from == u) {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+        assert_eq!(seen, n, "adjustment graph must be acyclic (§4.2)");
+    }
+
+    #[test]
+    fn letters_match_figure() {
+        assert_eq!(AdjustKind::Precondition.letter(), 'p');
+        assert_eq!(AdjustKind::Return.letter(), 'r');
+        assert_eq!(AdjustKind::Deletion.letter(), 'd');
+        assert_eq!(AdjustKind::Commuting.letter(), 'c');
+        assert_eq!(AdjustKind::Asymmetric.letter(), 'm');
+    }
+}

@@ -1,0 +1,522 @@
+//! The indistinguishability graph (§3.2).
+//!
+//! Given a data type `T`, a state `s` and a bag `B` of operation
+//! *instances* (one per thread), the graph `G_T(B, s)` has one node per
+//! permutation of `B`. There is an edge `(x, x')` labeled with instance
+//! `c` iff `x` and `x'` are indistinguishable from `s` for `c`:
+//!
+//! 1. `c` obtains the same response in both permutations, and
+//! 2. a common state is attainable after `c` in both (any point of the
+//!    suffix following `c`, including the final state).
+//!
+//! A label is *strong* when applying `x` and `x'` from `s` reaches the
+//! same final state. Connected components of the edge relation are the
+//! *indistinguishability classes*; the denser the graph, the more scalable
+//! the object.
+//!
+//! Bag elements are instances, not method names: two threads both calling
+//! `inc()` contribute two distinguishable nodes' worth of orderings. This
+//! is what makes the increment-only counter `D(2,2)` but `D(3,1)` (§3.2).
+
+use crate::dtype::DataType;
+use std::collections::BTreeSet;
+
+/// One permutation's evaluation record.
+#[derive(Clone, Debug)]
+struct PermEval<T: DataType> {
+    /// Ordering of instance indices.
+    order: Vec<usize>,
+    /// `responses[i]` = response of instance `i` in this permutation.
+    responses: Vec<T::Ret>,
+    /// `after[i]` = set of states attainable after instance `i`
+    /// (the state right after `c` and every later prefix state).
+    after: Vec<BTreeSet<T::State>>,
+    /// Final state of the permutation.
+    final_state: T::State,
+}
+
+/// An edge of the indistinguishability graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Indices (into [`IndistGraph::permutations`]) of the endpoints,
+    /// with `a < b`.
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// Instance indices labeling the edge.
+    pub labels: BTreeSet<usize>,
+    /// Whether the label is strong (equal final states).
+    pub strong: bool,
+}
+
+/// The indistinguishability graph `G_T(B, s)`.
+#[derive(Clone, Debug)]
+pub struct IndistGraph<T: DataType> {
+    bag: Vec<T::Op>,
+    evals: Vec<PermEval<T>>,
+    edges: Vec<Edge>,
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn rec(cur: &mut Vec<usize>, used: &mut Vec<bool>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(cur, used, k, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut vec![false; k], k, &mut out);
+    out
+}
+
+impl<T: DataType> IndistGraph<T> {
+    /// Build the graph for `bag` applied from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bag holds more than 7 instances (8! permutations and
+    /// the quadratic pair scan make larger bags impractical; the paper's
+    /// analyses never need more).
+    pub fn build(dtype: &T, bag: &[T::Op], state: &T::State) -> Self {
+        assert!(bag.len() <= 7, "bags larger than 7 are impractical");
+        let k = bag.len();
+        let evals: Vec<PermEval<T>> = permutations(k)
+            .into_iter()
+            .map(|order| {
+                let mut s = state.clone();
+                let mut responses: Vec<Option<T::Ret>> = vec![None; k];
+                let mut prefix_states = Vec::with_capacity(k + 1);
+                for &i in &order {
+                    let (s2, r) = dtype.apply(&s, &bag[i]);
+                    s = s2;
+                    responses[i] = Some(r);
+                    prefix_states.push(s.clone());
+                }
+                // after[i] = all states from the point right after instance i
+                // to the end of the permutation.
+                let mut after: Vec<BTreeSet<T::State>> = vec![BTreeSet::new(); k];
+                for (pos, &i) in order.iter().enumerate() {
+                    after[i] = prefix_states[pos..].iter().cloned().collect();
+                }
+                PermEval {
+                    order,
+                    responses: responses.into_iter().map(Option::unwrap).collect(),
+                    after,
+                    final_state: s,
+                }
+            })
+            .collect();
+
+        let mut edges = Vec::new();
+        for a in 0..evals.len() {
+            for b in a + 1..evals.len() {
+                let (ea, eb) = (&evals[a], &evals[b]);
+                let mut labels = BTreeSet::new();
+                for c in 0..k {
+                    if ea.responses[c] == eb.responses[c]
+                        && !ea.after[c].is_disjoint(&eb.after[c])
+                    {
+                        labels.insert(c);
+                    }
+                }
+                if !labels.is_empty() {
+                    edges.push(Edge {
+                        a,
+                        b,
+                        labels,
+                        strong: ea.final_state == eb.final_state,
+                    });
+                }
+            }
+        }
+        IndistGraph {
+            bag: bag.to_vec(),
+            evals,
+            edges,
+        }
+    }
+
+    /// The bag the graph was built from.
+    pub fn bag(&self) -> &[T::Op] {
+        &self.bag
+    }
+
+    /// Number of nodes (`|B|!`).
+    pub fn node_count(&self) -> usize {
+        self.evals.len()
+    }
+
+    /// The permutations, as orderings of instance indices.
+    pub fn permutations(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        self.evals.iter().map(|e| e.order.as_slice())
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Density: `edges / possible pairs` in `[0, 1]`. §3 argues that the
+    /// denser the graph, the more scalable the object.
+    pub fn density(&self) -> f64 {
+        let n = self.node_count();
+        if n < 2 {
+            return 1.0;
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        self.edges.len() as f64 / pairs
+    }
+
+    /// Whether instance `c` labels the edge between permutation nodes
+    /// `a` and `b` (order irrelevant).
+    pub fn labels_edge(&self, c: usize, a: usize, b: usize) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges
+            .iter()
+            .any(|e| e.a == a && e.b == b && e.labels.contains(&c))
+    }
+
+    /// Whether instance `c` *strongly* labels the edge `(a, b)`.
+    pub fn strongly_labels_edge(&self, c: usize, a: usize, b: usize) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges
+            .iter()
+            .any(|e| e.a == a && e.b == b && e.strong && e.labels.contains(&c))
+    }
+
+    /// Whether instance `c` is **labeling**: it labels every pair of
+    /// distinct permutations (hence the graph is complete and has a single
+    /// class). Lemma 2 then applies: `c`'s response is its response from
+    /// the initial state in every permutation.
+    pub fn is_labeling(&self, c: usize) -> bool {
+        let n = self.node_count();
+        let mut count = 0usize;
+        for e in &self.edges {
+            if e.labels.contains(&c) {
+                count += 1;
+            }
+        }
+        count == n * (n - 1) / 2
+    }
+
+    /// Whether instance `c` is **strongly labeling** (labeling with all
+    /// labels strong).
+    pub fn is_strongly_labeling(&self, c: usize) -> bool {
+        let n = self.node_count();
+        let mut count = 0usize;
+        for e in &self.edges {
+            if e.strong && e.labels.contains(&c) {
+                count += 1;
+            }
+        }
+        count == n * (n - 1) / 2
+    }
+
+    /// Whether the whole bag is labeling (every instance labels every
+    /// edge) — the premise of Proposition 1.
+    pub fn bag_is_labeling(&self) -> bool {
+        (0..self.bag.len()).all(|c| self.is_labeling(c))
+    }
+
+    /// Whether the whole bag is strongly labeling — the premise of
+    /// Proposition 2 (with `|B| = 2`).
+    pub fn bag_is_strongly_labeling(&self) -> bool {
+        (0..self.bag.len()).all(|c| self.is_strongly_labeling(c))
+    }
+
+    /// The indistinguishability classes: connected components of the edge
+    /// relation (transitive closure of `∼`). Each class is a sorted list
+    /// of node indices.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in &self.edges {
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        groups.into_values().collect()
+    }
+
+    /// Number of indistinguishability classes (the `l` of `D(k, l)`).
+    pub fn class_count(&self) -> usize {
+        self.classes().len()
+    }
+
+    /// Find the node index of a given ordering of instance indices.
+    pub fn node_of(&self, order: &[usize]) -> Option<usize> {
+        self.evals.iter().position(|e| e.order == order)
+    }
+
+    /// The response of instance `c` in permutation node `p`.
+    pub fn response(&self, p: usize, c: usize) -> &T::Ret {
+        &self.evals[p].responses[c]
+    }
+
+    /// The final state of permutation node `p`.
+    pub fn final_state(&self, p: usize) -> &T::State {
+        &self.evals[p].final_state
+    }
+
+    /// Render the graph in a compact textual form (used by the Figure 2
+    /// harness binary).
+    pub fn render(&self, op_names: &[String]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, e) in self.evals.iter().enumerate() {
+            let seq: Vec<&str> = e.order.iter().map(|&j| op_names[j].as_str()).collect();
+            let _ = writeln!(out, "  x{} = {}", i + 1, seq.join(" "));
+        }
+        for e in &self.edges {
+            let labels: Vec<&str> = e.labels.iter().map(|&c| op_names[c].as_str()).collect();
+            let _ = writeln!(
+                out,
+                "  (x{}, x{}) labels={{{}}}{}",
+                e.a + 1,
+                e.b + 1,
+                labels.join(","),
+                if e.strong { " strong" } else { "" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  nodes={} edges={} classes={} density={:.2}",
+            self.node_count(),
+            self.edge_count(),
+            self.class_count(),
+            self.density()
+        );
+        out
+    }
+}
+
+/// Compute the maximal number of classes any size-`k` compliant bag can
+/// produce — the `l` in "`T` is `D(k, l)`" (§3.2). Bags are drawn from
+/// `universe` (with repetition), states from `states`.
+pub fn max_classes<T: DataType>(
+    dtype: &T,
+    universe: &[T::Op],
+    states: &[T::State],
+    k: usize,
+) -> usize {
+    let mut best = 1;
+    let mut bag: Vec<T::Op> = Vec::with_capacity(k);
+    fn rec<T: DataType>(
+        dtype: &T,
+        universe: &[T::Op],
+        states: &[T::State],
+        k: usize,
+        start: usize,
+        bag: &mut Vec<T::Op>,
+        best: &mut usize,
+    ) {
+        if bag.len() == k {
+            for s in states {
+                let g = IndistGraph::build(dtype, bag, s);
+                let c = g.class_count();
+                if c > *best {
+                    *best = c;
+                }
+            }
+            return;
+        }
+        // Bags are multisets: enumerate non-decreasing index sequences.
+        for i in start..universe.len() {
+            bag.push(universe[i].clone());
+            rec(dtype, universe, states, k, i, bag, best);
+            bag.pop();
+        }
+    }
+    rec(dtype, universe, states, k, 0, &mut bag, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{counter_c1, op, reference_r1, set_s1};
+    use crate::value::Value;
+
+    /// Figure 2 (left): reference with a = set(1), b = set(2), c = get().
+    #[test]
+    fn figure2_reference_graph_is_complete() {
+        let r = reference_r1();
+        let bag = vec![op("set", &[1]), op("set", &[2]), op("get", &[])];
+        let g = IndistGraph::build(&r, &bag, &Value::Bottom);
+        assert_eq!(g.node_count(), 6);
+        // Complete: 15 edges, one class.
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.class_count(), 1);
+        // The blind sets label every edge (the "default label {a, b}").
+        assert!(g.is_labeling(0));
+        assert!(g.is_labeling(1));
+        // get is NOT labeling: its response depends on the last set.
+        assert!(!g.is_labeling(2));
+    }
+
+    /// Figure 2 (left): c = get labels exactly the permutation pairs where
+    /// the same set immediately precedes it… checked via x1=abc, x4=bca.
+    #[test]
+    fn figure2_reference_get_labels_expected_edges() {
+        let r = reference_r1();
+        let bag = vec![op("set", &[1]), op("set", &[2]), op("get", &[])];
+        let g = IndistGraph::build(&r, &bag, &Value::Bottom);
+        // x1 = abc = [0,1,2]; x4 = bca = [1,2,0]
+        let x1 = g.node_of(&[0, 1, 2]).unwrap();
+        let x4 = g.node_of(&[1, 2, 0]).unwrap();
+        assert!(g.labels_edge(2, x1, x4));
+        // x2 = acb = [0,2,1]; x3 = bac = [1,0,2]
+        let x2 = g.node_of(&[0, 2, 1]).unwrap();
+        let x3 = g.node_of(&[1, 0, 2]).unwrap();
+        assert!(g.labels_edge(2, x2, x3));
+        // x5 = cab = [2,0,1]; x6 = cba = [2,1,0]
+        let x5 = g.node_of(&[2, 0, 1]).unwrap();
+        let x6 = g.node_of(&[2, 1, 0]).unwrap();
+        assert!(g.labels_edge(2, x5, x6));
+        // but get does not label x1-x2 (it returns 2 vs 1).
+        assert!(!g.labels_edge(2, x1, x2));
+    }
+
+    /// Figure 2 (middle): set with a = add(1), b = add(1), c = contains(1).
+    /// All labels are strong (same final state everywhere).
+    #[test]
+    fn figure2_set_graph_all_labels_strong() {
+        let s = set_s1();
+        let bag = vec![op("add", &[1]), op("add", &[1]), op("contains", &[1])];
+        let g = IndistGraph::build(&s, &bag, &Value::empty_set());
+        assert!(g.edges().iter().all(|e| e.strong));
+        assert_eq!(g.class_count(), 1);
+        // contains labels when not first: pairs where it is first in both
+        // or not-first in both are connected via it.
+        let x1 = g.node_of(&[0, 1, 2]).unwrap();
+        let x3 = g.node_of(&[1, 0, 2]).unwrap();
+        assert!(g.labels_edge(2, x1, x3));
+    }
+
+    /// Figure 2 (right): counter with increments returning the new value.
+    /// Permuting the first two operations leaves the third's response
+    /// unchanged; the graph is connected.
+    #[test]
+    fn figure2_counter_graph_connected() {
+        let c = counter_c1();
+        // inc-with-amount modelled by rmw(1), rmw(3), rmw(5).
+        let bag = vec![op("rmw", &[1]), op("rmw", &[3]), op("rmw", &[5])];
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        assert_eq!(g.class_count(), 1);
+        // abc vs bac: c returns 9 in both.
+        let x1 = g.node_of(&[0, 1, 2]).unwrap();
+        let x3 = g.node_of(&[1, 0, 2]).unwrap();
+        assert!(g.labels_edge(2, x1, x3));
+        // abc vs acb: only a (instance 0) labels.
+        let x2 = g.node_of(&[0, 2, 1]).unwrap();
+        assert!(g.labels_edge(0, x1, x2));
+        assert!(!g.labels_edge(1, x1, x2));
+        assert!(!g.labels_edge(2, x1, x2));
+    }
+
+    /// Two unit increments that return the new value cannot be ordered
+    /// consistently: D(2,2).
+    #[test]
+    fn counter_with_returns_is_d_2_2() {
+        let c = counter_c1();
+        let bag = vec![op("inc", &[]), op("inc", &[])];
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.class_count(), 2);
+    }
+
+    /// …but a third operation cannot tell how the first two were ordered:
+    /// D(3,1) (the "transition to D(k,1)" of Theorem 1 with k = 2).
+    #[test]
+    fn counter_with_returns_is_d_3_1() {
+        let c = counter_c1();
+        let bag = vec![op("inc", &[]), op("inc", &[]), op("inc", &[])];
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        assert_eq!(g.class_count(), 1);
+    }
+
+    #[test]
+    fn max_classes_matches_d_hierarchy() {
+        let c = counter_c1();
+        let universe = vec![op("inc", &[]), op("get", &[])];
+        let states = vec![Value::Int(0)];
+        assert_eq!(max_classes(&c, &universe, &states, 2), 2);
+        assert_eq!(max_classes(&c, &universe, &states, 3), 1);
+    }
+
+    #[test]
+    fn blind_counter_is_always_one_class() {
+        let c = crate::types::counter_c3();
+        for k in 2..=4 {
+            let bag: Vec<_> = (0..k).map(|_| op("inc", &[])).collect();
+            let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+            assert_eq!(g.class_count(), 1, "k={k}");
+            assert!(g.bag_is_strongly_labeling());
+        }
+    }
+
+    #[test]
+    fn singleton_bag_graph() {
+        let c = counter_c1();
+        let g = IndistGraph::build(&c, &[op("inc", &[])], &Value::Int(0));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.class_count(), 1);
+        assert!((g.density() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn classes_never_exceed_bag_size() {
+        // §3.2: at most |B| classes, because permutations sharing the
+        // first element are always connected.
+        let s = set_s1();
+        let bag = vec![op("add", &[1]), op("remove", &[1]), op("contains", &[1])];
+        let g = IndistGraph::build(&s, &bag, &Value::empty_set());
+        assert!(g.class_count() <= bag.len());
+    }
+
+    #[test]
+    fn render_mentions_all_nodes() {
+        let r = reference_r1();
+        let bag = vec![op("set", &[1]), op("get", &[])];
+        let g = IndistGraph::build(&r, &bag, &Value::Bottom);
+        let txt = g.render(&["a".into(), "b".into()]);
+        assert!(txt.contains("x1"));
+        assert!(txt.contains("x2"));
+        assert!(txt.contains("classes="));
+    }
+}

@@ -1,0 +1,75 @@
+//! # dego-spec — formal foundations of adjusted objects
+//!
+//! This crate is an executable rendition of §§2–4 and Appendices A–B of
+//! *"Adjusted Objects: An Efficient and Principled Approach to Scalable
+//! Programming"* (Kane & Sutra, Middleware 2025).
+//!
+//! It provides:
+//!
+//! * a model of **sequential data types** as deterministic automata with
+//!   Hoare-style pre/postconditions ([`DataType`], [`SpecType`], the
+//!   Table 1 constructors in [`types`]);
+//! * **access-permission maps** restricting which thread may invoke which
+//!   operation ([`perm`]);
+//! * the **indistinguishability graph** of §3.2 ([`graph`]), together with
+//!   labeling / strong-labeling queries, indistinguishability classes and
+//!   the `D(k, l)` hierarchy;
+//! * **mover analysis** (left-/right-movers, §3.3) and the premises of
+//!   Propositions 1–4 ([`movers`]);
+//! * **consensus-number estimation** via Theorem 1 and the permissive-type
+//!   characterization of Corollary 1 ([`consensus`]);
+//! * a **Commuter-style pairwise commutativity checker** ([`commuter`],
+//!   the §7 related-work tool, i.e. Proposition 2's sufficiency test);
+//! * **Construction 1 executed** ([`construction`]): Theorem 1's weak
+//!   consensus protocol driven over every schedule of a simulated
+//!   readable object;
+//! * **Construction 3 executed** ([`construction3`]): Proposition 4's
+//!   invisible right-mover implementation, certified linearizable on
+//!   every schedule;
+//! * the **adjustment relation** of Definition 1 — narrow subtyping plus
+//!   permission restriction — and the Proposition 6 density check
+//!   ([`adjust`]), including the full adjustment DAG of Figure 3
+//!   ([`figure3`]);
+//! * a **linearizability checker** ([`lin`]) used by the rest of the
+//!   workspace to validate the concurrent implementations against their
+//!   sequential specifications.
+//!
+//! ## Quick example
+//!
+//! Build the indistinguishability graph of a counter under three unit
+//! increments (the right-hand graph of Figure 2) and verify that it is
+//! connected, i.e. that the increment-only counter is `D(3, 1)`:
+//!
+//! ```
+//! use dego_spec::graph::IndistGraph;
+//! use dego_spec::types::{counter_c1, op};
+//! use dego_spec::value::Value;
+//!
+//! let counter = counter_c1();
+//! let bag = vec![op("inc", &[]), op("inc", &[]), op("inc", &[])];
+//! let g = IndistGraph::build(&counter, &bag, &Value::Int(0));
+//! assert_eq!(g.class_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod commuter;
+pub mod construction;
+pub mod construction3;
+pub mod consensus;
+pub mod dtype;
+pub mod figure3;
+pub mod graph;
+pub mod lin;
+pub mod movers;
+pub mod perm;
+pub mod types;
+pub mod value;
+
+pub use adjust::{adjusts, narrow_subtype, AdjustError, SharedObject};
+pub use dtype::{DataType, SpecType};
+pub use graph::IndistGraph;
+pub use perm::{AccessMode, PermissionMap};
+pub use value::Value;

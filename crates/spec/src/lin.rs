@@ -1,0 +1,280 @@
+//! A linearizability checker (Appendix A's correctness criterion).
+//!
+//! The concurrent structures of `dego-core` and `dego-juc` are validated
+//! against their sequential [`DataType`] specifications by recording
+//! concurrent histories and searching for a linearization: a legal
+//! sequential order of the completed operations that respects real time
+//! (Herlihy & Wing). The search is the classic Wing–Gong DFS with
+//! memoization on `(pending-set, state)`.
+//!
+//! Histories are bounded to 63 operations (a bitmask encodes the pending
+//! set); the workspace tests check many small windows rather than one
+//! giant history, which is both faster and a stronger discriminator.
+
+use crate::dtype::DataType;
+use std::collections::HashSet;
+
+/// A completed operation in a concurrent history.
+#[derive(Clone, Debug)]
+pub struct Completed<T: DataType> {
+    /// The operation invoked.
+    pub op: T::Op,
+    /// The response observed.
+    pub ret: T::Ret,
+    /// Invocation timestamp (any monotone clock).
+    pub invoke: u64,
+    /// Response timestamp; must be `>= invoke`.
+    pub response: u64,
+}
+
+impl<T: DataType> Completed<T> {
+    /// Convenience constructor.
+    pub fn new(op: T::Op, ret: T::Ret, invoke: u64, response: u64) -> Self {
+        assert!(invoke <= response, "response precedes invocation");
+        Completed {
+            op,
+            ret,
+            invoke,
+            response,
+        }
+    }
+}
+
+/// Search for a linearization of `history` against `dtype` from `init`.
+///
+/// Returns `true` iff some permutation of the operations is legal for the
+/// sequential specification *and* respects the happens-before order
+/// (`a.response < b.invoke ⇒ a before b`).
+///
+/// # Panics
+///
+/// Panics if the history holds more than 63 operations.
+pub fn is_linearizable<T: DataType>(
+    dtype: &T,
+    init: &T::State,
+    history: &[Completed<T>],
+) -> bool {
+    assert!(history.len() <= 63, "history too long for the bitmask search");
+    let n = history.len();
+    if n == 0 {
+        return true;
+    }
+    let full: u64 = (1u64 << n) - 1;
+    let mut memo: HashSet<(u64, T::State)> = HashSet::new();
+    dfs(dtype, history, init, 0, full, &mut memo)
+}
+
+fn dfs<T: DataType>(
+    dtype: &T,
+    hist: &[Completed<T>],
+    state: &T::State,
+    done: u64,
+    full: u64,
+    memo: &mut HashSet<(u64, T::State)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    // An op is a candidate next linearization point iff it is not done and
+    // no other not-done op completed strictly before it was invoked.
+    for (i, c) in hist.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        let blocked = hist.iter().enumerate().any(|(j, d)| {
+            j != i && done & (1 << j) == 0 && d.response < c.invoke
+        });
+        if blocked {
+            continue;
+        }
+        let (next, ret) = dtype.apply(state, &c.op);
+        if ret == c.ret && dfs(dtype, hist, &next, done | (1 << i), full, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Check a *sequential* history: every response must match the
+/// specification applied in order. Returns the index of the first
+/// mismatch, if any.
+pub fn check_sequential<T: DataType>(
+    dtype: &T,
+    init: &T::State,
+    ops: &[(T::Op, T::Ret)],
+) -> Option<usize> {
+    let mut s = init.clone();
+    for (i, (op, expected)) in ops.iter().enumerate() {
+        let (next, ret) = dtype.apply(&s, op);
+        if ret != *expected {
+            return Some(i);
+        }
+        s = next;
+    }
+    None
+}
+
+/// A recorder that assigns invocation/response timestamps from a logical
+/// clock, for building histories in tests.
+#[derive(Debug, Default)]
+pub struct HistoryBuilder<T: DataType> {
+    clock: u64,
+    ops: Vec<Completed<T>>,
+}
+
+impl<T: DataType> HistoryBuilder<T> {
+    /// New empty history.
+    pub fn new() -> Self {
+        HistoryBuilder {
+            clock: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Record an operation that occupied `[start, end]` in logical time.
+    pub fn record(&mut self, op: T::Op, ret: T::Ret, start: u64, end: u64) {
+        self.ops.push(Completed::new(op, ret, start, end));
+        self.clock = self.clock.max(end);
+    }
+
+    /// Record an operation as atomic at the next clock tick.
+    pub fn record_sequential(&mut self, op: T::Op, ret: T::Ret) {
+        self.clock += 1;
+        let t = self.clock;
+        self.ops.push(Completed::new(op, ret, t, t));
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &[Completed<T>] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{counter_c1, op, queue_q1, register};
+    use crate::value::Value;
+
+    type C = Completed<crate::dtype::SpecType>;
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let c = counter_c1();
+        assert!(is_linearizable(&c, &Value::Int(0), &[]));
+    }
+
+    #[test]
+    fn sequential_counter_history() {
+        let c = counter_c1();
+        let h = vec![
+            C::new(op("inc", &[]), Value::Int(1), 1, 2),
+            C::new(op("inc", &[]), Value::Int(2), 3, 4),
+            C::new(op("get", &[]), Value::Int(2), 5, 6),
+        ];
+        assert!(is_linearizable(&c, &Value::Int(0), &h));
+    }
+
+    #[test]
+    fn wrong_response_is_rejected() {
+        let c = counter_c1();
+        let h = vec![
+            C::new(op("inc", &[]), Value::Int(1), 1, 2),
+            C::new(op("get", &[]), Value::Int(0), 3, 4), // stale read
+        ];
+        assert!(!is_linearizable(&c, &Value::Int(0), &h));
+    }
+
+    #[test]
+    fn concurrent_overlap_permits_reordering() {
+        let c = counter_c1();
+        // Two overlapping incs: responses 2 then 1 are fine because the
+        // operations are concurrent.
+        let h = vec![
+            C::new(op("inc", &[]), Value::Int(2), 1, 10),
+            C::new(op("inc", &[]), Value::Int(1), 2, 9),
+        ];
+        assert!(is_linearizable(&c, &Value::Int(0), &h));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        let c = counter_c1();
+        // inc completing before the second begins cannot observe 2 then 1.
+        let h = vec![
+            C::new(op("inc", &[]), Value::Int(2), 1, 2),
+            C::new(op("inc", &[]), Value::Int(1), 3, 4),
+        ];
+        assert!(!is_linearizable(&c, &Value::Int(0), &h));
+    }
+
+    #[test]
+    fn register_new_old_inversion_detected() {
+        let r = register();
+        // w(1) ends; then two sequential reads see 1 then 0: not
+        // linearizable (stale read after fresh read).
+        let h = vec![
+            C::new(op("write", &[1]), Value::Bottom, 1, 2),
+            C::new(op("read", &[]), Value::Int(1), 3, 4),
+            C::new(op("read", &[]), Value::Int(0), 5, 6),
+        ];
+        assert!(!is_linearizable(&r, &Value::Int(0), &h));
+        // …but if the write overlaps both reads, 0 then 1 is fine.
+        let h = vec![
+            C::new(op("write", &[1]), Value::Bottom, 1, 10),
+            C::new(op("read", &[]), Value::Int(0), 2, 3),
+            C::new(op("read", &[]), Value::Int(1), 4, 5),
+        ];
+        assert!(is_linearizable(&r, &Value::Int(0), &h));
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected() {
+        let q = queue_q1();
+        let h = vec![
+            C::new(op("offer", &[1]), Value::Bottom, 1, 2),
+            C::new(op("offer", &[2]), Value::Bottom, 3, 4),
+            C::new(op("poll", &[]), Value::Int(2), 5, 6), // must be 1
+        ];
+        assert!(!is_linearizable(&q, &Value::empty_seq(), &h));
+        let ok = vec![
+            C::new(op("offer", &[1]), Value::Bottom, 1, 2),
+            C::new(op("offer", &[2]), Value::Bottom, 3, 4),
+            C::new(op("poll", &[]), Value::Int(1), 5, 6),
+        ];
+        assert!(is_linearizable(&q, &Value::empty_seq(), &ok));
+    }
+
+    #[test]
+    fn check_sequential_reports_first_mismatch() {
+        let c = counter_c1();
+        let ops = vec![
+            (op("inc", &[]), Value::Int(1)),
+            (op("inc", &[]), Value::Int(3)), // wrong
+        ];
+        assert_eq!(check_sequential(&c, &Value::Int(0), &ops), Some(1));
+        let ok = vec![
+            (op("inc", &[]), Value::Int(1)),
+            (op("get", &[]), Value::Int(1)),
+        ];
+        assert_eq!(check_sequential(&c, &Value::Int(0), &ok), None);
+    }
+
+    #[test]
+    fn history_builder_sequential_clock() {
+        let mut b: HistoryBuilder<crate::dtype::SpecType> = HistoryBuilder::new();
+        b.record_sequential(op("inc", &[]), Value::Int(1));
+        b.record_sequential(op("get", &[]), Value::Int(1));
+        assert_eq!(b.history().len(), 2);
+        assert!(b.history()[0].response < b.history()[1].invoke);
+    }
+
+    #[test]
+    #[should_panic(expected = "response precedes invocation")]
+    fn bad_timestamps_rejected() {
+        let _: C = Completed::new(op("inc", &[]), Value::Int(1), 5, 4);
+    }
+}

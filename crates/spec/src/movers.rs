@@ -1,0 +1,309 @@
+//! Mover analysis and scalability predictions (§3.3).
+//!
+//! * An instance `cᵢ` **left-moves** in a permutation `x = c₁…cₘ` when it
+//!   strongly labels the edge `(x, x')` where `x'` swaps `cᵢ` with its
+//!   immediate predecessor. It left-moves in a graph when it left-moves in
+//!   every permutation, and is a *left-mover* for an object when it
+//!   left-moves in every indistinguishability graph.
+//!   Left-movers are implementable **without update conflicts**
+//!   (Proposition 3) — provided they have no consensus power.
+//! * `cᵢ` **right-moves** when its *predecessor* strongly labels that same
+//!   swapped edge. Right-movers are implementable **invisibly**
+//!   (Proposition 4). Reads are the canonical right-movers.
+//! * Proposition 1: a one-shot object has a conflict-free implementation
+//!   iff its whole bag is labeling in every graph.
+//! * Proposition 2: a long-lived object has a conflict-free implementation
+//!   iff every pair of operations is strongly labeling (they commute).
+//!
+//! All checks here are *bounded*: they quantify over the bags and states
+//! you supply (typically compliant bags over a small argument domain and
+//! the states reachable within a few steps). That is exactly how the paper
+//! uses these notions — to audit a finite adjustment catalogue, not to
+//! decide them for unbounded state spaces.
+
+use crate::dtype::{DataType, Op, SpecType};
+use crate::graph::IndistGraph;
+use crate::perm::PermissionMap;
+use crate::value::Value;
+
+/// Whether instance `c` left-moves in every permutation of the graph.
+///
+/// For each permutation in which `c` is not first, swapping `c` with its
+/// immediate predecessor must give an edge strongly labeled by `c`.
+pub fn left_moves_in_graph<T: DataType>(g: &IndistGraph<T>, c: usize) -> bool {
+    moves_in_graph(g, c, Mover::Left)
+}
+
+/// Whether instance `c` right-moves in every permutation of the graph.
+pub fn right_moves_in_graph<T: DataType>(g: &IndistGraph<T>, c: usize) -> bool {
+    moves_in_graph(g, c, Mover::Right)
+}
+
+#[derive(Clone, Copy)]
+enum Mover {
+    Left,
+    Right,
+}
+
+fn moves_in_graph<T: DataType>(g: &IndistGraph<T>, c: usize, dir: Mover) -> bool {
+    let orders: Vec<Vec<usize>> = g.permutations().map(|o| o.to_vec()).collect();
+    for order in &orders {
+        let pos = order.iter().position(|&i| i == c).expect("instance in bag");
+        if pos == 0 {
+            continue; // first: nothing to move past
+        }
+        let mut swapped = order.clone();
+        swapped.swap(pos, pos - 1);
+        let a = g.node_of(order).expect("node");
+        let b = g.node_of(&swapped).expect("node");
+        let label = match dir {
+            // cᵢ left-moves when *it* strongly labels the swapped edge.
+            Mover::Left => c,
+            // cᵢ right-moves when its *predecessor* strongly labels it.
+            Mover::Right => order[pos - 1],
+        };
+        if !g.strongly_labels_edge(label, a, b) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Report of a bounded mover/labeling audit for one operation name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MoverReport {
+    /// The operation name audited.
+    pub op_name: &'static str,
+    /// Left-moves in every examined graph (Proposition 3 premise: the
+    /// operation is implementable without update conflicts).
+    pub left_mover: bool,
+    /// Right-moves in every examined graph (Proposition 4 premise: the
+    /// operation is implementable invisibly).
+    pub right_mover: bool,
+    /// Labeling in every examined graph.
+    pub labeling: bool,
+}
+
+/// A bounded audit driver over compliant bags.
+///
+/// `k` is the bag size, `domain` the argument domain, `depth` the state
+/// exploration depth. Bags are the compliant ones of the permission map.
+pub struct Audit<'a> {
+    spec: &'a SpecType,
+    perm: &'a PermissionMap,
+    bags: Vec<Vec<Op>>,
+    states: Vec<Value>,
+}
+
+impl<'a> Audit<'a> {
+    /// Prepare an audit of `spec` under `perm`.
+    pub fn new(
+        spec: &'a SpecType,
+        perm: &'a PermissionMap,
+        k: usize,
+        domain: &[i64],
+        depth: usize,
+    ) -> Self {
+        let universe = spec.op_universe(domain);
+        let bags = perm.compliant_bags(&universe, k);
+        let states = spec.reachable_states(&universe, depth);
+        Audit {
+            spec,
+            perm,
+            bags,
+            states,
+        }
+    }
+
+    /// The compliant bags examined.
+    pub fn bags(&self) -> &[Vec<Op>] {
+        &self.bags
+    }
+
+    /// The states examined.
+    pub fn states(&self) -> &[Value] {
+        &self.states
+    }
+
+    /// Audit one operation name across all bags/states.
+    pub fn mover_report(&self, op_name: &'static str) -> MoverReport {
+        let mut left = true;
+        let mut right = true;
+        let mut labeling = true;
+        for bag in &self.bags {
+            let instances: Vec<usize> = bag
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.name == op_name)
+                .map(|(i, _)| i)
+                .collect();
+            if instances.is_empty() {
+                continue;
+            }
+            for s in &self.states {
+                let g = IndistGraph::build(self.spec, bag, s);
+                for &c in &instances {
+                    left &= left_moves_in_graph(&g, c);
+                    right &= right_moves_in_graph(&g, c);
+                    labeling &= g.is_labeling(c);
+                }
+                if !left && !right && !labeling {
+                    return MoverReport {
+                        op_name,
+                        left_mover: false,
+                        right_mover: false,
+                        labeling: false,
+                    };
+                }
+            }
+        }
+        MoverReport {
+            op_name,
+            left_mover: left,
+            right_mover: right,
+            labeling,
+        }
+    }
+
+    /// Proposition 1 premise for one-shot objects: every compliant bag is
+    /// labeling in every graph.
+    pub fn one_shot_conflict_free(&self) -> bool {
+        self.bags.iter().all(|bag| {
+            self.states.iter().all(|s| {
+                IndistGraph::build(self.spec, bag, s).bag_is_labeling()
+            })
+        })
+    }
+
+    /// Proposition 2 premise for long-lived objects: every compliant
+    /// *pair* is strongly labeling in every graph.
+    pub fn long_lived_conflict_free(&self) -> bool {
+        let universe = self.spec.op_universe(&collect_domain(&self.bags));
+        let pairs = self.perm.compliant_bags(&universe, 2.min(self.perm.n_threads()));
+        pairs.iter().all(|bag| {
+            self.states.iter().all(|s| {
+                IndistGraph::build(self.spec, bag, s).bag_is_strongly_labeling()
+            })
+        })
+    }
+}
+
+fn collect_domain(bags: &[Vec<Op>]) -> Vec<i64> {
+    let mut d: Vec<i64> = bags
+        .iter()
+        .flat_map(|b| b.iter().flat_map(|o| o.args.iter().copied()))
+        .collect();
+    d.sort_unstable();
+    d.dedup();
+    if d.is_empty() {
+        d.push(1);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::AccessMode;
+    use crate::types::{
+        counter_c1, counter_c3, op, queue_q1, reference_r1, set_s1, set_s2,
+    };
+
+    #[test]
+    fn blind_add_left_moves_with_prior_adds() {
+        // §3.3: "if add is blind (object S2), it left-moves with prior add
+        // operations."
+        let s2 = set_s2();
+        let bag = vec![op("add", &[1]), op("add", &[2])];
+        let g = IndistGraph::build(&s2, &bag, &Value::empty_set());
+        assert!(left_moves_in_graph(&g, 0));
+        assert!(left_moves_in_graph(&g, 1));
+    }
+
+    #[test]
+    fn add_with_return_value_does_not_left_move() {
+        let s1 = set_s1();
+        let bag = vec![op("add", &[1]), op("add", &[1])];
+        let g = IndistGraph::build(&s1, &bag, &Value::empty_set());
+        // add returns "was absent": order matters for the response.
+        assert!(!left_moves_in_graph(&g, 0));
+    }
+
+    #[test]
+    fn offer_left_moves_past_poll_when_queue_nonempty() {
+        // §3.3: "when the queue is not empty, offer left-moves with poll."
+        let q = queue_q1();
+        let bag = vec![op("poll", &[]), op("offer", &[9])];
+        let nonempty = Value::seq_of(&[1, 2]);
+        let g = IndistGraph::build(&q, &bag, &nonempty);
+        assert!(left_moves_in_graph(&g, 1)); // offer is instance 1
+        // On the empty queue it does not: poll's answer changes.
+        let g = IndistGraph::build(&q, &bag, &Value::empty_seq());
+        assert!(!left_moves_in_graph(&g, 1));
+    }
+
+    #[test]
+    fn reads_are_right_movers() {
+        let c = counter_c1();
+        let bag = vec![op("inc", &[]), op("get", &[])];
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        assert!(right_moves_in_graph(&g, 1)); // get
+        assert!(!right_moves_in_graph(&g, 0)); // inc changes get's view
+    }
+
+    #[test]
+    fn blind_increments_are_both_movers() {
+        let c = counter_c3();
+        let bag = vec![op("inc", &[]), op("inc", &[]), op("inc", &[])];
+        let g = IndistGraph::build(&c, &bag, &Value::Int(0));
+        for i in 0..3 {
+            assert!(left_moves_in_graph(&g, i));
+            assert!(right_moves_in_graph(&g, i));
+        }
+    }
+
+    #[test]
+    fn audit_counter_c3_inc_is_left_mover() {
+        let spec = counter_c3();
+        let perm = PermissionMap::new(3, AccessMode::Cwsr, &["inc", "rmw", "reset"], &["get"]);
+        let audit = Audit::new(&spec, &perm, 3, &[1], 2);
+        let rep = audit.mover_report("inc");
+        assert!(rep.left_mover, "blind inc must be a left-mover");
+    }
+
+    #[test]
+    fn audit_counter_c1_inc_is_not_left_mover() {
+        let spec = counter_c1();
+        let perm = PermissionMap::new(2, AccessMode::All, &["inc", "rmw", "reset"], &["get"]);
+        let audit = Audit::new(&spec, &perm, 2, &[1], 1);
+        let rep = audit.mover_report("inc");
+        assert!(!rep.left_mover, "inc returning the new value orders itself");
+    }
+
+    #[test]
+    fn one_shot_conflict_freedom_blind_counter() {
+        // All-blind increments: Proposition 1 premise holds.
+        let spec = counter_c3();
+        let perm = PermissionMap::new(2, AccessMode::Mwsr, &["inc"], &["get"]);
+        // Only writers in the bag (thread 0 = reader excluded via MWSR
+        // would break; use a writers-only map instead).
+        let wperm = PermissionMap::new(2, AccessMode::All, &["inc"], &[]);
+        let audit = Audit::new(&spec, &wperm, 2, &[1], 1);
+        assert!(audit.one_shot_conflict_free());
+        let _ = perm;
+    }
+
+    #[test]
+    fn long_lived_conflict_freedom_requires_commutation() {
+        // A read/write reference is not conflict-free long-lived.
+        let spec = reference_r1();
+        let perm = PermissionMap::new(2, AccessMode::All, &["set"], &["get"]);
+        let audit = Audit::new(&spec, &perm, 2, &[1, 2], 1);
+        assert!(!audit.long_lived_conflict_free());
+        // Blind adds to *distinct* elements (CWMR partitioning) commute.
+        let s2 = set_s2();
+        let cperm = PermissionMap::new(2, AccessMode::Cwmr, &["add", "remove"], &[]);
+        let audit = Audit::new(&s2, &cperm, 2, &[2, 3], 1);
+        assert!(audit.long_lived_conflict_free());
+    }
+}

@@ -1,0 +1,303 @@
+//! Access-permission maps (§2, §4.2).
+//!
+//! Each shared object `O` carries a permission map `O.m` describing which
+//! operations each thread may invoke. The paper's named modes are:
+//!
+//! * `ALL` — every thread may call every operation;
+//! * `SWMR` — a single writer, every other thread reads;
+//! * `MWSR` — many writers, a single reader;
+//! * `CWMR` — writers issue only *commuting* writes, everyone reads;
+//! * `CWSR` — commuting writers, single reader.
+//!
+//! In this executable model, "commuting writes" is expressed by
+//! partitioning write arguments across threads: thread `p` may only issue
+//! a write whose first argument hashes to `p` (distinct threads touch
+//! distinct items, so their writes commute — the same discipline the
+//! benchmarks in §6.2 use).
+
+use crate::dtype::Op;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The named access modes of Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AccessMode {
+    /// Full access for every thread.
+    All,
+    /// Single writer, multiple readers.
+    Swmr,
+    /// Multiple writers, single reader.
+    Mwsr,
+    /// Commuting writers, multiple readers.
+    Cwmr,
+    /// Commuting writers, single reader.
+    Cwsr,
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessMode::All => "ALL",
+            AccessMode::Swmr => "SWMR",
+            AccessMode::Mwsr => "MWSR",
+            AccessMode::Cwmr => "CWMR",
+            AccessMode::Cwsr => "CWSR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which role a thread plays for an asymmetric mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Writer,
+    Reader,
+    Both,
+}
+
+/// An access-permission map `O.m` for `n` threads.
+///
+/// The map distinguishes *write* operations (listed in `write_ops`) from
+/// *read* operations (everything else) and enforces the chosen
+/// [`AccessMode`]. For the commuting modes it additionally pins each
+/// write's first argument to the issuing thread's partition.
+#[derive(Clone, Debug)]
+pub struct PermissionMap {
+    n_threads: usize,
+    mode: AccessMode,
+    write_ops: BTreeSet<&'static str>,
+    read_ops: BTreeSet<&'static str>,
+}
+
+impl PermissionMap {
+    /// Build a permission map.
+    ///
+    /// `write_ops` are the mutating operations of the type; `read_ops` the
+    /// rest. For `SWMR`/`CWSR`-style modes, thread 0 is the distinguished
+    /// single writer (resp. single reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(
+        n_threads: usize,
+        mode: AccessMode,
+        write_ops: &[&'static str],
+        read_ops: &[&'static str],
+    ) -> Self {
+        assert!(n_threads > 0, "permission map needs at least one thread");
+        PermissionMap {
+            n_threads,
+            mode,
+            write_ops: write_ops.iter().copied().collect(),
+            read_ops: read_ops.iter().copied().collect(),
+        }
+    }
+
+    /// Number of threads the map covers.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// The access mode.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// The declared write operations.
+    pub fn write_ops(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.write_ops.iter().copied()
+    }
+
+    fn role(&self, thread: usize) -> Role {
+        match self.mode {
+            AccessMode::All | AccessMode::Cwmr => Role::Both,
+            AccessMode::Swmr => {
+                if thread == 0 {
+                    Role::Writer
+                } else {
+                    Role::Reader
+                }
+            }
+            AccessMode::Mwsr => {
+                if thread == 0 {
+                    Role::Reader
+                } else {
+                    Role::Writer
+                }
+            }
+            AccessMode::Cwsr => {
+                if thread == 0 {
+                    Role::Both
+                } else {
+                    Role::Writer
+                }
+            }
+        }
+    }
+
+    /// Whether `thread` may invoke `op` under this map.
+    ///
+    /// For the commuting modes (`CWMR`, `CWSR`), a write is allowed only if
+    /// its first argument falls in the thread's partition
+    /// (`arg % n_threads == thread`), or if it takes no argument (blind
+    /// self-commuting updates such as `inc`).
+    pub fn allows(&self, thread: usize, op: &Op) -> bool {
+        if thread >= self.n_threads {
+            return false;
+        }
+        let is_write = self.write_ops.contains(op.name);
+        let is_read = self.read_ops.contains(op.name);
+        if !is_write && !is_read {
+            return false;
+        }
+        let role_ok = match (self.role(thread), is_write) {
+            (Role::Both, _) => true,
+            (Role::Writer, w) => w,
+            (Role::Reader, w) => !w,
+        };
+        if !role_ok {
+            return false;
+        }
+        if is_write && matches!(self.mode, AccessMode::Cwmr | AccessMode::Cwsr) {
+            match op.args.first() {
+                Some(a) => (a.rem_euclid(self.n_threads as i64)) as usize == thread,
+                None => true,
+            }
+        } else {
+            true
+        }
+    }
+
+    /// Whether a bag complies with this map: instance `i` (thread `i`'s
+    /// operation) must be allowed for thread `i`.
+    pub fn complies(&self, bag: &[Op]) -> bool {
+        bag.len() <= self.n_threads && bag.iter().enumerate().all(|(i, op)| self.allows(i, op))
+    }
+
+    /// Permission inclusion `O.m ⊆ O'.m` (Definition 1): everything a
+    /// thread may do under `self` is also allowed under `other`, checked
+    /// over the given operation universe.
+    pub fn included_in(&self, other: &PermissionMap, universe: &[Op]) -> bool {
+        if self.n_threads != other.n_threads {
+            return false;
+        }
+        (0..self.n_threads)
+            .all(|t| universe.iter().all(|op| !self.allows(t, op) || other.allows(t, op)))
+    }
+
+    /// Enumerate all compliant bags of exactly `k` operations drawn from
+    /// `universe` (thread `i` gets the `i`-th element). Used by the bounded
+    /// analyses; `k` must not exceed `n_threads`.
+    pub fn compliant_bags(&self, universe: &[Op], k: usize) -> Vec<Vec<Op>> {
+        assert!(k <= self.n_threads, "bag larger than the thread count");
+        let mut out = Vec::new();
+        let mut current: Vec<Op> = Vec::with_capacity(k);
+        self.rec_bags(universe, k, &mut current, &mut out);
+        out
+    }
+
+    fn rec_bags(&self, universe: &[Op], k: usize, cur: &mut Vec<Op>, out: &mut Vec<Vec<Op>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        let t = cur.len();
+        for op in universe {
+            if self.allows(t, op) {
+                cur.push(op.clone());
+                self.rec_bags(universe, k, cur, out);
+                cur.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::op;
+
+    fn counter_perm(mode: AccessMode, n: usize) -> PermissionMap {
+        PermissionMap::new(n, mode, &["inc", "rmw", "reset"], &["get"])
+    }
+
+    #[test]
+    fn all_mode_allows_everything_in_range() {
+        let p = counter_perm(AccessMode::All, 3);
+        assert!(p.allows(0, &op("inc", &[])));
+        assert!(p.allows(2, &op("get", &[])));
+        assert!(!p.allows(3, &op("get", &[]))); // out of range
+        assert!(!p.allows(0, &op("unknown", &[])));
+    }
+
+    #[test]
+    fn swmr_pins_writes_to_thread_zero() {
+        let p = counter_perm(AccessMode::Swmr, 3);
+        assert!(p.allows(0, &op("inc", &[])));
+        assert!(!p.allows(0, &op("get", &[])));
+        assert!(!p.allows(1, &op("inc", &[])));
+        assert!(p.allows(1, &op("get", &[])));
+    }
+
+    #[test]
+    fn mwsr_pins_reads_to_thread_zero() {
+        let p = counter_perm(AccessMode::Mwsr, 3);
+        assert!(p.allows(0, &op("get", &[])));
+        assert!(!p.allows(0, &op("inc", &[])));
+        assert!(p.allows(1, &op("inc", &[])));
+        assert!(!p.allows(1, &op("get", &[])));
+    }
+
+    #[test]
+    fn cwmr_partitions_write_arguments() {
+        let p = PermissionMap::new(2, AccessMode::Cwmr, &["add", "remove"], &["contains"]);
+        assert!(p.allows(0, &op("add", &[2])));
+        assert!(!p.allows(0, &op("add", &[3])));
+        assert!(p.allows(1, &op("add", &[3])));
+        // Reads are unrestricted.
+        assert!(p.allows(0, &op("contains", &[3])));
+        assert!(p.allows(1, &op("contains", &[2])));
+    }
+
+    #[test]
+    fn cwsr_single_reader_is_thread_zero() {
+        let p = counter_perm(AccessMode::Cwsr, 3);
+        assert!(p.allows(0, &op("get", &[])));
+        assert!(!p.allows(1, &op("get", &[])));
+        assert!(p.allows(1, &op("inc", &[])));
+        assert!(p.allows(2, &op("inc", &[])));
+    }
+
+    #[test]
+    fn complies_checks_positionally() {
+        let p = counter_perm(AccessMode::Swmr, 2);
+        assert!(p.complies(&[op("inc", &[]), op("get", &[])]));
+        assert!(!p.complies(&[op("get", &[]), op("inc", &[])]));
+        assert!(!p.complies(&[op("inc", &[]), op("get", &[]), op("get", &[])]));
+    }
+
+    #[test]
+    fn inclusion_all_contains_swmr() {
+        let all = counter_perm(AccessMode::All, 3);
+        let swmr = counter_perm(AccessMode::Swmr, 3);
+        let universe = [op("inc", &[]), op("get", &[]), op("reset", &[])];
+        assert!(swmr.included_in(&all, &universe));
+        assert!(!all.included_in(&swmr, &universe));
+    }
+
+    #[test]
+    fn compliant_bag_enumeration() {
+        let p = counter_perm(AccessMode::Swmr, 2);
+        let universe = [op("inc", &[]), op("get", &[])];
+        let bags = p.compliant_bags(&universe, 2);
+        // thread 0 must write, thread 1 must read => exactly one bag
+        assert_eq!(bags, vec![vec![op("inc", &[]), op("get", &[])]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = PermissionMap::new(0, AccessMode::All, &[], &[]);
+    }
+}

@@ -1,0 +1,903 @@
+//! The adjusted data types of Table 1, plus classic synchronization
+//! objects used in §3.1 (registers, max-registers, test-and-set,
+//! fetch-and-add, compare-and-swap).
+//!
+//! Naming follows the paper:
+//!
+//! * counters `C1` (full), `C2` (`rmw` voided, `reset` deleted),
+//!   `C3` (`C2` with blind `inc`);
+//! * sets `S1` (full), `S2` (blind `add`/`remove`), `S3` (`remove` voided);
+//! * queue `Q1` (`offer`/`poll`/`contains`);
+//! * references `R1` (read/write), `R2` (write-once);
+//! * maps `M1` (full), `M2` (blind `put`/`remove`).
+
+use crate::dtype::{Op, OpSig, SpecType};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Convenience constructor for an operation instance.
+pub fn op(name: &'static str, args: &[i64]) -> Op {
+    Op {
+        name,
+        args: args.to_vec(),
+    }
+}
+
+fn pre_true(_: &Value, _: &[i64]) -> bool {
+    true
+}
+
+fn pre_false(_: &Value, _: &[i64]) -> bool {
+    false
+}
+
+// ---------------------------------------------------------------- counters
+
+fn ctr_inc_effect(s: &Value, _: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0) + 1)
+}
+
+fn ctr_inc_ret(s: &Value, _: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0) + 1)
+}
+
+fn ctr_get_ret(s: &Value, _: &[i64]) -> Value {
+    s.clone()
+}
+
+fn ctr_reset_effect(_: &Value, _: &[i64]) -> Value {
+    Value::Int(0)
+}
+
+/// `rmw(f, x)` from Table 1, modelled as `f(s, x) = s + x` (a
+/// fetch-and-add-style read-modify-write, the canonical representative).
+fn ctr_rmw_effect(s: &Value, a: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0) + a[0])
+}
+
+fn ctr_rmw_ret(s: &Value, a: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0) + a[0])
+}
+
+/// Counter `C1`: the full interface.
+///
+/// `[true] rmw(f,x) [s' = f(s,x) ∧ r = s']`, `[true] inc() [s' = s+1 ∧ r = s']`,
+/// `[true] get() [r = s]`, `[true] reset() [s' = 0]`.
+pub fn counter_c1() -> SpecType {
+    SpecType::new(
+        "C1",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "rmw",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(ctr_rmw_effect),
+                ret: Some(ctr_rmw_ret),
+            },
+            OpSig {
+                name: "inc",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(ctr_inc_effect),
+                ret: Some(ctr_inc_ret),
+            },
+            OpSig {
+                name: "get",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(ctr_get_ret),
+            },
+            OpSig {
+                name: "reset",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(ctr_reset_effect),
+                ret: None,
+            },
+        ],
+    )
+}
+
+/// Counter `C2`: `rmw`'s postcondition is voided and `reset` is deleted
+/// (precondition `false`); `inc` still returns the new value.
+pub fn counter_c2() -> SpecType {
+    SpecType::new(
+        "C2",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "rmw",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: None,
+            },
+            OpSig {
+                name: "inc",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(ctr_inc_effect),
+                ret: Some(ctr_inc_ret),
+            },
+            OpSig {
+                name: "get",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(ctr_get_ret),
+            },
+            OpSig {
+                name: "reset",
+                arity: 0,
+                pre: pre_false,
+                effect: Some(ctr_reset_effect),
+                ret: None,
+            },
+        ],
+    )
+}
+
+/// Counter `C3`: like `C2` but `inc` is blind (return value voided).
+/// This is the increment-only counter implemented by
+/// `CounterIncrementOnly` in the DEGO library.
+pub fn counter_c3() -> SpecType {
+    SpecType::new(
+        "C3",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "rmw",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: None,
+            },
+            OpSig {
+                name: "inc",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(ctr_inc_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "get",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(ctr_get_ret),
+            },
+            OpSig {
+                name: "reset",
+                arity: 0,
+                pre: pre_false,
+                effect: Some(ctr_reset_effect),
+                ret: None,
+            },
+        ],
+    )
+}
+
+// -------------------------------------------------------------------- sets
+
+fn set_add_effect(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Set(set) => {
+            let mut set = set.clone();
+            set.insert(a[0]);
+            Value::Set(set)
+        }
+        _ => Value::set_of(&[a[0]]),
+    }
+}
+
+fn set_add_ret(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Set(set) => Value::Bool(!set.contains(&a[0])),
+        _ => Value::Bool(true),
+    }
+}
+
+fn set_remove_effect(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Set(set) => {
+            let mut set = set.clone();
+            set.remove(&a[0]);
+            Value::Set(set)
+        }
+        _ => Value::empty_set(),
+    }
+}
+
+fn set_remove_ret(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Set(set) => Value::Bool(set.contains(&a[0])),
+        _ => Value::Bool(false),
+    }
+}
+
+fn set_contains_ret(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Set(set) => Value::Bool(set.contains(&a[0])),
+        _ => Value::Bool(false),
+    }
+}
+
+/// Set `S1`: the full interface — `add`/`remove` report whether they
+/// changed the set, `contains` reads.
+pub fn set_s1() -> SpecType {
+    SpecType::new(
+        "S1",
+        Value::empty_set(),
+        vec![
+            OpSig {
+                name: "add",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(set_add_effect),
+                ret: Some(set_add_ret),
+            },
+            OpSig {
+                name: "remove",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(set_remove_effect),
+                ret: Some(set_remove_ret),
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(set_contains_ret),
+            },
+        ],
+    )
+}
+
+/// Set `S2`: `add` and `remove` are blind (return values voided).
+pub fn set_s2() -> SpecType {
+    SpecType::new(
+        "S2",
+        Value::empty_set(),
+        vec![
+            OpSig {
+                name: "add",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(set_add_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "remove",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(set_remove_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(set_contains_ret),
+            },
+        ],
+    )
+}
+
+/// Set `S3`: like `S2` with `remove` additionally voided (its whole
+/// postcondition is `true`, i.e. the method is effectively deleted).
+pub fn set_s3() -> SpecType {
+    SpecType::new(
+        "S3",
+        Value::empty_set(),
+        vec![
+            OpSig {
+                name: "add",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(set_add_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "remove",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: None,
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(set_contains_ret),
+            },
+        ],
+    )
+}
+
+// ------------------------------------------------------------------ queues
+
+fn q_offer_effect(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Seq(q) => {
+            let mut q = q.clone();
+            q.push(a[0]);
+            Value::Seq(q)
+        }
+        _ => Value::seq_of(&[a[0]]),
+    }
+}
+
+fn q_poll_effect(s: &Value, _: &[i64]) -> Value {
+    match s {
+        Value::Seq(q) if !q.is_empty() => Value::Seq(q[1..].to_vec()),
+        _ => s.clone(),
+    }
+}
+
+fn q_poll_ret(s: &Value, _: &[i64]) -> Value {
+    match s {
+        Value::Seq(q) if !q.is_empty() => Value::Int(q[0]),
+        _ => Value::Bottom,
+    }
+}
+
+fn q_contains_ret(s: &Value, a: &[i64]) -> Value {
+    match s {
+        Value::Seq(q) => Value::Bool(q.contains(&a[0])),
+        _ => Value::Bool(false),
+    }
+}
+
+/// Queue `Q1`: `offer` is blind, `poll` returns/removes the head (`⊥` on
+/// empty), `contains` reads.
+pub fn queue_q1() -> SpecType {
+    SpecType::new(
+        "Q1",
+        Value::empty_seq(),
+        vec![
+            OpSig {
+                name: "offer",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(q_offer_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "poll",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(q_poll_effect),
+                ret: Some(q_poll_ret),
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(q_contains_ret),
+            },
+        ],
+    )
+}
+
+// -------------------------------------------------------------- references
+
+fn ref_set_effect(_: &Value, a: &[i64]) -> Value {
+    Value::Int(a[0])
+}
+
+fn ref_get_ret(s: &Value, _: &[i64]) -> Value {
+    s.clone()
+}
+
+fn ref_set_once_pre(s: &Value, _: &[i64]) -> bool {
+    s.is_bottom()
+}
+
+/// Reference `R1`: plain read/write register over addresses.
+pub fn reference_r1() -> SpecType {
+    SpecType::new(
+        "R1",
+        Value::Bottom,
+        vec![
+            OpSig {
+                name: "set",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(ref_set_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "get",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(ref_get_ret),
+            },
+        ],
+    )
+}
+
+/// Reference `R2`: write-once — `set` has the strengthened precondition
+/// `s = ⊥`. This is the type of `AtomicWriteOnceReference` (Listing 1).
+pub fn reference_r2() -> SpecType {
+    SpecType::new(
+        "R2",
+        Value::Bottom,
+        vec![
+            OpSig {
+                name: "set",
+                arity: 1,
+                pre: ref_set_once_pre,
+                effect: Some(ref_set_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "get",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(ref_get_ret),
+            },
+        ],
+    )
+}
+
+// -------------------------------------------------------------------- maps
+
+fn map_state(s: &Value) -> BTreeMap<i64, i64> {
+    match s {
+        Value::Map(m) => m.clone(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn map_put_effect(s: &Value, a: &[i64]) -> Value {
+    let mut m = map_state(s);
+    m.insert(a[0], a[1]);
+    Value::Map(m)
+}
+
+fn map_put_ret(s: &Value, a: &[i64]) -> Value {
+    map_state(s)
+        .get(&a[0])
+        .map(|v| Value::Int(*v))
+        .unwrap_or(Value::Bottom)
+}
+
+fn map_remove_effect(s: &Value, a: &[i64]) -> Value {
+    let mut m = map_state(s);
+    m.remove(&a[0]);
+    Value::Map(m)
+}
+
+fn map_remove_ret(s: &Value, a: &[i64]) -> Value {
+    map_state(s)
+        .get(&a[0])
+        .map(|v| Value::Int(*v))
+        .unwrap_or(Value::Bottom)
+}
+
+fn map_contains_ret(s: &Value, a: &[i64]) -> Value {
+    Value::Bool(map_state(s).contains_key(&a[0]))
+}
+
+/// Map `M1`: full interface — `put`/`remove` return the previous value.
+pub fn map_m1() -> SpecType {
+    SpecType::new(
+        "M1",
+        Value::empty_map(),
+        vec![
+            OpSig {
+                name: "put",
+                arity: 2,
+                pre: pre_true,
+                effect: Some(map_put_effect),
+                ret: Some(map_put_ret),
+            },
+            OpSig {
+                name: "remove",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(map_remove_effect),
+                ret: Some(map_remove_ret),
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(map_contains_ret),
+            },
+        ],
+    )
+}
+
+/// Map `M2`: `put` and `remove` are blind. Implemented in DEGO by the
+/// extended-segmentation maps.
+pub fn map_m2() -> SpecType {
+    SpecType::new(
+        "M2",
+        Value::empty_map(),
+        vec![
+            OpSig {
+                name: "put",
+                arity: 2,
+                pre: pre_true,
+                effect: Some(map_put_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "remove",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(map_remove_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(map_contains_ret),
+            },
+        ],
+    )
+}
+
+// --------------------------------------- classic synchronization objects
+
+fn reg_write_effect(_: &Value, a: &[i64]) -> Value {
+    Value::Int(a[0])
+}
+
+fn reg_read_ret(s: &Value, _: &[i64]) -> Value {
+    s.clone()
+}
+
+/// A plain read/write register (consensus number 1).
+pub fn register() -> SpecType {
+    SpecType::new(
+        "Register",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "write",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(reg_write_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "read",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(reg_read_ret),
+            },
+        ],
+    )
+}
+
+fn maxreg_write_effect(s: &Value, a: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0).max(a[0]))
+}
+
+/// A max-register: `write_max(x)` raises the state to `max(s, x)`;
+/// `read` returns the maximum so far. In `CN₁` (§3.1) yet cheap to scale,
+/// unlike snapshots — the motivating example for why the consensus number
+/// is a poor scalability indicator.
+pub fn max_register() -> SpecType {
+    SpecType::new(
+        "MaxRegister",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "write_max",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(maxreg_write_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "read",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(reg_read_ret),
+            },
+        ],
+    )
+}
+
+fn tas_effect(_: &Value, _: &[i64]) -> Value {
+    Value::Bool(true)
+}
+
+fn tas_ret(s: &Value, _: &[i64]) -> Value {
+    // Returns the *previous* value: false exactly for the winner.
+    match s {
+        Value::Bool(b) => Value::Bool(*b),
+        _ => Value::Bool(false),
+    }
+}
+
+/// Test-and-set (consensus number 2).
+pub fn test_and_set() -> SpecType {
+    SpecType::new(
+        "TestAndSet",
+        Value::Bool(false),
+        vec![
+            OpSig {
+                name: "test_and_set",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(tas_effect),
+                ret: Some(tas_ret),
+            },
+            OpSig {
+                name: "read",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(reg_read_ret),
+            },
+        ],
+    )
+}
+
+fn faa_effect(s: &Value, a: &[i64]) -> Value {
+    Value::Int(s.as_int().unwrap_or(0) + a[0])
+}
+
+fn faa_ret(s: &Value, _: &[i64]) -> Value {
+    s.clone()
+}
+
+/// Fetch-and-add (consensus number 2).
+pub fn fetch_and_add() -> SpecType {
+    SpecType::new(
+        "FetchAndAdd",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "faa",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(faa_effect),
+                ret: Some(faa_ret),
+            },
+            OpSig {
+                name: "read",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(reg_read_ret),
+            },
+        ],
+    )
+}
+
+fn cas_effect(s: &Value, a: &[i64]) -> Value {
+    if s.as_int() == Some(a[0]) {
+        Value::Int(a[1])
+    } else {
+        s.clone()
+    }
+}
+
+fn cas_ret(s: &Value, a: &[i64]) -> Value {
+    Value::Bool(s.as_int() == Some(a[0]))
+}
+
+/// Compare-and-swap (infinite consensus number).
+pub fn compare_and_swap() -> SpecType {
+    SpecType::new(
+        "CompareAndSwap",
+        Value::Int(0),
+        vec![
+            OpSig {
+                name: "cas",
+                arity: 2,
+                pre: pre_true,
+                effect: Some(cas_effect),
+                ret: Some(cas_ret),
+            },
+            OpSig {
+                name: "read",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(reg_read_ret),
+            },
+        ],
+    )
+}
+
+/// All Table 1 specs, by name, for driving sweeps in tests and reports.
+pub fn table1() -> Vec<SpecType> {
+    vec![
+        counter_c1(),
+        counter_c2(),
+        counter_c3(),
+        set_s1(),
+        set_s2(),
+        set_s3(),
+        queue_q1(),
+        reference_r1(),
+        reference_r2(),
+        map_m1(),
+        map_m2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn counter_c1_semantics() {
+        let c = counter_c1();
+        let (s, r) = c.apply(&Value::Int(4), &op("inc", &[]));
+        assert_eq!((s, r), (Value::Int(5), Value::Int(5)));
+        let (s, r) = c.apply(&Value::Int(4), &op("get", &[]));
+        assert_eq!((s, r), (Value::Int(4), Value::Int(4)));
+        let (s, r) = c.apply(&Value::Int(4), &op("reset", &[]));
+        assert_eq!((s, r), (Value::Int(0), Value::Bottom));
+        let (s, r) = c.apply(&Value::Int(4), &op("rmw", &[3]));
+        assert_eq!((s, r), (Value::Int(7), Value::Int(7)));
+    }
+
+    #[test]
+    fn counter_c2_voids_rmw_and_deletes_reset() {
+        let c = counter_c2();
+        let (s, r) = c.apply(&Value::Int(4), &op("rmw", &[3]));
+        assert_eq!((s, r), (Value::Int(4), Value::Bottom));
+        let (s, r) = c.apply(&Value::Int(4), &op("reset", &[]));
+        assert_eq!((s, r), (Value::Int(4), Value::Bottom));
+        // inc still returns the new value in C2.
+        let (_, r) = c.apply(&Value::Int(4), &op("inc", &[]));
+        assert_eq!(r, Value::Int(5));
+    }
+
+    #[test]
+    fn counter_c3_inc_is_blind() {
+        let c = counter_c3();
+        let (s, r) = c.apply(&Value::Int(4), &op("inc", &[]));
+        assert_eq!((s, r), (Value::Int(5), Value::Bottom));
+    }
+
+    #[test]
+    fn set_s1_reports_membership_changes() {
+        let s1 = set_s1();
+        let (s, r) = s1.apply(&Value::empty_set(), &op("add", &[7]));
+        assert_eq!(r, Value::Bool(true));
+        let (s, r) = s1.apply(&s, &op("add", &[7]));
+        assert_eq!(r, Value::Bool(false));
+        let (s, r) = s1.apply(&s, &op("remove", &[7]));
+        assert_eq!(r, Value::Bool(true));
+        assert_eq!(s, Value::empty_set());
+        let (_, r) = s1.apply(&s, &op("remove", &[7]));
+        assert_eq!(r, Value::Bool(false));
+    }
+
+    #[test]
+    fn set_s3_remove_is_a_noop() {
+        let s3 = set_s3();
+        let st = Value::set_of(&[1, 2]);
+        let (s, r) = s3.apply(&st, &op("remove", &[1]));
+        assert_eq!(s, st);
+        assert_eq!(r, Value::Bottom);
+    }
+
+    #[test]
+    fn queue_is_fifo_and_poll_on_empty_is_bottom() {
+        let q = queue_q1();
+        let (s, _) = q.apply_all(
+            &Value::empty_seq(),
+            &[op("offer", &[1]), op("offer", &[2])],
+        );
+        let (s, r) = q.apply(&s, &op("poll", &[]));
+        assert_eq!(r, Value::Int(1));
+        let (s, r) = q.apply(&s, &op("poll", &[]));
+        assert_eq!(r, Value::Int(2));
+        let (_, r) = q.apply(&s, &op("poll", &[]));
+        assert_eq!(r, Value::Bottom);
+    }
+
+    #[test]
+    fn queue_contains_sees_queued_items() {
+        let q = queue_q1();
+        let (s, _) = q.apply(&Value::empty_seq(), &op("offer", &[9]));
+        let (_, r) = q.apply(&s, &op("contains", &[9]));
+        assert_eq!(r, Value::Bool(true));
+        let (_, r) = q.apply(&s, &op("contains", &[4]));
+        assert_eq!(r, Value::Bool(false));
+    }
+
+    #[test]
+    fn reference_r2_is_write_once() {
+        let r2 = reference_r2();
+        let (s, _) = r2.apply(&Value::Bottom, &op("set", &[5]));
+        assert_eq!(s, Value::Int(5));
+        let (s2, r) = r2.apply(&s, &op("set", &[6]));
+        assert_eq!(s2, Value::Int(5));
+        assert_eq!(r, Value::Bottom);
+        let (_, r) = r2.apply(&s, &op("get", &[]));
+        assert_eq!(r, Value::Int(5));
+    }
+
+    #[test]
+    fn map_m1_put_returns_previous_value() {
+        let m = map_m1();
+        let (s, r) = m.apply(&Value::empty_map(), &op("put", &[1, 10]));
+        assert_eq!(r, Value::Bottom);
+        let (s, r) = m.apply(&s, &op("put", &[1, 20]));
+        assert_eq!(r, Value::Int(10));
+        let (_, r) = m.apply(&s, &op("remove", &[1]));
+        assert_eq!(r, Value::Int(20));
+    }
+
+    #[test]
+    fn map_m2_is_blind() {
+        let m = map_m2();
+        let (s, r) = m.apply(&Value::empty_map(), &op("put", &[1, 10]));
+        assert_eq!(r, Value::Bottom);
+        assert_eq!(s, Value::map_of(&[(1, 10)]));
+        let (s, r) = m.apply(&s, &op("remove", &[1]));
+        assert_eq!(r, Value::Bottom);
+        assert_eq!(s, Value::empty_map());
+    }
+
+    #[test]
+    fn max_register_is_monotone() {
+        let mr = max_register();
+        let (s, _) = mr.apply_all(
+            &Value::Int(0),
+            &[op("write_max", &[5]), op("write_max", &[3])],
+        );
+        assert_eq!(s, Value::Int(5));
+    }
+
+    #[test]
+    fn test_and_set_has_a_single_winner() {
+        let t = test_and_set();
+        let (s, r) = t.apply(&Value::Bool(false), &op("test_and_set", &[]));
+        assert_eq!(r, Value::Bool(false)); // winner sees previous=false
+        let (_, r) = t.apply(&s, &op("test_and_set", &[]));
+        assert_eq!(r, Value::Bool(true)); // loser
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let c = compare_and_swap();
+        let (s, r) = c.apply(&Value::Int(0), &op("cas", &[0, 5]));
+        assert_eq!((s.clone(), r), (Value::Int(5), Value::Bool(true)));
+        let (s2, r) = c.apply(&s, &op("cas", &[0, 9]));
+        assert_eq!((s2, r), (Value::Int(5), Value::Bool(false)));
+    }
+
+    #[test]
+    fn fetch_and_add_returns_previous() {
+        let f = fetch_and_add();
+        let (s, r) = f.apply(&Value::Int(3), &op("faa", &[2]));
+        assert_eq!((s, r), (Value::Int(5), Value::Int(3)));
+    }
+
+    #[test]
+    fn table1_is_complete() {
+        let t = table1();
+        let names: Vec<String> = t.iter().map(|x| x.name().to_string()).collect();
+        for expected in [
+            "C1", "C2", "C3", "S1", "S2", "S3", "Q1", "R1", "R2", "M1", "M2",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+}

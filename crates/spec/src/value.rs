@@ -1,0 +1,194 @@
+//! Dynamic values: the state/response universe of the executable specs.
+//!
+//! Table 1 of the paper specifies counters, sets, queues, references and
+//! maps. Their states and responses all fit in the small algebraic type
+//! [`Value`]. A single dynamic universe (rather than one Rust type per
+//! object) lets the adjustment checker compare *different* specifications
+//! over a *common* state space, which is exactly what Definition 1 and
+//! Proposition 6 require.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A value in the specification universe: an object state or a response.
+///
+/// `Bottom` is the paper's `⊥` — the response of an operation whose
+/// precondition failed, of a blind (void) operation, and the content of an
+/// unset reference or absent map key.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The undefined/empty value `⊥`.
+    Bottom,
+    /// A boolean response (e.g. from `contains`).
+    Bool(bool),
+    /// An integer state or response (counters, references to addresses).
+    Int(i64),
+    /// A set state (the `Set` data types `S1..S3`).
+    Set(BTreeSet<i64>),
+    /// A sequence state (the `Queue` data type `Q1`).
+    Seq(Vec<i64>),
+    /// A map state (the `Map` data types `M1, M2`).
+    Map(BTreeMap<i64, i64>),
+}
+
+impl Value {
+    /// An empty set state.
+    pub fn empty_set() -> Self {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// An empty sequence state.
+    pub fn empty_seq() -> Self {
+        Value::Seq(Vec::new())
+    }
+
+    /// An empty map state.
+    pub fn empty_map() -> Self {
+        Value::Map(BTreeMap::new())
+    }
+
+    /// A set state holding `items`.
+    pub fn set_of(items: &[i64]) -> Self {
+        Value::Set(items.iter().copied().collect())
+    }
+
+    /// A sequence state holding `items` in order.
+    pub fn seq_of(items: &[i64]) -> Self {
+        Value::Seq(items.to_vec())
+    }
+
+    /// A map state holding `pairs`.
+    pub fn map_of(pairs: &[(i64, i64)]) -> Self {
+        Value::Map(pairs.iter().copied().collect())
+    }
+
+    /// Whether this value is `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Value::Bottom)
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Bottom
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bottom => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Seq(s) => write!(f, "{s:?}"),
+            Value::Map(m) => {
+                write!(f, "[")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k}→{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_default_and_detectable() {
+        assert!(Value::default().is_bottom());
+        assert!(!Value::Int(0).is_bottom());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Bottom.as_int(), None);
+        assert_eq!(Value::Bottom.as_bool(), None);
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        assert_eq!(Value::set_of(&[2, 1, 2]), Value::set_of(&[1, 2]));
+        assert_eq!(Value::seq_of(&[1, 2]), Value::Seq(vec![1, 2]));
+        assert_eq!(
+            Value::map_of(&[(1, 10), (2, 20)]),
+            Value::map_of(&[(2, 20), (1, 10)])
+        );
+        assert_eq!(Value::empty_set(), Value::set_of(&[]));
+        assert_eq!(Value::empty_map(), Value::map_of(&[]));
+        assert_eq!(Value::empty_seq(), Value::seq_of(&[]));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vs = vec![
+            Value::Int(3),
+            Value::Bottom,
+            Value::Bool(true),
+            Value::Int(1),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Bottom);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::Bottom), "⊥");
+        assert_eq!(format!("{:?}", Value::set_of(&[1, 2])), "{1,2}");
+        assert_eq!(format!("{:?}", Value::map_of(&[(1, 5)])), "[1→5]");
+        assert_eq!(format!("{}", Value::Int(4)), "4");
+    }
+}

@@ -1,0 +1,103 @@
+//! A realistic DEGO scenario: a metrics pipeline.
+//!
+//! Run with: `cargo run -p dego-core --example metrics_pipeline`
+//!
+//! The motivating workload of the paper's introduction: a server tallies
+//! per-endpoint request statistics. Every request thread bumps counters
+//! and appends events; a single collector thread aggregates. Each shared
+//! object is *adjusted to that exact usage*:
+//!
+//! * request counters are increment-only (`C3`, CWSR) — nobody resets
+//!   them, nobody needs the return value of an increment;
+//! * the event log is multi-producer single-consumer (`Q1`, MWSR) — only
+//!   the collector drains it;
+//! * the service configuration is write-once (`R2`) — set at boot, read
+//!   on every request.
+
+use dego_core::{mpsc, CounterIncrementOnly, WriteOnceReader, WriteOnceRef};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Config {
+    sampling: u64,
+}
+
+#[derive(Debug)]
+struct Event {
+    endpoint: usize,
+    micros: u64,
+}
+
+const ENDPOINTS: usize = 4;
+const WORKERS: usize = 4;
+const REQUESTS_PER_WORKER: u64 = 50_000;
+
+fn main() {
+    // Boot: publish the configuration exactly once.
+    let config: Arc<WriteOnceRef<Config>> = Arc::new(WriteOnceRef::new());
+    config.set(Config { sampling: 100 });
+
+    // Per-endpoint increment-only counters.
+    let counters: Vec<Arc<CounterIncrementOnly>> = (0..ENDPOINTS)
+        .map(|_| CounterIncrementOnly::new(WORKERS))
+        .collect();
+
+    // The event log: all workers produce, the collector consumes.
+    let (event_tx, mut event_rx) = mpsc::queue::<Event>();
+
+    std::thread::scope(|s| {
+        // Request workers.
+        for w in 0..WORKERS {
+            let counters = counters.clone();
+            let config = WriteOnceReader::new(Arc::clone(&config));
+            let event_tx = event_tx.clone();
+            s.spawn(move || {
+                let cells: Vec<_> = counters.iter().map(|c| c.cell()).collect();
+                let sampling = config.get().expect("configured at boot").sampling;
+                for i in 0..REQUESTS_PER_WORKER {
+                    let endpoint = (w as u64 + i) as usize % ENDPOINTS;
+                    cells[endpoint].inc(); // hot path: plain store
+                    if i % sampling == 0 {
+                        event_tx.offer(Event {
+                            endpoint,
+                            micros: 10 + (i % 90),
+                        });
+                    }
+                }
+            });
+        }
+
+        // The collector: the unique consumer of the event log.
+        let counters_for_collector = counters.clone();
+        s.spawn(move || {
+            let total_expected = WORKERS as u64 * REQUESTS_PER_WORKER;
+            let mut sampled = Vec::new();
+            loop {
+                while let Some(ev) = event_rx.poll() {
+                    sampled.push(ev);
+                }
+                let processed: u64 = counters_for_collector.iter().map(|c| c.get()).sum();
+                if processed == total_expected {
+                    // Drain any stragglers and report.
+                    while let Some(ev) = event_rx.poll() {
+                        sampled.push(ev);
+                    }
+                    println!("collector: {processed} requests, {} sampled events", sampled.len());
+                    let mean_us = sampled.iter().map(|e| e.micros).sum::<u64>() as f64
+                        / sampled.len().max(1) as f64;
+                    println!("collector: mean sampled latency {mean_us:.1} µs");
+                    for (i, c) in counters_for_collector.iter().enumerate() {
+                        println!("collector: endpoint {i}: {} requests", c.get());
+                    }
+                    assert!(sampled.iter().all(|e| e.endpoint < ENDPOINTS));
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        });
+    });
+
+    let grand_total: u64 = counters.iter().map(|c| c.get()).sum();
+    assert_eq!(grand_total, WORKERS as u64 * REQUESTS_PER_WORKER);
+    println!("pipeline complete: {grand_total} requests tallied exactly.");
+}

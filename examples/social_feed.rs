@@ -1,0 +1,86 @@
+//! The Retwis-like social network (§6.3) end to end, on the DEGO
+//! backend, with a JUC cross-check.
+//!
+//! Run with: `cargo run -p dego-core --example social_feed`
+//!
+//! (The example lives in `dego-core`'s examples for discoverability; the
+//! application logic comes from the `dego-retwis` crate.)
+
+fn main() {
+    // The example exercises the same code paths as the Fig. 9 harness
+    // but at a friendly scale, printing what happens.
+    use dego_retwis::{
+        home_worker, DegoBackend, JucBackend, SocialBackend, SocialWorker,
+    };
+    use std::sync::Arc;
+
+    const USERS: u64 = 1_000;
+    const THREADS: usize = 2;
+
+    println!("building a {USERS}-user network over {THREADS} workers (DEGO backend)…");
+    let backend = DegoBackend::create(THREADS, USERS as usize);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for slot in 0..THREADS {
+            let backend = Arc::clone(&backend);
+            handles.push(s.spawn(move || {
+                let mut w = backend.worker();
+                // Each worker populates its own partition.
+                let mine: Vec<u64> = (0..USERS)
+                    .filter(|&u| home_worker(u, THREADS) == slot)
+                    .collect();
+                for &u in &mine {
+                    w.add_user(u);
+                }
+                (w, mine)
+            }));
+        }
+        let mut workers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Worker 0's first user follows a few celebrities and reads feeds.
+        let (w0, mine0) = &mut workers[0];
+        let me = mine0[0];
+        for celebrity in [1u64, 2, 3] {
+            if celebrity != me {
+                w0.follow(me, celebrity);
+            }
+        }
+        println!("user {me} follows 3 accounts");
+
+        // Celebrities post (whoever owns them can run `post`; the act of
+        // posting touches the followers' shared rows).
+        for (msg, celebrity) in [(900u64, 1u64), (901, 2), (902, 3)] {
+            if celebrity != me {
+                w0.post(celebrity, msg);
+            }
+        }
+
+        let feed = w0.read_timeline(me);
+        println!("user {me}'s timeline: {feed:?}");
+        assert!(!feed.is_empty());
+
+        // Group membership and profile updates.
+        w0.join_group(me);
+        assert!(w0.in_group(me));
+        w0.update_profile(me);
+        w0.update_profile(me);
+        assert_eq!(w0.profile_version(me), 2);
+        println!("user {me}: in group, profile v{}", w0.profile_version(me));
+    });
+
+    // Cross-check: the JUC backend gives the same answers on the same
+    // scenario (single worker for simplicity).
+    println!("\ncross-checking against the JUC backend…");
+    let juc = JucBackend::create(1, 64);
+    let mut w = juc.worker();
+    for u in 0..10 {
+        w.add_user(u);
+    }
+    w.follow(1, 2);
+    w.post(2, 77);
+    assert_eq!(w.read_timeline(1), vec![77]);
+    assert_eq!(w.read_timeline(2), vec![77]);
+    println!("JUC backend agrees: follower timelines receive posts.");
+    println!("done.");
+}

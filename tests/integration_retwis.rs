@@ -1,0 +1,183 @@
+//! Retwis application invariants across all three backends, plus
+//! cross-backend agreement on deterministic scripts.
+
+use dego_retwis::{
+    home_worker, run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix,
+    SocialBackend, SocialWorker,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic single-worker script; returns observable state.
+fn run_script<B: SocialBackend>() -> (Vec<u64>, usize, bool, u64) {
+    let backend = B::create(1, 128);
+    let mut w = backend.worker();
+    for u in 0..20 {
+        w.add_user(u);
+    }
+    for fan in 1..=5 {
+        w.follow(fan, 0);
+    }
+    w.unfollow(3, 0);
+    for m in 100..110 {
+        w.post(0, m);
+    }
+    w.join_group(7);
+    w.update_profile(7);
+    w.update_profile(7);
+    w.update_profile(7);
+    (
+        w.read_timeline(1),
+        w.follower_count(0),
+        w.in_group(7),
+        w.profile_version(7),
+    )
+}
+
+#[test]
+fn backends_agree_on_deterministic_script() {
+    let juc = run_script::<JucBackend>();
+    let dego = run_script::<DegoBackend>();
+    let dap = run_script::<DapBackend>();
+    assert_eq!(juc, dego, "JUC vs DEGO");
+    assert_eq!(juc, dap, "JUC vs DAP");
+    let (timeline, followers, in_group, version) = juc;
+    assert_eq!(timeline, (100..110).collect::<Vec<u64>>());
+    assert_eq!(followers, 4);
+    assert!(in_group);
+    assert_eq!(version, 3);
+}
+
+#[test]
+fn follow_symmetry_invariant_dego_multiworker() {
+    // After arbitrary interleaved follows across two workers, every
+    // following edge has its follower-side counterpart.
+    let threads = 2usize;
+    let users: Vec<u64> = (0..200).collect();
+    let backend = DegoBackend::create(threads, 512);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for slot in 0..threads {
+            let backend = Arc::clone(&backend);
+            let users = users.clone();
+            handles.push(s.spawn(move || {
+                let mut w = backend.worker();
+                let mine: Vec<u64> = users
+                    .iter()
+                    .copied()
+                    .filter(|&u| home_worker(u, threads) == slot)
+                    .collect();
+                for &u in &mine {
+                    w.add_user(u);
+                }
+                w
+            }));
+        }
+        let mut workers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Interleaved cross-partition follows from both sides.
+        std::thread::scope(|s2| {
+            let mut hs = Vec::new();
+            for (i, mut w) in workers.drain(..).enumerate() {
+                hs.push(s2.spawn(move || {
+                    for k in 0..300u64 {
+                        let a = (k * 7 + i as u64) % 200;
+                        let b = (k * 13 + 1) % 200;
+                        if a != b {
+                            w.follow(a, b);
+                        }
+                        if k % 5 == 0 && a != b {
+                            w.unfollow(a, b);
+                        }
+                    }
+                    w
+                }));
+            }
+            let checkers: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+            let w = &checkers[0];
+            // Symmetry: is_following(a,b) iff a in followers(b). We probe
+            // a sample of pairs.
+            for a in (0..200u64).step_by(7) {
+                for b in (0..200u64).step_by(13) {
+                    if a == b {
+                        continue;
+                    }
+                    let following = w.is_following(a, b);
+                    let count_b = w.follower_count(b);
+                    if following {
+                        assert!(count_b > 0, "{a}→{b} but followers({b}) empty");
+                    }
+                }
+            }
+        });
+    });
+}
+
+#[test]
+fn posts_reach_followers_across_partitions() {
+    let threads = 2usize;
+    let backend = DegoBackend::create(threads, 128);
+    let u0 = (0u64..).find(|&u| home_worker(u, threads) == 0).unwrap();
+    let u1 = (0u64..).find(|&u| home_worker(u, threads) == 1).unwrap();
+    std::thread::scope(|s| {
+        let b = Arc::clone(&backend);
+        let h0 = s.spawn(move || {
+            let mut w = b.worker();
+            w.add_user(u0);
+            w
+        });
+        let mut w0 = h0.join().unwrap();
+        let b = Arc::clone(&backend);
+        let h1 = s.spawn(move || {
+            let mut w = b.worker();
+            w.add_user(u1);
+            w.follow(u1, u0); // cross-partition edge
+            w
+        });
+        let mut w1 = h1.join().unwrap();
+        w0.post(u0, 42);
+        w0.post(u0, 43);
+        // u1's home worker reads u1's timeline.
+        std::thread::scope(|s2| {
+            s2.spawn(move || {
+                assert_eq!(w1.read_timeline(u1), vec![42, 43]);
+            });
+        });
+    });
+}
+
+#[test]
+fn benchmark_scales_users_and_threads() {
+    for threads in [1usize, 2] {
+        for backend_ops in [
+            run_benchmark::<JucBackend>(&cfg(threads)).total_ops,
+            run_benchmark::<DegoBackend>(&cfg(threads)).total_ops,
+            run_benchmark::<DapBackend>(&cfg(threads)).total_ops,
+        ] {
+            assert!(backend_ops > 64, "{threads} threads: {backend_ops} ops");
+        }
+    }
+}
+
+fn cfg(threads: usize) -> BenchmarkConfig {
+    BenchmarkConfig {
+        threads,
+        users: 400,
+        alpha: 1.0,
+        duration: Duration::from_millis(60),
+        mix: OpMix::TABLE2,
+        mean_out_degree: 5,
+        seed: 77,
+    }
+}
+
+#[test]
+fn zipf_bias_changes_access_pattern() {
+    // Not a performance assertion (debug builds are noisy) — just that
+    // both extremes of α run correctly end to end on every backend.
+    for alpha in [0.0f64, 1.0] {
+        let mut c = cfg(2);
+        c.alpha = alpha;
+        assert!(run_benchmark::<DegoBackend>(&c).total_ops > 0, "alpha {alpha}");
+        assert!(run_benchmark::<JucBackend>(&c).total_ops > 0, "alpha {alpha}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Stall-proxy assertions (§6.2's contention analysis).
+//!
+//! The stall proxy is a process-global sink, so these tests serialize on
+//! a lock and live in their own test binary: any other concurrently
+//! running trial would contaminate the deltas.
+
+use dego_bench::workloads::*;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static STALL_LOCK: Mutex<()> = Mutex::new(());
+const QUICK: Duration = Duration::from_millis(40);
+
+#[test]
+fn dego_counter_is_stall_free_juc_is_not() {
+    let _g = STALL_LOCK.lock().unwrap();
+    // The adjusted counter performs no RMW at all; AtomicLong performs
+    // one per increment. The stall proxy must reflect this regardless of
+    // absolute performance (debug builds included).
+    let juc = run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK);
+    let dego = run_counter_trial(CounterImpl::DegoIncrementOnly, 4, QUICK);
+    assert!(juc.stalls > 0, "AtomicLong must register CAS failures");
+    assert_eq!(dego.stalls, 0, "CounterIncrementOnly must be stall-free");
+}
+
+#[test]
+fn dego_map_stalls_below_juc_per_op() {
+    let _g = STALL_LOCK.lock().unwrap();
+    let juc = run_map_trial(
+        MapImpl::JucHash,
+        4,
+        QUICK,
+        100,
+        UpdateKind::PutOnly,
+        512,
+        1024,
+    );
+    let dego = run_map_trial(
+        MapImpl::DegoHash,
+        4,
+        QUICK,
+        100,
+        UpdateKind::PutOnly,
+        512,
+        1024,
+    );
+    let juc_per_op = juc.stalls as f64 / juc.total_ops.max(1) as f64;
+    let dego_per_op = dego.stalls as f64 / dego.total_ops.max(1) as f64;
+    assert!(
+        dego_per_op <= juc_per_op,
+        "DEGO {dego_per_op:.4} stalls/op vs JUC {juc_per_op:.4}"
+    );
+    assert_eq!(dego.stalls, 0, "segmented map writers never wait");
+}
+
+#[test]
+fn mpsc_queue_poll_side_is_casless() {
+    let _g = STALL_LOCK.lock().unwrap();
+    // Under DEGO the consumer performs zero RMWs and producers never
+    // fail (one swap per offer); under JUC both sides CAS and retry.
+    let juc = run_queue_trial(QueueImpl::JucLinked, 4, QUICK);
+    let dego = run_queue_trial(QueueImpl::DegoMasp, 4, QUICK);
+    let juc_per_op = juc.stalls as f64 / juc.total_ops.max(1) as f64;
+    let dego_per_op = dego.stalls as f64 / dego.total_ops.max(1) as f64;
+    assert!(
+        dego_per_op <= juc_per_op,
+        "DEGO {dego_per_op:.4} vs JUC {juc_per_op:.4}"
+    );
+}
+
+#[test]
+fn write_once_reads_are_stall_free() {
+    let _g = STALL_LOCK.lock().unwrap();
+    let m = run_reference_trial(RefImpl::DegoWriteOnce, 4, QUICK);
+    assert_eq!(m.stalls, 0, "cached write-once reads must not RMW");
+}
+
+#[test]
+fn contended_counter_registers_cas_failures() {
+    let _g = STALL_LOCK.lock().unwrap();
+    // Four threads CAS-looping on one line must fail sometimes; the
+    // DEGO counter never even tries.
+    let juc4 = run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK);
+    assert!(juc4.stalls > 0, "no CAS failures under 4-thread contention");
+    let dego4 = run_counter_trial(CounterImpl::DegoIncrementOnly, 4, QUICK);
+    assert_eq!(dego4.stalls, 0);
+}
