@@ -116,5 +116,10 @@ fn reads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, single_thread_increments, contended_increments, reads);
+criterion_group!(
+    benches,
+    single_thread_increments,
+    contended_increments,
+    reads
+);
 criterion_main!(benches);

@@ -109,8 +109,7 @@ fn segmentation_lookup_ablation(c: &mut Criterion) {
                                 let key = match kind {
                                     SegmentationKind::Hash => {
                                         // only keys homed at this segment
-                                        if dego_core::segmented::home_segment(&k, segments)
-                                            == slot
+                                        if dego_core::segmented::home_segment(&k, segments) == slot
                                         {
                                             k
                                         } else {
@@ -154,8 +153,7 @@ fn segment_count_ablation(c: &mut Criterion) {
             &segments,
             |b, &segments| {
                 b.iter_custom(|iters| {
-                    let m =
-                        SegmentedHashMap::new(segments, N as usize, SegmentationKind::Extended);
+                    let m = SegmentedHashMap::new(segments, N as usize, SegmentationKind::Extended);
                     let per = iters / threads as u64 + 1;
                     let start = std::time::Instant::now();
                     std::thread::scope(|s| {

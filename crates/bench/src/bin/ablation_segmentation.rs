@@ -57,7 +57,10 @@ fn lookup_ablation(env: &BenchEnv) {
                 std::hint::black_box(map.get(&k));
             })
         });
-        table.row([format!("{kind:?}"), fmt_kops(m.ops_per_sec() / readers as f64)]);
+        table.row([
+            format!("{kind:?}"),
+            fmt_kops(m.ops_per_sec() / readers as f64),
+        ]);
     }
     println!("{}", table.render());
     println!("(Base pays a full scan per lookup; Extended's hint recovers Hash-like reads\n while keeping writes unrestricted — §5.2's motivation)\n");

@@ -5,9 +5,7 @@
 
 use dego_bench::harness::BenchEnv;
 use dego_metrics::table::Table;
-use dego_retwis::{
-    run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix,
-};
+use dego_retwis::{run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

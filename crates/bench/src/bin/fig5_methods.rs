@@ -18,9 +18,7 @@ fn main() {
             "{} ({} calls; paper top-3: {:?})",
             class.type_name(),
             usage.total_calls,
-            class
-                .figure5_top3()
-                .map(|(m, s)| format!("{m} {s:.1}%"))
+            class.figure5_top3().map(|(m, s)| format!("{m} {s:.1}%"))
         );
         let mut table = Table::new(["method", "share", "return used"]);
         let mut shown = 0.0;
@@ -39,10 +37,7 @@ fn main() {
             "-".to_string(),
         ]);
         println!("{}", table.render());
-        println!(
-            "  top-3 cover {:.1}% of all calls\n",
-            usage.top_k_share(3)
-        );
+        println!("  top-3 cover {:.1}% of all calls\n", usage.top_k_share(3));
     }
     println!(
         "Files using JUC: {}/{} ({:.0}%)",

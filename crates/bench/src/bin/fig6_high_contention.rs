@@ -16,12 +16,13 @@ use std::time::Duration;
 const INIT_ITEMS: usize = 16 * 1024;
 const KEY_RANGE: usize = 32 * 1024;
 
-fn sweep(
-    name: &str,
-    env: &BenchEnv,
-    series: &[(&str, &dyn Fn(usize, Duration) -> dego_bench::harness::Measurement)],
-    min_threads: usize,
-) {
+/// A named trial closure: (label, thread-count × window → measurement).
+type Series<'a> = (
+    &'a str,
+    &'a dyn Fn(usize, Duration) -> dego_bench::harness::Measurement,
+);
+
+fn sweep(name: &str, env: &BenchEnv, series: &[Series<'_>], min_threads: usize) {
     println!("--- {name} (Kops/s per thread) ---");
     let mut header = vec!["threads".to_string()];
     header.extend(series.iter().map(|(n, _)| n.to_string()));

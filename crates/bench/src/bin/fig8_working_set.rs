@@ -17,7 +17,10 @@ fn main() {
     for init_k in [16usize, 32, 64] {
         let init = init_k * 1024;
         let range = init * 2;
-        println!("--- working set {init_k}K items (range {}K) ---", init_k * 2);
+        println!(
+            "--- working set {init_k}K items (range {}K) ---",
+            init_k * 2
+        );
         let mut table = Table::new(["threads", "DEGO", "JUC", "DEGO/JUC"]);
         for &t in &env.threads {
             let dego = run_map_trial(

@@ -7,9 +7,7 @@
 
 use dego_bench::harness::BenchEnv;
 use dego_metrics::table::{fmt_speedup, Table};
-use dego_retwis::{
-    run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix,
-};
+use dego_retwis::{run_benchmark, BenchmarkConfig, DapBackend, DegoBackend, JucBackend, OpMix};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -42,7 +40,7 @@ fn main() {
                 duration: env.duration,
                 mix: OpMix::TABLE2,
                 mean_out_degree: 10,
-                seed: 0xF16_9,
+                seed: 0xF169,
             };
             let juc = run_benchmark::<JucBackend>(&cfg);
             let dego = run_benchmark::<DegoBackend>(&cfg);

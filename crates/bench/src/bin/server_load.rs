@@ -1,0 +1,167 @@
+//! Closed-loop load generator for `dego-server` — the middleware
+//! deployment of the adjusted objects.
+//!
+//! For each point of the thread sweep, an in-process server is booted
+//! on an ephemeral loopback port and `t` client threads run pipelined
+//! closed-loop traffic against it for the configured window (a 90/5/5
+//! GET/SET/INCR mix over a shared key range, pipeline depth 16).
+//! Results are printed as a table and written to `BENCH_server.json`.
+//!
+//! Environment/flags: the [`BenchEnv`] conventions
+//! (`DEGO_BENCH_MILLIS`, `DEGO_BENCH_THREADS`, `--quick`) plus
+//! `DEGO_BENCH_SHARDS` (default 4) and `DEGO_BENCH_PIPELINE`
+//! (default 16).
+
+use dego_bench::harness::BenchEnv;
+use dego_metrics::rng::XorShift64;
+use dego_metrics::table::{fmt_kops, Table};
+use dego_server::{spawn, Client, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const KEY_RANGE: usize = 4 * 1024;
+const GET_PCT: u64 = 90;
+const SET_PCT: u64 = 5;
+
+struct Point {
+    clients: usize,
+    shards: usize,
+    pipeline: usize,
+    elapsed: Duration,
+    total_ops: u64,
+    applied: u64,
+    get_hits: u64,
+    gets: u64,
+}
+
+impl Point {
+    fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One client thread's closed loop: issue `pipeline` commands, read
+/// `pipeline` replies, repeat until the deadline.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    pipeline: usize,
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> u64 {
+    let mut client = Client::connect(addr).expect("load client connects");
+    let mut rng = XorShift64::new(seed);
+    let mut ops = 0u64;
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        for _ in 0..pipeline {
+            let key = rng.next_bounded(KEY_RANGE as u64);
+            match rng.next_bounded(100) {
+                p if p < GET_PCT => client.send(&format!("GET k{key}")),
+                p if p < GET_PCT + SET_PCT => client.send(&format!("SET k{key} v{ops}")),
+                _ => client.send(&format!("INCR c{key} 1")),
+            }
+            .expect("send");
+        }
+        client.flush().expect("flush");
+        for _ in 0..pipeline {
+            client.read_reply().expect("reply");
+        }
+        ops += pipeline as u64;
+    }
+    ops
+}
+
+fn run_point(clients: usize, shards: usize, pipeline: usize, window: Duration) -> Point {
+    let server = spawn(ServerConfig {
+        shards,
+        capacity: KEY_RANGE * 2,
+        ..ServerConfig::default()
+    })
+    .expect("bench server boots");
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + window;
+    let started = Instant::now();
+    let total_ops: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let stop = &stop;
+                s.spawn(move || client_loop(addr, 0x5eed + c as u64, pipeline, deadline, stop))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let elapsed = started.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+    Point {
+        clients,
+        shards,
+        pipeline,
+        elapsed,
+        total_ops,
+        applied: stats.applied,
+        get_hits: stats.get_hits,
+        gets: stats.gets,
+    }
+}
+
+fn write_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"mix\": {\"get\": 90, \"set\": 5, \"incr\": 5},\n  \"key_range\": 4096,\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"clients\": {}, \"shards\": {}, \"pipeline\": {}, \"elapsed_ms\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"applied\": {}, \"gets\": {}, \"get_hits\": {}}}",
+            p.clients,
+            p.shards,
+            p.pipeline,
+            p.elapsed.as_millis(),
+            p.total_ops,
+            p.ops_per_sec(),
+            p.applied,
+            p.gets,
+            p.get_hits,
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env = BenchEnv::from_args(&args);
+    let shards = env_usize("DEGO_BENCH_SHARDS", 4);
+    let pipeline = env_usize("DEGO_BENCH_PIPELINE", 16);
+    println!(
+        "=== dego-server load: {:?} per point, {shards} shards, pipeline {pipeline}, clients {:?} ===\n",
+        env.duration, env.threads
+    );
+
+    let mut table = Table::new(["clients", "Kops/s", "Kops/s/client", "applied", "hit%"]);
+    let mut points = Vec::new();
+    for &clients in &env.threads {
+        let p = run_point(clients, shards, pipeline, env.duration);
+        table.row([
+            clients.to_string(),
+            fmt_kops(p.ops_per_sec()),
+            fmt_kops(p.ops_per_sec() / clients as f64),
+            p.applied.to_string(),
+            format!("{:.1}", 100.0 * p.get_hits as f64 / p.gets.max(1) as f64),
+        ]);
+        points.push(p);
+    }
+    println!("{}", table.render());
+
+    let json = write_json(&points);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json ({} points)", points.len());
+}

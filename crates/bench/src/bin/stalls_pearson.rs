@@ -55,18 +55,50 @@ fn main() {
 
     let d = env.duration;
     let sweeps = vec![
-        sweep("AtomicLong", &env.threads, |t, d| {
-            run_counter_trial(CounterImpl::JucAtomicLong, t, d)
-        }, d),
-        sweep("CounterIncrementOnly", &env.threads, |t, d| {
-            run_counter_trial(CounterImpl::DegoIncrementOnly, t, d)
-        }, d),
-        sweep("ConcurrentHashMap", &env.threads, |t, d| {
-            run_map_trial(MapImpl::JucHash, t, d, 100, UpdateKind::PutOnly, 16384, 32768)
-        }, d),
-        sweep("ExtendedSegmentedHashMap", &env.threads, |t, d| {
-            run_map_trial(MapImpl::DegoHash, t, d, 100, UpdateKind::PutOnly, 16384, 32768)
-        }, d),
+        sweep(
+            "AtomicLong",
+            &env.threads,
+            |t, d| run_counter_trial(CounterImpl::JucAtomicLong, t, d),
+            d,
+        ),
+        sweep(
+            "CounterIncrementOnly",
+            &env.threads,
+            |t, d| run_counter_trial(CounterImpl::DegoIncrementOnly, t, d),
+            d,
+        ),
+        sweep(
+            "ConcurrentHashMap",
+            &env.threads,
+            |t, d| {
+                run_map_trial(
+                    MapImpl::JucHash,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    16384,
+                    32768,
+                )
+            },
+            d,
+        ),
+        sweep(
+            "ExtendedSegmentedHashMap",
+            &env.threads,
+            |t, d| {
+                run_map_trial(
+                    MapImpl::DegoHash,
+                    t,
+                    d,
+                    100,
+                    UpdateKind::PutOnly,
+                    16384,
+                    32768,
+                )
+            },
+            d,
+        ),
     ];
 
     let mut table = Table::new(["object", "Pearson r (throughput vs stalls/op)"]);

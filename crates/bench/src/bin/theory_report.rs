@@ -63,10 +63,22 @@ fn main() {
         }
         table.row([
             spec.name().to_string(),
-            if cn >= 3 { "≥3".to_string() } else { cn.to_string() },
+            if cn >= 3 {
+                "≥3".to_string()
+            } else {
+                cn.to_string()
+            },
             perm.to_string(),
-            if lefts.is_empty() { "-".into() } else { lefts.join(",") },
-            if rights.is_empty() { "-".into() } else { rights.join(",") },
+            if lefts.is_empty() {
+                "-".into()
+            } else {
+                lefts.join(",")
+            },
+            if rights.is_empty() {
+                "-".into()
+            } else {
+                rights.join(",")
+            },
         ]);
     }
     println!("{}", table.render());

@@ -101,10 +101,9 @@ impl<T> SegmentedBag<T> {
         // Owner-exclusive segment: the Release publish is the only
         // synchronization the add performs.
         segment.head.store(node, Ordering::Release);
-        segment.len.store(
-            segment.len.load(Ordering::Relaxed) + 1,
-            Ordering::Release,
-        );
+        segment
+            .len
+            .store(segment.len.load(Ordering::Relaxed) + 1, Ordering::Release);
     }
 
     /// Number of elements (sums the per-segment counters).
@@ -171,7 +170,9 @@ pub struct BagAppender<T> {
 
 impl<T> std::fmt::Debug for BagAppender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BagAppender").field("slot", &self.slot).finish()
+        f.debug_struct("BagAppender")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 

@@ -71,9 +71,9 @@ pub use rcu::{rcu_cell, RcuReader, RcuWriter};
 pub use registry::ThreadRegistry;
 pub use segmentation::{BaseSegmentation, SegmentationKind};
 pub use segmented::{
-    SegmentedHashMap, SegmentedHashMapWriter, SegmentedSet, SegmentedSetWriter,
+    home_segment, SegmentedHashMap, SegmentedHashMapWriter, SegmentedSet, SegmentedSetWriter,
     SegmentedSkipListMap, SegmentedSkipListMapWriter,
 };
 pub use swmr_hash::{swmr_hash_map, SwmrHashReader, SwmrHashWriter};
 pub use swmr_skiplist::{swmr_skip_list_map, SwmrSkipListReader, SwmrSkipListWriter};
-pub use write_once::{WriteOnceRef, WriteOnceReader};
+pub use write_once::{WriteOnceReader, WriteOnceRef};

@@ -138,9 +138,7 @@ impl<T: Send> Consumer<T> {
         let value = unsafe { (*next).value.take() };
         let old = self.head;
         self.head = next;
-        self.shared
-            .head_for_cleanup
-            .store(next, Ordering::Relaxed);
+        self.shared.head_for_cleanup.store(next, Ordering::Relaxed);
         // SAFETY: `old` is unlinked: producers only ever touch the node
         // they obtained from the tail swap, and `old` stopped being the
         // tail before `next` was linked behind it.

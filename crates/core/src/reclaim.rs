@@ -20,7 +20,6 @@ pub fn drain(rounds: usize) {
     }
 }
 
-
 /// A writer-local bin of retired raw pointers, reclaimed through the
 /// epoch in batches.
 ///

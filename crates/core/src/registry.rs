@@ -34,7 +34,10 @@ impl ThreadRegistry {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "registry needs capacity for at least one thread");
+        assert!(
+            capacity > 0,
+            "registry needs capacity for at least one thread"
+        );
         ThreadRegistry {
             id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
             next_slot: AtomicUsize::new(0),

@@ -145,9 +145,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SegmentedHashMap<K, V> {
     /// full scan under Base.
     pub fn get(&self, key: &K) -> Option<V> {
         match self.kind {
-            SegmentationKind::Hash => {
-                self.readers[home_segment(key, self.readers.len())].get(key)
-            }
+            SegmentationKind::Hash => self.readers[home_segment(key, self.readers.len())].get(key),
             SegmentationKind::Extended => {
                 let hint = self.hints.lookup(key);
                 if hint < self.readers.len() {
@@ -342,9 +340,7 @@ impl<K: Ord + Hash + Clone, V: Clone> SegmentedSkipListMap<K, V> {
     /// Read a key.
     pub fn get(&self, key: &K) -> Option<V> {
         match self.kind {
-            SegmentationKind::Hash => {
-                self.readers[home_segment(key, self.readers.len())].get(key)
-            }
+            SegmentationKind::Hash => self.readers[home_segment(key, self.readers.len())].get(key),
             SegmentationKind::Extended => {
                 let hint = self.hints.lookup(key);
                 if hint < self.readers.len() {

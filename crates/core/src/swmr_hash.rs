@@ -149,7 +149,9 @@ impl<K: Hash + Eq + Clone, V: Clone> SwmrHashWriter<K, V> {
         while let Some(entry) = unsafe { cur.as_ref() } {
             if entry.key == key {
                 // Paper: existing key updated with setVolatile.
-                let old = entry.value.swap(Owned::new(value), Ordering::SeqCst, &guard);
+                let old = entry
+                    .value
+                    .swap(Owned::new(value), Ordering::SeqCst, &guard);
                 // SAFETY: `old` was published; readers may still hold it.
                 let prev = unsafe { old.as_ref() }.cloned();
                 // SAFETY: unlinked by the swap above, retired once.
@@ -199,12 +201,12 @@ impl<K: Hash + Eq + Clone, V: Clone> SwmrHashWriter<K, V> {
                 let out = unsafe { v.as_ref() }.cloned();
                 // SAFETY: unlinked above; Entry::drop frees its value.
                 unsafe {
-                    self.retired_entries.retire(cur.as_raw() as *mut Entry<K, V>, &guard);
+                    self.retired_entries
+                        .retire(cur.as_raw() as *mut Entry<K, V>, &guard);
                 }
-                self.core.len.store(
-                    self.core.len.load(Ordering::Relaxed) - 1,
-                    Ordering::Release,
-                );
+                self.core
+                    .len
+                    .store(self.core.len.load(Ordering::Relaxed) - 1, Ordering::Release);
                 return out;
             }
             pred = Some(entry);
@@ -240,9 +242,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SwmrHashWriter<K, V> {
             }
         }
         // Publish the new table, then retire the old one and its entries.
-        self.core
-            .table
-            .store(Owned::new(new), Ordering::Release);
+        self.core.table.store(Owned::new(new), Ordering::Release);
         for bin in old.bins.iter() {
             let mut cur = bin.load(Ordering::Relaxed, guard);
             while !cur.is_null() {
@@ -250,7 +250,8 @@ impl<K: Hash + Eq + Clone, V: Clone> SwmrHashWriter<K, V> {
                 // table; readers still traversing are pinned.
                 let next = unsafe { cur.deref() }.next.load(Ordering::Relaxed, guard);
                 unsafe {
-                    self.retired_entries.retire(cur.as_raw() as *mut Entry<K, V>, guard);
+                    self.retired_entries
+                        .retire(cur.as_raw() as *mut Entry<K, V>, guard);
                 }
                 cur = next;
             }
@@ -432,7 +433,7 @@ mod tests {
                 let r = r.clone();
                 s.spawn(move || {
                     for _ in 0..20_000 {
-                        let i = 997 % 1_000;
+                        let i = 997;
                         if let Some(v) = r.get(&i) {
                             assert!(v <= 20);
                         }

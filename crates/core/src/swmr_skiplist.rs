@@ -115,14 +115,13 @@ impl<K, V> std::fmt::Debug for SwmrSkipListWriter<K, V> {
     }
 }
 
-fn find<'g, K: Ord, V>(
-    core: &Core<K, V>,
-    key: &K,
-    guard: &'g Guard,
-) -> (
+/// Per-level predecessor and successor arrays of a search.
+type FindResult<'g, K, V> = (
     [Shared<'g, SNode<K, V>>; MAX_HEIGHT],
     [Shared<'g, SNode<K, V>>; MAX_HEIGHT],
-) {
+);
+
+fn find<'g, K: Ord, V>(core: &Core<K, V>, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
     let head = core.head.load(Ordering::Acquire, guard);
     let mut preds = [head; MAX_HEIGHT];
     let mut succs = [Shared::null(); MAX_HEIGHT];
@@ -174,10 +173,9 @@ impl<K: Ord + Clone, V: Clone> SwmrSkipListWriter<K, V> {
             unsafe { preds[level].deref() }.next[level].store(node, Ordering::Release);
         }
         unsafe { preds[0].deref() }.next[0].store(node, Ordering::SeqCst);
-        self.core.len.store(
-            self.core.len.load(Ordering::Relaxed) + 1,
-            Ordering::Release,
-        );
+        self.core
+            .len
+            .store(self.core.len.load(Ordering::Relaxed) + 1, Ordering::Release);
         None
     }
 
@@ -210,10 +208,9 @@ impl<K: Ord + Clone, V: Clone> SwmrSkipListWriter<K, V> {
             self.retired_nodes
                 .retire(victim.as_raw() as *mut SNode<K, V>, &guard);
         }
-        self.core.len.store(
-            self.core.len.load(Ordering::Relaxed) - 1,
-            Ordering::Release,
-        );
+        self.core
+            .len
+            .store(self.core.len.load(Ordering::Relaxed) - 1, Ordering::Release);
         out
     }
 

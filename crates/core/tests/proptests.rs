@@ -1,9 +1,7 @@
 //! Property-based tests of the DEGO structures against sequential
 //! oracles and concurrency invariants.
 
-use dego_core::{
-    mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, WriteOnceRef,
-};
+use dego_core::{mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, WriteOnceRef};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -94,16 +94,10 @@ fn project_slice(
     perturbed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
     perturbed.truncate(keep);
     let total: f64 = perturbed.iter().map(|(_, w)| w).sum();
-    perturbed
-        .into_iter()
-        .map(|(m, w)| (m, w / total))
-        .collect()
+    perturbed.into_iter().map(|(m, w)| (m, w / total)).collect()
 }
 
-fn pick<'a>(
-    rng: &mut StdRng,
-    slice: &[(&'a MethodProfile, f64)],
-) -> &'a MethodProfile {
+fn pick<'a>(rng: &mut StdRng, slice: &[(&'a MethodProfile, f64)]) -> &'a MethodProfile {
     let mut x: f64 = rng.gen_range(0.0..1.0);
     for (m, w) in slice {
         if x < *w {
@@ -172,11 +166,11 @@ fn emit_file(
     src.push_str("    private final HashMap<String, String> local = new HashMap<>();\n");
     src.push_str("    private int plainCounter = 0;\n\n");
 
-    let mut method_no = 0;
-    for (var, class) in &vars {
+    for (method_no, (var, class)) in vars.iter().enumerate() {
         let slice = &slices[class];
-        src.push_str(&format!("    public void handle{method_no}(String key0) {{\n"));
-        method_no += 1;
+        src.push_str(&format!(
+            "    public void handle{method_no}(String key0) {{\n"
+        ));
         let sites = rng.gen_range(sites_per_object / 2..=sites_per_object * 3 / 2);
         for s in 0..sites.max(1) {
             let m = pick(rng, slice);
@@ -211,7 +205,12 @@ fn emit_file(
 fn project_history(rng: &mut StdRng) -> Vec<YearStats> {
     // Fig. 4 top: mean CHM declarations 46.6 (2015) → 116.7 (2024),
     // staying below 1 % of all declarations.
-    let anchors = [(2015u32, 46.6f64), (2018, 77.7), (2021, 96.8), (2024, 116.7)];
+    let anchors = [
+        (2015u32, 46.6f64),
+        (2018, 77.7),
+        (2021, 96.8),
+        (2024, 116.7),
+    ];
     let mut out = Vec::new();
     for year in 2015..=2024u32 {
         // Piecewise-linear interpolation between the published anchors.
@@ -227,7 +226,7 @@ fn project_history(rng: &mut StdRng) -> Vec<YearStats> {
             }
             v
         };
-        let chm = (mean * rng.gen_range(0.6..1.4)).round().max(1.0) as usize;
+        let chm = (mean * rng.gen_range(0.6f64..1.4)).round().max(1.0) as usize;
         // Total declarations keep the proportion in the 0.5–1 % band.
         let proportion = rng.gen_range(0.005..0.0095);
         let total = (chm as f64 / proportion) as usize;
@@ -252,23 +251,15 @@ pub fn generate_corpus(config: &CorpusConfig) -> Corpus {
             _ => format!("Project{p:02}"),
         };
         // The project's interface slices.
-        let slices: HashMap<TrackedClass, Vec<(&'static MethodProfile, f64)>> =
-            TRACKED_CLASSES
-                .iter()
-                .map(|&c| (c, project_slice(&mut rng, c.methods())))
-                .collect();
+        let slices: HashMap<TrackedClass, Vec<(&'static MethodProfile, f64)>> = TRACKED_CLASSES
+            .iter()
+            .map(|&c| (c, project_slice(&mut rng, c.methods())))
+            .collect();
         // "Nearly half of the most modified files involve JUC objects."
         let files = (0..config.files_per_project)
             .map(|f| {
                 let uses_juc = rng.gen_bool(0.48);
-                emit_file(
-                    &mut rng,
-                    p,
-                    f,
-                    &slices,
-                    config.sites_per_object,
-                    uses_juc,
-                )
+                emit_file(&mut rng, p, f, &slices, config.sites_per_object, uses_juc)
             })
             .collect();
         projects.push(Project {
@@ -379,6 +370,11 @@ mod tests {
                 .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
-        assert!(mean(2024) > mean(2015) * 1.8, "{} vs {}", mean(2024), mean(2015));
+        assert!(
+            mean(2024) > mean(2015) * 1.8,
+            "{} vs {}",
+            mean(2024),
+            mean(2015)
+        );
     }
 }

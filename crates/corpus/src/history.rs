@@ -59,7 +59,7 @@ pub fn most_modified_matrix(corpus: &Corpus) -> Vec<FileCell> {
     let mut cells = Vec::new();
     for p in &corpus.projects {
         let mut files: Vec<_> = p.files.iter().collect();
-        files.sort_by(|a, b| b.modifications.cmp(&a.modifications));
+        files.sort_by_key(|f| std::cmp::Reverse(f.modifications));
         for (rank, f) in files.iter().enumerate() {
             cells.push(FileCell {
                 project: p.name.clone(),

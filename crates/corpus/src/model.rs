@@ -82,18 +82,12 @@ impl TrackedClass {
     /// The top-3 shares Figure 5 reports, for validation.
     pub fn figure5_top3(self) -> [(&'static str, f64); 3] {
         match self {
-            TrackedClass::ConcurrentHashMap => {
-                [("get", 26.6), ("put", 17.8), ("remove", 13.1)]
-            }
+            TrackedClass::ConcurrentHashMap => [("get", 26.6), ("put", 17.8), ("remove", 13.1)],
             TrackedClass::ConcurrentSkipListSet => {
                 [("add", 31.9), ("remove", 20.8), ("contains", 19.6)]
             }
-            TrackedClass::ConcurrentLinkedQueue => {
-                [("add", 28.8), ("size", 26.1), ("poll", 11.4)]
-            }
-            TrackedClass::AtomicLong => {
-                [("get", 36.9), ("incrementAndGet", 15.5), ("set", 14.1)]
-            }
+            TrackedClass::ConcurrentLinkedQueue => [("add", 28.8), ("size", 26.1), ("poll", 11.4)],
+            TrackedClass::AtomicLong => [("get", 36.9), ("incrementAndGet", 15.5), ("set", 14.1)],
         }
     }
 }

@@ -80,7 +80,9 @@ impl CorpusReport {
     pub fn build(corpus: &Corpus) -> Self {
         let mut report = CorpusReport::default();
         for class in TRACKED_CLASSES {
-            report.usage.insert(class.type_name(), ClassUsage::default());
+            report
+                .usage
+                .insert(class.type_name(), ClassUsage::default());
         }
         for project in &corpus.projects {
             let by_project = report
@@ -217,8 +219,7 @@ mod tests {
     fn per_project_mixes_differ() {
         let r = report();
         // Different projects use different method subsets (Fig. 1 left).
-        let projects: Vec<&BTreeMap<String, usize>> =
-            r.atomic_long_by_project.values().collect();
+        let projects: Vec<&BTreeMap<String, usize>> = r.atomic_long_by_project.values().collect();
         let distinct: std::collections::BTreeSet<Vec<&String>> = projects
             .iter()
             .map(|m| m.keys().collect::<Vec<_>>())

@@ -127,7 +127,9 @@ pub fn scan_source(source: &str) -> ScanResult {
             };
             // The variable name sits just before the `=` sign, left of
             // the `new` keyword.
-            let Some(eq) = line[..at].rfind('=') else { continue };
+            let Some(eq) = line[..at].rfind('=') else {
+                continue;
+            };
             let before_eq = line[..eq].trim_end();
             let Some(var) = ident_before(before_eq, before_eq.len()) else {
                 continue;
@@ -207,8 +209,7 @@ fn find_word(line: &str, word: &str) -> Option<usize> {
         let pos = from + rel;
         let before_ok = pos == 0 || !is_ident_char(line.as_bytes()[pos - 1] as char);
         let after = pos + word.len();
-        let after_ok =
-            after >= line.len() || !is_ident_char(line.as_bytes()[after] as char);
+        let after_ok = after >= line.len() || !is_ident_char(line.as_bytes()[after] as char);
         if before_ok && after_ok {
             return Some(pos);
         }
@@ -303,7 +304,8 @@ public class RequestTracker {
 
     #[test]
     fn nested_call_argument_counts_as_used() {
-        let src = "ConcurrentLinkedQueue<Long> q = new ConcurrentLinkedQueue<>();\nprocess(q.poll());\n";
+        let src =
+            "ConcurrentLinkedQueue<Long> q = new ConcurrentLinkedQueue<>();\nprocess(q.poll());\n";
         let r = scan_source(src);
         assert_eq!(r.calls.len(), 1);
         assert!(r.calls[0].return_used);

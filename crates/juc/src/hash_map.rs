@@ -238,8 +238,14 @@ mod tests {
     #[test]
     fn compute_inserts_updates_and_removes() {
         let m: ConcurrentHashMap<&str, i64> = ConcurrentHashMap::with_capacity(8);
-        assert_eq!(m.compute("a", |old| Some(old.copied().unwrap_or(0) + 1)), Some(1));
-        assert_eq!(m.compute("a", |old| Some(old.copied().unwrap_or(0) + 1)), Some(2));
+        assert_eq!(
+            m.compute("a", |old| Some(old.copied().unwrap_or(0) + 1)),
+            Some(1)
+        );
+        assert_eq!(
+            m.compute("a", |old| Some(old.copied().unwrap_or(0) + 1)),
+            Some(2)
+        );
         assert_eq!(m.compute("a", |_| None), None);
         assert!(!m.contains_key(&"a"));
         assert_eq!(m.compute("missing", |_| None), None);

@@ -9,8 +9,8 @@
 //! CounterIncrementOnly exclusively relies on longs").
 
 use crossbeam_utils::CachePadded;
-use dego_metrics::{count_cas_failure, count_rmw};
 use dego_metrics::rng::mix64;
+use dego_metrics::{count_cas_failure, count_rmw};
 use std::sync::atomic::{AtomicI64, Ordering};
 
 /// A striped counter analog of `java.util.concurrent.atomic.LongAdder`.
@@ -49,7 +49,9 @@ impl LongAdder {
     pub fn with_cells(cells: usize) -> Self {
         assert!(cells > 0 && cells.is_power_of_two(), "cells must be 2^k");
         LongAdder {
-            cells: (0..cells).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+            cells: (0..cells)
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
             mask: cells - 1,
         }
     }
@@ -71,12 +73,8 @@ impl LongAdder {
         // paper attributes to LongAdder's cells).
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
-            match cell.compare_exchange_weak(
-                cur,
-                cur + delta,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match cell.compare_exchange_weak(cur, cur + delta, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(seen) => {
                     count_cas_failure();

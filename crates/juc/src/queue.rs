@@ -64,7 +64,8 @@ pub struct ConcurrentLinkedQueue<T> {
 
 impl<T> std::fmt::Debug for ConcurrentLinkedQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ConcurrentLinkedQueue").finish_non_exhaustive()
+        f.debug_struct("ConcurrentLinkedQueue")
+            .finish_non_exhaustive()
     }
 }
 
@@ -139,10 +140,7 @@ impl<T: Clone> ConcurrentLinkedQueue<T> {
             // SAFETY: head is reachable under `guard`.
             let head_ref = unsafe { head.deref() };
             let next = head_ref.next.load(Ordering::Acquire, &guard);
-            let next_ref = match unsafe { next.as_ref() } {
-                None => return None, // empty: head == stub, no successor
-                Some(n) => n,
-            };
+            let next_ref = unsafe { next.as_ref() }?;
             count_rmw();
             match self.head.compare_exchange(
                 head,
@@ -155,7 +153,9 @@ impl<T: Clone> ConcurrentLinkedQueue<T> {
                     // We won: `next` becomes the new stub. Detach its
                     // value; concurrent peeks may still read the old
                     // pointer, so destruction is deferred.
-                    let vptr = next_ref.value.swap(Shared::null(), Ordering::AcqRel, &guard);
+                    let vptr = next_ref
+                        .value
+                        .swap(Shared::null(), Ordering::AcqRel, &guard);
                     // SAFETY: a linked non-stub node always carries a
                     // value, and only the winning poll swaps it out.
                     let out = unsafe { vptr.deref() }.clone();
@@ -247,7 +247,6 @@ impl<T: Clone> ConcurrentLinkedQueue<T> {
             .load(Ordering::Acquire, &guard)
             .is_null()
     }
-
 }
 
 impl<T: Clone> Default for ConcurrentLinkedQueue<T> {

@@ -106,7 +106,8 @@ pub struct ConcurrentSkipListMap<K, V> {
 
 impl<K, V> std::fmt::Debug for ConcurrentSkipListMap<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ConcurrentSkipListMap").finish_non_exhaustive()
+        f.debug_struct("ConcurrentSkipListMap")
+            .finish_non_exhaustive()
     }
 }
 
@@ -135,9 +136,8 @@ impl<K: Ord, V: Clone> ConcurrentSkipListMap<K, V> {
             // SAFETY: `pred` is the head or a node reached through
             // Acquire loads under `guard`; epoch deferral keeps it alive.
             let mut curr = unsafe { pred.deref() }.next[level].load(Ordering::Acquire, guard);
-            loop {
-                // SAFETY: as above — reached under the same guard.
-                let Some(c) = (unsafe { curr.as_ref() }) else { break };
+            // SAFETY: as above — reached under the same guard.
+            while let Some(c) = unsafe { curr.as_ref() } {
                 let ck = c.key.as_ref().expect("only head has no key");
                 if ck < key {
                     pred = curr;
@@ -210,9 +210,7 @@ impl<K: Ord, V: Clone> ConcurrentSkipListMap<K, V> {
                         continue; // deleted in the meantime: retry
                     }
                     count_rmw();
-                    let old =
-                        node.value
-                            .swap(Owned::new(value), Ordering::AcqRel, &guard);
+                    let old = node.value.swap(Owned::new(value), Ordering::AcqRel, &guard);
                     // SAFETY: `old` was the published value; retired below.
                     let prev = unsafe { old.as_ref() }.cloned();
                     unsafe { guard.defer_destroy(old) };
@@ -283,7 +281,7 @@ impl<K: Ord, V: Clone> ConcurrentSkipListMap<K, V> {
         loop {
             let r = self.find(key, &guard);
             if victim_info.is_none() {
-                let Some(l) = r.found_level else { return None };
+                let l = r.found_level?;
                 let node_ptr = r.succs[l];
                 // SAFETY: reached under `guard`.
                 let node = unsafe { node_ptr.deref() };

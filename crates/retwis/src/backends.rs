@@ -12,10 +12,11 @@
 //! * [`DapBackend`] — disjoint-access parallel: per-worker private state,
 //!   no sharing at all. An upper bound, not a correct implementation of
 //!   the shared semantics (cross-partition effects stay local).
+//! * [`NetworkBackend`] — the same interface served over TCP by an
+//!   embedded `dego-server`: the middleware deployment of the adjusted
+//!   objects, wire latency included.
 
-use crate::store::{
-    MessageId, SocialBackend, SocialWorker, UserId, FANOUT_LIMIT, TIMELINE_LIMIT,
-};
+use crate::store::{MessageId, SocialBackend, SocialWorker, UserId, FANOUT_LIMIT, TIMELINE_LIMIT};
 use dego_core::{mpsc, SegmentationKind, SegmentedHashMap, SegmentedHashMapWriter};
 use dego_core::{SegmentedSet, SegmentedSetWriter};
 use dego_juc::{AtomicLong, ConcurrentHashMap, ConcurrentLinkedQueue, ConcurrentSet};
@@ -449,6 +450,156 @@ impl SocialWorker for DapWorker {
     }
 }
 
+// -------------------------------------------------------------- NETWORK
+
+/// The middleware backend: the same [`SocialWorker`] interface served
+/// by an embedded [`dego_server`] over real TCP.
+///
+/// `create` boots an in-process sharded server (one shard per worker)
+/// on an ephemeral loopback port; each worker opens its own pipelined
+/// connection. Where the in-process backends call a method, this one
+/// speaks the wire protocol — the latency of a real middleware
+/// deployment, with the same adjusted objects underneath
+/// (`dego-server`'s storage plane is `dego-core` end to end).
+pub struct NetworkBackend {
+    server: dego_server::ServerHandle,
+}
+
+impl std::fmt::Debug for NetworkBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkBackend")
+            .field("addr", &self.server.local_addr())
+            .finish()
+    }
+}
+
+impl NetworkBackend {
+    /// The embedded server's address (e.g. to point external load
+    /// generators at it).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The embedded server's operation counters.
+    pub fn server_stats(&self) -> dego_server::StatsSnapshot {
+        self.server.stats()
+    }
+}
+
+impl SocialBackend for NetworkBackend {
+    type Worker = NetworkWorker;
+
+    fn create(n_workers: usize, expected_users: usize) -> Arc<Self> {
+        let server = dego_server::spawn(dego_server::ServerConfig {
+            shards: n_workers.max(1),
+            capacity: (expected_users * 4).max(1024),
+            ..dego_server::ServerConfig::default()
+        })
+        .expect("embedded dego-server boots");
+        Arc::new(NetworkBackend { server })
+    }
+
+    fn worker(self: &Arc<Self>) -> NetworkWorker {
+        let addr = self.server.local_addr();
+        NetworkWorker {
+            client: dego_server::Client::connect(addr).expect("connect to embedded server"),
+            addr,
+            scratch: std::cell::RefCell::new(None),
+        }
+    }
+
+    fn name() -> &'static str {
+        "NET"
+    }
+}
+
+/// Per-thread worker over [`NetworkBackend`]: one TCP connection.
+///
+/// The [`SocialWorker`] interface is infallible, so I/O failures panic;
+/// workers live inside benchmark drivers and tests where a dead
+/// embedded server is unrecoverable anyway.
+pub struct NetworkWorker {
+    client: dego_server::Client,
+    addr: std::net::SocketAddr,
+    /// Lazily opened second connection for the `&self` read hooks.
+    scratch: std::cell::RefCell<Option<dego_server::Client>>,
+}
+
+impl std::fmt::Debug for NetworkWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkWorker").finish_non_exhaustive()
+    }
+}
+
+impl SocialWorker for NetworkWorker {
+    fn add_user(&mut self, user: UserId) {
+        self.client.add_user(user).expect("ADDUSER");
+    }
+
+    fn follow(&mut self, follower: UserId, followee: UserId) {
+        self.client.follow(follower, followee).expect("FOLLOW");
+    }
+
+    fn unfollow(&mut self, follower: UserId, followee: UserId) {
+        self.client.unfollow(follower, followee).expect("UNFOLLOW");
+    }
+
+    fn post(&mut self, author: UserId, msg: MessageId) {
+        self.client.post(author, msg).expect("POST");
+    }
+
+    fn read_timeline(&mut self, user: UserId) -> Vec<MessageId> {
+        // The wire protocol serves newest first; the backend interface
+        // wants the last TIMELINE_LIMIT oldest→newest.
+        let mut tl = self.client.timeline(user).expect("TIMELINE");
+        tl.truncate(TIMELINE_LIMIT);
+        tl.reverse();
+        tl
+    }
+
+    fn join_group(&mut self, user: UserId) {
+        self.client.join_group(user).expect("JOIN");
+    }
+
+    fn leave_group(&mut self, user: UserId) {
+        self.client.leave_group(user).expect("LEAVE");
+    }
+
+    fn update_profile(&mut self, user: UserId) {
+        self.client.profile_bump(user).expect("PROFILE");
+    }
+
+    fn is_following(&self, follower: UserId, followee: UserId) -> bool {
+        self.probe(|c| c.is_following(follower, followee).expect("ISFOLLOWING"))
+    }
+
+    fn follower_count(&self, user: UserId) -> usize {
+        self.probe(|c| c.follower_count(user).expect("FOLLOWERS"))
+    }
+
+    fn in_group(&self, user: UserId) -> bool {
+        self.probe(|c| c.in_group(user).expect("INGROUP"))
+    }
+
+    fn profile_version(&self, user: UserId) -> u64 {
+        self.probe(|c| c.profile_version(user).expect("PROFILEVER"))
+    }
+}
+
+impl NetworkWorker {
+    /// Run a read hook over the cached scratch connection (the `&self`
+    /// test hooks of [`SocialWorker`] cannot borrow the main socket's
+    /// buffers mutably, and reconnecting per probe would price every
+    /// probe at a TCP handshake).
+    fn probe<T>(&self, f: impl FnOnce(&mut dego_server::Client) -> T) -> T {
+        let mut slot = self.scratch.borrow_mut();
+        let scratch = slot.get_or_insert_with(|| {
+            dego_server::Client::connect(self.addr).expect("scratch connection")
+        });
+        f(scratch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +654,11 @@ mod tests {
     #[test]
     fn dap_backend_semantics() {
         exercise::<DapBackend>();
+    }
+
+    #[test]
+    fn network_backend_semantics() {
+        exercise::<NetworkBackend>();
     }
 
     #[test]

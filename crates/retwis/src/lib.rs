@@ -7,7 +7,7 @@
 //! read their timelines, join/leave the group and update their profiles
 //! (Table 2's operation mix).
 //!
-//! Three interchangeable backends implement the same [`SocialWorker`]
+//! Four interchangeable backends implement the same [`SocialWorker`]
 //! interface:
 //!
 //! * [`JucBackend`] — everything on `dego-juc` strongly-consistent
@@ -18,7 +18,9 @@
 //!   follower/following sets stay JUC-style: adjusting them too was
 //!   tried and rejected because of write amplification (§6.3);
 //! * [`DapBackend`] — disjoint-access parallel: every worker keeps its
-//!   own private structures, an upper bound on parallel performance.
+//!   own private structures, an upper bound on parallel performance;
+//! * [`NetworkBackend`] — the same interface over TCP, served by an
+//!   embedded `dego-server` (the middleware deployment).
 //!
 //! Each worker thread owns a user partition by consistent hashing
 //! ([`home_worker`]); the follow graph is a directed power law
@@ -32,6 +34,6 @@ pub mod graph;
 pub mod store;
 pub mod workload;
 
-pub use backends::{DapBackend, DegoBackend, JucBackend};
+pub use backends::{DapBackend, DegoBackend, JucBackend, NetworkBackend};
 pub use store::{home_worker, MessageId, SocialBackend, SocialWorker, UserId};
 pub use workload::{run_benchmark, BenchmarkConfig, BenchmarkResult, OpMix};

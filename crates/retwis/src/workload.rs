@@ -208,7 +208,7 @@ fn drive<W: SocialWorker>(
     cfg: &BenchmarkConfig,
     stop: &AtomicBool,
 ) -> u64 {
-    let mut rng = XorShift64::new(cfg.seed ^ (plan.slot as u64 + 1) * 0x9E37_79B9);
+    let mut rng = XorShift64::new(cfg.seed ^ ((plan.slot as u64 + 1) * 0x9E37_79B9));
     let my_zipf = Zipf::new(plan.my_users.len().max(1), cfg.alpha);
     let all_zipf = Zipf::new(cfg.users, cfg.alpha);
     let mix = cfg.mix;

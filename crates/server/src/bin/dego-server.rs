@@ -1,0 +1,36 @@
+//! Standalone server: `dego-server [addr]` (default 127.0.0.1:7878).
+//!
+//! Shard count comes from `DEGO_SHARDS` (default 4). Runs until
+//! killed; state is in-memory only.
+
+use dego_server::{spawn, ServerConfig};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let shards = std::env::var("DEGO_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let server = spawn(ServerConfig {
+        shards,
+        addr: addr.parse().unwrap_or_else(|e| {
+            eprintln!("bad listen address {addr:?}: {e}");
+            std::process::exit(2);
+        }),
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("failed to bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "dego-server listening on {} ({} shards)",
+        server.local_addr(),
+        server.shards()
+    );
+    loop {
+        std::thread::park();
+    }
+}

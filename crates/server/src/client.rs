@@ -1,0 +1,272 @@
+//! A small blocking client for the wire protocol, with explicit
+//! pipelining support (`send` many, then `read_reply` many).
+//!
+//! Used by the retwis `NetworkBackend`, the load-generator bench and
+//! the integration tests; applications are equally welcome to speak
+//! the line protocol directly.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A reply parsed off the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientReply {
+    /// `+STATUS`
+    Status(String),
+    /// `$value`
+    Value(String),
+    /// `_`
+    Nil,
+    /// `:n`
+    Int(i64),
+    /// `-ERR message`
+    Error(String),
+    /// `*n` plus `n` element lines, returned raw.
+    Array(Vec<String>),
+}
+
+impl ClientReply {
+    fn expect_status(self, what: &str) -> std::io::Result<()> {
+        match self {
+            ClientReply::Status(_) => Ok(()),
+            other => Err(bad_reply(what, &other)),
+        }
+    }
+
+    fn expect_int(self, what: &str) -> std::io::Result<i64> {
+        match self {
+            ClientReply::Int(n) => Ok(n),
+            other => Err(bad_reply(what, &other)),
+        }
+    }
+}
+
+fn bad_reply(what: &str, got: &ClientReply) -> std::io::Error {
+    std::io::Error::other(format!("unexpected reply to {what}: {got:?}"))
+}
+
+/// A blocking connection to a dego-server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Queue one request line without flushing (pipelining).
+    pub fn send(&mut self, request: &str) -> std::io::Result<()> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Push queued requests to the server.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Read one reply (blocking).
+    pub fn read_reply(&mut self) -> std::io::Result<ClientReply> {
+        let line = self.read_line()?;
+        let reply = match line.as_bytes().first() {
+            Some(b'+') => ClientReply::Status(line[1..].to_string()),
+            Some(b'$') => ClientReply::Value(line[1..].to_string()),
+            Some(b'_') => ClientReply::Nil,
+            Some(b':') => ClientReply::Int(
+                line[1..]
+                    .parse()
+                    .map_err(|_| std::io::Error::other(format!("bad integer reply {line:?}")))?,
+            ),
+            Some(b'-') => {
+                let msg = line[1..].strip_prefix("ERR ").unwrap_or(&line[1..]);
+                ClientReply::Error(msg.to_string())
+            }
+            Some(b'*') => {
+                let n: usize = line[1..]
+                    .parse()
+                    .map_err(|_| std::io::Error::other(format!("bad array header {line:?}")))?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.read_line()?);
+                }
+                ClientReply::Array(items)
+            }
+            _ => return Err(std::io::Error::other(format!("unparseable reply {line:?}"))),
+        };
+        Ok(reply)
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Send one request and read its reply.
+    pub fn request(&mut self, request: &str) -> std::io::Result<ClientReply> {
+        self.send(request)?;
+        self.flush()?;
+        self.read_reply()
+    }
+
+    // ------------------------------------------------------ kv verbs
+
+    /// `GET key`.
+    pub fn get(&mut self, key: &str) -> std::io::Result<Option<String>> {
+        match self.request(&format!("GET {key}"))? {
+            ClientReply::Value(v) => Ok(Some(v)),
+            ClientReply::Nil => Ok(None),
+            other => Err(bad_reply("GET", &other)),
+        }
+    }
+
+    /// `SET key value`.
+    pub fn set(&mut self, key: &str, value: &str) -> std::io::Result<()> {
+        self.request(&format!("SET {key} {value}"))?
+            .expect_status("SET")
+    }
+
+    /// `DEL key`.
+    pub fn del(&mut self, key: &str) -> std::io::Result<()> {
+        self.request(&format!("DEL {key}"))?.expect_status("DEL")
+    }
+
+    /// `INCR key delta`, returning the new value.
+    pub fn incr(&mut self, key: &str, delta: i64) -> std::io::Result<i64> {
+        self.request(&format!("INCR {key} {delta}"))?
+            .expect_int("INCR")
+    }
+
+    // -------------------------------------------------- social verbs
+
+    /// `ADDUSER user`.
+    pub fn add_user(&mut self, user: u64) -> std::io::Result<()> {
+        self.request(&format!("ADDUSER {user}"))?
+            .expect_status("ADDUSER")
+    }
+
+    /// `POST user msg`.
+    pub fn post(&mut self, user: u64, msg: u64) -> std::io::Result<()> {
+        self.request(&format!("POST {user} {msg}"))?
+            .expect_status("POST")
+    }
+
+    /// `FOLLOW follower followee`.
+    pub fn follow(&mut self, follower: u64, followee: u64) -> std::io::Result<()> {
+        self.request(&format!("FOLLOW {follower} {followee}"))?
+            .expect_status("FOLLOW")
+    }
+
+    /// `UNFOLLOW follower followee`.
+    pub fn unfollow(&mut self, follower: u64, followee: u64) -> std::io::Result<()> {
+        self.request(&format!("UNFOLLOW {follower} {followee}"))?
+            .expect_status("UNFOLLOW")
+    }
+
+    /// `TIMELINE user`, newest first.
+    pub fn timeline(&mut self, user: u64) -> std::io::Result<Vec<u64>> {
+        match self.request(&format!("TIMELINE {user}"))? {
+            ClientReply::Array(items) => items
+                .iter()
+                .map(|item| {
+                    item.strip_prefix(':')
+                        .and_then(|m| m.parse().ok())
+                        .ok_or_else(|| {
+                            std::io::Error::other(format!("bad timeline element {item:?}"))
+                        })
+                })
+                .collect(),
+            other => Err(bad_reply("TIMELINE", &other)),
+        }
+    }
+
+    /// `ISFOLLOWING follower followee`.
+    pub fn is_following(&mut self, follower: u64, followee: u64) -> std::io::Result<bool> {
+        Ok(self
+            .request(&format!("ISFOLLOWING {follower} {followee}"))?
+            .expect_int("ISFOLLOWING")?
+            != 0)
+    }
+
+    /// `FOLLOWERS user` (count).
+    pub fn follower_count(&mut self, user: u64) -> std::io::Result<usize> {
+        Ok(self
+            .request(&format!("FOLLOWERS {user}"))?
+            .expect_int("FOLLOWERS")? as usize)
+    }
+
+    /// `JOIN user`.
+    pub fn join_group(&mut self, user: u64) -> std::io::Result<()> {
+        self.request(&format!("JOIN {user}"))?.expect_status("JOIN")
+    }
+
+    /// `LEAVE user`.
+    pub fn leave_group(&mut self, user: u64) -> std::io::Result<()> {
+        self.request(&format!("LEAVE {user}"))?
+            .expect_status("LEAVE")
+    }
+
+    /// `INGROUP user`.
+    pub fn in_group(&mut self, user: u64) -> std::io::Result<bool> {
+        Ok(self
+            .request(&format!("INGROUP {user}"))?
+            .expect_int("INGROUP")?
+            != 0)
+    }
+
+    /// `PROFILE user` (bump), returning the new version.
+    pub fn profile_bump(&mut self, user: u64) -> std::io::Result<i64> {
+        self.request(&format!("PROFILE {user}"))?
+            .expect_int("PROFILE")
+    }
+
+    /// `PROFILEVER user`.
+    pub fn profile_version(&mut self, user: u64) -> std::io::Result<u64> {
+        Ok(self
+            .request(&format!("PROFILEVER {user}"))?
+            .expect_int("PROFILEVER")? as u64)
+    }
+
+    // --------------------------------------------------------- misc
+
+    /// `PING`.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.request("PING")?.expect_status("PING")
+    }
+
+    /// `STATS` as `name=value` pairs.
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        match self.request("STATS")? {
+            ClientReply::Array(items) => Ok(items
+                .into_iter()
+                .filter_map(|item| {
+                    item.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                })
+                .collect()),
+            other => Err(bad_reply("STATS", &other)),
+        }
+    }
+
+    /// `QUIT` (the server closes the connection afterwards).
+    pub fn quit(&mut self) -> std::io::Result<()> {
+        self.request("QUIT")?.expect_status("QUIT")
+    }
+}

@@ -1,0 +1,235 @@
+//! # dego-server — the sharded adjusted-object middleware server
+//!
+//! The paper adjusts shared objects to their usage so they scale; this
+//! crate puts those objects behind a network: a multi-threaded TCP
+//! key-value + retwis service whose entire storage plane is built from
+//! `dego-core`'s catalogue.
+//!
+//! | Piece | Adjusted object | Type (Table 1) |
+//! |---|---|---|
+//! | keyspace, timelines, followers, profiles | [`dego_core::SegmentedHashMap`] | `(M2, CWMR)` |
+//! | interest group | [`dego_core::SegmentedSet`] | `(S3, CWMR)` |
+//! | mutation funnel, one per shard | [`dego_core::mpsc`] (`QueueMasp`) | `(Q1, MWSR)` |
+//! | applied-mutation counter | [`dego_core::CounterIncrementOnly`] | `(C3, CWSR)` |
+//!
+//! The server keeps the paper's access disciplines **by construction**:
+//! every segmented structure has one segment per shard, and only that
+//! shard's owner thread holds its writer handles. Connection threads
+//! read lock-free from any segment and funnel every mutation through
+//! the owning shard's MPSC queue — multi-producer is exactly what the
+//! `(Q1, MWSR)` adjustment grants, and single-consumer is what the
+//! single-writer segments require. No lock is taken on any hot path.
+//!
+//! Consistency: a mutation is acknowledged only after the owning shard
+//! applied it, so `GET` after a `SET`'s `+OK` observes the value from
+//! any connection (per-key linearizable — one writer serializes each
+//! key, and segment publication is release/acquire).
+//!
+//! The wire protocol is a compact RESP-like line protocol; see
+//! [`protocol`]. A blocking [`Client`] with pipelining support lives
+//! in [`client`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dego_server::{spawn, Client, ServerConfig};
+//!
+//! let server = spawn(ServerConfig { shards: 2, ..ServerConfig::default() }).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.set("greeting", "hello world").unwrap();
+//! assert_eq!(client.get("greeting").unwrap().as_deref(), Some("hello world"));
+//! assert_eq!(client.incr("visits", 2).unwrap(), 2);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+mod server;
+pub mod stats;
+mod store;
+
+pub use client::{Client, ClientReply};
+pub use server::{spawn, ServerConfig, ServerHandle, TIMELINE_LIMIT};
+pub use stats::{ServerStats, StatsSnapshot};
+pub use store::{FANOUT_LIMIT, TIMELINE_KEEP};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServerHandle {
+        spawn(ServerConfig {
+            shards: 2,
+            capacity: 256,
+            ..ServerConfig::default()
+        })
+        .expect("server spawns")
+    }
+
+    #[test]
+    fn kv_roundtrip_over_tcp() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.ping().unwrap();
+        assert_eq!(c.get("missing").unwrap(), None);
+        c.set("k", "v1").unwrap();
+        assert_eq!(c.get("k").unwrap().as_deref(), Some("v1"));
+        c.set("k", "value with spaces").unwrap();
+        assert_eq!(c.get("k").unwrap().as_deref(), Some("value with spaces"));
+        c.del("k").unwrap();
+        assert_eq!(c.get("k").unwrap(), None);
+        assert_eq!(c.incr("n", 5).unwrap(), 5);
+        assert_eq!(c.incr("n", -2).unwrap(), 3);
+        c.set("s", "notanumber").unwrap();
+        assert!(c.incr("s", 1).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn social_verbs_roundtrip() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for u in 0..4 {
+            c.add_user(u).unwrap();
+        }
+        c.follow(1, 0).unwrap();
+        c.follow(2, 0).unwrap();
+        assert!(c.is_following(1, 0).unwrap());
+        assert!(!c.is_following(0, 1).unwrap());
+        assert_eq!(c.follower_count(0).unwrap(), 2);
+        c.post(0, 41).unwrap();
+        c.post(0, 42).unwrap();
+        // Author and followers all see the messages, newest first.
+        assert_eq!(c.timeline(0).unwrap(), vec![42, 41]);
+        assert_eq!(c.timeline(1).unwrap(), vec![42, 41]);
+        assert_eq!(c.timeline(2).unwrap(), vec![42, 41]);
+        assert_eq!(c.timeline(3).unwrap(), Vec::<u64>::new());
+        c.unfollow(1, 0).unwrap();
+        assert!(!c.is_following(1, 0).unwrap());
+        assert_eq!(c.follower_count(0).unwrap(), 1);
+        c.join_group(3).unwrap();
+        assert!(c.in_group(3).unwrap());
+        c.leave_group(3).unwrap();
+        assert!(!c.in_group(3).unwrap());
+        assert_eq!(c.profile_bump(2).unwrap(), 1);
+        assert_eq!(c.profile_bump(2).unwrap(), 2);
+        assert_eq!(c.profile_version(2).unwrap(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_keeps_order() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for i in 0..100 {
+            c.send(&format!("SET k{i} {i}")).unwrap();
+        }
+        for _ in 0..100 {
+            c.send("INCR total 1").unwrap();
+        }
+        c.flush().unwrap();
+        for _ in 0..100 {
+            assert_eq!(c.read_reply().unwrap(), ClientReply::Status("OK".into()));
+        }
+        for i in 1..=100 {
+            assert_eq!(c.read_reply().unwrap(), ClientReply::Int(i));
+        }
+        assert_eq!(c.get("k37").unwrap().as_deref(), Some("37"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.set("a", "1").unwrap();
+        c.set("b", "2").unwrap();
+        let _ = c.get("a").unwrap();
+        let _ = c.get("nope").unwrap();
+        let pairs = c.stats().unwrap();
+        let lookup = |name: &str| -> u64 {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("stat {name} missing"))
+                .1
+                .parse()
+                .expect("numeric stat")
+        };
+        assert_eq!(lookup("shards"), 2);
+        assert_eq!(lookup("keys"), 2);
+        assert!(lookup("gets") >= 2);
+        assert!(lookup("get_hits") >= 1);
+        assert!(lookup("mutations") >= 2);
+        assert!(lookup("applied") >= 2);
+        let snap = server.stats();
+        assert!(snap.commands >= 5);
+        assert_eq!(snap.applied, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn self_follow_delivers_posts_once() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for u in 0..3 {
+            c.add_user(u).unwrap();
+        }
+        c.follow(1, 0).unwrap();
+        c.follow(0, 0).unwrap(); // the author follows themselves
+        c.post(0, 9).unwrap();
+        assert_eq!(c.timeline(0).unwrap(), vec![9], "no double delivery");
+        assert_eq!(c.timeline(1).unwrap(), vec![9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejected_mutations_do_not_count_as_applied() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.set("s", "notanumber").unwrap();
+        let before = server.stats().applied;
+        assert!(c.incr("s", 1).is_err());
+        assert_eq!(server.stats().applied, before);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_errors_not_disconnects() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            c.request("BLORP 1").unwrap(),
+            ClientReply::Error(_)
+        ));
+        assert!(matches!(c.request("GET").unwrap(), ClientReply::Error(_)));
+        // The session survives protocol errors.
+        c.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_the_session() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.quit().unwrap();
+        assert!(c.ping().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_clean() {
+        let server = tiny();
+        let addr = server.local_addr();
+        {
+            let mut c = Client::connect(addr).unwrap();
+            c.set("x", "1").unwrap();
+        }
+        server.shutdown();
+        // The port is released: a fresh connection must not find a
+        // live server behind it.
+        assert!(Client::connect(addr).and_then(|mut c| c.ping()).is_err());
+    }
+}

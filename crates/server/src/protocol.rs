@@ -1,0 +1,246 @@
+//! The wire protocol: a compact, RESP-inspired line protocol.
+//!
+//! Requests are single lines, `VERB arg1 arg2 ...`, terminated by `\n`
+//! (a trailing `\r` is tolerated). `SET`'s value is the rest of the
+//! line, so values may contain spaces but not newlines. Verbs are
+//! case-insensitive.
+//!
+//! Replies are lines too:
+//!
+//! | First byte | Meaning |
+//! |---|---|
+//! | `+` | status (`+OK`, `+PONG`) |
+//! | `$` | one value, rest of line |
+//! | `_` | nil (absent key) |
+//! | `:` | signed integer |
+//! | `-` | error (`-ERR <message>`) |
+//! | `*` | array header `*<n>`, followed by `n` element lines |
+//!
+//! The full verb set is listed in [`Command`].
+
+use std::fmt::Write as _;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `GET key` → `$value` | `_`
+    Get(String),
+    /// `SET key value...` → `+OK`
+    Set(String, String),
+    /// `DEL key` → `+OK` (blind, like the M2 map's `remove`)
+    Del(String),
+    /// `INCR key [delta]` → `:new` (missing keys count from 0)
+    Incr(String, i64),
+    /// `ADDUSER user` → `+OK`
+    AddUser(u64),
+    /// `POST user msg` → `+OK` (fans out to followers' timelines)
+    Post(u64, u64),
+    /// `FOLLOW follower followee` → `+OK`
+    Follow(u64, u64),
+    /// `UNFOLLOW follower followee` → `+OK`
+    Unfollow(u64, u64),
+    /// `TIMELINE user` → `*n` + n × `:msg` (newest first)
+    Timeline(u64),
+    /// `ISFOLLOWING follower followee` → `:0` | `:1`
+    IsFollowing(u64, u64),
+    /// `FOLLOWERS user` → `:count`
+    Followers(u64),
+    /// `JOIN user` → `+OK`
+    Join(u64),
+    /// `LEAVE user` → `+OK`
+    Leave(u64),
+    /// `INGROUP user` → `:0` | `:1`
+    InGroup(u64),
+    /// `PROFILE user` → `:version` (bump the profile version)
+    Profile(u64),
+    /// `PROFILEVER user` → `:version`
+    ProfileVer(u64),
+    /// `STATS` → `*n` + n × `name=value`
+    Stats,
+    /// `PING` → `+PONG`
+    Ping,
+    /// `QUIT` → `+OK`, then the server closes the connection
+    Quit,
+}
+
+/// A parse failure, reported to the client as `-ERR ...`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+fn need<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, ParseError> {
+    parts
+        .next()
+        .ok_or_else(|| ParseError(format!("missing {what}")))
+}
+
+fn need_u64<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<u64, ParseError> {
+    let raw = need(parts, what)?;
+    raw.parse()
+        .map_err(|_| ParseError(format!("{what} must be an unsigned integer, got {raw:?}")))
+}
+
+impl Command {
+    /// Parse one request line (without its terminator).
+    pub fn parse(line: &str) -> Result<Command, ParseError> {
+        let line = line.strip_suffix('\r').unwrap_or(line).trim_start();
+        let mut parts = line.split_whitespace();
+        let verb = need(&mut parts, "verb")?.to_ascii_uppercase();
+        let cmd = match verb.as_str() {
+            "GET" => Command::Get(need(&mut parts, "key")?.to_string()),
+            "SET" => {
+                let key = need(&mut parts, "key")?;
+                // The value is the rest of the line after the key, so
+                // it may contain spaces.
+                let after_verb = &line[line.find(char::is_whitespace).unwrap_or(line.len())..];
+                let after_verb = after_verb.trim_start();
+                let value = after_verb[key.len()..].trim();
+                if value.is_empty() {
+                    return Err(ParseError("missing value".into()));
+                }
+                Command::Set(key.to_string(), value.to_string())
+            }
+            "DEL" => Command::Del(need(&mut parts, "key")?.to_string()),
+            "INCR" => {
+                let key = need(&mut parts, "key")?.to_string();
+                let delta = match parts.next() {
+                    None => 1,
+                    Some(raw) => raw
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad delta {raw:?}")))?,
+                };
+                Command::Incr(key, delta)
+            }
+            "ADDUSER" => Command::AddUser(need_u64(&mut parts, "user")?),
+            "POST" => Command::Post(need_u64(&mut parts, "user")?, need_u64(&mut parts, "msg")?),
+            "FOLLOW" => Command::Follow(
+                need_u64(&mut parts, "follower")?,
+                need_u64(&mut parts, "followee")?,
+            ),
+            "UNFOLLOW" => Command::Unfollow(
+                need_u64(&mut parts, "follower")?,
+                need_u64(&mut parts, "followee")?,
+            ),
+            "TIMELINE" => Command::Timeline(need_u64(&mut parts, "user")?),
+            "ISFOLLOWING" => Command::IsFollowing(
+                need_u64(&mut parts, "follower")?,
+                need_u64(&mut parts, "followee")?,
+            ),
+            "FOLLOWERS" => Command::Followers(need_u64(&mut parts, "user")?),
+            "JOIN" => Command::Join(need_u64(&mut parts, "user")?),
+            "LEAVE" => Command::Leave(need_u64(&mut parts, "user")?),
+            "INGROUP" => Command::InGroup(need_u64(&mut parts, "user")?),
+            "PROFILE" => Command::Profile(need_u64(&mut parts, "user")?),
+            "PROFILEVER" => Command::ProfileVer(need_u64(&mut parts, "user")?),
+            "STATS" => Command::Stats,
+            "PING" => Command::Ping,
+            "QUIT" => Command::Quit,
+            other => return Err(ParseError(format!("unknown verb {other:?}"))),
+        };
+        Ok(cmd)
+    }
+}
+
+/// A reply on its way to the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK` / `+PONG` status.
+    Status(&'static str),
+    /// A present value.
+    Value(String),
+    /// An absent value.
+    Nil,
+    /// A signed integer.
+    Int(i64),
+    /// An error.
+    Error(String),
+    /// An array of pre-rendered element lines.
+    Array(Vec<String>),
+}
+
+impl Reply {
+    /// Append the wire form (with terminators) to `out`.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Reply::Status(s) => {
+                let _ = writeln!(out, "+{s}");
+            }
+            Reply::Value(v) => {
+                let _ = writeln!(out, "${v}");
+            }
+            Reply::Nil => out.push_str("_\n"),
+            Reply::Int(i) => {
+                let _ = writeln!(out, ":{i}");
+            }
+            Reply::Error(e) => {
+                let _ = writeln!(out, "-ERR {e}");
+            }
+            Reply::Array(items) => {
+                let _ = writeln!(out, "*{}", items.len());
+                for item in items {
+                    let _ = writeln!(out, "{item}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kv_verbs() {
+        assert_eq!(Command::parse("GET a"), Ok(Command::Get("a".into())));
+        assert_eq!(
+            Command::parse("set key hello world "),
+            Ok(Command::Set("key".into(), "hello world".into()))
+        );
+        assert_eq!(Command::parse("DEL k\r"), Ok(Command::Del("k".into())));
+        assert_eq!(Command::parse("INCR k"), Ok(Command::Incr("k".into(), 1)));
+        assert_eq!(
+            Command::parse("INCR k -5"),
+            Ok(Command::Incr("k".into(), -5))
+        );
+    }
+
+    #[test]
+    fn parses_the_social_verbs() {
+        assert_eq!(Command::parse("POST 3 77"), Ok(Command::Post(3, 77)));
+        assert_eq!(Command::parse("FOLLOW 1 2"), Ok(Command::Follow(1, 2)));
+        assert_eq!(Command::parse("TIMELINE 9"), Ok(Command::Timeline(9)));
+        assert_eq!(Command::parse("stats"), Ok(Command::Stats));
+    }
+
+    #[test]
+    fn leading_whitespace_does_not_corrupt_set() {
+        assert_eq!(
+            Command::parse("  SET k v"),
+            Ok(Command::Set("k".into(), "v".into()))
+        );
+        assert_eq!(
+            Command::parse("\t SET key hello world"),
+            Ok(Command::Set("key".into(), "hello world".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("BLORP 1").is_err());
+        assert!(Command::parse("GET").is_err());
+        assert!(Command::parse("SET k").is_err());
+        assert!(Command::parse("POST notanumber 5").is_err());
+    }
+
+    #[test]
+    fn renders_replies() {
+        let mut out = String::new();
+        Reply::Status("OK").render(&mut out);
+        Reply::Value("v with spaces".into()).render(&mut out);
+        Reply::Nil.render(&mut out);
+        Reply::Int(-3).render(&mut out);
+        Reply::Error("nope".into()).render(&mut out);
+        Reply::Array(vec![":1".into(), ":2".into()]).render(&mut out);
+        assert_eq!(out, "+OK\n$v with spaces\n_\n:-3\n-ERR nope\n*2\n:1\n:2\n");
+    }
+}

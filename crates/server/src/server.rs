@@ -1,0 +1,519 @@
+//! The TCP front-end: accept loop, per-connection threads, pipelining
+//! and shutdown.
+//!
+//! A connection thread parses request lines and splits them two ways:
+//! **reads** (`GET`, `TIMELINE`, `ISFOLLOWING`, …) are served inline
+//! from the lock-free segment readers; **mutations** are enqueued to
+//! the owning shard thread and acknowledged through the connection's
+//! reply channel before the response line is emitted — so a client
+//! that saw `+OK` for a `SET` observes that value on every later read,
+//! from any connection (the shard applied it before acking, and
+//! segment publication is release/acquire).
+//!
+//! Pipelining: responses are buffered and flushed only when the input
+//! buffer runs dry, so a burst of `k` commands costs one write.
+
+use crate::protocol::{Command, Reply};
+use crate::stats::{ServerStats, StatsSnapshot};
+use crate::store::{self, Mutation, Store, FANOUT_LIMIT};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Timeline length returned to clients (the paper's "last 50
+/// messages").
+pub const TIMELINE_LIMIT: usize = 50;
+
+/// How long a connection waits for a shard acknowledgement before
+/// reporting an error (only reachable when shutting down mid-request).
+const ACK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of storage shards (= shard-owner threads).
+    pub shards: usize,
+    /// Expected keyspace size (presizes the segment tables).
+    pub capacity: usize,
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            capacity: 16_384,
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of storage shards.
+    pub fn shards(&self) -> usize {
+        self.store.shards()
+    }
+
+    /// A snapshot of the operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        // The authoritative applied count lives in the storage plane's
+        // per-shard counter.
+        snap.applied = self.store.applied.get();
+        snap
+    }
+
+    /// Stop accepting, drain the shards, join every thread.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        for c in conns {
+            let _ = c.join();
+        }
+        // Shard threads exit once the flag is up and their queue is
+        // drained; wake any parked ones.
+        for _ in 0..2 {
+            for shard in 0..self.store.shards() {
+                self.store.wake(shard);
+            }
+        }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Bind and spawn a server.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let runtime = store::spawn_shards(
+        config.shards,
+        config.capacity,
+        Arc::clone(&stats),
+        Arc::clone(&shutdown),
+    );
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let store = Arc::clone(&runtime.store);
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("dego-accept".into())
+            .spawn(move || accept_loop(listener, store, stats, shutdown, connections))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        store: runtime.store,
+        stats,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        shard_threads: runtime.threads,
+        connections,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        let (socket, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        stats.note_connection();
+        let store = Arc::clone(&store);
+        let stats = Arc::clone(&stats);
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name(format!("dego-conn-{next_conn}"))
+            .spawn(move || {
+                let _ = serve_connection(socket, store, stats, flag);
+            })
+            .expect("spawn connection thread");
+        next_conn += 1;
+        let mut registry = connections.lock().expect("connection registry");
+        // Reap dead sessions so a long-lived server with connection
+        // churn does not accumulate handles without bound.
+        registry.retain(|h| !h.is_finished());
+        registry.push(handle);
+    }
+}
+
+/// One connection's session: parse, execute, pipeline replies.
+fn serve_connection(
+    socket: TcpStream,
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    socket.set_nodelay(true)?;
+    socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(socket.try_clone()?);
+    let mut writer = BufWriter::new(socket);
+    let (ack_tx, ack_rx) = channel::<Reply>();
+    let mut line = String::new();
+    let mut out = String::new();
+
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                stats.note_command();
+                let (reply, quit) = match Command::parse(line.trim_end_matches('\n')) {
+                    Ok(cmd) => execute(&cmd, &store, &stats, &ack_tx, &ack_rx),
+                    Err(e) => {
+                        stats.note_error();
+                        (Reply::Error(e.0), false)
+                    }
+                };
+                reply.render(&mut out);
+                line.clear();
+                // Pipelining: only pay a socket write once the input
+                // buffer has run dry.
+                if reader.buffer().is_empty() {
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                    out.clear();
+                }
+                if quit {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle tick: push out anything buffered, check for
+                // shutdown. A partially read line stays in `line`.
+                if !out.is_empty() {
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                    out.clear();
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Non-UTF-8 bytes: this is a text protocol. Say why,
+                // then hang up (the byte stream is unrecoverable —
+                // read_line cannot tell where the bad input ended).
+                stats.note_error();
+                Reply::Error("protocol requires UTF-8 input".into()).render(&mut out);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    if !out.is_empty() {
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Enqueue `mutation` to `shard` and wait for its acknowledgement.
+///
+/// On timeout the connection is poisoned (`dead` set): the ack may
+/// still arrive later, and once a stale ack can be sitting in the
+/// channel every later request/reply pairing would be off by one —
+/// closing the session is the only honest recovery.
+fn roundtrip(
+    store: &Store,
+    shard: usize,
+    mutation: Mutation,
+    ack_rx: &Receiver<Reply>,
+    dead: &mut bool,
+) -> Reply {
+    store.enqueue(shard, mutation);
+    match ack_rx.recv_timeout(ACK_TIMEOUT) {
+        Ok(reply) => reply,
+        Err(RecvTimeoutError::Timeout) => {
+            *dead = true;
+            Reply::Error("shard ack timeout; closing connection".into())
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            *dead = true;
+            Reply::Error("shard gone; closing connection".into())
+        }
+    }
+}
+
+fn execute(
+    cmd: &Command,
+    store: &Store,
+    stats: &ServerStats,
+    ack_tx: &Sender<Reply>,
+    ack_rx: &Receiver<Reply>,
+) -> (Reply, bool) {
+    let mut dead = false;
+    let reply = match cmd {
+        // ------------------------------------------------ local reads
+        Command::Get(key) => match store.kv.get(key) {
+            Some(v) => {
+                stats.note_get_hit();
+                Reply::Value(v)
+            }
+            None => {
+                stats.note_get_miss();
+                Reply::Nil
+            }
+        },
+        Command::Timeline(user) => {
+            stats.note_timeline_read();
+            let mut row = store.timelines.get(user).unwrap_or_default();
+            // Stored oldest→newest; serve newest first, capped.
+            row.reverse();
+            row.truncate(TIMELINE_LIMIT);
+            Reply::Array(row.iter().map(|m| format!(":{m}")).collect())
+        }
+        Command::IsFollowing(follower, followee) => {
+            let follows = store
+                .followers
+                .get(followee)
+                .is_some_and(|row| row.contains(follower));
+            Reply::Int(follows as i64)
+        }
+        Command::Followers(user) => {
+            Reply::Int(store.followers.get(user).map_or(0, |row| row.len()) as i64)
+        }
+        Command::InGroup(user) => Reply::Int(store.group.contains(user) as i64),
+        Command::ProfileVer(user) => Reply::Int(store.profiles.get(user).unwrap_or(0) as i64),
+        Command::Stats => {
+            let mut snap = stats.snapshot();
+            snap.applied = store.applied.get();
+            Reply::Array(snap.render_lines(store.shards(), store.kv.len()))
+        }
+        Command::Ping => Reply::Status("PONG"),
+        Command::Quit => return (Reply::Status("OK"), true),
+
+        // -------------------------------------- single-shard mutations
+        Command::Set(key, value) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_key(key),
+                Mutation::Set {
+                    key: key.clone(),
+                    value: value.clone(),
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Del(key) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_key(key),
+                Mutation::Del {
+                    key: key.clone(),
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Incr(key, delta) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_key(key),
+                Mutation::Incr {
+                    key: key.clone(),
+                    delta: *delta,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::AddUser(user) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*user),
+                Mutation::AddUser {
+                    user: *user,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Follow(follower, followee) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*followee),
+                Mutation::FollowerAdd {
+                    followee: *followee,
+                    follower: *follower,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Unfollow(follower, followee) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*followee),
+                Mutation::FollowerDel {
+                    followee: *followee,
+                    follower: *follower,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Join(user) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*user),
+                Mutation::GroupJoin {
+                    user: *user,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Leave(user) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*user),
+                Mutation::GroupLeave {
+                    user: *user,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+        Command::Profile(user) => {
+            stats.note_mutation();
+            roundtrip(
+                store,
+                store.shard_of_user(*user),
+                Mutation::ProfileBump {
+                    user: *user,
+                    reply: ack_tx.clone(),
+                },
+                ack_rx,
+                &mut dead,
+            )
+        }
+
+        // ------------------------------------- multi-shard fan-out
+        Command::Post(author, msg) => {
+            stats.note_mutation();
+            // Fan out to the author plus the first FANOUT_LIMIT
+            // followers; every target's shard must ack before the
+            // client sees +OK, so a post is visible on every timeline
+            // it reached once acknowledged.
+            // The author's own timeline is always a target; a
+            // self-follow must not deliver twice (Vec::dedup would only
+            // catch it when adjacent), so filter the author out of the
+            // follower fan-out.
+            let mut targets = vec![*author];
+            if let Some(row) = store.followers.get(author) {
+                targets.extend(row.into_iter().filter(|f| f != author).take(FANOUT_LIMIT));
+            }
+            let n = targets.len();
+            for user in targets {
+                store.enqueue(
+                    store.shard_of_user(user),
+                    Mutation::TimelinePush {
+                        user,
+                        msg: *msg,
+                        reply: ack_tx.clone(),
+                    },
+                );
+            }
+            let mut failure = None;
+            for _ in 0..n {
+                match ack_rx.recv_timeout(ACK_TIMEOUT) {
+                    Ok(Reply::Error(e)) => failure = Some(e),
+                    Ok(_) => {}
+                    Err(_) => {
+                        // As in `roundtrip`: a late ack would desync
+                        // every later reply on this connection.
+                        dead = true;
+                        failure = Some("shard ack timeout; closing connection".into());
+                    }
+                }
+            }
+            match failure {
+                None => Reply::Status("OK"),
+                Some(e) => Reply::Error(e),
+            }
+        }
+    };
+    if matches!(reply, Reply::Error(_)) {
+        stats.note_error();
+    }
+    (reply, dead)
+}

@@ -1,0 +1,148 @@
+//! Server-side operation counters and the `STATS` snapshot.
+//!
+//! Per-connection counters are plain relaxed atomics (statistics, not
+//! synchronization — the same doctrine as [`dego_metrics`]); the
+//! mutation-application counter lives in the storage plane as a
+//! [`dego_core::CounterIncrementOnly`] with one owner-exclusive cell
+//! per shard. The snapshot also folds in the process-wide contention
+//! stall proxy from [`dego_metrics::GLOBAL`].
+
+use dego_metrics::ContentionSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed event counters bumped by the connection threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    commands: AtomicU64,
+    gets: AtomicU64,
+    get_hits: AtomicU64,
+    mutations: AtomicU64,
+    applied: AtomicU64,
+    timeline_reads: AtomicU64,
+    errors: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($method:ident => $field:ident),* $(,)?) => {$(
+        #[doc = concat!("Count one `", stringify!($field), "` event.")]
+        #[inline]
+        pub fn $method(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl ServerStats {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    bump! {
+        note_connection => connections,
+        note_command => commands,
+        note_get_miss => gets,
+        note_mutation => mutations,
+        note_applied => applied,
+        note_timeline_read => timeline_reads,
+        note_error => errors,
+    }
+
+    /// Count a `GET` that found its key.
+    #[inline]
+    pub fn note_get_hit(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.get_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter plus the global contention proxy.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            commands: self.commands.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            get_hits: self.get_hits.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            timeline_reads: self.timeline_reads.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            contention: dego_metrics::GLOBAL.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time view served by the `STATS` verb.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted since boot.
+    pub connections: u64,
+    /// Request lines handled.
+    pub commands: u64,
+    /// `GET`s served (hit or miss).
+    pub gets: u64,
+    /// `GET`s that found the key.
+    pub get_hits: u64,
+    /// Mutations enqueued to shard owners.
+    pub mutations: u64,
+    /// Mutations applied by shard owners.
+    pub applied: u64,
+    /// `TIMELINE` reads served.
+    pub timeline_reads: u64,
+    /// Protocol errors returned.
+    pub errors: u64,
+    /// The process-wide stall proxy at snapshot time.
+    pub contention: ContentionSnapshot,
+}
+
+impl StatsSnapshot {
+    /// The `name=value` lines of the `STATS` array reply.
+    pub fn render_lines(&self, shards: usize, keys: usize) -> Vec<String> {
+        vec![
+            format!("shards={shards}"),
+            format!("keys={keys}"),
+            format!("connections={}", self.connections),
+            format!("commands={}", self.commands),
+            format!("gets={}", self.gets),
+            format!("get_hits={}", self.get_hits),
+            format!("mutations={}", self.mutations),
+            format!("applied={}", self.applied),
+            format!("timeline_reads={}", self.timeline_reads),
+            format!("errors={}", self.errors),
+            format!("cas_failures={}", self.contention.cas_failures),
+            format!("lock_spins={}", self.contention.lock_spins),
+            format!("rmw_ops={}", self.contention.rmw_ops),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_the_snapshot() {
+        let s = ServerStats::new();
+        s.note_connection();
+        s.note_command();
+        s.note_command();
+        s.note_get_hit();
+        s.note_get_miss();
+        s.note_mutation();
+        s.note_applied();
+        s.note_timeline_read();
+        s.note_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.commands, 2);
+        assert_eq!(snap.gets, 2);
+        assert_eq!(snap.get_hits, 1);
+        assert_eq!(snap.mutations, 1);
+        assert_eq!(snap.applied, 1);
+        assert_eq!(snap.timeline_reads, 1);
+        assert_eq!(snap.errors, 1);
+        let lines = snap.render_lines(4, 10);
+        assert!(lines.contains(&"shards=4".to_string()));
+        assert!(lines.contains(&"get_hits=1".to_string()));
+    }
+}

@@ -1,0 +1,359 @@
+//! The sharded storage plane: dego-core adjusted objects behind N
+//! shard-owner threads.
+//!
+//! Every structure is segmented with [`SegmentationKind::Hash`] into
+//! one segment per shard, and each shard's segment writers are claimed
+//! by exactly one **shard-owner thread** — the single-writer (M2,
+//! CWMR) discipline the paper's map adjustment requires. Reads go
+//! straight to the lock-free segment readers from any thread;
+//! mutations travel through a [`dego_core::mpsc`] queue (the paper's
+//! `QueueMasp`, MWSR) to the owning shard, which applies them in
+//! arrival order and acks through a per-connection reply channel.
+//!
+//! Routing is [`dego_core::home_segment`] of the key (or user id), the
+//! same hash the maps use internally, so a shard writer never touches
+//! a foreign segment (`debug_assert`ed inside dego-core).
+
+use crate::protocol::Reply;
+use crate::stats::ServerStats;
+use dego_core::{
+    home_segment, mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, SegmentedSet,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::{Builder, JoinHandle, Thread};
+use std::time::Duration;
+
+/// Messages never linger longer than this in a timeline row.
+pub const TIMELINE_KEEP: usize = 64;
+
+/// How many followers receive a post synchronously (mirrors
+/// `dego_retwis::FANOUT_LIMIT`).
+pub const FANOUT_LIMIT: usize = 16;
+
+/// A mutation on its way to a shard-owner thread, carrying the reply
+/// channel of the issuing connection.
+pub(crate) enum Mutation {
+    Set {
+        key: String,
+        value: String,
+        reply: Sender<Reply>,
+    },
+    Del {
+        key: String,
+        reply: Sender<Reply>,
+    },
+    Incr {
+        key: String,
+        delta: i64,
+        reply: Sender<Reply>,
+    },
+    AddUser {
+        user: u64,
+        reply: Sender<Reply>,
+    },
+    TimelinePush {
+        user: u64,
+        msg: u64,
+        reply: Sender<Reply>,
+    },
+    FollowerAdd {
+        followee: u64,
+        follower: u64,
+        reply: Sender<Reply>,
+    },
+    FollowerDel {
+        followee: u64,
+        follower: u64,
+        reply: Sender<Reply>,
+    },
+    GroupJoin {
+        user: u64,
+        reply: Sender<Reply>,
+    },
+    GroupLeave {
+        user: u64,
+        reply: Sender<Reply>,
+    },
+    ProfileBump {
+        user: u64,
+        reply: Sender<Reply>,
+    },
+}
+
+/// The shared storage plane.
+pub(crate) struct Store {
+    shards: usize,
+    /// The string keyspace (GET/SET/DEL/INCR).
+    pub kv: Arc<SegmentedHashMap<String, String>>,
+    /// user → recent messages, newest last.
+    pub timelines: Arc<SegmentedHashMap<u64, Vec<u64>>>,
+    /// user → who follows them.
+    pub followers: Arc<SegmentedHashMap<u64, Vec<u64>>>,
+    /// user → profile version.
+    pub profiles: Arc<SegmentedHashMap<u64, u64>>,
+    /// The interest group.
+    pub group: Arc<SegmentedSet<u64>>,
+    /// Mutations applied, one owner-exclusive cell per shard (C3).
+    pub applied: Arc<CounterIncrementOnly>,
+    /// Mutation inlets, indexed by shard.
+    producers: Vec<mpsc::Producer<Mutation>>,
+    /// Shard threads, for post-enqueue wakeups.
+    wakers: Vec<Thread>,
+}
+
+impl Store {
+    /// The shard owning `key`.
+    pub fn shard_of_key(&self, key: &String) -> usize {
+        home_segment(key, self.shards)
+    }
+
+    /// The shard owning `user`'s rows.
+    pub fn shard_of_user(&self, user: u64) -> usize {
+        home_segment(&user, self.shards)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Hand `mutation` to its owning shard and wake the owner.
+    pub(crate) fn enqueue(&self, shard: usize, mutation: Mutation) {
+        self.producers[shard].offer(mutation);
+        self.wakers[shard].unpark();
+    }
+
+    /// Wake a parked shard owner (e.g. to notice shutdown).
+    pub(crate) fn wake(&self, shard: usize) {
+        self.wakers[shard].unpark();
+    }
+}
+
+/// The storage plane plus its shard-owner threads.
+pub(crate) struct ShardRuntime {
+    pub store: Arc<Store>,
+    pub threads: Vec<JoinHandle<()>>,
+}
+
+/// Build the storage plane and spawn one owner thread per shard.
+///
+/// Shard threads are spawned **serially**: each claims its segment
+/// writers before the next thread starts, so shard `i` always holds
+/// slot `i` of every segmented structure and key routing stays aligned
+/// with writer ownership.
+pub(crate) fn spawn_shards(
+    shards: usize,
+    capacity: usize,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) -> ShardRuntime {
+    assert!(shards > 0, "need at least one shard");
+    let kv = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
+    let timelines = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
+    let followers = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
+    let profiles = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
+    let group = SegmentedSet::new(shards, capacity, SegmentationKind::Hash);
+    let applied = CounterIncrementOnly::new(shards);
+
+    let mut producers = Vec::with_capacity(shards);
+    let mut wakers = Vec::with_capacity(shards);
+    let mut threads = Vec::with_capacity(shards);
+
+    for shard in 0..shards {
+        let (producer, consumer) = mpsc::queue::<Mutation>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<usize>();
+        let ctx = ShardCtx {
+            shard,
+            kv: Arc::clone(&kv),
+            timelines: Arc::clone(&timelines),
+            followers: Arc::clone(&followers),
+            profiles: Arc::clone(&profiles),
+            group: Arc::clone(&group),
+            applied: Arc::clone(&applied),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let handle = Builder::new()
+            .name(format!("dego-shard-{shard}"))
+            .spawn(move || shard_loop(ctx, consumer, ready_tx))
+            .expect("spawn shard thread");
+        wakers.push(handle.thread().clone());
+        threads.push(handle);
+        producers.push(producer);
+        let claimed = ready_rx
+            .recv()
+            .expect("shard thread died before claiming its writers");
+        assert_eq!(claimed, shard, "serialized startup must assign slot=shard");
+    }
+
+    let store = Arc::new(Store {
+        shards,
+        kv,
+        timelines,
+        followers,
+        profiles,
+        group,
+        applied,
+        producers,
+        wakers,
+    });
+    ShardRuntime { store, threads }
+}
+
+struct ShardCtx {
+    shard: usize,
+    kv: Arc<SegmentedHashMap<String, String>>,
+    timelines: Arc<SegmentedHashMap<u64, Vec<u64>>>,
+    followers: Arc<SegmentedHashMap<u64, Vec<u64>>>,
+    profiles: Arc<SegmentedHashMap<u64, u64>>,
+    group: Arc<SegmentedSet<u64>>,
+    applied: Arc<CounterIncrementOnly>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// The owner loop: claim this shard's writers, then apply mutations in
+/// arrival order until shutdown.
+fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<Mutation>, ready: Sender<usize>) {
+    let mut kv_w = ctx.kv.writer();
+    let mut tl_w = ctx.timelines.writer();
+    let mut fo_w = ctx.followers.writer();
+    let mut pr_w = ctx.profiles.writer();
+    let mut gr_w = ctx.group.writer();
+    let cell = ctx.applied.cell();
+    debug_assert_eq!(kv_w.slot(), ctx.shard);
+    ready.send(kv_w.slot()).expect("startup handshake");
+
+    loop {
+        match inbox.poll() {
+            Some(mutation) => {
+                let reply = apply(
+                    &mutation, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,
+                );
+                // Rejected mutations (e.g. INCR on a non-integer) must
+                // not inflate the applied count.
+                if !matches!(reply, Reply::Error(_)) {
+                    cell.inc();
+                    ctx.stats.note_applied();
+                }
+                // A closed reply channel means the connection died
+                // mid-flight; the mutation was still applied.
+                let _ = reply_target(&mutation).send(reply);
+            }
+            None => {
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    // Flag is up and the queue is drained: done.
+                    return;
+                }
+                // Sleep until a producer wakes us (or a timeout, to
+                // re-check the shutdown flag).
+                std::thread::park_timeout(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn reply_target(mutation: &Mutation) -> &Sender<Reply> {
+    match mutation {
+        Mutation::Set { reply, .. }
+        | Mutation::Del { reply, .. }
+        | Mutation::Incr { reply, .. }
+        | Mutation::AddUser { reply, .. }
+        | Mutation::TimelinePush { reply, .. }
+        | Mutation::FollowerAdd { reply, .. }
+        | Mutation::FollowerDel { reply, .. }
+        | Mutation::GroupJoin { reply, .. }
+        | Mutation::GroupLeave { reply, .. }
+        | Mutation::ProfileBump { reply, .. } => reply,
+    }
+}
+
+/// Apply one mutation through this shard's writers. Single-writer per
+/// segment, so read-modify-write sequences on owned rows are races
+/// with nobody.
+fn apply(
+    mutation: &Mutation,
+    kv_w: &mut dego_core::SegmentedHashMapWriter<String, String>,
+    tl_w: &mut dego_core::SegmentedHashMapWriter<u64, Vec<u64>>,
+    fo_w: &mut dego_core::SegmentedHashMapWriter<u64, Vec<u64>>,
+    pr_w: &mut dego_core::SegmentedHashMapWriter<u64, u64>,
+    gr_w: &mut dego_core::SegmentedSetWriter<u64>,
+) -> Reply {
+    match mutation {
+        Mutation::Set { key, value, .. } => {
+            kv_w.put(key.clone(), value.clone());
+            Reply::Status("OK")
+        }
+        Mutation::Del { key, .. } => {
+            kv_w.remove(key);
+            Reply::Status("OK")
+        }
+        Mutation::Incr { key, delta, .. } => {
+            let current = match kv_w.get(key) {
+                None => 0,
+                Some(raw) => match raw.parse::<i64>() {
+                    Ok(n) => n,
+                    Err(_) => return Reply::Error(format!("value at {key:?} is not an integer")),
+                },
+            };
+            let next = current.wrapping_add(*delta);
+            kv_w.put(key.clone(), next.to_string());
+            Reply::Int(next)
+        }
+        Mutation::AddUser { user, .. } => {
+            if tl_w.get(user).is_none() {
+                tl_w.put(*user, Vec::new());
+            }
+            if fo_w.get(user).is_none() {
+                fo_w.put(*user, Vec::new());
+            }
+            if pr_w.get(user).is_none() {
+                pr_w.put(*user, 0);
+            }
+            Reply::Status("OK")
+        }
+        Mutation::TimelinePush { user, msg, .. } => {
+            let mut row = tl_w.get(user).unwrap_or_default();
+            row.push(*msg);
+            if row.len() > TIMELINE_KEEP {
+                let excess = row.len() - TIMELINE_KEEP;
+                row.drain(..excess);
+            }
+            tl_w.put(*user, row);
+            Reply::Status("OK")
+        }
+        Mutation::FollowerAdd {
+            followee, follower, ..
+        } => {
+            let mut row = fo_w.get(followee).unwrap_or_default();
+            if !row.contains(follower) {
+                row.push(*follower);
+            }
+            fo_w.put(*followee, row);
+            Reply::Status("OK")
+        }
+        Mutation::FollowerDel {
+            followee, follower, ..
+        } => {
+            let mut row = fo_w.get(followee).unwrap_or_default();
+            row.retain(|f| f != follower);
+            fo_w.put(*followee, row);
+            Reply::Status("OK")
+        }
+        Mutation::GroupJoin { user, .. } => {
+            gr_w.add(*user);
+            Reply::Status("OK")
+        }
+        Mutation::GroupLeave { user, .. } => {
+            gr_w.remove(user);
+            Reply::Status("OK")
+        }
+        Mutation::ProfileBump { user, .. } => {
+            let version = pr_w.get(user).unwrap_or(0) + 1;
+            pr_w.put(*user, version);
+            Reply::Int(version as i64)
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline shim for `criterion`: benchmark groups, `Bencher::iter` /
+//! `iter_custom`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. The runner is real but deliberately
+//! simple — fixed warm-up, `sample_size` timed samples within
+//! `measurement_time`, median ns/op to stdout — with none of the
+//! statistics machinery of the real crate. Replace the `path`
+//! dependency with the registry crate to swap back.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// An identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The benchmark driver handed to each registered function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Total time budget for the samples of each benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `f` under this group's settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(ns_per_iter) => {
+                println!("  {}/{}: {:.1} ns/iter", self.name, id.label, ns_per_iter);
+            }
+            None => println!("  {}/{}: no measurement", self.name, id.label),
+        }
+    }
+
+    /// Measure `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to it.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit one sample's budget?
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let t = start.elapsed().as_secs_f64();
+            if t >= per_sample.min(0.01) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.record(per_iter);
+    }
+
+    /// Measure with caller-controlled timing: `routine` receives the
+    /// iteration count and returns the elapsed wall time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Calibrate the per-sample iteration count.
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let mut iters: u64 = 1;
+        loop {
+            let t = routine(iters).as_secs_f64();
+            if t >= per_sample.min(0.01) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = routine(iters);
+            per_iter.push(t.as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.record(per_iter);
+    }
+
+    fn record(&mut self, mut per_iter: Vec<f64>) {
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-self-test");
+        group.measurement_time(Duration::from_millis(50));
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_function(BenchmarkId::new("custom", 2), |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(());
+                }
+                start.elapsed()
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -96,10 +96,16 @@ impl fmt::Display for AdjustError {
                 write!(f, "subtype rejects {op:?} in state {state:?}")
             }
             AdjustError::EffectMismatch { op, state } => {
-                write!(f, "post-state of {op:?} from {state:?} violates the supertype")
+                write!(
+                    f,
+                    "post-state of {op:?} from {state:?} violates the supertype"
+                )
             }
             AdjustError::ReturnMismatch { op, state } => {
-                write!(f, "response of {op:?} from {state:?} violates the supertype")
+                write!(
+                    f,
+                    "response of {op:?} from {state:?} violates the supertype"
+                )
             }
             AdjustError::PermissionNotIncluded => {
                 write!(f, "permission map is not included in the vanilla object's")
@@ -233,21 +239,14 @@ pub fn prop6_edge_inclusion(
 ) -> bool {
     let ga = IndistGraph::build(adjusted, bag, state);
     let gv = IndistGraph::build(vanilla, bag, state);
-    gv.edges().iter().all(|ev| {
-        ev.labels
-            .iter()
-            .all(|&c| ga.labels_edge(c, ev.a, ev.b))
-    })
+    gv.edges()
+        .iter()
+        .all(|ev| ev.labels.iter().all(|&c| ga.labels_edge(c, ev.a, ev.b)))
 }
 
 /// Density gain from adjusting: `(adjusted density) - (vanilla density)`
 /// for one bag/state. Non-negative whenever Proposition 6 applies.
-pub fn density_gain(
-    adjusted: &SpecType,
-    vanilla: &SpecType,
-    bag: &[Op],
-    state: &Value,
-) -> f64 {
+pub fn density_gain(adjusted: &SpecType, vanilla: &SpecType, bag: &[Op], state: &Value) -> f64 {
     let ga = IndistGraph::build(adjusted, bag, state);
     let gv = IndistGraph::build(vanilla, bag, state);
     ga.density() - gv.density()
@@ -258,8 +257,8 @@ mod tests {
     use super::*;
     use crate::perm::AccessMode;
     use crate::types::{
-        counter_c1, counter_c2, counter_c3, map_m1, map_m2, op, reference_r1, reference_r2,
-        set_s1, set_s2, set_s3,
+        counter_c1, counter_c2, counter_c3, map_m1, map_m2, op, reference_r1, reference_r2, set_s1,
+        set_s2, set_s3,
     };
 
     const D: &[i64] = &[0, 1];
@@ -267,11 +266,17 @@ mod tests {
     #[test]
     fn r1_is_narrow_subtype_of_r2() {
         // R2 strengthens set's precondition: vanilla R1 is a subtype.
-        assert_eq!(narrow_subtype(&reference_r1(), &reference_r2(), D, 2), Ok(()));
+        assert_eq!(
+            narrow_subtype(&reference_r1(), &reference_r2(), D, 2),
+            Ok(())
+        );
         // The converse fails: R2 rejects a second set that R1 allows…
         // (R1's pre is weaker, so checking R2 as the *sub* must fail).
         let err = narrow_subtype(&reference_r2(), &reference_r1(), D, 2).unwrap_err();
-        assert!(matches!(err, AdjustError::EffectMismatch { .. } | AdjustError::PreconditionNarrowed { .. }));
+        assert!(matches!(
+            err,
+            AdjustError::EffectMismatch { .. } | AdjustError::PreconditionNarrowed { .. }
+        ));
     }
 
     #[test]
@@ -411,7 +416,10 @@ mod tests {
     fn density_gain_is_strictly_positive_for_blind_sets() {
         let bag = vec![op("add", &[1]), op("add", &[1])];
         let gain = density_gain(&set_s2(), &set_s1(), &bag, &Value::empty_set());
-        assert!(gain > 0.0, "voiding add's return must add edges, gain={gain}");
+        assert!(
+            gain > 0.0,
+            "voiding add's return must add edges, gain={gain}"
+        );
     }
 
     #[test]

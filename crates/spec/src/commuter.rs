@@ -132,8 +132,8 @@ pub fn is_conflict_free(spec: &SpecType, domain: &[i64], depth: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Value;
     use crate::types::{counter_c1, counter_c3, map_m2, op, set_s1, set_s2};
+    use crate::value::Value;
 
     #[test]
     fn classify_basic_pairs() {

@@ -224,11 +224,7 @@ mod tests {
     fn add_of_s1_has_consensus_power() {
         let s1 = set_s1();
         let states = vec![Value::empty_set()];
-        assert!(has_consensus_power(
-            &s1,
-            &[op("add", &[1])],
-            &states
-        ));
+        assert!(has_consensus_power(&s1, &[op("add", &[1])], &states));
         let s2 = set_s2();
         assert!(!has_consensus_power(&s2, &[op("add", &[1])], &states));
     }
@@ -236,12 +232,7 @@ mod tests {
     #[test]
     fn register_writes_are_overwriting() {
         let r = register();
-        let k = classify_pair(
-            &r,
-            &Value::Int(0),
-            &op("write", &[1]),
-            &op("write", &[2]),
-        );
+        let k = classify_pair(&r, &Value::Int(0), &op("write", &[1]), &op("write", &[2]));
         assert_eq!(k, PairKind::Overwriting);
     }
 
@@ -318,4 +309,3 @@ mod tests {
         }
     }
 }
-

@@ -213,9 +213,8 @@ mod tests {
     fn counter_with_returns_solves_2_consensus() {
         // C1's inc returns the new value: D(2,2), so two threads agree.
         let c1 = counter_c1();
-        let runs =
-            run_weak_consensus(&c1, &[op("inc", &[]), op("inc", &[])], &Value::Int(0))
-                .expect("two classes");
+        let runs = run_weak_consensus(&c1, &[op("inc", &[]), op("inc", &[])], &Value::Int(0))
+            .expect("two classes");
         assert!(runs.all_agree(), "{:?}", runs.decisions_per_schedule);
         // Weak validity: both outcomes occur across schedules.
         assert_eq!(runs.decided_values(), vec![0, 1]);
@@ -249,8 +248,8 @@ mod tests {
     fn blind_counter_cannot_distinguish() {
         // C3 is D(k,1): the construction must refuse.
         let c3 = counter_c3();
-        let err = run_weak_consensus(&c3, &[op("inc", &[]), op("inc", &[])], &Value::Int(0))
-            .unwrap_err();
+        let err =
+            run_weak_consensus(&c3, &[op("inc", &[]), op("inc", &[])], &Value::Int(0)).unwrap_err();
         assert_eq!(err, ConstructionError::SingleClass);
     }
 

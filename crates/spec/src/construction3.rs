@@ -172,7 +172,11 @@ mod tests {
                 }
                 Assigned {
                     op: o.clone(),
-                    role: if mover { Role::RightMover } else { Role::Announcer },
+                    role: if mover {
+                        Role::RightMover
+                    } else {
+                        Role::Announcer
+                    },
                 }
             })
             .collect()
@@ -188,7 +192,10 @@ mod tests {
             );
         }
         // Invisibility: right-movers never wrote shared state.
-        assigned.iter().filter(|a| a.role == Role::RightMover).count()
+        assigned
+            .iter()
+            .filter(|a| a.role == Role::RightMover)
+            .count()
     }
 
     #[test]
@@ -208,7 +215,10 @@ mod tests {
         let bag = vec![op("inc", &[]), op("inc", &[]), op("get", &[])];
         let assigned = assign(&c3, &bag, &Value::Int(0));
         assert_eq!(
-            assigned.iter().filter(|a| a.role == Role::RightMover).count(),
+            assigned
+                .iter()
+                .filter(|a| a.role == Role::RightMover)
+                .count(),
             1,
             "only get is a right-mover"
         );

@@ -250,10 +250,7 @@ impl DataType for SpecType {
         if !(sig.pre)(state, &op.args) {
             return (state.clone(), Value::Bottom);
         }
-        let ret = sig
-            .ret
-            .map(|f| f(state, &op.args))
-            .unwrap_or(Value::Bottom);
+        let ret = sig.ret.map(|f| f(state, &op.args)).unwrap_or(Value::Bottom);
         let state2 = sig
             .effect
             .map(|f| f(state, &op.args))

@@ -100,32 +100,76 @@ pub fn figure3_dag() -> AdjustDag {
     use AccessMode::*;
     use AdjustKind::*;
     let nodes = vec![
-        ref_obj(types::reference_r1(), All),  // 0
-        ref_obj(types::reference_r2(), All),  // 1
-        ref_obj(types::reference_r2(), Swmr), // 2
-        ref_obj(types::reference_r1(), Swmr), // 3
-        set_obj(types::set_s1(), All),        // 4
-        set_obj(types::set_s2(), All),        // 5
-        set_obj(types::set_s3(), All),        // 6
-        set_obj(types::set_s3(), Cwmr),       // 7
-        set_obj(types::set_s3(), Cwsr),       // 8
-        counter_obj(types::counter_c1(), All), // 9
-        counter_obj(types::counter_c2(), All), // 10
-        counter_obj(types::counter_c3(), All), // 11
+        ref_obj(types::reference_r1(), All),    // 0
+        ref_obj(types::reference_r2(), All),    // 1
+        ref_obj(types::reference_r2(), Swmr),   // 2
+        ref_obj(types::reference_r1(), Swmr),   // 3
+        set_obj(types::set_s1(), All),          // 4
+        set_obj(types::set_s2(), All),          // 5
+        set_obj(types::set_s3(), All),          // 6
+        set_obj(types::set_s3(), Cwmr),         // 7
+        set_obj(types::set_s3(), Cwsr),         // 8
+        counter_obj(types::counter_c1(), All),  // 9
+        counter_obj(types::counter_c2(), All),  // 10
+        counter_obj(types::counter_c3(), All),  // 11
         counter_obj(types::counter_c3(), Cwsr), // 12
     ];
     let edges = vec![
-        AdjustEdge { from: 0, to: 1, kind: Precondition },
-        AdjustEdge { from: 1, to: 2, kind: Asymmetric },
-        AdjustEdge { from: 0, to: 3, kind: Asymmetric },
-        AdjustEdge { from: 3, to: 2, kind: Precondition },
-        AdjustEdge { from: 4, to: 5, kind: Return },
-        AdjustEdge { from: 5, to: 6, kind: Deletion },
-        AdjustEdge { from: 6, to: 7, kind: Commuting },
-        AdjustEdge { from: 7, to: 8, kind: Asymmetric },
-        AdjustEdge { from: 9, to: 10, kind: Deletion },
-        AdjustEdge { from: 10, to: 11, kind: Return },
-        AdjustEdge { from: 11, to: 12, kind: Asymmetric },
+        AdjustEdge {
+            from: 0,
+            to: 1,
+            kind: Precondition,
+        },
+        AdjustEdge {
+            from: 1,
+            to: 2,
+            kind: Asymmetric,
+        },
+        AdjustEdge {
+            from: 0,
+            to: 3,
+            kind: Asymmetric,
+        },
+        AdjustEdge {
+            from: 3,
+            to: 2,
+            kind: Precondition,
+        },
+        AdjustEdge {
+            from: 4,
+            to: 5,
+            kind: Return,
+        },
+        AdjustEdge {
+            from: 5,
+            to: 6,
+            kind: Deletion,
+        },
+        AdjustEdge {
+            from: 6,
+            to: 7,
+            kind: Commuting,
+        },
+        AdjustEdge {
+            from: 7,
+            to: 8,
+            kind: Asymmetric,
+        },
+        AdjustEdge {
+            from: 9,
+            to: 10,
+            kind: Deletion,
+        },
+        AdjustEdge {
+            from: 10,
+            to: 11,
+            kind: Return,
+        },
+        AdjustEdge {
+            from: 11,
+            to: 12,
+            kind: Asymmetric,
+        },
     ];
     AdjustDag { nodes, edges }
 }
@@ -146,12 +190,7 @@ pub fn verify_dag(dag: &AdjustDag) -> Vec<EdgeReport> {
         .map(|e| {
             let from = &dag.nodes[e.from];
             let to = &dag.nodes[e.to];
-            let description = format!(
-                "{} --{}--> {}",
-                from.label(),
-                e.kind.letter(),
-                to.label()
-            );
+            let description = format!("{} --{}--> {}", from.label(), e.kind.letter(), to.label());
             let result = adjusts(to, from, &[0, 1], 2);
             EdgeReport {
                 description,

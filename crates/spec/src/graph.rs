@@ -122,8 +122,7 @@ impl<T: DataType> IndistGraph<T> {
                 let (ea, eb) = (&evals[a], &evals[b]);
                 let mut labels = BTreeSet::new();
                 for c in 0..k {
-                    if ea.responses[c] == eb.responses[c]
-                        && !ea.after[c].is_disjoint(&eb.after[c])
+                    if ea.responses[c] == eb.responses[c] && !ea.after[c].is_disjoint(&eb.after[c])
                     {
                         labels.insert(c);
                     }
@@ -244,7 +243,7 @@ impl<T: DataType> IndistGraph<T> {
     pub fn classes(&self) -> Vec<Vec<usize>> {
         let n = self.node_count();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];

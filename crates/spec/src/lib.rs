@@ -56,9 +56,9 @@
 
 pub mod adjust;
 pub mod commuter;
+pub mod consensus;
 pub mod construction;
 pub mod construction3;
-pub mod consensus;
 pub mod dtype;
 pub mod figure3;
 pub mod graph;

@@ -49,12 +49,11 @@ impl<T: DataType> Completed<T> {
 /// # Panics
 ///
 /// Panics if the history holds more than 63 operations.
-pub fn is_linearizable<T: DataType>(
-    dtype: &T,
-    init: &T::State,
-    history: &[Completed<T>],
-) -> bool {
-    assert!(history.len() <= 63, "history too long for the bitmask search");
+pub fn is_linearizable<T: DataType>(dtype: &T, init: &T::State, history: &[Completed<T>]) -> bool {
+    assert!(
+        history.len() <= 63,
+        "history too long for the bitmask search"
+    );
     let n = history.len();
     if n == 0 {
         return true;
@@ -84,9 +83,10 @@ fn dfs<T: DataType>(
         if done & (1 << i) != 0 {
             continue;
         }
-        let blocked = hist.iter().enumerate().any(|(j, d)| {
-            j != i && done & (1 << j) == 0 && d.response < c.invoke
-        });
+        let blocked = hist
+            .iter()
+            .enumerate()
+            .any(|(j, d)| j != i && done & (1 << j) == 0 && d.response < c.invoke);
         if blocked {
             continue;
         }

@@ -169,9 +169,9 @@ impl<'a> Audit<'a> {
     /// labeling in every graph.
     pub fn one_shot_conflict_free(&self) -> bool {
         self.bags.iter().all(|bag| {
-            self.states.iter().all(|s| {
-                IndistGraph::build(self.spec, bag, s).bag_is_labeling()
-            })
+            self.states
+                .iter()
+                .all(|s| IndistGraph::build(self.spec, bag, s).bag_is_labeling())
         })
     }
 
@@ -179,11 +179,13 @@ impl<'a> Audit<'a> {
     /// *pair* is strongly labeling in every graph.
     pub fn long_lived_conflict_free(&self) -> bool {
         let universe = self.spec.op_universe(&collect_domain(&self.bags));
-        let pairs = self.perm.compliant_bags(&universe, 2.min(self.perm.n_threads()));
+        let pairs = self
+            .perm
+            .compliant_bags(&universe, 2.min(self.perm.n_threads()));
         pairs.iter().all(|bag| {
-            self.states.iter().all(|s| {
-                IndistGraph::build(self.spec, bag, s).bag_is_strongly_labeling()
-            })
+            self.states
+                .iter()
+                .all(|s| IndistGraph::build(self.spec, bag, s).bag_is_strongly_labeling())
         })
     }
 }
@@ -205,9 +207,7 @@ fn collect_domain(bags: &[Vec<Op>]) -> Vec<i64> {
 mod tests {
     use super::*;
     use crate::perm::AccessMode;
-    use crate::types::{
-        counter_c1, counter_c3, op, queue_q1, reference_r1, set_s1, set_s2,
-    };
+    use crate::types::{counter_c1, counter_c3, op, queue_q1, reference_r1, set_s1, set_s2};
 
     #[test]
     fn blind_add_left_moves_with_prior_adds() {
@@ -237,7 +237,7 @@ mod tests {
         let nonempty = Value::seq_of(&[1, 2]);
         let g = IndistGraph::build(&q, &bag, &nonempty);
         assert!(left_moves_in_graph(&g, 1)); // offer is instance 1
-        // On the empty queue it does not: poll's answer changes.
+                                             // On the empty queue it does not: poll's answer changes.
         let g = IndistGraph::build(&q, &bag, &Value::empty_seq());
         assert!(!left_moves_in_graph(&g, 1));
     }

@@ -182,8 +182,11 @@ impl PermissionMap {
         if self.n_threads != other.n_threads {
             return false;
         }
-        (0..self.n_threads)
-            .all(|t| universe.iter().all(|op| !self.allows(t, op) || other.allows(t, op)))
+        (0..self.n_threads).all(|t| {
+            universe
+                .iter()
+                .all(|op| !self.allows(t, op) || other.allows(t, op))
+        })
     }
 
     /// Enumerate all compliant bags of exactly `k` operations drawn from

@@ -799,10 +799,7 @@ mod tests {
     #[test]
     fn queue_is_fifo_and_poll_on_empty_is_bottom() {
         let q = queue_q1();
-        let (s, _) = q.apply_all(
-            &Value::empty_seq(),
-            &[op("offer", &[1]), op("offer", &[2])],
-        );
+        let (s, _) = q.apply_all(&Value::empty_seq(), &[op("offer", &[1]), op("offer", &[2])]);
         let (s, r) = q.apply(&s, &op("poll", &[]));
         assert_eq!(r, Value::Int(1));
         let (s, r) = q.apply(&s, &op("poll", &[]));

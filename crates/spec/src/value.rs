@@ -15,9 +15,10 @@ use std::fmt;
 /// `Bottom` is the paper's `⊥` — the response of an operation whose
 /// precondition failed, of a blind (void) operation, and the content of an
 /// unset reference or absent map key.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// The undefined/empty value `⊥`.
+    #[default]
     Bottom,
     /// A boolean response (e.g. from `contains`).
     Bool(bool),
@@ -81,12 +82,6 @@ impl Value {
             Value::Bool(b) => Some(*b),
             _ => None,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Bottom
     }
 }
 
@@ -174,7 +169,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Int(3),
             Value::Bottom,
             Value::Bool(true),

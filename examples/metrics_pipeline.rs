@@ -1,6 +1,6 @@
 //! A realistic DEGO scenario: a metrics pipeline.
 //!
-//! Run with: `cargo run -p dego-core --example metrics_pipeline`
+//! Run with: `cargo run --example metrics_pipeline`
 //!
 //! The motivating workload of the paper's introduction: a server tallies
 //! per-endpoint request statistics. Every request thread bumps counters
@@ -82,7 +82,10 @@ fn main() {
                     while let Some(ev) = event_rx.poll() {
                         sampled.push(ev);
                     }
-                    println!("collector: {processed} requests, {} sampled events", sampled.len());
+                    println!(
+                        "collector: {processed} requests, {} sampled events",
+                        sampled.len()
+                    );
                     let mean_us = sampled.iter().map(|e| e.micros).sum::<u64>() as f64
                         / sampled.len().max(1) as f64;
                     println!("collector: mean sampled latency {mean_us:.1} µs");

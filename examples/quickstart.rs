@@ -1,14 +1,14 @@
 //! Quickstart: the DEGO adjusted objects in five minutes.
 //!
-//! Run with: `cargo run -p dego-core --example quickstart`
+//! Run with: `cargo run --example quickstart`
 //!
 //! Walks through each adjusted object of the library — what it replaces,
 //! what adjustment it applies, and how the ownership-based permission
 //! handles work.
 
 use dego_core::{
-    mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, SegmentedSet,
-    WriteOnceReader, WriteOnceRef,
+    mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, SegmentedSet, WriteOnceReader,
+    WriteOnceRef,
 };
 use std::sync::Arc;
 
@@ -81,11 +81,7 @@ fn main() {
             });
         }
     });
-    println!(
-        "   len = {}, get(1042) = {:?}",
-        map.len(),
-        map.get(&1042)
-    );
+    println!("   len = {}, get(1042) = {:?}", map.len(), map.get(&1042));
     assert_eq!(map.len(), 200);
 
     // ------------------------------------------------------------------

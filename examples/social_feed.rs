@@ -1,7 +1,7 @@
 //! The Retwis-like social network (§6.3) end to end, on the DEGO
 //! backend, with a JUC cross-check.
 //!
-//! Run with: `cargo run -p dego-core --example social_feed`
+//! Run with: `cargo run --example social_feed`
 //!
 //! (The example lives in `dego-core`'s examples for discoverability; the
 //! application logic comes from the `dego-retwis` crate.)
@@ -9,9 +9,7 @@
 fn main() {
     // The example exercises the same code paths as the Fig. 9 harness
     // but at a friendly scale, printing what happens.
-    use dego_retwis::{
-        home_worker, DegoBackend, JucBackend, SocialBackend, SocialWorker,
-    };
+    use dego_retwis::{home_worker, DegoBackend, JucBackend, SocialBackend, SocialWorker};
     use std::sync::Arc;
 
     const USERS: u64 = 1_000;

@@ -2,7 +2,7 @@
 //! consensus numbers, audit movers, and verify an adjustment — for your
 //! own specification.
 //!
-//! Run with: `cargo run -p dego-core --example spec_explorer`
+//! Run with: `cargo run --example spec_explorer`
 //!
 //! The example defines a *stack* specification from scratch, tries to
 //! adjust it by voiding `pop`, and lets the `dego-spec` machinery reveal
@@ -55,9 +55,27 @@ fn stack_full() -> SpecType {
         "Stack",
         Value::empty_seq(),
         vec![
-            OpSig { name: "push", arity: 1, pre: pre_true, effect: Some(push_effect), ret: None },
-            OpSig { name: "pop", arity: 0, pre: pre_true, effect: Some(pop_effect), ret: Some(pop_ret) },
-            OpSig { name: "peek", arity: 0, pre: pre_true, effect: None, ret: Some(pop_ret) },
+            OpSig {
+                name: "push",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(push_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "pop",
+                arity: 0,
+                pre: pre_true,
+                effect: Some(pop_effect),
+                ret: Some(pop_ret),
+            },
+            OpSig {
+                name: "peek",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(pop_ret),
+            },
         ],
     )
 }
@@ -68,9 +86,27 @@ fn stack_push_only() -> SpecType {
         "StackPushOnly",
         Value::empty_seq(),
         vec![
-            OpSig { name: "push", arity: 1, pre: pre_true, effect: Some(push_effect), ret: None },
-            OpSig { name: "pop", arity: 0, pre: pre_true, effect: None, ret: None },
-            OpSig { name: "peek", arity: 0, pre: pre_true, effect: None, ret: Some(pop_ret) },
+            OpSig {
+                name: "push",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(push_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "pop",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: None,
+            },
+            OpSig {
+                name: "peek",
+                arity: 0,
+                pre: pre_true,
+                effect: None,
+                ret: Some(pop_ret),
+            },
         ],
     )
 }
@@ -100,8 +136,20 @@ fn event_bag() -> SpecType {
         "EventBag",
         Value::empty_map(),
         vec![
-            OpSig { name: "push", arity: 1, pre: pre_true, effect: Some(bag_add_effect), ret: None },
-            OpSig { name: "contains", arity: 1, pre: pre_true, effect: None, ret: Some(bag_contains_ret) },
+            OpSig {
+                name: "push",
+                arity: 1,
+                pre: pre_true,
+                effect: Some(bag_add_effect),
+                ret: None,
+            },
+            OpSig {
+                name: "contains",
+                arity: 1,
+                pre: pre_true,
+                effect: None,
+                ret: Some(bag_contains_ret),
+            },
         ],
     )
 }

@@ -1,0 +1,25 @@
+//! # dego — workspace facade
+//!
+//! Re-exports every crate of the DEGO workspace under one roof so the
+//! root-level integration tests and examples have a single anchor
+//! package. See the per-crate docs for the real content:
+//!
+//! * [`dego_core`] — the adjusted shared objects (the DEGO library)
+//! * [`dego_spec`] — the formal foundations (types, graphs, movers)
+//! * [`dego_juc`] — the `java.util.concurrent`-style baselines
+//! * [`dego_metrics`] — the contention stall proxy and statistics
+//! * [`dego_corpus`] — the usage-study pipeline (§6.1)
+//! * [`dego_retwis`] — the social-network application (§6.3)
+//! * [`dego_bench`] — the figure harnesses
+//! * [`dego_server`] — the sharded adjusted-object middleware server
+
+#![warn(missing_docs)]
+
+pub use dego_bench;
+pub use dego_core;
+pub use dego_corpus;
+pub use dego_juc;
+pub use dego_metrics;
+pub use dego_retwis;
+pub use dego_server;
+pub use dego_spec;

@@ -139,9 +139,12 @@ fn mpsc_queue_history_is_linearizable_against_q1() {
                     let t0 = clock(&ts);
                     p.offer(v);
                     let t1 = clock(&ts);
-                    hist.lock()
-                        .unwrap()
-                        .push(Completed::new(op("offer", &[v]), Value::Bottom, t0, t1));
+                    hist.lock().unwrap().push(Completed::new(
+                        op("offer", &[v]),
+                        Value::Bottom,
+                        t0,
+                        t1,
+                    ));
                 }
             });
         }
@@ -223,7 +226,9 @@ fn swmr_map_matches_sequential_model() {
     let mut model = std::collections::BTreeMap::new();
     let mut x: i64 = 0x12345;
     for step in 0..20_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = (x >> 33) % 512;
         match step % 3 {
             0 | 1 => {

@@ -40,8 +40,6 @@ fn all_fig6_trials_run() {
     }
 }
 
-
-
 #[test]
 fn harness_slots_reach_factory() {
     let hits = std::sync::Mutex::new(vec![false; 3]);

@@ -177,7 +177,13 @@ fn zipf_bias_changes_access_pattern() {
     for alpha in [0.0f64, 1.0] {
         let mut c = cfg(2);
         c.alpha = alpha;
-        assert!(run_benchmark::<DegoBackend>(&c).total_ops > 0, "alpha {alpha}");
-        assert!(run_benchmark::<JucBackend>(&c).total_ops > 0, "alpha {alpha}");
+        assert!(
+            run_benchmark::<DegoBackend>(&c).total_ops > 0,
+            "alpha {alpha}"
+        );
+        assert!(
+            run_benchmark::<JucBackend>(&c).total_ops > 0,
+            "alpha {alpha}"
+        );
     }
 }

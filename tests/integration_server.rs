@@ -1,0 +1,212 @@
+//! Integration of the middleware server: concurrent pipelined clients
+//! over a real loopback TCP socket.
+//!
+//! The properties asserted are the ones the storage plane's
+//! adjustments are supposed to buy:
+//!
+//! * **GET-after-SET per key is linearizable across connections** — a
+//!   mutation is acknowledged only after its owning shard applied it;
+//! * **INCR totals are exact under contention** — one writer per shard
+//!   means increments to a key serialize, losing nothing;
+//! * **shutdown is clean** — every thread joins, the port dies.
+
+use dego_server::{spawn, Client, ClientReply, ServerConfig, ServerHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+const CLIENTS: usize = 8;
+
+fn boot(shards: usize) -> ServerHandle {
+    spawn(ServerConfig {
+        shards,
+        capacity: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("server boots")
+}
+
+/// ≥8 concurrent pipelined clients, each hammering its own keys and
+/// reading back: every GET after an acknowledged SET must see the last
+/// value this client wrote (per-key linearizability — each key has one
+/// writer here, so the acknowledged value is the key's latest).
+#[test]
+fn get_after_set_is_linearizable_per_key() {
+    let server = boot(4);
+    let addr = server.local_addr();
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|s| {
+        for client_id in 0..CLIENTS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait();
+                for round in 0..60u64 {
+                    // A pipelined burst of writes across disjoint keys…
+                    for key in 0..8u64 {
+                        c.send(&format!("SET c{client_id}k{key} r{round}"))
+                            .expect("send");
+                    }
+                    c.flush().expect("flush");
+                    for _ in 0..8 {
+                        assert_eq!(
+                            c.read_reply().expect("ack"),
+                            ClientReply::Status("OK".into())
+                        );
+                    }
+                    // …then every key must read back this round's value,
+                    // even though other clients keep mutating their own
+                    // keys on the same shards.
+                    for key in 0..8u64 {
+                        let got = c.get(&format!("c{client_id}k{key}")).expect("get");
+                        assert_eq!(
+                            got.as_deref(),
+                            Some(format!("r{round}").as_str()),
+                            "client {client_id} key {key} round {round}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+/// All clients INCR the same small set of hot keys concurrently; the
+/// final totals must equal exactly the number of acknowledged
+/// increments (nothing lost, nothing double-applied).
+#[test]
+fn incr_totals_are_exact_under_contention() {
+    let server = boot(4);
+    let addr = server.local_addr();
+    const HOT_KEYS: u64 = 3;
+    const PER_CLIENT: u64 = 300;
+    let acknowledged = AtomicU64::new(0);
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|s| {
+        for client_id in 0..CLIENTS {
+            let acknowledged = &acknowledged;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait();
+                let mut last_seen = vec![0i64; HOT_KEYS as usize];
+                for i in 0..PER_CLIENT {
+                    let key = (client_id as u64 + i) % HOT_KEYS;
+                    let n = c.incr(&format!("hot{key}"), 1).expect("incr");
+                    // Monotonicity per key per client: the counter this
+                    // client observes never goes backwards.
+                    assert!(
+                        n > last_seen[key as usize],
+                        "client {client_id} saw {n} after {}",
+                        last_seen[key as usize]
+                    );
+                    last_seen[key as usize] = n;
+                    acknowledged.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let total: i64 = (0..HOT_KEYS)
+        .map(|k| c.incr(&format!("hot{k}"), 0).expect("read back"))
+        .sum();
+    assert_eq!(total as u64, acknowledged.load(Ordering::Relaxed));
+    assert_eq!(total as u64, CLIENTS as u64 * PER_CLIENT);
+    // Every acknowledged increment was applied by a shard owner.
+    assert!(server.stats().applied >= CLIENTS as u64 * PER_CLIENT);
+    server.shutdown();
+}
+
+/// Mixed pipelined traffic from many clients at once: deep pipelines
+/// interleaving reads and writes keep strict request/reply order.
+#[test]
+fn pipelined_clients_keep_reply_order() {
+    let server = boot(2);
+    let addr = server.local_addr();
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|s| {
+        for client_id in 0..CLIENTS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait();
+                for round in 0..20 {
+                    // 3 commands per slot, 16 slots, one flush.
+                    for i in 0..16u64 {
+                        c.send(&format!("SET p{client_id} {round}-{i}"))
+                            .expect("send");
+                        c.send(&format!("GET p{client_id}")).expect("send");
+                        c.send(&format!("INCR q{client_id} 1")).expect("send");
+                    }
+                    c.flush().expect("flush");
+                    for i in 0..16u64 {
+                        assert_eq!(
+                            c.read_reply().expect("set ack"),
+                            ClientReply::Status("OK".into())
+                        );
+                        assert_eq!(
+                            c.read_reply().expect("get reply"),
+                            ClientReply::Value(format!("{round}-{i}")),
+                            "client {client_id}"
+                        );
+                        assert_eq!(
+                            c.read_reply().expect("incr reply"),
+                            ClientReply::Int((round * 16 + i + 1) as i64)
+                        );
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+/// The retwis surface under concurrency: one author, many followers
+/// posting and reading from separate connections.
+#[test]
+fn social_fanout_across_connections() {
+    let server = boot(4);
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    for u in 0..CLIENTS as u64 {
+        setup.add_user(u).expect("adduser");
+    }
+    for fan in 1..CLIENTS as u64 {
+        setup.follow(fan, 0).expect("follow");
+    }
+    setup.post(0, 7001).expect("post");
+    setup.post(0, 7002).expect("post");
+    // Every follower sees both messages from its own connection, newest
+    // first, because POST acks only after every touched shard applied.
+    std::thread::scope(|s| {
+        for fan in 1..CLIENTS as u64 {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                assert_eq!(c.timeline(fan).expect("timeline"), vec![7002, 7001]);
+                assert!(c.is_following(fan, 0).expect("isfollowing"));
+            });
+        }
+    });
+    assert_eq!(setup.follower_count(0).expect("count"), CLIENTS - 1);
+    server.shutdown();
+}
+
+/// Shutdown with live connections parked on the socket: the server
+/// must still come down within the read-timeout tick, joining every
+/// shard and connection thread (ServerHandle::shutdown blocks on the
+/// joins, so returning at all is the assertion).
+#[test]
+fn shutdown_is_clean_with_idle_connections() {
+    let server = boot(2);
+    let addr = server.local_addr();
+    let mut idle: Vec<Client> = (0..4)
+        .map(|_| Client::connect(addr).expect("connect"))
+        .collect();
+    for c in idle.iter_mut() {
+        c.ping().expect("ping");
+    }
+    // Keep the idle connections open while shutting down.
+    server.shutdown();
+    // The port no longer serves.
+    assert!(Client::connect(addr).and_then(|mut c| c.ping()).is_err());
+}

@@ -11,13 +11,30 @@ use std::time::Duration;
 static STALL_LOCK: Mutex<()> = Mutex::new(());
 const QUICK: Duration = Duration::from_millis(40);
 
+/// Contention is probabilistic: on a box with one or two CPUs a short
+/// trial can schedule the contending threads back to back and never
+/// fail a single CAS. Rerun the trial until the contended
+/// implementation registers stalls (the stall-free assertions stay
+/// unconditional — zero must be zero on every run).
+fn retry_until_stalled(
+    trial: impl Fn() -> dego_bench::harness::Measurement,
+) -> dego_bench::harness::Measurement {
+    for _ in 0..50 {
+        let m = trial();
+        if m.stalls > 0 {
+            return m;
+        }
+    }
+    trial()
+}
+
 #[test]
 fn dego_counter_is_stall_free_juc_is_not() {
     let _g = STALL_LOCK.lock().unwrap();
     // The adjusted counter performs no RMW at all; AtomicLong performs
     // one per increment. The stall proxy must reflect this regardless of
     // absolute performance (debug builds included).
-    let juc = run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK);
+    let juc = retry_until_stalled(|| run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK));
     let dego = run_counter_trial(CounterImpl::DegoIncrementOnly, 4, QUICK);
     assert!(juc.stalls > 0, "AtomicLong must register CAS failures");
     assert_eq!(dego.stalls, 0, "CounterIncrementOnly must be stall-free");
@@ -80,7 +97,7 @@ fn contended_counter_registers_cas_failures() {
     let _g = STALL_LOCK.lock().unwrap();
     // Four threads CAS-looping on one line must fail sometimes; the
     // DEGO counter never even tries.
-    let juc4 = run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK);
+    let juc4 = retry_until_stalled(|| run_counter_trial(CounterImpl::JucAtomicLong, 4, QUICK));
     assert!(juc4.stalls > 0, "no CAS failures under 4-thread contention");
     let dego4 = run_counter_trial(CounterImpl::DegoIncrementOnly, 4, QUICK);
     assert_eq!(dego4.stalls, 0);

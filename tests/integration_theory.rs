@@ -7,9 +7,7 @@ use dego_spec::figure3::{figure3_dag, verify_dag};
 use dego_spec::graph::IndistGraph;
 use dego_spec::movers::{left_moves_in_graph, right_moves_in_graph, Audit};
 use dego_spec::perm::{AccessMode, PermissionMap};
-use dego_spec::types::{
-    self, counter_c1, counter_c3, map_m1, map_m2, op, set_s1, set_s2, table1,
-};
+use dego_spec::types::{self, counter_c1, counter_c3, map_m1, map_m2, op, set_s1, set_s2, table1};
 use dego_spec::{DataType, Value};
 use proptest::prelude::*;
 
