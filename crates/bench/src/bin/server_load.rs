@@ -1,11 +1,21 @@
 //! Closed-loop load generator for `dego-server` — the middleware
 //! deployment of the adjusted objects.
 //!
-//! For each point of the thread sweep, an in-process server is booted
-//! on an ephemeral loopback port and `t` client threads run pipelined
-//! closed-loop traffic against it for the configured window (a 90/5/5
-//! GET/SET/INCR mix over a shared key range, pipeline depth 16).
-//! Results are printed as a table and written to `BENCH_server.json`.
+//! Two sweeps, both written to `BENCH_server.json`:
+//!
+//! 1. **Client sweep** (no middleware): for each point, an in-process
+//!    server is booted on an ephemeral loopback port and `t` client
+//!    threads run pipelined closed-loop traffic for the configured
+//!    window (a 90/5/5 GET/SET/INCR mix, pipeline depth 16).
+//! 2. **Middleware overhead**: the same load at a fixed client count
+//!    against stack depth 0 and depth 5 (trace+deadline+auth+ratelimit
+//!    +ttl); the JSON carries both points plus an `overhead_pct`
+//!    summary, so the pipeline's cost is tracked point to point.
+//!
+//! Keys are **pinned per client** by default: each client owns a
+//! disjoint slice of the key range, so shard parallelism is measurable
+//! and cross-client key contention cannot mask the accept/funnel cost
+//! (`DEGO_BENCH_SHARED_KEYS=1` restores the old shared-range mix).
 //!
 //! Environment/flags: the [`BenchEnv`] conventions
 //! (`DEGO_BENCH_MILLIS`, `DEGO_BENCH_THREADS`, `--quick`) plus
@@ -15,7 +25,7 @@
 use dego_bench::harness::BenchEnv;
 use dego_metrics::rng::XorShift64;
 use dego_metrics::table::{fmt_kops, Table};
-use dego_server::{spawn, Client, ServerConfig};
+use dego_server::{spawn, Client, MiddlewareConfig, ServerConfig};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -28,6 +38,7 @@ struct Point {
     clients: usize,
     shards: usize,
     pipeline: usize,
+    middleware_depth: usize,
     elapsed: Duration,
     total_ops: u64,
     applied: u64,
@@ -48,12 +59,19 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn shared_keys() -> bool {
+    std::env::var("DEGO_BENCH_SHARED_KEYS").is_ok_and(|v| v == "1")
+}
+
 /// One client thread's closed loop: issue `pipeline` commands, read
-/// `pipeline` replies, repeat until the deadline.
+/// `pipeline` replies, repeat until the deadline. With pinned keys the
+/// client draws from its own `[base, base+span)` slice.
 fn client_loop(
     addr: std::net::SocketAddr,
     seed: u64,
     pipeline: usize,
+    key_base: u64,
+    key_span: u64,
     deadline: Instant,
     stop: &AtomicBool,
 ) -> u64 {
@@ -62,7 +80,7 @@ fn client_loop(
     let mut ops = 0u64;
     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
         for _ in 0..pipeline {
-            let key = rng.next_bounded(KEY_RANGE as u64);
+            let key = key_base + rng.next_bounded(key_span);
             match rng.next_bounded(100) {
                 p if p < GET_PCT => client.send(&format!("GET k{key}")),
                 p if p < GET_PCT + SET_PCT => client.send(&format!("SET k{key} v{ops}")),
@@ -79,22 +97,52 @@ fn client_loop(
     ops
 }
 
-fn run_point(clients: usize, shards: usize, pipeline: usize, window: Duration) -> Point {
+fn run_point(
+    clients: usize,
+    shards: usize,
+    pipeline: usize,
+    window: Duration,
+    middleware_depth: usize,
+) -> Point {
+    let middleware = match middleware_depth {
+        0 => MiddlewareConfig::none(),
+        _ => MiddlewareConfig::full(),
+    };
     let server = spawn(ServerConfig {
         shards,
         capacity: KEY_RANGE * 2,
+        middleware,
         ..ServerConfig::default()
     })
     .expect("bench server boots");
+    let middleware_depth = server.stack().depth();
     let addr = server.local_addr();
     let stop = AtomicBool::new(false);
     let deadline = Instant::now() + window;
     let started = Instant::now();
+    let shared = shared_keys();
     let total_ops: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let stop = &stop;
-                s.spawn(move || client_loop(addr, 0x5eed + c as u64, pipeline, deadline, stop))
+                // Pinned mode: client c owns keys [c*span, (c+1)*span).
+                let span = if shared {
+                    KEY_RANGE as u64
+                } else {
+                    (KEY_RANGE / clients).max(1) as u64
+                };
+                let base = if shared { 0 } else { c as u64 * span };
+                s.spawn(move || {
+                    client_loop(
+                        addr,
+                        0x5eed + c as u64,
+                        pipeline,
+                        base,
+                        span,
+                        deadline,
+                        stop,
+                    )
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client")).sum()
@@ -106,6 +154,7 @@ fn run_point(clients: usize, shards: usize, pipeline: usize, window: Duration) -
         clients,
         shards,
         pipeline,
+        middleware_depth,
         elapsed,
         total_ops,
         applied: stats.applied,
@@ -114,15 +163,27 @@ fn run_point(clients: usize, shards: usize, pipeline: usize, window: Duration) -
     }
 }
 
-fn write_json(points: &[Point]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"mix\": {\"get\": 90, \"set\": 5, \"incr\": 5},\n  \"key_range\": 4096,\n  \"points\": [\n");
+fn write_json(sweep: &[Point], overhead_pair: &[Point]) -> String {
+    let points: Vec<&Point> = sweep.iter().chain(overhead_pair.iter()).collect();
+    let overhead = match overhead_pair {
+        [depth0, depth5] => Some((depth0, depth5)),
+        _ => None,
+    };
+    let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"mix\": {\"get\": 90, \"set\": 5, \"incr\": 5},\n  \"key_range\": 4096,\n");
+    let _ = writeln!(
+        out,
+        "  \"key_mode\": \"{}\",",
+        if shared_keys() { "shared" } else { "pinned" }
+    );
+    out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"clients\": {}, \"shards\": {}, \"pipeline\": {}, \"elapsed_ms\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"applied\": {}, \"gets\": {}, \"get_hits\": {}}}",
+            "    {{\"clients\": {}, \"shards\": {}, \"pipeline\": {}, \"middleware_depth\": {}, \"elapsed_ms\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"applied\": {}, \"gets\": {}, \"get_hits\": {}}}",
             p.clients,
             p.shards,
             p.pipeline,
+            p.middleware_depth,
             p.elapsed.as_millis(),
             p.total_ops,
             p.ops_per_sec(),
@@ -132,7 +193,22 @@ fn write_json(points: &[Point]) -> String {
         );
         out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some((depth0, depth5)) = overhead {
+        // middleware_overhead: the pipeline's throughput cost — how
+        // much slower the same load runs at stack depth 5 vs depth 0
+        // (positive = cost, target ≤ 25%).
+        let pct = 100.0 * (1.0 - depth5.ops_per_sec() / depth0.ops_per_sec().max(1e-9));
+        let _ = write!(
+            out,
+            ",\n  \"middleware_overhead\": {{\"clients\": {}, \"depth0_ops_per_sec\": {:.0}, \"depth5_ops_per_sec\": {:.0}, \"overhead_pct\": {:.1}}}",
+            depth0.clients,
+            depth0.ops_per_sec(),
+            depth5.ops_per_sec(),
+            pct
+        );
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -142,16 +218,26 @@ fn main() {
     let shards = env_usize("DEGO_BENCH_SHARDS", 4);
     let pipeline = env_usize("DEGO_BENCH_PIPELINE", 16);
     println!(
-        "=== dego-server load: {:?} per point, {shards} shards, pipeline {pipeline}, clients {:?} ===\n",
-        env.duration, env.threads
+        "=== dego-server load: {:?} per point, {shards} shards, pipeline {pipeline}, clients {:?}, {} keys ===\n",
+        env.duration,
+        env.threads,
+        if shared_keys() { "shared" } else { "pinned" }
     );
 
-    let mut table = Table::new(["clients", "Kops/s", "Kops/s/client", "applied", "hit%"]);
+    let mut table = Table::new([
+        "clients",
+        "mw",
+        "Kops/s",
+        "Kops/s/client",
+        "applied",
+        "hit%",
+    ]);
     let mut points = Vec::new();
     for &clients in &env.threads {
-        let p = run_point(clients, shards, pipeline, env.duration);
+        let p = run_point(clients, shards, pipeline, env.duration, 0);
         table.row([
             clients.to_string(),
+            "0".into(),
             fmt_kops(p.ops_per_sec()),
             fmt_kops(p.ops_per_sec() / clients as f64),
             p.applied.to_string(),
@@ -159,9 +245,36 @@ fn main() {
         ]);
         points.push(p);
     }
-    println!("{}", table.render());
 
-    let json = write_json(&points);
+    // Middleware overhead: the same load, stack depth 0 vs 5, at the
+    // largest swept client count.
+    let overhead_clients = env.threads.iter().copied().max().unwrap_or(1);
+    let mut overhead_points = Vec::new();
+    for depth in [0usize, 5] {
+        let p = run_point(overhead_clients, shards, pipeline, env.duration, depth);
+        table.row([
+            overhead_clients.to_string(),
+            depth.to_string(),
+            fmt_kops(p.ops_per_sec()),
+            fmt_kops(p.ops_per_sec() / overhead_clients as f64),
+            p.applied.to_string(),
+            format!("{:.1}", 100.0 * p.get_hits as f64 / p.gets.max(1) as f64),
+        ]);
+        overhead_points.push(p);
+    }
+    println!("{}", table.render());
+    let pct = 100.0
+        * (1.0 - overhead_points[1].ops_per_sec() / overhead_points[0].ops_per_sec().max(1e-9));
+    println!(
+        "middleware overhead at depth 5: {pct:.1}% ({} -> {} ops/s)",
+        overhead_points[0].ops_per_sec() as u64,
+        overhead_points[1].ops_per_sec() as u64
+    );
+
+    let json = write_json(&points, &overhead_points);
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
-    println!("wrote BENCH_server.json ({} points)", points.len());
+    println!(
+        "wrote BENCH_server.json ({} points)",
+        points.len() + overhead_points.len()
+    );
 }

@@ -1,0 +1,134 @@
+//! Pipeline configuration: which layers run, and their tuning.
+//!
+//! [`MiddlewareConfig`] is embedded in the server's `ServerConfig` and
+//! drives [`Stack::build`](crate::pipeline::Stack::build). The
+//! [`MiddlewareConfig::apply_flag`] helper gives every binary the same
+//! `--middleware`/`--auth-token`/`--rate-*`/`--deadline-*` CLI surface.
+
+use crate::auth::{AuthConfig, Role, TokenSpec};
+use crate::deadline::DeadlineConfig;
+use crate::pipeline::LayerKind;
+use crate::rate_limit::RateLimitConfig;
+
+/// The full pipeline configuration.
+#[derive(Clone, Debug, Default)]
+pub struct MiddlewareConfig {
+    /// Which layers run (order-insensitive; composed canonically).
+    pub layers: Vec<LayerKind>,
+    /// Rate limiter tuning.
+    pub rate: RateLimitConfig,
+    /// Auth tokens and ambient policy.
+    pub auth: AuthConfig,
+    /// Deadline budgets.
+    pub deadline: DeadlineConfig,
+}
+
+impl MiddlewareConfig {
+    /// No layers: requests go straight to the store (the seed
+    /// behaviour, and the `Default`).
+    pub fn none() -> Self {
+        MiddlewareConfig::default()
+    }
+
+    /// All five production layers with default tuning.
+    pub fn full() -> Self {
+        MiddlewareConfig {
+            layers: vec![
+                LayerKind::Trace,
+                LayerKind::Deadline,
+                LayerKind::Auth,
+                LayerKind::RateLimit,
+                LayerKind::Ttl,
+            ],
+            ..MiddlewareConfig::default()
+        }
+    }
+
+    /// Parse a `--middleware` spec: `none`, `full`, or a comma list of
+    /// layer names (`trace,auth,ttl`).
+    pub fn parse_layers(spec: &str) -> Result<Vec<LayerKind>, String> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "none" | "" => Ok(Vec::new()),
+            "full" | "all" => Ok(MiddlewareConfig::full().layers),
+            list => list.split(',').map(LayerKind::parse).collect(),
+        }
+    }
+
+    /// Parse a `--auth-token` spec: `NAME:TOKEN:ROLE`.
+    pub fn parse_token(spec: &str) -> Result<TokenSpec, String> {
+        let mut parts = spec.splitn(3, ':');
+        let name = parts.next().filter(|s| !s.is_empty());
+        let token = parts.next().filter(|s| !s.is_empty());
+        let role = parts.next().filter(|s| !s.is_empty());
+        match (name, token, role) {
+            (Some(name), Some(token), Some(role)) => Ok(TokenSpec {
+                name: name.to_string(),
+                token: token.to_string(),
+                role: Role::parse(role)?,
+            }),
+            _ => Err(format!(
+                "auth token spec must be NAME:TOKEN:ROLE, got {spec:?}"
+            )),
+        }
+    }
+
+    /// Consume one `--flag value` pair. Returns `Ok(true)` when the
+    /// flag belongs to the middleware config, `Ok(false)` when it is
+    /// not ours (the caller handles it), `Err` on a bad value.
+    pub fn apply_flag(&mut self, flag: &str, value: &str) -> Result<bool, String> {
+        let parse_u64 =
+            |v: &str| -> Result<u64, String> { v.parse().map_err(|_| format!("bad number {v:?}")) };
+        match flag {
+            "--middleware" => self.layers = Self::parse_layers(value)?,
+            "--auth-token" => self.auth.tokens.push(Self::parse_token(value)?),
+            "--anon-role" => self.auth.anon_role = Role::parse(value)?,
+            "--rate-burst" => self.rate.burst = parse_u64(value)?,
+            "--rate-per-sec" => self.rate.refill_per_sec = parse_u64(value)?.max(1),
+            "--deadline-read-us" => self.deadline.read_us = parse_u64(value)?,
+            "--deadline-write-us" => self.deadline.write_us = parse_u64(value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_specs_parse() {
+        assert_eq!(MiddlewareConfig::parse_layers("none").unwrap(), vec![]);
+        assert_eq!(MiddlewareConfig::parse_layers("full").unwrap().len(), 5);
+        assert_eq!(
+            MiddlewareConfig::parse_layers("trace, ttl").unwrap(),
+            vec![LayerKind::Trace, LayerKind::Ttl]
+        );
+        assert!(MiddlewareConfig::parse_layers("trace,blorp").is_err());
+    }
+
+    #[test]
+    fn token_specs_parse() {
+        let spec = MiddlewareConfig::parse_token("ops:sekrit:readwrite").unwrap();
+        assert_eq!(spec.name, "ops");
+        assert_eq!(spec.token, "sekrit");
+        assert_eq!(spec.role, Role::ReadWrite);
+        assert!(MiddlewareConfig::parse_token("opsonly").is_err());
+        assert!(MiddlewareConfig::parse_token("a:b:god").is_err());
+    }
+
+    #[test]
+    fn flags_apply_or_decline() {
+        let mut config = MiddlewareConfig::none();
+        assert!(config.apply_flag("--middleware", "full").unwrap());
+        assert_eq!(config.layers.len(), 5);
+        assert!(config.apply_flag("--rate-burst", "64").unwrap());
+        assert_eq!(config.rate.burst, 64);
+        assert!(config.apply_flag("--anon-role", "readonly").unwrap());
+        assert_eq!(config.auth.anon_role, Role::ReadOnly);
+        assert!(config.apply_flag("--deadline-read-us", "1000").unwrap());
+        assert_eq!(config.deadline.read_us, 1000);
+        assert!(!config.apply_flag("--shards", "4").unwrap(), "not ours");
+        assert!(config.apply_flag("--rate-burst", "lots").is_err());
+    }
+}

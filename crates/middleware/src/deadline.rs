@@ -1,0 +1,175 @@
+//! Deadline/timeout enforcement with per-class budgets.
+//!
+//! Each request is timed around the layers below (auth, rate-limit,
+//! TTL, the store round-trip). A request that overruns its class
+//! budget is answered with a structured `DEADLINE` error instead of
+//! its reply — the mutation may still have applied (exactly like an
+//! HTTP 504 behind a gateway), the client just lost the latency SLO.
+//! `Control` verbs are exempt.
+
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session};
+use crate::protocol::{CommandClass, Reply};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-class budgets, microseconds. A zero budget disables the check
+/// for that class.
+#[derive(Clone, Debug)]
+pub struct DeadlineConfig {
+    /// Budget for read-class commands.
+    pub read_us: u64,
+    /// Budget for write-class commands (shard round-trips included).
+    pub write_us: u64,
+}
+
+impl Default for DeadlineConfig {
+    /// Generous defaults (0.5 s reads, 2 s writes): an SLO on
+    /// pathological stalls, not a throttle.
+    fn default() -> Self {
+        DeadlineConfig {
+            read_us: 500_000,
+            write_us: 2_000_000,
+        }
+    }
+}
+
+/// The deadline [`Layer`].
+pub struct DeadlineLayer {
+    config: DeadlineConfig,
+    metrics: Arc<PipelineMetrics>,
+}
+
+impl DeadlineLayer {
+    /// Build the layer.
+    pub fn new(config: DeadlineConfig, metrics: Arc<PipelineMetrics>) -> Self {
+        DeadlineLayer { config, metrics }
+    }
+}
+
+impl Layer for DeadlineLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Deadline
+    }
+
+    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
+        Box::new(DeadlineService {
+            config: self.config.clone(),
+            metrics: Arc::clone(&self.metrics),
+            inner,
+        })
+    }
+}
+
+struct DeadlineService {
+    config: DeadlineConfig,
+    metrics: Arc<PipelineMetrics>,
+    inner: BoxService,
+}
+
+impl Service for DeadlineService {
+    fn call(&mut self, req: Request) -> Response {
+        let budget_us = match req.command.class() {
+            CommandClass::Read => self.config.read_us,
+            CommandClass::Write => self.config.write_us,
+            CommandClass::Control => 0,
+        };
+        if budget_us == 0 {
+            return self.inner.call(req);
+        }
+        let verb = req.command.verb();
+        let start = Instant::now();
+        let resp = self.inner.call(req);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        self.metrics.deadline_checked.increment();
+        if elapsed_us > budget_us {
+            self.metrics.deadline_missed.increment();
+            Response {
+                reply: Reply::Error(format!(
+                    "DEADLINE {verb} took {elapsed_us}us budget {budget_us}us"
+                )),
+                close: resp.close,
+            }
+        } else {
+            resp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Command;
+    use std::time::Duration;
+
+    struct Slow(Duration);
+    impl Service for Slow {
+        fn call(&mut self, _req: Request) -> Response {
+            std::thread::sleep(self.0);
+            Response::ok(Reply::Status("OK"))
+        }
+    }
+
+    fn wrap(config: DeadlineConfig, delay: Duration) -> (BoxService, Arc<PipelineMetrics>) {
+        let metrics = Arc::new(PipelineMetrics::new());
+        let layer = DeadlineLayer::new(config, Arc::clone(&metrics));
+        let session = Session {
+            client: "t:1".into(),
+        };
+        (layer.wrap(&session, Box::new(Slow(delay))), metrics)
+    }
+
+    #[test]
+    fn fast_requests_pass_and_are_counted() {
+        let (mut svc, metrics) = wrap(DeadlineConfig::default(), Duration::ZERO);
+        let resp = svc.call(Request::new(Command::Get("k".into())));
+        assert!(matches!(resp.reply, Reply::Status(_)));
+        assert_eq!(metrics.deadline_checked.sum(), 1);
+        assert_eq!(metrics.deadline_missed.sum(), 0);
+    }
+
+    #[test]
+    fn overruns_become_structured_deadline_errors() {
+        let tight = DeadlineConfig {
+            read_us: 1_000,
+            write_us: 1_000,
+        };
+        let (mut svc, metrics) = wrap(tight, Duration::from_millis(20));
+        match svc.call(Request::new(Command::Get("k".into()))).reply {
+            Reply::Error(e) => {
+                assert!(e.starts_with("DEADLINE "), "got {e:?}");
+                assert!(e.contains("budget 1000us"), "got {e:?}");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(metrics.deadline_missed.sum(), 1);
+    }
+
+    #[test]
+    fn control_verbs_are_exempt() {
+        let tight = DeadlineConfig {
+            read_us: 1,
+            write_us: 1,
+        };
+        let (mut svc, metrics) = wrap(tight, Duration::from_millis(5));
+        assert!(matches!(
+            svc.call(Request::new(Command::Ping)).reply,
+            Reply::Status(_)
+        ));
+        assert_eq!(metrics.deadline_checked.sum(), 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_class_check() {
+        let off = DeadlineConfig {
+            read_us: 0,
+            write_us: 0,
+        };
+        let (mut svc, metrics) = wrap(off, Duration::from_millis(5));
+        assert!(matches!(
+            svc.call(Request::new(Command::Get("k".into()))).reply,
+            Reply::Status(_)
+        ));
+        assert_eq!(metrics.deadline_checked.sum(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # dego-middleware — a composable request-interceptor pipeline
+//!
+//! The paper adjusts shared objects so a middleware's hot paths scale;
+//! this crate *is* the middleware: a tower-style [`Layer`]/[`Service`]
+//! onion over the wire protocol's [`protocol::Command`] /
+//! [`protocol::Reply`], composed by a [`Stack`] in front of the
+//! `dego-server` storage plane. Every layer's shared state is built
+//! from the adjusted-object catalogue, so the pipeline itself is a
+//! contention workload for the paper's data structures:
+//!
+//! | Layer | Concern | Shared state |
+//! |---|---|---|
+//! | [`TraceLayer`] | latency histograms + per-layer counters in `STATS` | relaxed-atomic histograms, `LongAdder`s |
+//! | [`DeadlineLayer`] | per-class execution budgets | none (config only) |
+//! | [`AuthLayer`] | `AUTH` tokens + role ACLs | SWMR hash map, RCU-published policy |
+//! | [`RateLimitLayer`] | per-client token buckets | `SegmentedHashMap` of atomic buckets, `LongAdder` refill counters |
+//! | [`TtlLayer`] | `EXPIRE` timers, lazy expiry on `GET` | `SegmentedHashMap` expiry sidecar, reaps lock-serialized against rewrites |
+//!
+//! Composition is canonical regardless of configuration order:
+//!
+//! ```text
+//! client → trace → deadline → auth → rate-limit → ttl → store
+//! ```
+//!
+//! Rejections are structured (`-ERR RATELIMIT …`, `-ERR AUTH …`,
+//! `-ERR DEADLINE …`); see the error-reply grammar in [`protocol`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dego_middleware::protocol::{Command, Reply};
+//! use dego_middleware::{
+//!     BoxService, MiddlewareConfig, Request, Response, Service, Session, Stack,
+//! };
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn call(&mut self, req: Request) -> Response {
+//!         Response::ok(Reply::Value(req.command.verb().into()))
+//!     }
+//! }
+//!
+//! let stack = Stack::build(&MiddlewareConfig::full());
+//! assert_eq!(stack.depth(), 5);
+//! let session = Session { client: "10.0.0.7:5501".into() };
+//! let mut chain: BoxService = stack.service(&session, Box::new(Echo));
+//! let resp = chain.call(Request::new(Command::Ping));
+//! assert_eq!(resp.reply, Reply::Value("PING".into()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod config;
+pub mod deadline;
+pub mod metrics;
+pub mod pipeline;
+pub mod protocol;
+pub mod rate_limit;
+pub mod trace;
+pub mod ttl;
+
+pub use auth::{AuthConfig, AuthLayer, Principal, Role, TokenSpec};
+pub use config::MiddlewareConfig;
+pub use deadline::{DeadlineConfig, DeadlineLayer};
+pub use metrics::{LatencyHistogram, PipelineMetrics};
+pub use pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session, Stack};
+pub use rate_limit::{RateLimitConfig, RateLimitLayer};
+pub use trace::TraceLayer;
+pub use ttl::TtlLayer;

@@ -1,0 +1,233 @@
+//! Pipeline observability: per-command latency histograms and
+//! per-layer counters, folded into the server's `STATS` reply by the
+//! trace layer.
+//!
+//! The rate limiter's admission/refill counters are
+//! [`dego_juc::LongAdder`]s — the striped, contention-relieved sums the
+//! token-bucket design calls for. Every other counter is a plain
+//! relaxed atomic ([`RelaxedCounter`], the same doctrine as the
+//! server's `ServerStats`: statistics, not synchronization — a
+//! `LongAdder` here would buy nothing and its per-bump stall-proxy
+//! accounting would tax the hot path). Latencies go into fixed
+//! log₂-bucket histograms of relaxed atomics: recording is one
+//! `fetch_add`, never a lock.
+
+use dego_juc::LongAdder;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed event counter (statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct RelaxedCounter(AtomicU64);
+
+impl RelaxedCounter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        RelaxedCounter(AtomicU64::new(0))
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn increment(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The total so far.
+    pub fn sum(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1)) µs`, with the last bucket open-ended (≥ ~34 s).
+const BUCKETS: usize = 26;
+
+/// A fixed log₂-bucket latency histogram (microseconds).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample of `micros`.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing the `p`-th
+    /// percentile sample, or 0 when empty. `p` in `0.0..=1.0`.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i spans [2^(i-1), 2^i) µs (bucket 0 is [0,1)).
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Shared counters for the whole pipeline: each layer bumps its own
+/// section; the trace layer renders everything into `STATS` lines.
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    /// Commands observed by the trace layer.
+    pub traced: RelaxedCounter,
+    /// Latency of read-class commands (µs, end-to-end below trace).
+    pub read_latency: LatencyHistogram,
+    /// Latency of write-class commands.
+    pub write_latency: LatencyHistogram,
+    /// Latency of control-class commands.
+    pub control_latency: LatencyHistogram,
+
+    /// Requests admitted by the rate limiter.
+    pub rate_admitted: LongAdder,
+    /// Requests rejected by the rate limiter.
+    pub rate_rejected: LongAdder,
+    /// Tokens refilled into buckets (LongAdder-style refill counter).
+    pub rate_refilled: LongAdder,
+
+    /// Commands admitted by the ACL check.
+    pub auth_admitted: RelaxedCounter,
+    /// Commands (or `AUTH` attempts) denied.
+    pub auth_denied: RelaxedCounter,
+    /// Successful `AUTH` logins.
+    pub auth_logins: RelaxedCounter,
+    /// Runtime policy/token reloads (RCU publishes).
+    pub auth_reloads: RelaxedCounter,
+
+    /// Commands measured against a deadline budget.
+    pub deadline_checked: RelaxedCounter,
+    /// Commands that blew their budget.
+    pub deadline_missed: RelaxedCounter,
+
+    /// Commands inspected by the TTL layer.
+    pub ttl_checked: RelaxedCounter,
+    /// TTL timers armed by `EXPIRE`.
+    pub ttl_armed: RelaxedCounter,
+    /// Keys lazily expired on `GET`.
+    pub ttl_expired: RelaxedCounter,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineMetrics {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        PipelineMetrics {
+            traced: RelaxedCounter::new(),
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+            control_latency: LatencyHistogram::new(),
+            rate_admitted: LongAdder::new(),
+            rate_rejected: LongAdder::new(),
+            rate_refilled: LongAdder::new(),
+            auth_admitted: RelaxedCounter::new(),
+            auth_denied: RelaxedCounter::new(),
+            auth_logins: RelaxedCounter::new(),
+            auth_reloads: RelaxedCounter::new(),
+            deadline_checked: RelaxedCounter::new(),
+            deadline_missed: RelaxedCounter::new(),
+            ttl_checked: RelaxedCounter::new(),
+            ttl_armed: RelaxedCounter::new(),
+            ttl_expired: RelaxedCounter::new(),
+        }
+    }
+
+    /// The `mw_*` lines appended to the `STATS` array reply.
+    pub fn render_lines(&self, depth: usize) -> Vec<String> {
+        vec![
+            format!("mw_depth={depth}"),
+            format!("mw_traced={}", self.traced.sum()),
+            format!("mw_read_p50_us={}", self.read_latency.percentile_us(0.50)),
+            format!("mw_read_p99_us={}", self.read_latency.percentile_us(0.99)),
+            format!("mw_write_p50_us={}", self.write_latency.percentile_us(0.50)),
+            format!("mw_write_p99_us={}", self.write_latency.percentile_us(0.99)),
+            format!("mw_rate_admitted={}", self.rate_admitted.sum()),
+            format!("mw_rate_rejected={}", self.rate_rejected.sum()),
+            format!("mw_rate_refilled={}", self.rate_refilled.sum()),
+            format!("mw_auth_admitted={}", self.auth_admitted.sum()),
+            format!("mw_auth_denied={}", self.auth_denied.sum()),
+            format!("mw_auth_logins={}", self.auth_logins.sum()),
+            format!("mw_auth_reloads={}", self.auth_reloads.sum()),
+            format!("mw_deadline_checked={}", self.deadline_checked.sum()),
+            format!("mw_deadline_missed={}", self.deadline_missed.sum()),
+            format!("mw_ttl_checked={}", self.ttl_checked.sum()),
+            format!("mw_ttl_armed={}", self.ttl_armed.sum()),
+            format!("mw_ttl_expired={}", self.ttl_expired.sum()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(0.5), 0, "empty histogram");
+        for us in [0, 1, 2, 3, 1000, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 6);
+        // With six samples the median rank (3) lands in the [2,4) bucket.
+        assert_eq!(h.percentile_us(0.5), 4);
+        assert!(h.percentile_us(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn huge_samples_land_in_the_open_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_us(0.99), 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn render_lines_cover_every_layer() {
+        let m = PipelineMetrics::new();
+        m.traced.increment();
+        m.rate_admitted.increment();
+        m.auth_admitted.increment();
+        m.deadline_checked.increment();
+        m.ttl_checked.increment();
+        let lines = m.render_lines(5);
+        assert!(lines.contains(&"mw_depth=5".to_string()));
+        assert!(lines.contains(&"mw_traced=1".to_string()));
+        assert!(lines.contains(&"mw_rate_admitted=1".to_string()));
+        assert!(lines.contains(&"mw_auth_admitted=1".to_string()));
+        assert!(lines.contains(&"mw_deadline_checked=1".to_string()));
+        assert!(lines.contains(&"mw_ttl_checked=1".to_string()));
+    }
+}

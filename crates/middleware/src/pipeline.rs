@@ -1,0 +1,321 @@
+//! The interceptor pipeline: tower-style `Layer`/`Service` onion
+//! composition over protocol [`Request`]s and [`Response`]s.
+//!
+//! A [`Service`] is one synchronous request handler; a [`Layer`] wraps
+//! a service in another service. A [`Stack`] owns the *shared* state of
+//! every configured layer (token buckets, ACL tables, histograms, TTL
+//! sidecar) and stamps out one per-connection service chain per
+//! session — per-session state (the authenticated principal, the
+//! session's token bucket) lives in the chain, shared state behind
+//! `Arc`s in the stack.
+//!
+//! Layer order is canonical regardless of configuration order:
+//!
+//! ```text
+//! client → trace → deadline → auth → rate-limit → ttl → store
+//! ```
+//!
+//! so tracing observes every rejection, deadlines cover the layers
+//! below them, authentication gates rate-limit accounting, and the TTL
+//! rewriter sits immediately in front of the store.
+
+use crate::auth::AuthLayer;
+use crate::config::MiddlewareConfig;
+use crate::deadline::DeadlineLayer;
+use crate::metrics::PipelineMetrics;
+use crate::protocol::{Command, Reply};
+use crate::rate_limit::RateLimitLayer;
+use crate::trace::TraceLayer;
+use crate::ttl::TtlLayer;
+use std::sync::Arc;
+
+/// A parsed request travelling down the pipeline.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The command (layers may rewrite it before forwarding).
+    pub command: Command,
+}
+
+impl Request {
+    /// Wrap a command.
+    pub fn new(command: Command) -> Self {
+        Request { command }
+    }
+}
+
+/// A reply travelling back up the pipeline.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The wire reply.
+    pub reply: Reply,
+    /// Whether the server should close the connection after sending it.
+    pub close: bool,
+}
+
+impl Response {
+    /// A normal (keep-alive) response.
+    pub fn ok(reply: Reply) -> Self {
+        Response {
+            reply,
+            close: false,
+        }
+    }
+
+    /// A structured middleware rejection: `-ERR <layer> <detail>` (see
+    /// the error-reply grammar in [`crate::protocol`]).
+    pub fn rejection(layer: &str, detail: impl std::fmt::Display) -> Self {
+        Response {
+            reply: Reply::Error(format!("{layer} {detail}")),
+            close: false,
+        }
+    }
+}
+
+/// One synchronous request handler (the innermost one executes against
+/// the store; every other one is a layer's wrapper).
+pub trait Service {
+    /// Handle one request.
+    fn call(&mut self, req: Request) -> Response;
+}
+
+/// A boxed service chain link. Chains are built and driven entirely on
+/// their connection's thread, so no `Send` bound is needed.
+pub type BoxService = Box<dyn Service>;
+
+/// Per-connection identity the layers key their session state on.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The client's identity: the peer `ip:port` (one bucket per
+    /// connection), or any stable name an embedding chooses.
+    pub client: String,
+}
+
+/// A middleware layer: shared state plus a factory wrapping an inner
+/// service in this layer's per-connection service.
+pub trait Layer: Send + Sync {
+    /// Which of the five production layers this is.
+    fn kind(&self) -> LayerKind;
+
+    /// Wrap `inner` for one session.
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService;
+}
+
+/// The five production layers, in canonical outer→inner order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LayerKind {
+    /// Per-command latency histograms + per-layer counters folded into
+    /// `STATS` (outermost, so it observes every rejection).
+    Trace,
+    /// Per-class execution budgets.
+    Deadline,
+    /// Token-keyed authentication and role ACLs (`AUTH`).
+    Auth,
+    /// Per-client token-bucket admission control.
+    RateLimit,
+    /// TTL/expiry sidecar: `EXPIRE` arms timers, `GET` lazily expires
+    /// (innermost, immediately in front of the store).
+    Ttl,
+}
+
+impl LayerKind {
+    /// The lowercase config/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayerKind::Trace => "trace",
+            LayerKind::Deadline => "deadline",
+            LayerKind::Auth => "auth",
+            LayerKind::RateLimit => "ratelimit",
+            LayerKind::Ttl => "ttl",
+        }
+    }
+
+    /// Parse a config name (`trace`, `deadline`, `auth`, `ratelimit`,
+    /// `ttl`).
+    pub fn parse(name: &str) -> Result<LayerKind, String> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "trace" | "tracing" => Ok(LayerKind::Trace),
+            "deadline" | "timeout" => Ok(LayerKind::Deadline),
+            "auth" | "acl" => Ok(LayerKind::Auth),
+            "ratelimit" | "rate" | "rate-limit" => Ok(LayerKind::RateLimit),
+            "ttl" | "expiry" => Ok(LayerKind::Ttl),
+            other => Err(format!("unknown middleware layer {other:?}")),
+        }
+    }
+}
+
+/// The configured pipeline: shared layer state + the per-connection
+/// chain factory.
+pub struct Stack {
+    layers: Vec<Box<dyn Layer>>,
+    metrics: Arc<PipelineMetrics>,
+    auth: Option<Arc<crate::auth::AuthState>>,
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field(
+                "layers",
+                &self
+                    .layers
+                    .iter()
+                    .map(|l| l.kind().name())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Stack {
+    /// Build the stack from a config. Layer order in the config is
+    /// irrelevant; duplicates collapse.
+    pub fn build(config: &MiddlewareConfig) -> Arc<Stack> {
+        let metrics = Arc::new(PipelineMetrics::new());
+        let mut kinds = config.layers.clone();
+        kinds.sort();
+        kinds.dedup();
+        let depth = kinds.len();
+        let mut auth_state = None;
+        let layers: Vec<Box<dyn Layer>> = kinds
+            .into_iter()
+            .map(|kind| -> Box<dyn Layer> {
+                match kind {
+                    LayerKind::Trace => Box::new(TraceLayer::new(Arc::clone(&metrics), depth)),
+                    LayerKind::Deadline => Box::new(DeadlineLayer::new(
+                        config.deadline.clone(),
+                        Arc::clone(&metrics),
+                    )),
+                    LayerKind::Auth => {
+                        let layer = AuthLayer::new(&config.auth, Arc::clone(&metrics));
+                        auth_state = Some(layer.state());
+                        Box::new(layer)
+                    }
+                    LayerKind::RateLimit => Box::new(RateLimitLayer::new(
+                        config.rate.clone(),
+                        Arc::clone(&metrics),
+                    )),
+                    LayerKind::Ttl => Box::new(TtlLayer::new(Arc::clone(&metrics))),
+                }
+            })
+            .collect();
+        Arc::new(Stack {
+            layers,
+            metrics,
+            auth: auth_state,
+        })
+    }
+
+    /// Number of configured layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The shared per-layer counters and histograms.
+    pub fn metrics(&self) -> &Arc<PipelineMetrics> {
+        &self.metrics
+    }
+
+    /// Build one session's service chain around `inner` (the store
+    /// executor), innermost layer first.
+    pub fn service(&self, session: &Session, inner: BoxService) -> BoxService {
+        let mut chain = inner;
+        for layer in self.layers.iter().rev() {
+            chain = layer.wrap(session, chain);
+        }
+        chain
+    }
+
+    /// Add (or replace) an auth token at runtime. Returns `false` when
+    /// the auth layer is not configured.
+    pub fn auth_set_token(&self, name: &str, token: &str, role: crate::auth::Role) -> bool {
+        match &self.auth {
+            Some(auth) => {
+                auth.set_token(name, token, role);
+                self.metrics.auth_reloads.increment();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// RCU-publish a new anonymous-session role (a policy reload: every
+    /// connection observes it on its next request). Returns `false`
+    /// when the auth layer is not configured.
+    pub fn auth_set_anon_role(&self, role: crate::auth::Role) -> bool {
+        match &self.auth {
+            Some(auth) => {
+                auth.publish_anon_role(role);
+                self.metrics.auth_reloads.increment();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Service for Echo {
+        fn call(&mut self, req: Request) -> Response {
+            Response::ok(Reply::Value(req.command.verb().to_string()))
+        }
+    }
+
+    fn session() -> Session {
+        Session {
+            client: "t:1".into(),
+        }
+    }
+
+    #[test]
+    fn empty_stack_is_a_passthrough() {
+        let stack = Stack::build(&MiddlewareConfig::none());
+        assert_eq!(stack.depth(), 0);
+        let mut svc = stack.service(&session(), Box::new(Echo));
+        let resp = svc.call(Request::new(Command::Ping));
+        assert_eq!(resp.reply, Reply::Value("PING".into()));
+        assert!(!resp.close);
+    }
+
+    #[test]
+    fn full_stack_has_five_layers_in_canonical_order() {
+        let stack = Stack::build(&MiddlewareConfig::full());
+        assert_eq!(stack.depth(), 5);
+        let kinds: Vec<LayerKind> = stack.layers.iter().map(|l| l.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LayerKind::Trace,
+                LayerKind::Deadline,
+                LayerKind::Auth,
+                LayerKind::RateLimit,
+                LayerKind::Ttl,
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_layer_names_collapse() {
+        let mut config = MiddlewareConfig::none();
+        config.layers = vec![LayerKind::Ttl, LayerKind::Trace, LayerKind::Ttl];
+        let stack = Stack::build(&config);
+        assert_eq!(stack.depth(), 2);
+    }
+
+    #[test]
+    fn layer_names_round_trip() {
+        for kind in [
+            LayerKind::Trace,
+            LayerKind::Deadline,
+            LayerKind::Auth,
+            LayerKind::RateLimit,
+            LayerKind::Ttl,
+        ] {
+            assert_eq!(LayerKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(LayerKind::parse("blorp").is_err());
+    }
+}

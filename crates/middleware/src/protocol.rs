@@ -17,6 +17,15 @@
 //! | `*` | array header `*<n>`, followed by `n` element lines |
 //!
 //! The full verb set is listed in [`Command`].
+//!
+//! ## Error-reply grammar
+//!
+//! Middleware rejections are structured: the message after `-ERR ` is
+//! `<LAYER> <detail>` where `<LAYER>` is one of `AUTH`, `RATELIMIT`,
+//! `DEADLINE`, `TTL`, and `<detail>` is free text that may carry
+//! `key=value` hints (e.g. `-ERR RATELIMIT rejected retry_us=50000`).
+//! Parse errors and store-level errors keep their historical free-form
+//! messages.
 
 use std::fmt::Write as _;
 
@@ -61,6 +70,25 @@ pub enum Command {
     Ping,
     /// `QUIT` → `+OK`, then the server closes the connection
     Quit,
+    /// `AUTH token` → `+OK` | `-ERR AUTH ...` (handled by the auth
+    /// middleware layer; never reaches the store)
+    Auth(String),
+    /// `EXPIRE key millis` → `:1` (timer armed) | `:0` (no such key)
+    /// (handled by the TTL middleware layer)
+    Expire(String, u64),
+}
+
+/// The coarse class of a command, used by the middleware layers for
+/// ACL checks and per-class deadline budgets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommandClass {
+    /// Lock-free reads served inline by the connection thread.
+    Read,
+    /// Mutations funneled through a shard owner (plus `EXPIRE`, which
+    /// arms a TTL timer).
+    Write,
+    /// Session/diagnostic verbs (`PING`, `QUIT`, `STATS`, `AUTH`).
+    Control,
 }
 
 /// A parse failure, reported to the client as `-ERR ...`.
@@ -134,9 +162,102 @@ impl Command {
             "STATS" => Command::Stats,
             "PING" => Command::Ping,
             "QUIT" => Command::Quit,
+            "AUTH" => Command::Auth(need(&mut parts, "token")?.to_string()),
+            "EXPIRE" => {
+                let key = need(&mut parts, "key")?.to_string();
+                let raw = need(&mut parts, "millis")?;
+                let millis = raw
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad millis {raw:?}")))?;
+                Command::Expire(key, millis)
+            }
             other => return Err(ParseError(format!("unknown verb {other:?}"))),
         };
         Ok(cmd)
+    }
+
+    /// The wire verb of this command.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Get(..) => "GET",
+            Command::Set(..) => "SET",
+            Command::Del(..) => "DEL",
+            Command::Incr(..) => "INCR",
+            Command::AddUser(..) => "ADDUSER",
+            Command::Post(..) => "POST",
+            Command::Follow(..) => "FOLLOW",
+            Command::Unfollow(..) => "UNFOLLOW",
+            Command::Timeline(..) => "TIMELINE",
+            Command::IsFollowing(..) => "ISFOLLOWING",
+            Command::Followers(..) => "FOLLOWERS",
+            Command::Join(..) => "JOIN",
+            Command::Leave(..) => "LEAVE",
+            Command::InGroup(..) => "INGROUP",
+            Command::Profile(..) => "PROFILE",
+            Command::ProfileVer(..) => "PROFILEVER",
+            Command::Stats => "STATS",
+            Command::Ping => "PING",
+            Command::Quit => "QUIT",
+            Command::Auth(..) => "AUTH",
+            Command::Expire(..) => "EXPIRE",
+        }
+    }
+
+    /// The coarse class this command belongs to.
+    pub fn class(&self) -> CommandClass {
+        match self {
+            Command::Get(..)
+            | Command::Timeline(..)
+            | Command::IsFollowing(..)
+            | Command::Followers(..)
+            | Command::InGroup(..)
+            | Command::ProfileVer(..) => CommandClass::Read,
+            Command::Set(..)
+            | Command::Del(..)
+            | Command::Incr(..)
+            | Command::AddUser(..)
+            | Command::Post(..)
+            | Command::Follow(..)
+            | Command::Unfollow(..)
+            | Command::Join(..)
+            | Command::Leave(..)
+            | Command::Profile(..)
+            | Command::Expire(..) => CommandClass::Write,
+            Command::Stats | Command::Ping | Command::Quit | Command::Auth(..) => {
+                CommandClass::Control
+            }
+        }
+    }
+
+    /// Render the request line (without terminator) that parses back to
+    /// this command — the encoder the client-side helpers and the
+    /// round-trip property tests use. `parse(render_line(c)) == c` holds
+    /// whenever keys/tokens are whitespace-free and values are non-empty
+    /// with no surrounding whitespace or newlines.
+    pub fn render_line(&self) -> String {
+        match self {
+            Command::Get(k) => format!("GET {k}"),
+            Command::Set(k, v) => format!("SET {k} {v}"),
+            Command::Del(k) => format!("DEL {k}"),
+            Command::Incr(k, d) => format!("INCR {k} {d}"),
+            Command::AddUser(u) => format!("ADDUSER {u}"),
+            Command::Post(u, m) => format!("POST {u} {m}"),
+            Command::Follow(a, b) => format!("FOLLOW {a} {b}"),
+            Command::Unfollow(a, b) => format!("UNFOLLOW {a} {b}"),
+            Command::Timeline(u) => format!("TIMELINE {u}"),
+            Command::IsFollowing(a, b) => format!("ISFOLLOWING {a} {b}"),
+            Command::Followers(u) => format!("FOLLOWERS {u}"),
+            Command::Join(u) => format!("JOIN {u}"),
+            Command::Leave(u) => format!("LEAVE {u}"),
+            Command::InGroup(u) => format!("INGROUP {u}"),
+            Command::Profile(u) => format!("PROFILE {u}"),
+            Command::ProfileVer(u) => format!("PROFILEVER {u}"),
+            Command::Stats => "STATS".into(),
+            Command::Ping => "PING".into(),
+            Command::Quit => "QUIT".into(),
+            Command::Auth(t) => format!("AUTH {t}"),
+            Command::Expire(k, ms) => format!("EXPIRE {k} {ms}"),
+        }
     }
 }
 
@@ -230,6 +351,49 @@ mod tests {
         assert!(Command::parse("GET").is_err());
         assert!(Command::parse("SET k").is_err());
         assert!(Command::parse("POST notanumber 5").is_err());
+        assert!(Command::parse("AUTH").is_err());
+        assert!(Command::parse("EXPIRE k").is_err());
+        assert!(Command::parse("EXPIRE k soon").is_err());
+    }
+
+    #[test]
+    fn parses_the_middleware_verbs() {
+        assert_eq!(
+            Command::parse("AUTH sekrit"),
+            Ok(Command::Auth("sekrit".into()))
+        );
+        assert_eq!(
+            Command::parse("expire k 250"),
+            Ok(Command::Expire("k".into(), 250))
+        );
+    }
+
+    #[test]
+    fn render_line_round_trips() {
+        let cmds = [
+            Command::Get("a".into()),
+            Command::Set("k".into(), "hello world".into()),
+            Command::Incr("n".into(), -4),
+            Command::Post(3, 77),
+            Command::Stats,
+            Command::Auth("tok".into()),
+            Command::Expire("k".into(), 99),
+        ];
+        for cmd in cmds {
+            assert_eq!(Command::parse(&cmd.render_line()), Ok(cmd));
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_verbs() {
+        assert_eq!(Command::Get("k".into()).class(), CommandClass::Read);
+        assert_eq!(
+            Command::Set("k".into(), "v".into()).class(),
+            CommandClass::Write
+        );
+        assert_eq!(Command::Expire("k".into(), 1).class(), CommandClass::Write);
+        assert_eq!(Command::Auth("t".into()).class(), CommandClass::Control);
+        assert_eq!(Command::Ping.class(), CommandClass::Control);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Tracing/metrics: the outermost layer.
+//!
+//! Times every command (whatever layer ultimately answers it) into the
+//! per-class latency histograms, counts it, and — when the command is
+//! `STATS` and the store answered with the usual `name=value` array —
+//! folds the whole pipeline's `mw_*` lines into the reply, so one
+//! `STATS` round-trip observes both planes.
+
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session};
+use crate::protocol::{Command, CommandClass, Reply};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The trace [`Layer`].
+pub struct TraceLayer {
+    metrics: Arc<PipelineMetrics>,
+    depth: usize,
+}
+
+impl TraceLayer {
+    /// Build the layer; `depth` is the configured stack depth reported
+    /// as `mw_depth`.
+    pub fn new(metrics: Arc<PipelineMetrics>, depth: usize) -> Self {
+        TraceLayer { metrics, depth }
+    }
+}
+
+impl Layer for TraceLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Trace
+    }
+
+    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
+        Box::new(TraceService {
+            metrics: Arc::clone(&self.metrics),
+            depth: self.depth,
+            inner,
+        })
+    }
+}
+
+struct TraceService {
+    metrics: Arc<PipelineMetrics>,
+    depth: usize,
+    inner: BoxService,
+}
+
+impl Service for TraceService {
+    fn call(&mut self, req: Request) -> Response {
+        let class = req.command.class();
+        let is_stats = matches!(req.command, Command::Stats);
+        let start = Instant::now();
+        let mut resp = self.inner.call(req);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        // Render before recording, so a `STATS` reply reflects the
+        // traffic *before* it, not itself.
+        if is_stats {
+            if let Reply::Array(lines) = &mut resp.reply {
+                lines.extend(self.metrics.render_lines(self.depth));
+            }
+        }
+        self.metrics.traced.increment();
+        match class {
+            CommandClass::Read => self.metrics.read_latency.record(elapsed_us),
+            CommandClass::Write => self.metrics.write_latency.record(elapsed_us),
+            CommandClass::Control => self.metrics.control_latency.record(elapsed_us),
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Store;
+    impl Service for Store {
+        fn call(&mut self, req: Request) -> Response {
+            match req.command {
+                Command::Stats => Response::ok(Reply::Array(vec!["shards=2".into()])),
+                _ => Response::ok(Reply::Status("OK")),
+            }
+        }
+    }
+
+    fn traced() -> (BoxService, Arc<PipelineMetrics>) {
+        let metrics = Arc::new(PipelineMetrics::new());
+        let layer = TraceLayer::new(Arc::clone(&metrics), 5);
+        let session = Session {
+            client: "t:1".into(),
+        };
+        (layer.wrap(&session, Box::new(Store)), metrics)
+    }
+
+    #[test]
+    fn commands_are_counted_into_class_histograms() {
+        let (mut svc, metrics) = traced();
+        svc.call(Request::new(Command::Get("k".into())));
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        svc.call(Request::new(Command::Ping));
+        assert_eq!(metrics.traced.sum(), 3);
+        assert_eq!(metrics.read_latency.count(), 1);
+        assert_eq!(metrics.write_latency.count(), 1);
+        assert_eq!(metrics.control_latency.count(), 1);
+    }
+
+    #[test]
+    fn stats_replies_grow_the_mw_lines() {
+        let (mut svc, _) = traced();
+        svc.call(Request::new(Command::Ping));
+        let resp = svc.call(Request::new(Command::Stats));
+        match resp.reply {
+            Reply::Array(lines) => {
+                assert!(lines.contains(&"shards=2".to_string()), "store lines kept");
+                assert!(lines.contains(&"mw_depth=5".to_string()));
+                assert!(lines.contains(&"mw_traced=1".to_string()));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! TTL/expiry: an expiry sidecar in front of the store.
+//!
+//! The store itself stays TTL-ignorant; this layer keeps a
+//! [`SegmentedHashMap`] of `key → expires_at` sidecar entries.
+//! `EXPIRE key millis` arms a timer on an existing key (probing
+//! existence with a downstream `GET`); a `GET` whose sidecar timer has
+//! lapsed is answered `_` (nil) and the stale row is reaped with a
+//! synthesized downstream `DEL` — lazy expiry, Redis-style. A `SET` or
+//! `DEL` passing through clears the key's timer; `INCR` (a
+//! read-modify-write) respects a lapsed timer by reaping first, so it
+//! restarts from zero instead of resurrecting an expired value.
+//!
+//! **Safety of the rewrite-vs-expiry race.** The destructive half of a
+//! reap (the synthesized `DEL`) and every store mutation on a *timed*
+//! key are serialized under the sidecar's writer mutex, and the reap
+//! re-checks the entry after acquiring it. A mutation that won the
+//! lock first removed the entry, so the reap aborts; a mutation that
+//! lost waits until the reap's `DEL` was acknowledged, so its write
+//! lands after. Either way an acknowledged write is never destroyed by
+//! an expiry.
+//!
+//! Hot path: one lock-free sidecar lookup per `GET`/`SET`/`DEL`/
+//! `INCR`; keys without timers never touch the mutex, and timed keys
+//! pay it only on mutation or reap (live reads stay lock-free).
+
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session};
+use crate::protocol::{Command, Reply};
+use dego_core::{SegmentationKind, SegmentedHashMap, SegmentedHashMapWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Sidecar entry: when the key's value expires (micros since the layer
+/// epoch).
+#[derive(Debug)]
+struct TtlEntry {
+    expires_at_us: AtomicU64,
+}
+
+struct TtlState {
+    epoch: Instant,
+    sidecar: Arc<SegmentedHashMap<String, Arc<TtlEntry>>>,
+    /// Serializes entry insert/remove *and* every cross-plane sequence
+    /// (reap `DEL`s, mutations on timed keys) — see the module doc.
+    writer: Mutex<SegmentedHashMapWriter<String, Arc<TtlEntry>>>,
+    metrics: Arc<PipelineMetrics>,
+}
+
+impl TtlState {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Whether `key` currently has a *lapsed* entry (unlocked probe).
+    fn lapsed(&self, entry: &TtlEntry) -> bool {
+        self.now_us() >= entry.expires_at_us.load(Ordering::Acquire)
+    }
+}
+
+/// The TTL [`Layer`].
+pub struct TtlLayer {
+    state: Arc<TtlState>,
+}
+
+impl TtlLayer {
+    /// Build the layer with its shared sidecar map.
+    pub fn new(metrics: Arc<PipelineMetrics>) -> Self {
+        let sidecar = SegmentedHashMap::new(1, 1024, SegmentationKind::Hash);
+        let writer = Mutex::new(sidecar.writer());
+        TtlLayer {
+            state: Arc::new(TtlState {
+                epoch: Instant::now(),
+                sidecar,
+                writer,
+                metrics,
+            }),
+        }
+    }
+}
+
+impl Layer for TtlLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Ttl
+    }
+
+    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
+        Box::new(TtlService {
+            state: Arc::clone(&self.state),
+            inner,
+        })
+    }
+}
+
+struct TtlService {
+    state: Arc<TtlState>,
+    inner: BoxService,
+}
+
+type SidecarWriter<'a> = MutexGuard<'a, SegmentedHashMapWriter<String, Arc<TtlEntry>>>;
+
+impl TtlService {
+    /// With the lock held: if `key`'s entry is (still) lapsed, reap it
+    /// — `DEL` the stale row downstream and drop the entry. Returns
+    /// whether a reap happened. The lock stays held across the `DEL`,
+    /// which is what makes expiry safe against concurrent rewrites.
+    fn reap_if_lapsed(
+        inner: &mut BoxService,
+        state: &TtlState,
+        writer: &mut SidecarWriter<'_>,
+        key: &String,
+    ) -> bool {
+        match state.sidecar.get(key) {
+            Some(entry) if state.lapsed(&entry) => {
+                let _ = inner.call(Request::new(Command::Del(key.clone())));
+                writer.remove(key);
+                state.metrics.ttl_expired.increment();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `EXPIRE key millis`: probe the key and arm (or re-arm) a timer.
+    fn expire(&mut self, key: String, millis: u64) -> Response {
+        let mut writer = self.state.writer.lock().expect("ttl writer");
+        // A lapsed timer means the value is gone: reap it and report
+        // "no such key" instead of resurrecting it.
+        if Self::reap_if_lapsed(&mut self.inner, &self.state, &mut writer, &key) {
+            return Response::ok(Reply::Int(0));
+        }
+        match self
+            .inner
+            .call(Request::new(Command::Get(key.clone())))
+            .reply
+        {
+            Reply::Nil => Response::ok(Reply::Int(0)),
+            Reply::Value(_) => {
+                let deadline = self
+                    .state
+                    .now_us()
+                    .saturating_add(millis.saturating_mul(1_000));
+                if let Some(entry) = self.state.sidecar.get(&key) {
+                    entry.expires_at_us.store(deadline, Ordering::Release);
+                } else {
+                    writer.put(
+                        key,
+                        Arc::new(TtlEntry {
+                            expires_at_us: AtomicU64::new(deadline),
+                        }),
+                    );
+                }
+                self.state.metrics.ttl_armed.increment();
+                Response::ok(Reply::Int(1))
+            }
+            // Propagate downstream failures (e.g. the store refused).
+            other => Response::ok(other),
+        }
+    }
+
+    /// A mutation (`SET`/`DEL`/`INCR`) on a key that has a sidecar
+    /// entry: serialize against reaps, clearing a lapsed value first so
+    /// `INCR` restarts from zero, then clear the timer (`SET`/`DEL`
+    /// rewrite the value; `INCR` keeps its — now reaped-or-live — row
+    /// fresh, Redis-style it would keep the TTL, but after a rewrite
+    /// through this path the timer is gone either way).
+    fn mutate_timed(&mut self, req: Request, key: String) -> Response {
+        let mut writer = self.state.writer.lock().expect("ttl writer");
+        Self::reap_if_lapsed(&mut self.inner, &self.state, &mut writer, &key);
+        let resp = self.inner.call(req);
+        if !matches!(resp.reply, Reply::Error(_)) {
+            // The rewrite clears any remaining timer (and its entry).
+            writer.remove(&key);
+        }
+        resp
+    }
+
+    /// A `GET` on a key whose unlocked probe saw a lapsed timer:
+    /// re-check under the lock, reap, answer nil.
+    fn get_lapsed(&mut self, req: Request, key: String) -> Response {
+        let mut writer = self.state.writer.lock().expect("ttl writer");
+        if Self::reap_if_lapsed(&mut self.inner, &self.state, &mut writer, &key) {
+            return Response::ok(Reply::Nil);
+        }
+        // Lost the race to a rewrite: the key is live again.
+        drop(writer);
+        self.inner.call(req)
+    }
+}
+
+impl Service for TtlService {
+    fn call(&mut self, req: Request) -> Response {
+        // Decide on a borrowed view first so the fast paths forward
+        // `req` without cloning its key.
+        enum Plan {
+            Forward,
+            MutateTimed(String),
+            GetLapsed(String),
+            Expire(String, u64),
+        }
+        let plan = match &req.command {
+            Command::Expire(key, millis) => {
+                self.state.metrics.ttl_checked.increment();
+                Plan::Expire(key.clone(), *millis)
+            }
+            Command::Get(key) => {
+                self.state.metrics.ttl_checked.increment();
+                match self.state.sidecar.get(key) {
+                    // Live timers read lock-free; only a lapsed one
+                    // takes the slow path.
+                    Some(entry) if self.state.lapsed(&entry) => Plan::GetLapsed(key.clone()),
+                    _ => Plan::Forward,
+                }
+            }
+            Command::Set(key, _) | Command::Del(key) | Command::Incr(key, _) => {
+                self.state.metrics.ttl_checked.increment();
+                match self.state.sidecar.get(key) {
+                    Some(_) => Plan::MutateTimed(key.clone()),
+                    None => Plan::Forward,
+                }
+            }
+            _ => Plan::Forward,
+        };
+        match plan {
+            Plan::Forward => self.inner.call(req),
+            Plan::MutateTimed(key) => self.mutate_timed(req, key),
+            Plan::GetLapsed(key) => self.get_lapsed(req, key),
+            Plan::Expire(key, millis) => self.expire(key, millis),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    /// A tiny in-memory store standing in for the shard plane.
+    struct MapStore {
+        map: HashMap<String, String>,
+    }
+
+    impl Service for MapStore {
+        fn call(&mut self, req: Request) -> Response {
+            match req.command {
+                Command::Get(k) => Response::ok(match self.map.get(&k) {
+                    Some(v) => Reply::Value(v.clone()),
+                    None => Reply::Nil,
+                }),
+                Command::Set(k, v) => {
+                    self.map.insert(k, v);
+                    Response::ok(Reply::Status("OK"))
+                }
+                Command::Del(k) => {
+                    self.map.remove(&k);
+                    Response::ok(Reply::Status("OK"))
+                }
+                Command::Incr(k, d) => {
+                    let next = self
+                        .map
+                        .get(&k)
+                        .and_then(|v| v.parse::<i64>().ok())
+                        .unwrap_or(0)
+                        + d;
+                    self.map.insert(k, next.to_string());
+                    Response::ok(Reply::Int(next))
+                }
+                _ => Response::ok(Reply::Error("unsupported".into())),
+            }
+        }
+    }
+
+    fn ttl_over_store() -> (BoxService, Arc<PipelineMetrics>) {
+        let metrics = Arc::new(PipelineMetrics::new());
+        let layer = TtlLayer::new(Arc::clone(&metrics));
+        let session = Session {
+            client: "t:1".into(),
+        };
+        let store = MapStore {
+            map: HashMap::new(),
+        };
+        (layer.wrap(&session, Box::new(store)), metrics)
+    }
+
+    fn call(svc: &mut BoxService, cmd: Command) -> Reply {
+        svc.call(Request::new(cmd)).reply
+    }
+
+    #[test]
+    fn expire_on_missing_key_reports_zero() {
+        let (mut svc, _) = ttl_over_store();
+        assert_eq!(
+            call(&mut svc, Command::Expire("k".into(), 50)),
+            Reply::Int(0)
+        );
+    }
+
+    #[test]
+    fn expired_key_reads_as_nil_and_is_reaped() {
+        let (mut svc, metrics) = ttl_over_store();
+        call(&mut svc, Command::Set("k".into(), "v".into()));
+        assert_eq!(
+            call(&mut svc, Command::Expire("k".into(), 20)),
+            Reply::Int(1)
+        );
+        assert_eq!(
+            call(&mut svc, Command::Get("k".into())),
+            Reply::Value("v".into()),
+            "alive before the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(call(&mut svc, Command::Get("k".into())), Reply::Nil);
+        assert_eq!(metrics.ttl_expired.sum(), 1);
+        // Reaped for real: later reads miss without touching the sidecar.
+        assert_eq!(call(&mut svc, Command::Get("k".into())), Reply::Nil);
+        assert_eq!(metrics.ttl_expired.sum(), 1, "no double expiry");
+    }
+
+    #[test]
+    fn set_disarms_a_pending_timer() {
+        let (mut svc, metrics) = ttl_over_store();
+        call(&mut svc, Command::Set("k".into(), "v1".into()));
+        call(&mut svc, Command::Expire("k".into(), 20));
+        call(&mut svc, Command::Set("k".into(), "v2".into()));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            call(&mut svc, Command::Get("k".into())),
+            Reply::Value("v2".into()),
+            "rewrite must cancel the timer"
+        );
+        assert_eq!(metrics.ttl_expired.sum(), 0);
+    }
+
+    #[test]
+    fn rearming_extends_the_deadline() {
+        let (mut svc, _) = ttl_over_store();
+        call(&mut svc, Command::Set("k".into(), "v".into()));
+        call(&mut svc, Command::Expire("k".into(), 20));
+        std::thread::sleep(Duration::from_millis(10));
+        call(&mut svc, Command::Expire("k".into(), 10_000));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            call(&mut svc, Command::Get("k".into())),
+            Reply::Value("v".into())
+        );
+    }
+
+    #[test]
+    fn expire_cannot_resurrect_a_lapsed_key() {
+        let (mut svc, metrics) = ttl_over_store();
+        call(&mut svc, Command::Set("k".into(), "v".into()));
+        call(&mut svc, Command::Expire("k".into(), 10));
+        std::thread::sleep(Duration::from_millis(30));
+        // The timer lapsed (no GET reaped it yet): a re-EXPIRE must
+        // treat the key as gone, not re-arm the stale value.
+        assert_eq!(
+            call(&mut svc, Command::Expire("k".into(), 10_000)),
+            Reply::Int(0)
+        );
+        assert_eq!(call(&mut svc, Command::Get("k".into())), Reply::Nil);
+        assert_eq!(metrics.ttl_expired.sum(), 1);
+    }
+
+    #[test]
+    fn incr_on_a_lapsed_key_restarts_from_zero() {
+        let (mut svc, _) = ttl_over_store();
+        call(&mut svc, Command::Set("n".into(), "41".into()));
+        call(&mut svc, Command::Expire("n".into(), 10));
+        std::thread::sleep(Duration::from_millis(30));
+        // The expired 41 must not leak into the increment.
+        assert_eq!(call(&mut svc, Command::Incr("n".into(), 1)), Reply::Int(1));
+        assert_eq!(
+            call(&mut svc, Command::Get("n".into())),
+            Reply::Value("1".into()),
+            "the incremented row has no timer"
+        );
+    }
+
+    #[test]
+    fn incr_on_a_live_timed_key_clears_the_timer() {
+        let (mut svc, metrics) = ttl_over_store();
+        call(&mut svc, Command::Set("n".into(), "1".into()));
+        call(&mut svc, Command::Expire("n".into(), 20));
+        assert_eq!(call(&mut svc, Command::Incr("n".into(), 1)), Reply::Int(2));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            call(&mut svc, Command::Get("n".into())),
+            Reply::Value("2".into()),
+            "rewritten row survives the stale deadline"
+        );
+        assert_eq!(metrics.ttl_expired.sum(), 0);
+    }
+
+    #[test]
+    fn non_kv_commands_pass_untouched() {
+        let (mut svc, metrics) = ttl_over_store();
+        let before = metrics.ttl_checked.sum();
+        call(&mut svc, Command::Ping);
+        assert_eq!(metrics.ttl_checked.sum(), before);
+    }
+}

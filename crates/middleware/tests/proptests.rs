@@ -1,0 +1,163 @@
+//! Property tests of the wire protocol: for any well-formed command —
+//! including the middleware verbs `AUTH`/`EXPIRE` — the request-line
+//! encoder and the parser are exact inverses, and malformed input is
+//! rejected rather than misparsed.
+
+use dego_middleware::protocol::{Command, CommandClass, Reply};
+use proptest::prelude::*;
+
+/// Keys and tokens: non-empty, whitespace-free.
+fn key() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.:-]{1,16}".prop_map(|s| s)
+}
+
+/// `SET` values: may contain interior spaces, but no surrounding
+/// whitespace or newlines (the line protocol cannot carry those).
+fn value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-][a-zA-Z0-9_. :-]{0,30}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty trimmed value", |v| !v.is_empty())
+}
+
+fn user() -> impl Strategy<Value = u64> {
+    0u64..1_000_000
+}
+
+fn command() -> impl Strategy<Value = Command> {
+    prop_oneof!(
+        key().prop_map(Command::Get),
+        (key(), value()).prop_map(|(k, v)| Command::Set(k, v)),
+        key().prop_map(Command::Del),
+        (key(), any::<i64>()).prop_map(|(k, d)| Command::Incr(k, d)),
+        user().prop_map(Command::AddUser),
+        (user(), user()).prop_map(|(u, m)| Command::Post(u, m)),
+        (user(), user()).prop_map(|(a, b)| Command::Follow(a, b)),
+        (user(), user()).prop_map(|(a, b)| Command::Unfollow(a, b)),
+        user().prop_map(Command::Timeline),
+        (user(), user()).prop_map(|(a, b)| Command::IsFollowing(a, b)),
+        user().prop_map(Command::Followers),
+        user().prop_map(Command::Join),
+        user().prop_map(Command::Leave),
+        user().prop_map(Command::InGroup),
+        user().prop_map(Command::Profile),
+        user().prop_map(Command::ProfileVer),
+        Just(Command::Stats),
+        Just(Command::Ping),
+        Just(Command::Quit),
+        key().prop_map(Command::Auth),
+        (key(), any::<u64>()).prop_map(|(k, ms)| Command::Expire(k, ms)),
+    )
+}
+
+const KNOWN_VERBS: &[&str] = &[
+    "GET",
+    "SET",
+    "DEL",
+    "INCR",
+    "ADDUSER",
+    "POST",
+    "FOLLOW",
+    "UNFOLLOW",
+    "TIMELINE",
+    "ISFOLLOWING",
+    "FOLLOWERS",
+    "JOIN",
+    "LEAVE",
+    "INGROUP",
+    "PROFILE",
+    "PROFILEVER",
+    "STATS",
+    "PING",
+    "QUIT",
+    "AUTH",
+    "EXPIRE",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ render_line = identity over every command frame,
+    /// including the new AUTH/EXPIRE ones.
+    #[test]
+    fn request_lines_round_trip(cmd in command()) {
+        let line = cmd.render_line();
+        prop_assert_eq!(Command::parse(&line), Ok(cmd.clone()));
+        // A trailing \r (telnet-style input) must not change the parse.
+        prop_assert_eq!(Command::parse(&format!("{line}\r")), Ok(cmd), "trailing CR tolerated");
+    }
+
+    /// Case-insensitivity: lowering the verb never changes the parse.
+    #[test]
+    fn verbs_are_case_insensitive(cmd in command()) {
+        let line = cmd.render_line();
+        let verb_len = cmd.verb().len();
+        let lowered = format!("{}{}", line[..verb_len].to_ascii_lowercase(), &line[verb_len..]);
+        prop_assert_eq!(Command::parse(&lowered), Ok(cmd));
+    }
+
+    /// Every command belongs to exactly one class, and the class is
+    /// stable across a render/parse cycle.
+    #[test]
+    fn class_is_parse_stable(cmd in command()) {
+        let reparsed = Command::parse(&cmd.render_line()).expect("round trip");
+        prop_assert_eq!(reparsed.class(), cmd.class());
+        prop_assert!(matches!(
+            cmd.class(),
+            CommandClass::Read | CommandClass::Write | CommandClass::Control
+        ));
+    }
+
+    /// Unknown verbs are rejected whatever their arguments look like.
+    #[test]
+    fn unknown_verbs_are_rejected(
+        verb in "[A-Z]{2,12}".prop_filter("not a real verb", |v| !KNOWN_VERBS.contains(&v.as_str())),
+        arg in "[a-z0-9 ]{0,20}",
+    ) {
+        prop_assert!(Command::parse(&format!("{verb} {arg}")).is_err(), "verb {} must be rejected", verb);
+    }
+
+    /// Truncated frames (verb present, required arguments missing) are
+    /// rejected, never defaulted.
+    #[test]
+    fn truncated_frames_are_rejected(
+        verb in prop_oneof!(
+            Just("GET"), Just("SET"), Just("DEL"), Just("AUTH"), Just("EXPIRE"),
+            Just("POST"), Just("FOLLOW"), Just("TIMELINE"),
+        ),
+    ) {
+        prop_assert!(Command::parse(verb).is_err(), "truncated {} must be rejected", verb);
+    }
+
+    /// Numeric argument positions reject non-numeric junk (and AUTH, a
+    /// string position, accepts it — exactly one of the two).
+    #[test]
+    fn numeric_positions_reject_junk(junk in "[a-z]{1,8}x") {
+        prop_assert!(Command::parse(&format!("EXPIRE k {junk}")).is_err(), "bad millis");
+        prop_assert!(Command::parse(&format!("ADDUSER {junk}")).is_err(), "bad user");
+        prop_assert!(Command::parse(&format!("INCR k {junk}")).is_err(), "bad delta");
+        prop_assert!(Command::parse(&format!("AUTH {junk}")).is_ok(), "token is a string position");
+    }
+
+    /// Reply rendering always emits exactly one line per element
+    /// (header + n for arrays), each newline-terminated.
+    #[test]
+    fn replies_render_line_disciplined(
+        v in value(),
+        n in any::<i64>(),
+        items in proptest::collection::vec("[a-z0-9=]{1,12}", 0..6),
+    ) {
+        for (reply, lines) in [
+            (Reply::Status("OK"), 1),
+            (Reply::Value(v.clone()), 1),
+            (Reply::Nil, 1),
+            (Reply::Int(n), 1),
+            (Reply::Error(v.clone()), 1),
+            (Reply::Array(items.clone()), items.len() + 1),
+        ] {
+            let mut out = String::new();
+            reply.render(&mut out);
+            prop_assert!(out.ends_with('\n'));
+            prop_assert_eq!(out.lines().count(), lines);
+        }
+    }
+}

@@ -484,19 +484,50 @@ impl NetworkBackend {
     pub fn server_stats(&self) -> dego_server::StatsSnapshot {
         self.server.stats()
     }
+
+    /// How many middleware layers the embedded server runs.
+    pub fn middleware_depth(&self) -> usize {
+        self.server.stack().depth()
+    }
+
+    /// Boot the embedded server behind an explicit middleware pipeline
+    /// (the trait's `create` reads `DEGO_RETWIS_MIDDLEWARE` instead).
+    pub fn create_with_middleware(
+        n_workers: usize,
+        expected_users: usize,
+        middleware: dego_server::MiddlewareConfig,
+    ) -> Arc<Self> {
+        let server = dego_server::spawn(dego_server::ServerConfig {
+            shards: n_workers.max(1),
+            capacity: (expected_users * 4).max(1024),
+            middleware,
+            ..dego_server::ServerConfig::default()
+        })
+        .expect("embedded dego-server boots");
+        Arc::new(NetworkBackend { server })
+    }
 }
 
 impl SocialBackend for NetworkBackend {
     type Worker = NetworkWorker;
 
     fn create(n_workers: usize, expected_users: usize) -> Arc<Self> {
-        let server = dego_server::spawn(dego_server::ServerConfig {
-            shards: n_workers.max(1),
-            capacity: (expected_users * 4).max(1024),
-            ..dego_server::ServerConfig::default()
-        })
-        .expect("embedded dego-server boots");
-        Arc::new(NetworkBackend { server })
+        // `DEGO_RETWIS_MIDDLEWARE` selects the pipeline the embedded
+        // server runs (`none` (default), `full`, or a comma list of
+        // layers) — the social workload then doubles as a contention
+        // driver for every configured layer. The workers speak the
+        // protocol unauthenticated, so the default-open auth policy is
+        // kept as-is.
+        let middleware = std::env::var("DEGO_RETWIS_MIDDLEWARE")
+            .ok()
+            .map(|spec| {
+                let mut config = dego_server::MiddlewareConfig::none();
+                config.layers = dego_server::MiddlewareConfig::parse_layers(&spec)
+                    .expect("DEGO_RETWIS_MIDDLEWARE spec");
+                config
+            })
+            .unwrap_or_default();
+        Self::create_with_middleware(n_workers, expected_users, middleware)
     }
 
     fn worker(self: &Arc<Self>) -> NetworkWorker {
@@ -659,6 +690,24 @@ mod tests {
     #[test]
     fn network_backend_semantics() {
         exercise::<NetworkBackend>();
+    }
+
+    #[test]
+    fn network_backend_runs_the_full_stack() {
+        // The same social workload, but every wire command now crosses
+        // the five-layer middleware pipeline.
+        let backend =
+            NetworkBackend::create_with_middleware(1, 64, dego_server::MiddlewareConfig::full());
+        assert_eq!(backend.middleware_depth(), 5);
+        let mut w = backend.worker();
+        for u in 0..4 {
+            w.add_user(u);
+        }
+        w.follow(1, 0);
+        w.post(0, 7);
+        assert_eq!(w.read_timeline(1), vec![7]);
+        assert!(w.is_following(1, 0));
+        assert!(backend.server_stats().applied > 0);
     }
 
     #[test]

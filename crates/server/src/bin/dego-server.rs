@@ -1,34 +1,73 @@
-//! Standalone server: `dego-server [addr]` (default 127.0.0.1:7878).
+//! Standalone server: `dego-server [addr] [flags]` (default
+//! 127.0.0.1:7878). Runs until killed; state is in-memory only.
 //!
-//! Shard count comes from `DEGO_SHARDS` (default 4). Runs until
-//! killed; state is in-memory only.
+//! Flags:
+//!
+//! * `--shards N` — storage shards (also `DEGO_SHARDS`, default 4)
+//! * `--middleware SPEC` — `none` (default), `full`, or a comma list
+//!   of `trace,deadline,auth,ratelimit,ttl`
+//! * `--auth-token NAME:TOKEN:ROLE` — add a token (repeatable; roles:
+//!   `none`, `readonly`, `readwrite`)
+//! * `--anon-role ROLE` — role of unauthenticated sessions
+//! * `--rate-burst N` / `--rate-per-sec N` — token-bucket tuning
+//! * `--deadline-read-us N` / `--deadline-write-us N` — class budgets
 
 use dego_server::{spawn, ServerConfig};
 
+fn usage_exit(err: &str) -> ! {
+    eprintln!("dego-server: {err}");
+    eprintln!(
+        "usage: dego-server [addr] [--shards N] [--middleware none|full|LAYERS] \
+         [--auth-token NAME:TOKEN:ROLE] [--anon-role ROLE] [--rate-burst N] \
+         [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let shards = std::env::var("DEGO_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    let server = spawn(ServerConfig {
-        shards,
-        addr: addr.parse().unwrap_or_else(|e| {
-            eprintln!("bad listen address {addr:?}: {e}");
-            std::process::exit(2);
-        }),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig {
+        shards: std::env::var("DEGO_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
         ..ServerConfig::default()
-    })
-    .unwrap_or_else(|e| {
+    };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            let flag = arg.as_str();
+            let value = it
+                .next()
+                .unwrap_or_else(|| usage_exit(&format!("flag {flag} needs a value")));
+            match config.middleware.apply_flag(flag, value) {
+                Ok(true) => {}
+                Ok(false) if flag == "--shards" => match value.parse() {
+                    Ok(n) if n > 0 => config.shards = n,
+                    _ => usage_exit(&format!("bad shard count {value:?}")),
+                },
+                Ok(false) => usage_exit(&format!("unknown flag {flag}")),
+                Err(e) => usage_exit(&e),
+            }
+        } else {
+            addr = arg.clone();
+        }
+    }
+
+    config.addr = addr.parse().unwrap_or_else(|e| {
+        usage_exit(&format!("bad listen address {addr:?}: {e}"));
+    });
+    let server = spawn(config).unwrap_or_else(|e| {
         eprintln!("failed to bind {addr}: {e}");
         std::process::exit(1);
     });
     println!(
-        "dego-server listening on {} ({} shards)",
+        "dego-server listening on {} ({} shards, {} middleware layers)",
         server.local_addr(),
-        server.shards()
+        server.shards(),
+        server.stack().depth()
     );
     loop {
         std::thread::park();

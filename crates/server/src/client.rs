@@ -244,6 +244,23 @@ impl Client {
             .expect_int("PROFILEVER")? as u64)
     }
 
+    // --------------------------------------------- middleware verbs
+
+    /// `AUTH token` — authenticate this session (auth layer).
+    pub fn auth(&mut self, token: &str) -> std::io::Result<()> {
+        self.request(&format!("AUTH {token}"))?
+            .expect_status("AUTH")
+    }
+
+    /// `EXPIRE key millis` — arm a TTL timer (ttl layer). Returns
+    /// whether a timer was armed (`false`: no such key).
+    pub fn expire(&mut self, key: &str, millis: u64) -> std::io::Result<bool> {
+        Ok(self
+            .request(&format!("EXPIRE {key} {millis}"))?
+            .expect_int("EXPIRE")?
+            != 0)
+    }
+
     // --------------------------------------------------------- misc
 
     /// `PING`.

@@ -45,12 +45,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod protocol;
 mod server;
 pub mod stats;
 mod store;
 
+// The wire protocol lives in dego-middleware (the pipeline intercepts
+// and rewrites commands); re-exported here so `dego_server::protocol`
+// keeps working.
+pub use dego_middleware::protocol;
+
 pub use client::{Client, ClientReply};
+pub use dego_middleware::{MiddlewareConfig, Role, Stack, TokenSpec};
 pub use server::{spawn, ServerConfig, ServerHandle, TIMELINE_LIMIT};
 pub use stats::{ServerStats, StatsSnapshot};
 pub use store::{FANOUT_LIMIT, TIMELINE_KEEP};
@@ -216,6 +221,46 @@ mod tests {
         let mut c = Client::connect(server.local_addr()).unwrap();
         c.quit().unwrap();
         assert!(c.ping().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn middleware_full_stack_serves_ttl_over_tcp() {
+        let server = spawn(ServerConfig {
+            shards: 2,
+            capacity: 256,
+            middleware: MiddlewareConfig::full(),
+            ..ServerConfig::default()
+        })
+        .expect("server spawns");
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.set("k", "v").unwrap();
+        assert!(c.expire("k", 30).unwrap(), "timer armed on a live key");
+        assert!(!c.expire("ghost", 30).unwrap(), "no timer on a miss");
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(c.get("k").unwrap(), None, "lazily expired");
+        // No tokens are configured, so AUTH is a structured rejection.
+        let err = c.auth("nope").unwrap_err();
+        assert!(err.to_string().contains("AUTH"), "got {err}");
+        // The trace layer folds mw_* lines into STATS.
+        let pairs = c.stats().unwrap();
+        assert!(pairs.iter().any(|(k, v)| k == "mw_depth" && v == "5"));
+        assert!(pairs.iter().any(|(k, _)| k == "mw_ttl_expired"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn middleware_verbs_reject_structurally_at_depth_zero() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        match c.request("EXPIRE k 100").unwrap() {
+            ClientReply::Error(e) => assert!(e.starts_with("TTL "), "got {e:?}"),
+            other => panic!("expected TTL rejection, got {other:?}"),
+        }
+        match c.request("AUTH tok").unwrap() {
+            ClientReply::Error(e) => assert!(e.starts_with("AUTH "), "got {e:?}"),
+            other => panic!("expected AUTH rejection, got {other:?}"),
+        }
         server.shutdown();
     }
 

@@ -1,14 +1,17 @@
-//! The TCP front-end: accept loop, per-connection threads, pipelining
-//! and shutdown.
+//! The TCP front-end: accept loop, per-connection threads, the
+//! middleware pipeline, pipelining and shutdown.
 //!
-//! A connection thread parses request lines and splits them two ways:
-//! **reads** (`GET`, `TIMELINE`, `ISFOLLOWING`, …) are served inline
-//! from the lock-free segment readers; **mutations** are enqueued to
-//! the owning shard thread and acknowledged through the connection's
-//! reply channel before the response line is emitted — so a client
-//! that saw `+OK` for a `SET` observes that value on every later read,
-//! from any connection (the shard applied it before acking, and
-//! segment publication is release/acquire).
+//! A connection thread parses request lines and drives each one
+//! through its session's middleware [`Stack`] chain (trace → deadline
+//! → auth → rate-limit → ttl, whichever are configured); the innermost
+//! service executes against the store, splitting two ways: **reads**
+//! (`GET`, `TIMELINE`, `ISFOLLOWING`, …) are served inline from the
+//! lock-free segment readers; **mutations** are enqueued to the owning
+//! shard thread and acknowledged through the connection's reply
+//! channel before the response line is emitted — so a client that saw
+//! `+OK` for a `SET` observes that value on every later read, from any
+//! connection (the shard applied it before acking, and segment
+//! publication is release/acquire).
 //!
 //! Pipelining: responses are buffered and flushed only when the input
 //! buffer runs dry, so a burst of `k` commands costs one write.
@@ -16,6 +19,7 @@
 use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::store::{self, Mutation, Store, FANOUT_LIMIT};
+use dego_middleware::{MiddlewareConfig, Request, Response, Service, Session, Stack};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +45,9 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: SocketAddr,
+    /// The middleware pipeline in front of the store (default: none —
+    /// requests go straight to the storage plane).
+    pub middleware: MiddlewareConfig,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +56,7 @@ impl Default for ServerConfig {
             shards: 4,
             capacity: 16_384,
             addr: "127.0.0.1:0".parse().expect("literal addr"),
+            middleware: MiddlewareConfig::none(),
         }
     }
 }
@@ -59,6 +67,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
+    stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
@@ -74,6 +83,12 @@ impl ServerHandle {
     /// Number of storage shards.
     pub fn shards(&self) -> usize {
         self.store.shards()
+    }
+
+    /// The middleware stack every connection drives requests through
+    /// (runtime admin: token/policy reloads, metrics).
+    pub fn stack(&self) -> &Arc<Stack> {
+        &self.stack
     }
 
     /// A snapshot of the operation counters.
@@ -127,6 +142,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr)?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ServerStats::new());
+    let stack = Stack::build(&config.middleware);
     let shutdown = Arc::new(AtomicBool::new(false));
     let runtime = store::spawn_shards(
         config.shards,
@@ -139,11 +155,12 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let accept_thread = {
         let store = Arc::clone(&runtime.store);
         let stats = Arc::clone(&stats);
+        let stack = Arc::clone(&stack);
         let shutdown = Arc::clone(&shutdown);
         let connections = Arc::clone(&connections);
         std::thread::Builder::new()
             .name("dego-accept".into())
-            .spawn(move || accept_loop(listener, store, stats, shutdown, connections))
+            .spawn(move || accept_loop(listener, store, stats, stack, shutdown, connections))
             .expect("spawn accept thread")
     };
 
@@ -151,6 +168,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
         store: runtime.store,
         stats,
+        stack,
         shutdown,
         accept_thread: Some(accept_thread),
         shard_threads: runtime.threads,
@@ -162,6 +180,7 @@ fn accept_loop(
     listener: TcpListener,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
+    stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
@@ -182,11 +201,12 @@ fn accept_loop(
         stats.note_connection();
         let store = Arc::clone(&store);
         let stats = Arc::clone(&stats);
+        let stack = Arc::clone(&stack);
         let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name(format!("dego-conn-{next_conn}"))
             .spawn(move || {
-                let _ = serve_connection(socket, store, stats, flag);
+                let _ = serve_connection(socket, store, stats, stack, flag);
             })
             .expect("spawn connection thread");
         next_conn += 1;
@@ -198,18 +218,60 @@ fn accept_loop(
     }
 }
 
-/// One connection's session: parse, execute, pipeline replies.
+/// The innermost service: executes commands against the storage plane
+/// (the thing every middleware layer ultimately wraps).
+struct ExecService {
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    ack_tx: Sender<Reply>,
+    ack_rx: Receiver<Reply>,
+}
+
+impl Service for ExecService {
+    fn call(&mut self, req: Request) -> Response {
+        match &req.command {
+            // The middleware-owned verbs answer structurally when their
+            // layer is not in the pipeline (they never reach the store).
+            Command::Auth(_) => Response::rejection("AUTH", "auth layer not enabled"),
+            Command::Expire(..) => Response::rejection("TTL", "ttl layer not enabled"),
+            cmd => {
+                let (reply, close) =
+                    execute(cmd, &self.store, &self.stats, &self.ack_tx, &self.ack_rx);
+                Response { reply, close }
+            }
+        }
+    }
+}
+
+/// One connection's session: parse, drive the middleware chain,
+/// pipeline replies.
 fn serve_connection(
     socket: TcpStream,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
+    stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
     socket.set_nodelay(true)?;
     socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let session = Session {
+        client: socket
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string()),
+    };
     let mut reader = BufReader::new(socket.try_clone()?);
     let mut writer = BufWriter::new(socket);
     let (ack_tx, ack_rx) = channel::<Reply>();
+    let mut chain = stack.service(
+        &session,
+        Box::new(ExecService {
+            store,
+            stats: Arc::clone(&stats),
+            ack_tx,
+            ack_rx,
+        }),
+    );
     let mut line = String::new();
     let mut out = String::new();
 
@@ -219,12 +281,15 @@ fn serve_connection(
             Ok(_) => {
                 stats.note_command();
                 let (reply, quit) = match Command::parse(line.trim_end_matches('\n')) {
-                    Ok(cmd) => execute(&cmd, &store, &stats, &ack_tx, &ack_rx),
-                    Err(e) => {
-                        stats.note_error();
-                        (Reply::Error(e.0), false)
+                    Ok(cmd) => {
+                        let resp = chain.call(Request::new(cmd));
+                        (resp.reply, resp.close)
                     }
+                    Err(e) => (Reply::Error(e.0), false),
                 };
+                if matches!(reply, Reply::Error(_)) {
+                    stats.note_error();
+                }
                 reply.render(&mut out);
                 line.clear();
                 // Pipelining: only pay a socket write once the input
@@ -343,6 +408,11 @@ fn execute(
         }
         Command::Ping => Reply::Status("PONG"),
         Command::Quit => return (Reply::Status("OK"), true),
+        // Middleware-owned verbs are answered by ExecService (or their
+        // layer) before reaching the store executor.
+        Command::Auth(_) | Command::Expire(..) => {
+            Reply::Error("middleware verb reached the store".into())
+        }
 
         // -------------------------------------- single-shard mutations
         Command::Set(key, value) => {
@@ -512,8 +582,5 @@ fn execute(
             }
         }
     };
-    if matches!(reply, Reply::Error(_)) {
-        stats.note_error();
-    }
     (reply, dead)
 }

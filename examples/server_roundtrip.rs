@@ -1,38 +1,91 @@
-//! The middleware server end to end: boot a sharded `dego-server`,
-//! speak the wire protocol, inspect the stats.
+//! The middleware server end to end: boot a sharded `dego-server`
+//! behind the full five-layer pipeline, speak the wire protocol,
+//! inspect both planes' stats.
 //!
 //! Run with: `cargo run --example server_roundtrip`
 //!
-//! Everything the server stores lives in dego-core adjusted objects:
-//! the keyspace and social rows in `(M2, CWMR)` segmented maps, the
-//! per-shard mutation funnels in `(Q1, MWSR)` MPSC queues, the applied
-//! counter in a `(C3, CWSR)` increment-only counter. This example
-//! walks the protocol surface a client sees.
+//! Two modes:
+//!
+//! * **embedded** (default): boots an in-process server with the full
+//!   `trace → deadline → auth → rate-limit → ttl` stack and a demo
+//!   token, then walks the protocol surface;
+//! * **external**: set `DEGO_SERVER_ADDR=host:port` to drive an
+//!   already-running `dego-server` instead (the CI smoke job boots the
+//!   release binary and points this example at it). When the target
+//!   requires authentication, pass the token via `DEGO_AUTH_TOKEN`.
+//!
+//! Exits non-zero on any protocol failure, so it doubles as a smoke
+//! check.
 
-use dego_server::{spawn, Client, ServerConfig};
+use dego_server::{spawn, Client, MiddlewareConfig, Role, ServerConfig, ServerHandle, TokenSpec};
+
+fn check(cond: bool, what: &str) -> std::io::Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(std::io::Error::other(format!("check failed: {what}")))
+    }
+}
 
 fn main() -> std::io::Result<()> {
-    // 1. Boot: four shards, ephemeral loopback port.
-    let server = spawn(ServerConfig {
-        shards: 4,
-        ..ServerConfig::default()
-    })?;
-    println!(
-        "server up on {} with {} shards",
-        server.local_addr(),
-        server.shards()
-    );
+    // 1. Find or boot a server.
+    let external = std::env::var("DEGO_SERVER_ADDR").ok();
+    let embedded: Option<ServerHandle> = match &external {
+        Some(_) => None,
+        None => {
+            let mut middleware = MiddlewareConfig::full();
+            middleware.auth.tokens = vec![TokenSpec {
+                name: "demo".into(),
+                token: "demo-token".into(),
+                role: Role::ReadWrite,
+            }];
+            Some(spawn(ServerConfig {
+                shards: 4,
+                middleware,
+                ..ServerConfig::default()
+            })?)
+        }
+    };
+    let addr = match (&external, &embedded) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!("one mode is always selected"),
+    };
+    println!("driving dego-server at {addr}");
 
-    // 2. Plain key-value traffic.
-    let mut c = Client::connect(server.local_addr())?;
+    // 2. Authenticate when a token is at hand (embedded mode always
+    //    has one; external mode via DEGO_AUTH_TOKEN).
+    let mut c = Client::connect(&*addr)?;
+    let token = std::env::var("DEGO_AUTH_TOKEN").unwrap_or_else(|_| "demo-token".to_string());
+    if embedded.is_some() || std::env::var("DEGO_AUTH_TOKEN").is_ok() {
+        c.auth(&token)?;
+        println!("AUTH              -> OK");
+    }
+
+    // 3. Plain key-value traffic.
     c.set("motd", "adjust your objects")?;
     println!("GET motd          -> {:?}", c.get("motd")?);
+    check(
+        c.get("motd")?.as_deref() == Some("adjust your objects"),
+        "SET/GET",
+    )?;
     println!("INCR visits       -> {}", c.incr("visits", 1)?);
     println!("INCR visits       -> {}", c.incr("visits", 1)?);
     c.del("motd")?;
+    check(c.get("motd")?.is_none(), "DEL")?;
     println!("GET motd (deleted)-> {:?}", c.get("motd")?);
 
-    // 3. Pipelining: many commands, one round trip.
+    // 4. TTL: arm a timer, watch the key lazily expire.
+    c.set("ephemeral", "going going gone")?;
+    let armed = c.expire("ephemeral", 150)?;
+    println!("EXPIRE ephemeral  -> {armed}");
+    check(armed, "EXPIRE arms on a live key")?;
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let expired = c.get("ephemeral")?;
+    println!("GET after TTL     -> {expired:?}");
+    check(expired.is_none(), "TTL lazily expires")?;
+
+    // 5. Pipelining: many commands, one round trip.
     for i in 0..8 {
         c.send(&format!("SET key{i} value{i}"))?;
     }
@@ -41,31 +94,40 @@ fn main() -> std::io::Result<()> {
         c.read_reply()?;
     }
     println!("pipelined 8 SETs  -> key5 = {:?}", c.get("key5")?);
+    check(c.get("key5")?.as_deref() == Some("value5"), "pipelined SET")?;
 
-    // 4. The retwis verbs: a tiny social graph.
-    for user in 0..3 {
+    // 6. The retwis verbs: a tiny social graph. User ids are derived
+    //    from the process id so re-running against a persistent
+    //    external server starts from fresh rows every time.
+    let u = std::process::id() as u64 * 100;
+    for user in u..u + 3 {
         c.add_user(user)?;
     }
-    c.follow(1, 0)?; // 1 follows 0
-    c.follow(2, 0)?; // 2 follows 0
-    c.post(0, 1001)?;
-    c.post(0, 1002)?;
-    println!("timeline of 1     -> {:?}", c.timeline(1)?);
-    println!("followers of 0    -> {}", c.follower_count(0)?);
-    c.join_group(2)?;
-    println!("2 in group        -> {}", c.in_group(2)?);
+    c.follow(u + 1, u)?; // u+1 follows u
+    c.follow(u + 2, u)?; // u+2 follows u
+    c.post(u, 1001)?;
+    c.post(u, 1002)?;
+    println!("timeline of u+1   -> {:?}", c.timeline(u + 1)?);
+    check(c.timeline(u + 1)? == vec![1002, 1001], "timeline fan-out")?;
+    println!("followers of u    -> {}", c.follower_count(u)?);
+    c.join_group(u + 2)?;
+    println!("u+2 in group      -> {}", c.in_group(u + 2)?);
 
-    // 5. The stats endpoint: operation counters plus the contention
-    //    stall proxy (which stays quiet — the storage plane never
-    //    spins on a lock or retries a CAS).
+    // 7. The stats endpoint: storage-plane counters plus — when a
+    //    middleware stack is configured — the per-layer mw_* lines the
+    //    trace layer folds in.
     println!("\nSTATS:");
     for (name, value) in c.stats()? {
-        println!("  {name:>16} = {value}");
+        println!("  {name:>20} = {value}");
     }
 
-    // 6. Clean shutdown: drains the shard queues, joins every thread.
+    // 8. Clean shutdown (embedded mode only).
     drop(c);
-    server.shutdown();
-    println!("\nserver stopped cleanly");
+    if let Some(server) = embedded {
+        server.shutdown();
+        println!("\nserver stopped cleanly");
+    } else {
+        println!("\nexternal server left running");
+    }
     Ok(())
 }
