@@ -208,6 +208,50 @@ struct AuthService {
 }
 
 impl Service for AuthService {
+    /// Batch path: **one** role lookup for the whole burst — the
+    /// session principal (or the RCU-published anon policy) is resolved
+    /// once, then every command is a cheap class check against that
+    /// role. Admitted commands travel downstream as one inner batch;
+    /// denied ones are rejected in place, order preserved. A burst
+    /// containing `AUTH` changes the session's role mid-stream, so it
+    /// falls back to the sequential path (logins are not hot).
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        if reqs.iter().any(|r| matches!(r.command, Command::Auth(_))) {
+            return reqs.into_iter().map(|req| self.call(req)).collect();
+        }
+        let role = match &self.principal {
+            Some(p) => p.role,
+            None => self.state.anon_role(),
+        };
+        // Fast path: everything admitted (the common case for an
+        // authenticated or read-write session) — no slot bookkeeping.
+        if reqs.iter().all(|req| role.allows(req.command.class())) {
+            self.metrics.auth_admitted.add(reqs.len() as u64);
+            return self.inner.call_batch(reqs);
+        }
+        let metrics = Arc::clone(&self.metrics);
+        crate::pipeline::partition_batch(&mut self.inner, reqs, |req| {
+            if role.allows(req.command.class()) {
+                metrics.auth_admitted.increment();
+                None
+            } else {
+                metrics.auth_denied.increment();
+                Some(Response::rejection(
+                    "AUTH",
+                    format_args!(
+                        "{} requires {}, session role is {}",
+                        req.command.verb(),
+                        match req.command.class() {
+                            CommandClass::Write => Role::ReadWrite.name(),
+                            _ => Role::ReadOnly.name(),
+                        },
+                        role.name()
+                    ),
+                ))
+            }
+        })
+    }
+
     fn call(&mut self, req: Request) -> Response {
         if let Command::Auth(token) = &req.command {
             return match self.state.tokens.get(token) {
@@ -327,6 +371,44 @@ mod tests {
             svc.call(Request::new(Command::Get("k".into()))).reply,
             Reply::Error(_)
         ));
+    }
+
+    #[test]
+    fn batch_resolves_the_role_once_and_preserves_order() {
+        let (layer, metrics) = layer(Role::ReadOnly);
+        let mut svc = layer.wrap(&session(), Box::new(Ok200));
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("a".into())),
+            set(), // denied: readonly
+            Request::new(Command::Ping),
+            set(), // denied again
+            Request::new(Command::Get("b".into())),
+        ]);
+        let ok = |r: &Response| matches!(r.reply, Reply::Status(_));
+        assert!(ok(&resps[0]));
+        assert!(matches!(&resps[1].reply, Reply::Error(e) if e.starts_with("AUTH ")));
+        assert!(ok(&resps[2]));
+        assert!(matches!(resps[3].reply, Reply::Error(_)));
+        assert!(ok(&resps[4]));
+        assert_eq!(metrics.auth_admitted.sum(), 3);
+        assert_eq!(metrics.auth_denied.sum(), 2);
+    }
+
+    #[test]
+    fn batch_with_auth_falls_back_to_sequential_login() {
+        let (layer, metrics) = layer(Role::ReadOnly);
+        let mut svc = layer.wrap(&session(), Box::new(Ok200));
+        // The login in the middle must upgrade the commands after it —
+        // exactly what the sequential path does.
+        let resps = svc.call_batch(vec![
+            set(), // still anon: denied
+            Request::new(Command::Auth("sekrit".into())),
+            set(), // now readwrite: admitted
+        ]);
+        assert!(matches!(resps[0].reply, Reply::Error(_)));
+        assert!(matches!(resps[1].reply, Reply::Status(_)));
+        assert!(matches!(resps[2].reply, Reply::Status(_)));
+        assert_eq!(metrics.auth_logins.sum(), 1);
     }
 
     #[test]

@@ -67,13 +67,65 @@ struct DeadlineService {
     inner: BoxService,
 }
 
-impl Service for DeadlineService {
-    fn call(&mut self, req: Request) -> Response {
-        let budget_us = match req.command.class() {
+impl DeadlineService {
+    /// This request's class budget (0 = exempt).
+    fn budget_us(&self, req: &Request) -> u64 {
+        match req.command.class() {
             CommandClass::Read => self.config.read_us,
             CommandClass::Write => self.config.write_us,
             CommandClass::Control => 0,
-        };
+        }
+    }
+}
+
+impl Service for DeadlineService {
+    /// Batch path: **one** deadline check for the whole burst. The
+    /// budget is the sum of the per-request class budgets (exempt
+    /// requests contribute zero), so the SLO scales with the work
+    /// admitted; if the burst overruns it, every non-exempt response is
+    /// replaced by a structured `DEADLINE` error — the per-request
+    /// attribution is gone, which is exactly the cost amortization
+    /// buys. Under generous budgets (the production default) the group
+    /// check fires in the same pathological stalls the per-request one
+    /// would, and replies stay identical to sequential `call`s.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let mut budget_us = 0u64;
+        let mut checked = 0u64;
+        let exempt: Vec<bool> = reqs
+            .iter()
+            .map(|req| {
+                let b = self.budget_us(req);
+                if b == 0 {
+                    true
+                } else {
+                    budget_us = budget_us.saturating_add(b);
+                    checked += 1;
+                    false
+                }
+            })
+            .collect();
+        if budget_us == 0 {
+            return self.inner.call_batch(reqs);
+        }
+        let start = Instant::now();
+        let mut resps = self.inner.call_batch(reqs);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        self.metrics.deadline_checked.add(checked);
+        if elapsed_us > budget_us {
+            self.metrics.deadline_missed.add(checked);
+            for (resp, exempt) in resps.iter_mut().zip(exempt) {
+                if !exempt {
+                    resp.reply = Reply::Error(format!(
+                        "DEADLINE batch took {elapsed_us}us budget {budget_us}us"
+                    ));
+                }
+            }
+        }
+        resps
+    }
+
+    fn call(&mut self, req: Request) -> Response {
+        let budget_us = self.budget_us(&req);
         if budget_us == 0 {
             return self.inner.call(req);
         }
@@ -143,6 +195,50 @@ mod tests {
             other => panic!("expected deadline error, got {other:?}"),
         }
         assert_eq!(metrics.deadline_missed.sum(), 1);
+    }
+
+    #[test]
+    fn batch_pays_one_check_against_the_summed_budget() {
+        let (mut svc, metrics) = wrap(DeadlineConfig::default(), Duration::ZERO);
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::Set("k".into(), "v".into())),
+            Request::new(Command::Ping), // exempt
+        ]);
+        assert!(resps.iter().all(|r| matches!(r.reply, Reply::Status(_))));
+        assert_eq!(metrics.deadline_checked.sum(), 2, "exempt not counted");
+        assert_eq!(metrics.deadline_missed.sum(), 0);
+    }
+
+    #[test]
+    fn batch_overrun_rejects_every_non_exempt_request() {
+        let tight = DeadlineConfig {
+            read_us: 500,
+            write_us: 500,
+        };
+        let (mut svc, metrics) = wrap(tight, Duration::from_millis(10));
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::Ping), // exempt: keeps its reply
+            Request::new(Command::Set("k".into(), "v".into())),
+        ]);
+        match &resps[0].reply {
+            Reply::Error(e) => assert!(e.starts_with("DEADLINE "), "got {e:?}"),
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert!(matches!(resps[1].reply, Reply::Status(_)), "exempt passes");
+        assert!(matches!(resps[2].reply, Reply::Error(_)));
+        assert_eq!(metrics.deadline_missed.sum(), 2);
+    }
+
+    #[test]
+    fn all_exempt_batch_skips_the_clock() {
+        let (mut svc, metrics) = wrap(DeadlineConfig::default(), Duration::ZERO);
+        svc.call_batch(vec![
+            Request::new(Command::Ping),
+            Request::new(Command::Stats),
+        ]);
+        assert_eq!(metrics.deadline_checked.sum(), 0);
     }
 
     #[test]

@@ -31,6 +31,14 @@ impl RelaxedCounter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` events at once (the batched paths' amortized bump).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// The total so far.
     pub fn sum(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -105,6 +113,13 @@ pub struct PipelineMetrics {
     pub write_latency: LatencyHistogram,
     /// Latency of control-class commands.
     pub control_latency: LatencyHistogram,
+    /// Pipelined bursts driven through `call_batch`.
+    pub batches: RelaxedCounter,
+    /// Commands carried by those bursts (`traced` counts them too).
+    pub batch_commands: RelaxedCounter,
+    /// Whole-batch latency (µs): one sample per burst, however many
+    /// commands it carried.
+    pub batch_latency: LatencyHistogram,
 
     /// Requests admitted by the rate limiter.
     pub rate_admitted: LongAdder,
@@ -149,6 +164,9 @@ impl PipelineMetrics {
             read_latency: LatencyHistogram::new(),
             write_latency: LatencyHistogram::new(),
             control_latency: LatencyHistogram::new(),
+            batches: RelaxedCounter::new(),
+            batch_commands: RelaxedCounter::new(),
+            batch_latency: LatencyHistogram::new(),
             rate_admitted: LongAdder::new(),
             rate_rejected: LongAdder::new(),
             rate_refilled: LongAdder::new(),
@@ -173,6 +191,9 @@ impl PipelineMetrics {
             format!("mw_read_p99_us={}", self.read_latency.percentile_us(0.99)),
             format!("mw_write_p50_us={}", self.write_latency.percentile_us(0.50)),
             format!("mw_write_p99_us={}", self.write_latency.percentile_us(0.99)),
+            format!("mw_batches={}", self.batches.sum()),
+            format!("mw_batch_commands={}", self.batch_commands.sum()),
+            format!("mw_batch_p99_us={}", self.batch_latency.percentile_us(0.99)),
             format!("mw_rate_admitted={}", self.rate_admitted.sum()),
             format!("mw_rate_rejected={}", self.rate_rejected.sum()),
             format!("mw_rate_refilled={}", self.rate_refilled.sum()),

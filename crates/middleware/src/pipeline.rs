@@ -76,11 +76,69 @@ impl Response {
 pub trait Service {
     /// Handle one request.
     fn call(&mut self, req: Request) -> Response;
+
+    /// Handle a pipelined burst of requests, returning one response per
+    /// request **in request order**.
+    ///
+    /// The default forwards each request through [`Service::call`], so
+    /// third-party layers keep working unchanged; the five production
+    /// layers override it to pay their per-request costs once per burst
+    /// (one clock read and histogram sample in trace, one deadline
+    /// check, one auth lookup, one bulk token-bucket take, one TTL
+    /// sweep) — and the innermost store executor overrides it to
+    /// group-acknowledge a whole burst of mutations per shard.
+    ///
+    /// Contract: `call_batch(reqs)` must produce the same responses, in
+    /// the same order, as calling `call` on each request sequentially
+    /// (timing-dependent layers — deadline, rate-limit refill — are
+    /// exempt only in how they meter time, never in ordering).
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        reqs.into_iter().map(|req| self.call(req)).collect()
+    }
 }
 
 /// A boxed service chain link. Chains are built and driven entirely on
 /// their connection's thread, so no `Send` bound is needed.
 pub type BoxService = Box<dyn Service>;
+
+/// Drive a burst through `inner` with per-request admission control:
+/// requests `admit` rejects are answered in place, the rest travel
+/// downstream as **one** inner batch, and the replies are zipped back
+/// around the rejections in request order. The shared partial path of
+/// the auth and rate-limit layers' `call_batch` — one implementation
+/// of the ordering invariant instead of two drifting copies.
+pub(crate) fn partition_batch(
+    inner: &mut BoxService,
+    reqs: Vec<Request>,
+    mut admit: impl FnMut(&Request) -> Option<Response>,
+) -> Vec<Response> {
+    let mut slots: Vec<Option<Response>> = Vec::with_capacity(reqs.len());
+    let mut admitted: Vec<Request> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        match admit(&req) {
+            Some(rejection) => slots.push(Some(rejection)),
+            None => {
+                slots.push(None);
+                admitted.push(req);
+            }
+        }
+    }
+    let mut inner_resps = if admitted.is_empty() {
+        Vec::new()
+    } else {
+        inner.call_batch(admitted)
+    }
+    .into_iter();
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Some(rejection) => rejection,
+            None => inner_resps
+                .next()
+                .expect("one inner response per admitted request"),
+        })
+        .collect()
+}
 
 /// Per-connection identity the layers key their session state on.
 #[derive(Clone, Debug)]
@@ -303,6 +361,55 @@ mod tests {
         config.layers = vec![LayerKind::Ttl, LayerKind::Trace, LayerKind::Ttl];
         let stack = Stack::build(&config);
         assert_eq!(stack.depth(), 2);
+    }
+
+    #[test]
+    fn default_call_batch_loops_over_call() {
+        // A service that only implements `call` (a third-party layer)
+        // still answers batches, one response per request, in order.
+        let mut svc: BoxService = Box::new(Echo);
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Ping),
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::Stats),
+        ]);
+        let verbs: Vec<Reply> = resps.into_iter().map(|r| r.reply).collect();
+        assert_eq!(
+            verbs,
+            vec![
+                Reply::Value("PING".into()),
+                Reply::Value("GET".into()),
+                Reply::Value("STATS".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_stack_batch_matches_sequential() {
+        // Same burst through two identically configured stacks: the
+        // batched chain must answer exactly like the sequential one.
+        let burst: Vec<Command> = vec![
+            Command::Ping,
+            Command::Get("a".into()),
+            Command::Set("a".into(), "1".into()),
+            Command::Incr("n".into(), 4),
+            Command::Del("a".into()),
+            Command::Timeline(7),
+        ];
+        let seq_stack = Stack::build(&MiddlewareConfig::full());
+        let mut seq = seq_stack.service(&session(), Box::new(Echo));
+        let batch_stack = Stack::build(&MiddlewareConfig::full());
+        let mut batched = batch_stack.service(&session(), Box::new(Echo));
+        let want: Vec<Reply> = burst
+            .iter()
+            .map(|c| seq.call(Request::new(c.clone())).reply)
+            .collect();
+        let got: Vec<Reply> = batched
+            .call_batch(burst.into_iter().map(Request::new).collect())
+            .into_iter()
+            .map(|r| r.reply)
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -120,6 +120,30 @@ impl RateLimitState {
         }
     }
 
+    /// Bulk admission: take up to `n` tokens in **one** refill and one
+    /// `fetch_sub`, returning how many were granted. Matches `n`
+    /// sequential [`Self::admit`] calls: with `t` tokens on hand,
+    /// `min(t, n)` commands are admitted and the rest rejected (the
+    /// sequential path would refill between takes, but a burst is
+    /// sub-millisecond — the next burst's refill recovers the
+    /// difference).
+    fn admit_n(&self, bucket: &Bucket, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.refill(bucket);
+        let take = n.min(i64::MAX as u64) as i64;
+        let prev = bucket.tokens.fetch_sub(take, Ordering::AcqRel);
+        let admitted = prev.clamp(0, take);
+        if admitted < take {
+            // Return the tokens the rejected remainder did not earn.
+            bucket.tokens.fetch_add(take - admitted, Ordering::AcqRel);
+        }
+        self.metrics.rate_admitted.add(admitted);
+        self.metrics.rate_rejected.add(take - admitted);
+        admitted as u64
+    }
+
     /// Micros until one token refills (the `retry_us` hint).
     fn retry_us(&self) -> u64 {
         1_000_000 / self.config.refill_per_sec.max(1)
@@ -194,6 +218,40 @@ impl Drop for RateLimitService {
 }
 
 impl Service for RateLimitService {
+    /// Batch path: `token_bucket.take(n)` instead of `n` takes — one
+    /// refill and one `fetch_sub` admit the first `k` chargeable
+    /// commands of the burst; the rest are rejected in place. `QUIT` is
+    /// never charged (a throttled client must still hang up cleanly),
+    /// and order is preserved: admitted commands travel downstream as
+    /// one inner batch and are zipped back around the rejections.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let chargeable = reqs
+            .iter()
+            .filter(|r| !matches!(r.command, Command::Quit))
+            .count() as u64;
+        let granted = self.state.admit_n(&self.bucket, chargeable);
+        // Fast path: the whole burst fit the bucket — no slot
+        // bookkeeping.
+        if granted == chargeable {
+            return self.inner.call_batch(reqs);
+        }
+        let retry_us = self.state.retry_us();
+        let mut spent = 0u64;
+        crate::pipeline::partition_batch(&mut self.inner, reqs, |req| {
+            if matches!(req.command, Command::Quit) {
+                None
+            } else if spent < granted {
+                spent += 1;
+                None
+            } else {
+                Some(Response::rejection(
+                    "RATELIMIT",
+                    format_args!("rejected retry_us={retry_us}"),
+                ))
+            }
+        })
+    }
+
     fn call(&mut self, req: Request) -> Response {
         // QUIT always goes through: a throttled client must still be
         // able to hang up cleanly.
@@ -296,6 +354,46 @@ mod tests {
             svc.call(Request::new(Command::Quit)).reply,
             Reply::Status(_)
         ));
+    }
+
+    #[test]
+    fn batch_takes_tokens_in_bulk_and_rejects_the_tail() {
+        let (layer, metrics) = limited(3, 1); // no refill mid-test
+        let mut svc = layer.wrap(&session("a"), Box::new(Ok200));
+        let burst: Vec<Request> = (0..5)
+            .map(|i| Request::new(Command::Get(format!("k{i}"))))
+            .collect();
+        let resps = svc.call_batch(burst);
+        // Sequential semantics positionally: the first 3 admitted, the
+        // rest rejected with the structured error.
+        for resp in &resps[..3] {
+            assert!(matches!(resp.reply, Reply::Status(_)));
+        }
+        for resp in &resps[3..] {
+            match &resp.reply {
+                Reply::Error(e) => {
+                    assert!(e.starts_with("RATELIMIT "), "got {e:?}");
+                    assert!(e.contains("retry_us="), "got {e:?}");
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(metrics.rate_admitted.sum(), 3);
+        assert_eq!(metrics.rate_rejected.sum(), 2);
+    }
+
+    #[test]
+    fn batch_never_charges_quit() {
+        let (layer, _) = limited(1, 1);
+        let mut svc = layer.wrap(&session("a"), Box::new(Ok200));
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Ping), // takes the only token
+            Request::new(Command::Ping), // rejected
+            Request::new(Command::Quit), // still passes
+        ]);
+        assert!(matches!(resps[0].reply, Reply::Status(_)));
+        assert!(matches!(resps[1].reply, Reply::Error(_)));
+        assert!(matches!(resps[2].reply, Reply::Status(_)));
     }
 
     #[test]

@@ -47,6 +47,35 @@ struct TraceService {
 }
 
 impl Service for TraceService {
+    /// Batch path: one `Instant::now()` pair and one histogram sample
+    /// for the whole burst (into `batch_latency`), instead of one per
+    /// command — the per-class histograms only see singleton traffic,
+    /// which is what they meter best anyway (a per-batch sample would
+    /// conflate k commands into one latency). `STATS` replies inside
+    /// the burst still grow the `mw_*` lines at their position.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let n = reqs.len() as u64;
+        let stats_at: Vec<bool> = reqs
+            .iter()
+            .map(|r| matches!(r.command, Command::Stats))
+            .collect();
+        let start = Instant::now();
+        let mut resps = self.inner.call_batch(reqs);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        for (resp, is_stats) in resps.iter_mut().zip(stats_at) {
+            if is_stats {
+                if let Reply::Array(lines) = &mut resp.reply {
+                    lines.extend(self.metrics.render_lines(self.depth));
+                }
+            }
+        }
+        self.metrics.traced.add(n);
+        self.metrics.batch_commands.add(n);
+        self.metrics.batches.increment();
+        self.metrics.batch_latency.record(elapsed_us);
+        resps
+    }
+
     fn call(&mut self, req: Request) -> Response {
         let class = req.command.class();
         let is_stats = matches!(req.command, Command::Stats);
@@ -103,6 +132,32 @@ mod tests {
         assert_eq!(metrics.read_latency.count(), 1);
         assert_eq!(metrics.write_latency.count(), 1);
         assert_eq!(metrics.control_latency.count(), 1);
+    }
+
+    #[test]
+    fn batches_pay_one_histogram_sample() {
+        let (mut svc, metrics) = traced();
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::Set("k".into(), "v".into())),
+            Request::new(Command::Ping),
+            Request::new(Command::Stats),
+        ]);
+        assert_eq!(resps.len(), 4);
+        assert_eq!(metrics.traced.sum(), 4, "every command counted");
+        assert_eq!(metrics.batches.sum(), 1, "one burst");
+        assert_eq!(metrics.batch_commands.sum(), 4);
+        assert_eq!(metrics.batch_latency.count(), 1, "one sample per burst");
+        // Per-class histograms only meter singleton traffic.
+        assert_eq!(metrics.read_latency.count(), 0);
+        // STATS inside the burst still grows the mw_* lines in place.
+        match &resps[3].reply {
+            Reply::Array(lines) => {
+                assert!(lines.contains(&"shards=2".to_string()));
+                assert!(lines.iter().any(|l| l.starts_with("mw_batches=")));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
     }
 
     #[test]

@@ -189,6 +189,33 @@ impl TtlService {
 }
 
 impl Service for TtlService {
+    /// Batch path: **one** sidecar sweep for the whole burst. When no
+    /// timer is armed anywhere (`sidecar` empty — by far the common
+    /// state under kv load) and the burst carries no `EXPIRE`, no key
+    /// can be timed, so the per-command sidecar probes are skipped and
+    /// the burst forwards as one inner batch. Any armed timer (or an
+    /// `EXPIRE` arming one mid-burst) drops to the sequential path,
+    /// whose reap locking is what makes expiry safe.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let arming = reqs
+            .iter()
+            .any(|r| matches!(r.command, Command::Expire(..)));
+        if !arming && self.state.sidecar.is_empty() {
+            let kv = reqs
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.command,
+                        Command::Get(_) | Command::Set(..) | Command::Del(_) | Command::Incr(..)
+                    )
+                })
+                .count() as u64;
+            self.state.metrics.ttl_checked.add(kv);
+            return self.inner.call_batch(reqs);
+        }
+        reqs.into_iter().map(|req| self.call(req)).collect()
+    }
+
     fn call(&mut self, req: Request) -> Response {
         // Decide on a borrowed view first so the fast paths forward
         // `req` without cloning its key.
@@ -390,6 +417,48 @@ mod tests {
             "rewritten row survives the stale deadline"
         );
         assert_eq!(metrics.ttl_expired.sum(), 0);
+    }
+
+    #[test]
+    fn batch_with_no_timers_sweeps_once_and_forwards() {
+        let (mut svc, metrics) = ttl_over_store();
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Set("a".into(), "1".into())),
+            Request::new(Command::Get("a".into())),
+            Request::new(Command::Ping),
+        ]);
+        assert_eq!(resps[1].reply, Reply::Value("1".into()));
+        // The two kv commands are counted by the one sweep; PING is
+        // not kv traffic.
+        assert_eq!(metrics.ttl_checked.sum(), 2);
+    }
+
+    #[test]
+    fn batch_with_timers_keeps_expiry_semantics() {
+        let (mut svc, metrics) = ttl_over_store();
+        call(&mut svc, Command::Set("k".into(), "v".into()));
+        call(&mut svc, Command::Expire("k".into(), 10));
+        std::thread::sleep(Duration::from_millis(30));
+        // The armed (now lapsed) timer forces the sequential path:
+        // the batched GET must still observe the expiry.
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::Get("k".into())),
+        ]);
+        assert_eq!(resps[0].reply, Reply::Nil);
+        assert_eq!(resps[1].reply, Reply::Nil);
+        assert_eq!(metrics.ttl_expired.sum(), 1, "reaped exactly once");
+    }
+
+    #[test]
+    fn batch_carrying_expire_arms_timers() {
+        let (mut svc, metrics) = ttl_over_store();
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Set("k".into(), "v".into())),
+            Request::new(Command::Expire("k".into(), 10_000)),
+        ]);
+        assert_eq!(resps[1].reply, Reply::Int(1), "armed mid-burst");
+        assert_eq!(metrics.ttl_armed.sum(), 1);
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Property tests of the wire protocol: for any well-formed command —
-//! including the middleware verbs `AUTH`/`EXPIRE` — the request-line
+//! Property tests of the wire protocol — for any well-formed command
+//! (including the middleware verbs `AUTH`/`EXPIRE`) the request-line
 //! encoder and the parser are exact inverses, and malformed input is
-//! rejected rather than misparsed.
+//! rejected rather than misparsed — plus the batch-path law: a
+//! pipelined burst through `call_batch` answers byte-identically, in
+//! order, to the same commands sent through `call` one at a time.
 
 use dego_middleware::protocol::{Command, CommandClass, Reply};
+use dego_middleware::{
+    AuthConfig, MiddlewareConfig, Request, Response, Role, Service, Session, Stack, TokenSpec,
+};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// Keys and tokens: non-empty, whitespace-free.
 fn key() -> impl Strategy<Value = String> {
@@ -46,6 +52,92 @@ fn command() -> impl Strategy<Value = Command> {
         Just(Command::Quit),
         key().prop_map(Command::Auth),
         (key(), any::<u64>()).prop_map(|(k, ms)| Command::Expire(k, ms)),
+    )
+}
+
+/// A tiny deterministic in-memory store standing in for the shard
+/// plane in the batch-equivalence property.
+struct MapStore {
+    map: HashMap<String, String>,
+}
+
+impl Service for MapStore {
+    fn call(&mut self, req: Request) -> Response {
+        match req.command {
+            Command::Get(k) => Response::ok(match self.map.get(&k) {
+                Some(v) => Reply::Value(v.clone()),
+                None => Reply::Nil,
+            }),
+            Command::Set(k, v) => {
+                self.map.insert(k, v);
+                Response::ok(Reply::Status("OK"))
+            }
+            Command::Del(k) => {
+                self.map.remove(&k);
+                Response::ok(Reply::Status("OK"))
+            }
+            Command::Incr(k, d) => {
+                let next = self
+                    .map
+                    .get(&k)
+                    .and_then(|v| v.parse::<i64>().ok())
+                    .unwrap_or(0)
+                    .wrapping_add(d);
+                self.map.insert(k, next.to_string());
+                Response::ok(Reply::Int(next))
+            }
+            Command::Ping => Response::ok(Reply::Status("PONG")),
+            _ => Response::ok(Reply::Error("unsupported".into())),
+        }
+    }
+}
+
+/// Commands for the batch-equivalence property: deterministic under
+/// repetition (no `STATS`, whose counters legitimately differ between
+/// the two paths) and timing-stable (`EXPIRE` only with a deadline far
+/// beyond the test's lifetime).
+fn stable_command() -> impl Strategy<Value = Command> {
+    prop_oneof!(
+        key().prop_map(Command::Get),
+        (key(), value()).prop_map(|(k, v)| Command::Set(k, v)),
+        key().prop_map(Command::Del),
+        (key(), -100i64..100).prop_map(|(k, d)| Command::Incr(k, d)),
+        Just(Command::Ping),
+        // Both a valid and an invalid token: the sequential fallback
+        // the batch path takes for AUTH must role-switch identically.
+        Just(Command::Auth("sekrit".into())),
+        Just(Command::Auth("wrong".into())),
+        (key(), 600_000u64..1_000_000).prop_map(|(k, ms)| Command::Expire(k, ms)),
+    )
+}
+
+/// A full five-layer stack over a fresh [`MapStore`], tuned so no
+/// timing-dependent layer can fire within the test (tiny refill, huge
+/// budgets) while every decision path (ACLs, bucket exhaustion,
+/// armed timers) stays reachable.
+fn equivalence_chain(burst: u64) -> dego_middleware::BoxService {
+    let mut config = MiddlewareConfig::full();
+    config.auth = AuthConfig {
+        tokens: vec![TokenSpec {
+            name: "writer".into(),
+            token: "sekrit".into(),
+            role: Role::ReadWrite,
+        }],
+        anon_role: Role::ReadOnly,
+    };
+    config.rate.burst = burst;
+    config.rate.refill_per_sec = 1; // no refill within a µs-scale test
+    config.deadline.read_us = 60_000_000;
+    config.deadline.write_us = 60_000_000;
+    let stack = Stack::build(&config);
+    let session = Session {
+        client: "prop:1".into(),
+    };
+    stack.service(
+        &session,
+        Box::new(MapStore {
+            map: HashMap::new(),
+        }),
     )
 }
 
@@ -136,6 +228,33 @@ proptest! {
         prop_assert!(Command::parse(&format!("ADDUSER {junk}")).is_err(), "bad user");
         prop_assert!(Command::parse(&format!("INCR k {junk}")).is_err(), "bad delta");
         prop_assert!(Command::parse(&format!("AUTH {junk}")).is_ok(), "token is a string position");
+    }
+
+    /// The batch law: for any burst, `call_batch` through the full
+    /// five-layer stack produces byte-identical replies, in order, to
+    /// the same commands driven through `call` one at a time — across
+    /// every decision the layers can take (ACL denials, bucket
+    /// exhaustion, armed TTL timers, mid-burst logins).
+    #[test]
+    fn call_batch_matches_sequential_call(
+        burst in 4u64..200,
+        cmds in proptest::collection::vec(stable_command(), 1..40),
+    ) {
+        let mut sequential = equivalence_chain(burst);
+        let mut batched = equivalence_chain(burst);
+        let want: Vec<(Reply, bool)> = cmds
+            .iter()
+            .map(|c| {
+                let resp = sequential.call(Request::new(c.clone()));
+                (resp.reply, resp.close)
+            })
+            .collect();
+        let got: Vec<(Reply, bool)> = batched
+            .call_batch(cmds.into_iter().map(Request::new).collect())
+            .into_iter()
+            .map(|resp| (resp.reply, resp.close))
+            .collect();
+        prop_assert_eq!(got, want);
     }
 
     /// Reply rendering always emits exactly one line per element

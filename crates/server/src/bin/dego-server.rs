@@ -11,6 +11,9 @@
 //! * `--anon-role ROLE` — role of unauthenticated sessions
 //! * `--rate-burst N` / `--rate-per-sec N` — token-bucket tuning
 //! * `--deadline-read-us N` / `--deadline-write-us N` — class budgets
+//! * `--no-batch` — disable the batched pipeline path (A/B runs; the
+//!   group-commit batching is on by default)
+//! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
 
 use dego_server::{spawn, ServerConfig};
 
@@ -19,7 +22,8 @@ fn usage_exit(err: &str) -> ! {
     eprintln!(
         "usage: dego-server [addr] [--shards N] [--middleware none|full|LAYERS] \
          [--auth-token NAME:TOKEN:ROLE] [--anon-role ROLE] [--rate-burst N] \
-         [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N]"
+         [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N] \
+         [--no-batch] [--ack-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -39,6 +43,10 @@ fn main() {
     while let Some(arg) = it.next() {
         if arg.starts_with("--") {
             let flag = arg.as_str();
+            if flag == "--no-batch" {
+                config.batch = false;
+                continue;
+            }
             let value = it
                 .next()
                 .unwrap_or_else(|| usage_exit(&format!("flag {flag} needs a value")));
@@ -47,6 +55,12 @@ fn main() {
                 Ok(false) if flag == "--shards" => match value.parse() {
                     Ok(n) if n > 0 => config.shards = n,
                     _ => usage_exit(&format!("bad shard count {value:?}")),
+                },
+                Ok(false) if flag == "--ack-timeout-ms" => match value.parse() {
+                    Ok(ms) if ms > 0u64 => {
+                        config.ack_timeout = std::time::Duration::from_millis(ms)
+                    }
+                    _ => usage_exit(&format!("bad ack timeout {value:?}")),
                 },
                 Ok(false) => usage_exit(&format!("unknown flag {flag}")),
                 Err(e) => usage_exit(&e),

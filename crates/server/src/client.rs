@@ -126,6 +126,37 @@ impl Client {
         self.read_reply()
     }
 
+    /// Drive a whole pipelined batch in one round trip: send every
+    /// request line, flush once, read one reply per request, in order.
+    ///
+    /// The server executes the burst through its batched
+    /// `call_batch`/group-commit path (one middleware walk, one
+    /// deadline check, one bulk token-bucket take, group-acked shard
+    /// writes), so this is the fastest way to push bulk traffic —
+    /// replies are identical to sending the same requests one at a
+    /// time.
+    ///
+    /// Blank/whitespace-only entries are skipped without being sent:
+    /// the server treats them as reply-less keepalives, so counting a
+    /// reply for one would block this call forever.
+    pub fn pipeline<I, S>(&mut self, requests: I) -> std::io::Result<Vec<ClientReply>>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut sent = 0usize;
+        for request in requests {
+            let request = request.as_ref();
+            if request.trim().is_empty() {
+                continue;
+            }
+            self.send(request)?;
+            sent += 1;
+        }
+        self.flush()?;
+        (0..sent).map(|_| self.read_reply()).collect()
+    }
+
     // ------------------------------------------------------ kv verbs
 
     /// `GET key`.

@@ -56,7 +56,7 @@ pub use dego_middleware::protocol;
 
 pub use client::{Client, ClientReply};
 pub use dego_middleware::{MiddlewareConfig, Role, Stack, TokenSpec};
-pub use server::{spawn, ServerConfig, ServerHandle, TIMELINE_LIMIT};
+pub use server::{spawn, AcceptHook, ServerConfig, ServerHandle, TIMELINE_LIMIT};
 pub use stats::{ServerStats, StatsSnapshot};
 pub use store::{FANOUT_LIMIT, TIMELINE_KEEP};
 
@@ -143,6 +143,108 @@ mod tests {
         }
         assert_eq!(c.get("k37").unwrap().as_deref(), Some("37"));
         server.shutdown();
+    }
+
+    #[test]
+    fn pipeline_api_keeps_reply_order() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let replies = c
+            .pipeline([
+                "SET k one",
+                "GET k",
+                "INCR n 2",
+                "SET k two",
+                "GET k",
+                "PING",
+            ])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                ClientReply::Status("OK".into()),
+                ClientReply::Value("one".into()),
+                ClientReply::Int(2),
+                ClientReply::Status("OK".into()),
+                ClientReply::Value("two".into()),
+                ClientReply::Status("PONG".into()),
+            ]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn blank_lines_are_keepalives_not_commands() {
+        let server = tiny();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Blank and whitespace-only lines produce no reply, no command
+        // count, no error count — the PING right after answers first.
+        c.send("").unwrap();
+        c.send("   ").unwrap();
+        c.send("\t").unwrap();
+        c.ping().unwrap();
+        let snap = server.stats();
+        assert_eq!(snap.commands, 1, "only the PING counts");
+        assert_eq!(snap.errors, 0, "keepalives are not errors");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_bursts_group_commit_on_the_shards() {
+        // A slowed shard guarantees the whole burst is enqueued before
+        // the owner finishes draining, so the group commit is visible
+        // deterministically: far fewer drains than mutations.
+        let server = spawn(ServerConfig {
+            shards: 1,
+            capacity: 256,
+            shard_delay: Some(std::time::Duration::from_millis(1)),
+            ..ServerConfig::default()
+        })
+        .expect("server spawns");
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let burst: Vec<String> = (0..16).map(|i| format!("SET g{i} v{i}")).collect();
+        for reply in c.pipeline(&burst).unwrap() {
+            assert_eq!(reply, ClientReply::Status("OK".into()));
+        }
+        let snap = server.stats();
+        assert_eq!(snap.applied, 16);
+        assert!(snap.shard_batches > 0, "shard drained batches");
+        assert!(
+            snap.shard_batches <= 8,
+            "group commit: far fewer drains than mutations, got {}",
+            snap.shard_batches
+        );
+        assert_eq!(c.get("g15").unwrap().as_deref(), Some("v15"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_and_unbatched_servers_answer_identically() {
+        let batched = tiny();
+        let unbatched = spawn(ServerConfig {
+            shards: 2,
+            capacity: 256,
+            batch: false,
+            ..ServerConfig::default()
+        })
+        .expect("server spawns");
+        let script: Vec<String> = (0..40)
+            .flat_map(|i| {
+                vec![
+                    format!("SET k{} v{i}", i % 7),
+                    format!("GET k{}", i % 7),
+                    format!("INCR n{} 3", i % 3),
+                    "BLORP".to_string(), // parse errors keep their slot
+                ]
+            })
+            .collect();
+        let mut a = Client::connect(batched.local_addr()).unwrap();
+        let mut b = Client::connect(unbatched.local_addr()).unwrap();
+        let got_a = a.pipeline(&script).unwrap();
+        let got_b = b.pipeline(&script).unwrap();
+        assert_eq!(got_a, got_b, "batched replies must match sequential");
+        batched.shutdown();
+        unbatched.shutdown();
     }
 
     #[test]

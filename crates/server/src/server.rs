@@ -1,40 +1,70 @@
 //! The TCP front-end: accept loop, per-connection threads, the
-//! middleware pipeline, pipelining and shutdown.
+//! middleware pipeline, batched pipelining and shutdown.
 //!
-//! A connection thread parses request lines and drives each one
-//! through its session's middleware [`Stack`] chain (trace → deadline
-//! → auth → rate-limit → ttl, whichever are configured); the innermost
-//! service executes against the store, splitting two ways: **reads**
-//! (`GET`, `TIMELINE`, `ISFOLLOWING`, …) are served inline from the
-//! lock-free segment readers; **mutations** are enqueued to the owning
-//! shard thread and acknowledged through the connection's reply
-//! channel before the response line is emitted — so a client that saw
-//! `+OK` for a `SET` observes that value on every later read, from any
+//! A connection thread parses request lines and drives them through
+//! its session's middleware [`Stack`] chain (trace → deadline → auth →
+//! rate-limit → ttl, whichever are configured); the innermost service
+//! executes against the store, splitting two ways: **reads** (`GET`,
+//! `TIMELINE`, `ISFOLLOWING`, …) are served inline from the lock-free
+//! segment readers; **mutations** are enqueued to the owning shard
+//! thread and acknowledged through the connection's reply channel
+//! before the response line is emitted — so a client that saw `+OK`
+//! for a `SET` observes that value on every later read, from any
 //! connection (the shard applied it before acking, and segment
 //! publication is release/acquire).
 //!
-//! Pipelining: responses are buffered and flushed only when the input
-//! buffer runs dry, so a burst of `k` commands costs one write.
+//! Pipelining is **batched end to end** (unless
+//! [`ServerConfig::batch`] is off): the whole buffered burst is
+//! drained into one `Vec<Request>` and driven through
+//! [`Service::call_batch`], so every layer pays its per-request cost
+//! once per burst; below the stack, the burst's mutations are enqueued
+//! tagged with sequence numbers, shard owners group-acknowledge each
+//! drained batch, and the replies are reassembled in request order and
+//! written with a single buffered socket write.
+//!
+//! Within a burst, replies are byte-identical to sequential execution:
+//! mutations keep per-key order through the FIFO shard queues, and a
+//! read whose key has an outstanding mutation in the same burst waits
+//! for the acks (a *barrier*) before being served — reads on untouched
+//! keys proceed immediately, which is where the batching wins.
 
 use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
-use crate::store::{self, Mutation, Store, FANOUT_LIMIT};
+use crate::store::{self, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
 use dego_middleware::{MiddlewareConfig, Request, Response, Service, Session, Stack};
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Timeline length returned to clients (the paper's "last 50
 /// messages").
 pub const TIMELINE_LIMIT: usize = 50;
 
-/// How long a connection waits for a shard acknowledgement before
-/// reporting an error (only reachable when shutting down mid-request).
-const ACK_TIMEOUT: Duration = Duration::from_secs(5);
+/// The reply when a shard acknowledgement never arrived in time.
+const ACK_TIMEOUT_MSG: &str = "shard ack timeout; closing connection";
+/// The reply when the shard plane is gone (shutdown mid-request).
+const ACK_GONE_MSG: &str = "shard gone; closing connection";
+
+/// Longest single backoff sleep after an `accept()` failure.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// Test hook: replaces the next `accept()` outcome. Returning
+/// `Some(err)` makes the accept loop treat it as an accept failure
+/// (without touching the real listener); `None` falls through to the
+/// real `accept()`. Used by the fd-pressure regression tests.
+#[derive(Clone)]
+pub struct AcceptHook(pub Arc<dyn Fn() -> Option<std::io::Error> + Send + Sync>);
+
+impl std::fmt::Debug for AcceptHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AcceptHook(..)")
+    }
+}
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -48,6 +78,21 @@ pub struct ServerConfig {
     /// The middleware pipeline in front of the store (default: none —
     /// requests go straight to the storage plane).
     pub middleware: MiddlewareConfig,
+    /// Drive pipelined bursts through the batched `call_batch` path
+    /// (default). Off = the pre-batching per-command path, kept for
+    /// A/B benchmarking and equivalence tests.
+    pub batch: bool,
+    /// How long a connection waits for shard acknowledgements before
+    /// poisoning itself — **one overall deadline per burst or
+    /// fan-out**, not per ack (only reachable when a shard is stuck or
+    /// shutting down mid-request).
+    pub ack_timeout: Duration,
+    /// Test hook: inject `accept()` failures (fd-pressure regression
+    /// tests). Leave `None` in production.
+    pub accept_hook: Option<AcceptHook>,
+    /// Test hook: make every shard apply this much slower (stuck-shard
+    /// timeout tests). Leave `None` in production.
+    pub shard_delay: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +102,10 @@ impl Default for ServerConfig {
             capacity: 16_384,
             addr: "127.0.0.1:0".parse().expect("literal addr"),
             middleware: MiddlewareConfig::none(),
+            batch: true,
+            ack_timeout: Duration::from_secs(5),
+            accept_hook: None,
+            shard_delay: None,
         }
     }
 }
@@ -149,6 +198,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config.capacity,
         Arc::clone(&stats),
         Arc::clone(&shutdown),
+        config.shard_delay,
     );
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -158,9 +208,25 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let stack = Arc::clone(&stack);
         let shutdown = Arc::clone(&shutdown);
         let connections = Arc::clone(&connections);
+        let tuning = ConnTuning {
+            batch: config.batch,
+            ack_timeout: config.ack_timeout,
+        };
+        let hook = config.accept_hook.clone();
         std::thread::Builder::new()
             .name("dego-accept".into())
-            .spawn(move || accept_loop(listener, store, stats, stack, shutdown, connections))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    store,
+                    stats,
+                    stack,
+                    shutdown,
+                    connections,
+                    tuning,
+                    hook,
+                )
+            })
             .expect("spawn accept thread")
     };
 
@@ -176,6 +242,23 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+/// Per-connection knobs threaded from the config into each session.
+#[derive(Clone, Copy)]
+struct ConnTuning {
+    batch: bool,
+    ack_timeout: Duration,
+}
+
+/// The backoff slept after the `n`-th consecutive `accept()` failure:
+/// exponential from 1 ms, capped at [`ACCEPT_BACKOFF_CAP`]. Persistent
+/// failures (EMFILE/ENFILE fd exhaustion) therefore cost ~10 wakeups a
+/// second instead of a 100%-CPU spin, and the loop stays responsive to
+/// shutdown.
+pub(crate) fn accept_backoff(consecutive: u32) -> Duration {
+    Duration::from_millis(1u64 << consecutive.min(10)).min(ACCEPT_BACKOFF_CAP)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     store: Arc<Store>,
@@ -183,15 +266,33 @@ fn accept_loop(
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tuning: ConnTuning,
+    hook: Option<AcceptHook>,
 ) {
     let mut next_conn = 0u64;
+    let mut consecutive_errors = 0u32;
     loop {
-        let (socket, _) = match listener.accept() {
-            Ok(pair) => pair,
+        let accepted = match &hook {
+            Some(hook) => match (hook.0)() {
+                Some(err) => Err(err),
+                None => listener.accept(),
+            },
+            None => listener.accept(),
+        };
+        let (socket, _) = match accepted {
+            Ok(pair) => {
+                consecutive_errors = 0;
+                pair
+            }
             Err(_) => {
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Persistent accept errors (fd exhaustion) must not
+                // busy-spin the core: count them and back off.
+                stats.note_accept_error();
+                std::thread::sleep(accept_backoff(consecutive_errors));
+                consecutive_errors = consecutive_errors.saturating_add(1);
                 continue;
             }
         };
@@ -203,10 +304,11 @@ fn accept_loop(
         let stats = Arc::clone(&stats);
         let stack = Arc::clone(&stack);
         let flag = Arc::clone(&shutdown);
+        let conn = next_conn;
         let handle = std::thread::Builder::new()
             .name(format!("dego-conn-{next_conn}"))
             .spawn(move || {
-                let _ = serve_connection(socket, store, stats, stack, flag);
+                let _ = serve_connection(socket, store, stats, stack, flag, conn, tuning);
             })
             .expect("spawn connection thread");
         next_conn += 1;
@@ -218,13 +320,278 @@ fn accept_loop(
     }
 }
 
+/// A storage-plane row a burst's outstanding mutation is about to
+/// touch; reads declare the rows they depend on, and a match forces a
+/// barrier so the read observes the writes before it in the burst.
+///
+/// Kv keys are tracked by **hash**, not by owned string, so the hot
+/// batch path never clones a key: a hash collision merely forces a
+/// spurious barrier (always safe — the read just waits a little), a
+/// miss is impossible (equal keys hash equally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum PendingKey {
+    Kv(u64),
+    Timeline(u64),
+    Follower(u64),
+    Profile(u64),
+    Group(u64),
+}
+
+/// The hash [`PendingKey::Kv`] tracks string keys by.
+fn kv_pending(key: &str) -> PendingKey {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    PendingKey::Kv(hasher.finish())
+}
+
+/// What a batched request is waiting on when assembly begins.
+enum Slot {
+    /// Answered inline (read, control, structural rejection).
+    Done(Reply),
+    /// One mutation: the ack with this sequence number.
+    Single(u64),
+    /// A `POST` fan-out: every one of these acks.
+    Fanout(Vec<u64>),
+}
+
 /// The innermost service: executes commands against the storage plane
 /// (the thing every middleware layer ultimately wraps).
 struct ExecService {
     store: Arc<Store>,
     stats: Arc<ServerStats>,
-    ack_tx: Sender<Reply>,
-    ack_rx: Receiver<Reply>,
+    /// This connection's id: the group-ack run key shard owners batch
+    /// consecutive mutations by.
+    conn: u64,
+    /// Next mutation sequence number (reply reassembly key).
+    next_seq: u64,
+    ack_timeout: Duration,
+    ack_tx: Sender<ShardAck>,
+    ack_rx: Receiver<ShardAck>,
+}
+
+impl ExecService {
+    /// Enqueue one mutation to its shard, returning its sequence
+    /// number.
+    fn enqueue(&mut self, shard: usize, op: Mutation) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.store.enqueue(
+            shard,
+            MutationMsg {
+                conn: self.conn,
+                seq,
+                reply: self.ack_tx.clone(),
+                op,
+            },
+        );
+        seq
+    }
+
+    /// Collect acks until every sequence number in `want` has a reply
+    /// in `received`, under **one overall deadline** for the whole
+    /// wait. On timeout the connection must be poisoned by the caller:
+    /// a late ack may still arrive, and once a stale ack can be
+    /// sitting in the channel every later request/reply pairing would
+    /// be off by one — closing the session is the only honest
+    /// recovery.
+    fn collect(
+        &mut self,
+        received: &mut HashMap<u64, Reply>,
+        want: &[u64],
+    ) -> Result<(), &'static str> {
+        let deadline = Instant::now() + self.ack_timeout;
+        while want.iter().any(|seq| !received.contains_key(seq)) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ACK_TIMEOUT_MSG);
+            }
+            match self.ack_rx.recv_timeout(left) {
+                Ok(ShardAck::One(seq, reply)) => {
+                    received.insert(seq, reply);
+                }
+                Ok(ShardAck::Many(acks)) => received.extend(acks),
+                Err(RecvTimeoutError::Timeout) => return Err(ACK_TIMEOUT_MSG),
+                Err(RecvTimeoutError::Disconnected) => return Err(ACK_GONE_MSG),
+            }
+        }
+        Ok(())
+    }
+
+    /// The single-shard mutation (and the rows it touches) for `cmd`,
+    /// or `None` when `cmd` is not a single-shard mutation.
+    fn plan_mutation(&self, cmd: &Command) -> Option<(usize, Mutation, Vec<PendingKey>)> {
+        let planned = match cmd {
+            Command::Set(key, value) => (
+                self.store.shard_of_key(key),
+                Mutation::Set {
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                vec![kv_pending(key)],
+            ),
+            Command::Del(key) => (
+                self.store.shard_of_key(key),
+                Mutation::Del { key: key.clone() },
+                vec![kv_pending(key)],
+            ),
+            Command::Incr(key, delta) => (
+                self.store.shard_of_key(key),
+                Mutation::Incr {
+                    key: key.clone(),
+                    delta: *delta,
+                },
+                vec![kv_pending(key)],
+            ),
+            Command::AddUser(user) => (
+                self.store.shard_of_user(*user),
+                Mutation::AddUser { user: *user },
+                vec![
+                    PendingKey::Timeline(*user),
+                    PendingKey::Follower(*user),
+                    PendingKey::Profile(*user),
+                ],
+            ),
+            Command::Follow(follower, followee) => (
+                self.store.shard_of_user(*followee),
+                Mutation::FollowerAdd {
+                    followee: *followee,
+                    follower: *follower,
+                },
+                vec![PendingKey::Follower(*followee)],
+            ),
+            Command::Unfollow(follower, followee) => (
+                self.store.shard_of_user(*followee),
+                Mutation::FollowerDel {
+                    followee: *followee,
+                    follower: *follower,
+                },
+                vec![PendingKey::Follower(*followee)],
+            ),
+            Command::Join(user) => (
+                self.store.shard_of_user(*user),
+                Mutation::GroupJoin { user: *user },
+                vec![PendingKey::Group(*user)],
+            ),
+            Command::Leave(user) => (
+                self.store.shard_of_user(*user),
+                Mutation::GroupLeave { user: *user },
+                vec![PendingKey::Group(*user)],
+            ),
+            Command::Profile(user) => (
+                self.store.shard_of_user(*user),
+                Mutation::ProfileBump { user: *user },
+                vec![PendingKey::Profile(*user)],
+            ),
+            _ => return None,
+        };
+        Some(planned)
+    }
+
+    /// The rows a read-class (or `STATS`) command depends on; `None`
+    /// means "everything" (a full barrier).
+    fn read_deps(cmd: &Command) -> Option<Vec<PendingKey>> {
+        match cmd {
+            Command::Get(key) => Some(vec![kv_pending(key)]),
+            Command::Timeline(user) => Some(vec![PendingKey::Timeline(*user)]),
+            Command::IsFollowing(_, followee) => Some(vec![PendingKey::Follower(*followee)]),
+            Command::Followers(user) => Some(vec![PendingKey::Follower(*user)]),
+            Command::InGroup(user) => Some(vec![PendingKey::Group(*user)]),
+            Command::ProfileVer(user) => Some(vec![PendingKey::Profile(*user)]),
+            Command::Stats => None,
+            _ => Some(Vec::new()),
+        }
+    }
+
+    /// Serve a read/control command inline from the lock-free segment
+    /// readers (never a mutation, `QUIT`, or a middleware verb).
+    fn serve_read(&self, cmd: &Command) -> Reply {
+        match cmd {
+            Command::Get(key) => match self.store.kv.get(key) {
+                Some(v) => {
+                    self.stats.note_get_hit();
+                    Reply::Value(v)
+                }
+                None => {
+                    self.stats.note_get_miss();
+                    Reply::Nil
+                }
+            },
+            Command::Timeline(user) => {
+                self.stats.note_timeline_read();
+                let mut row = self.store.timelines.get(user).unwrap_or_default();
+                // Stored oldest→newest; serve newest first, capped.
+                row.reverse();
+                row.truncate(TIMELINE_LIMIT);
+                Reply::Array(row.iter().map(|m| format!(":{m}")).collect())
+            }
+            Command::IsFollowing(follower, followee) => {
+                let follows = self
+                    .store
+                    .followers
+                    .get(followee)
+                    .is_some_and(|row| row.contains(follower));
+                Reply::Int(follows as i64)
+            }
+            Command::Followers(user) => {
+                Reply::Int(self.store.followers.get(user).map_or(0, |row| row.len()) as i64)
+            }
+            Command::InGroup(user) => Reply::Int(self.store.group.contains(user) as i64),
+            Command::ProfileVer(user) => {
+                Reply::Int(self.store.profiles.get(user).unwrap_or(0) as i64)
+            }
+            Command::Stats => {
+                let mut snap = self.stats.snapshot();
+                snap.applied = self.store.applied.get();
+                Reply::Array(snap.render_lines(self.store.shards(), self.store.kv.len()))
+            }
+            Command::Ping => Reply::Status("PONG"),
+            other => Reply::Error(format!("{} reached the read executor", other.verb())),
+        }
+    }
+
+    /// Enqueue a `POST`'s fan-out (author plus up to `FANOUT_LIMIT`
+    /// followers), returning `(target, sequence number)` pairs.
+    fn enqueue_post(&mut self, author: u64, msg: u64) -> Vec<(u64, u64)> {
+        // The author's own timeline is always a target; a self-follow
+        // must not deliver twice (Vec::dedup would only catch it when
+        // adjacent), so filter the author out of the follower fan-out.
+        let mut targets = vec![author];
+        if let Some(row) = self.store.followers.get(&author) {
+            targets.extend(row.into_iter().filter(|f| *f != author).take(FANOUT_LIMIT));
+        }
+        targets
+            .into_iter()
+            .map(|user| {
+                let shard = self.store.shard_of_user(user);
+                (
+                    user,
+                    self.enqueue(shard, Mutation::TimelinePush { user, msg }),
+                )
+            })
+            .collect()
+    }
+
+    /// Resolve a fan-out's collected acks: any error (or missing ack)
+    /// fails the whole `POST`.
+    fn fanout_reply(
+        received: &mut HashMap<u64, Reply>,
+        seqs: &[u64],
+        missing: &'static str,
+    ) -> Reply {
+        let mut failure = None;
+        for seq in seqs {
+            match received.remove(seq) {
+                Some(Reply::Error(e)) => failure = Some(e),
+                Some(_) => {}
+                None => failure = Some(missing.to_string()),
+            }
+        }
+        match failure {
+            None => Reply::Status("OK"),
+            Some(e) => Reply::Error(e),
+        }
+    }
 }
 
 impl Service for ExecService {
@@ -234,23 +601,210 @@ impl Service for ExecService {
             // layer is not in the pipeline (they never reach the store).
             Command::Auth(_) => Response::rejection("AUTH", "auth layer not enabled"),
             Command::Expire(..) => Response::rejection("TTL", "ttl layer not enabled"),
+            Command::Quit => Response {
+                reply: Reply::Status("OK"),
+                close: true,
+            },
+            Command::Post(author, msg) => {
+                self.stats.note_mutation();
+                // Fan out to the author plus the first FANOUT_LIMIT
+                // followers; every target's shard must ack before the
+                // client sees +OK, so a post is visible on every
+                // timeline it reached once acknowledged. One overall
+                // deadline covers the whole fan-out — a stuck shard
+                // costs ack_timeout once, not once per follower — and
+                // a timeout bails immediately instead of draining the
+                // remaining acks against a poisoned session.
+                let seqs: Vec<u64> = self
+                    .enqueue_post(*author, *msg)
+                    .into_iter()
+                    .map(|(_, seq)| seq)
+                    .collect();
+                let mut received = HashMap::new();
+                match self.collect(&mut received, &seqs) {
+                    Ok(()) => Response::ok(Self::fanout_reply(&mut received, &seqs, ACK_GONE_MSG)),
+                    Err(msg) => Response {
+                        reply: Reply::Error(msg.into()),
+                        close: true,
+                    },
+                }
+            }
             cmd => {
-                let (reply, close) =
-                    execute(cmd, &self.store, &self.stats, &self.ack_tx, &self.ack_rx);
-                Response { reply, close }
+                if let Some((shard, op, _touched)) = self.plan_mutation(cmd) {
+                    self.stats.note_mutation();
+                    let seq = self.enqueue(shard, op);
+                    let mut received = HashMap::new();
+                    match self.collect(&mut received, &[seq]) {
+                        Ok(()) => {
+                            Response::ok(received.remove(&seq).expect("collect delivered this seq"))
+                        }
+                        Err(msg) => Response {
+                            reply: Reply::Error(msg.into()),
+                            close: true,
+                        },
+                    }
+                } else {
+                    Response::ok(self.serve_read(cmd))
+                }
             }
         }
     }
+
+    /// The group-commit batch path. Mutations are enqueued as they are
+    /// encountered (FIFO shard queues keep per-key order); reads are
+    /// served inline unless a row they depend on has an outstanding
+    /// mutation in this burst, in which case a barrier collects every
+    /// outstanding ack first. One final collection (single overall
+    /// deadline) gathers the rest, and replies are assembled in
+    /// request order.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let mut dead: Option<&'static str> = None;
+        let mut received: HashMap<u64, Reply> = HashMap::new();
+        // Sequence numbers issued but not yet confirmed collected.
+        let mut unmet: Vec<u64> = Vec::new();
+        let mut pending: HashSet<PendingKey> = HashSet::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(reqs.len());
+
+        // A barrier: wait for every outstanding ack, then forget the
+        // pending rows (they are applied and visible).
+        macro_rules! barrier {
+            () => {
+                if !unmet.is_empty() {
+                    match self.collect(&mut received, &unmet) {
+                        Ok(()) => {
+                            unmet.clear();
+                            pending.clear();
+                        }
+                        Err(msg) => dead = Some(msg),
+                    }
+                }
+            };
+        }
+
+        for req in &reqs {
+            if let Some(cause) = dead {
+                // The session is poisoned: answer without executing
+                // (the sequential path would have hung up already).
+                slots.push(Slot::Done(Reply::Error(cause.into())));
+                continue;
+            }
+            match &req.command {
+                // Same rejections `call` produces, built the same way,
+                // so the two paths can never drift apart textually.
+                Command::Auth(_) => {
+                    slots.push(Slot::Done(
+                        Response::rejection("AUTH", "auth layer not enabled").reply,
+                    ));
+                }
+                Command::Expire(..) => {
+                    slots.push(Slot::Done(
+                        Response::rejection("TTL", "ttl layer not enabled").reply,
+                    ));
+                }
+                Command::Quit => slots.push(Slot::Done(Reply::Status("OK"))),
+                Command::Post(author, msg) => {
+                    self.stats.note_mutation();
+                    // The fan-out reads the follower row: wait for any
+                    // outstanding FOLLOW/UNFOLLOW before targeting.
+                    if pending.contains(&PendingKey::Follower(*author)) {
+                        barrier!();
+                        if let Some(cause) = dead {
+                            slots.push(Slot::Done(Reply::Error(cause.into())));
+                            continue;
+                        }
+                    }
+                    // Every fan-out target's timeline is now dirty: a
+                    // TIMELINE of any of them later in this burst must
+                    // barrier first.
+                    let mut seqs = Vec::new();
+                    for (target, seq) in self.enqueue_post(*author, *msg) {
+                        pending.insert(PendingKey::Timeline(target));
+                        unmet.push(seq);
+                        seqs.push(seq);
+                    }
+                    slots.push(Slot::Fanout(seqs));
+                }
+                cmd => {
+                    if let Some((shard, op, touched)) = self.plan_mutation(cmd) {
+                        self.stats.note_mutation();
+                        let seq = self.enqueue(shard, op);
+                        unmet.push(seq);
+                        pending.extend(touched);
+                        slots.push(Slot::Single(seq));
+                    } else {
+                        let needs_barrier = match Self::read_deps(cmd) {
+                            None => !unmet.is_empty(),
+                            Some(deps) => deps.iter().any(|k| pending.contains(k)),
+                        };
+                        if needs_barrier {
+                            barrier!();
+                            if let Some(cause) = dead {
+                                slots.push(Slot::Done(Reply::Error(cause.into())));
+                                continue;
+                            }
+                        }
+                        slots.push(Slot::Done(self.serve_read(cmd)));
+                    }
+                }
+            }
+        }
+        if dead.is_none() {
+            barrier!();
+        }
+
+        let missing = dead.unwrap_or(ACK_GONE_MSG);
+        let mut responses: Vec<Response> = reqs
+            .iter()
+            .zip(slots)
+            .map(|(req, slot)| {
+                let reply = match slot {
+                    Slot::Done(reply) => reply,
+                    Slot::Single(seq) => received
+                        .remove(&seq)
+                        .unwrap_or_else(|| Reply::Error(missing.into())),
+                    Slot::Fanout(seqs) => Self::fanout_reply(&mut received, &seqs, missing),
+                };
+                Response {
+                    reply,
+                    close: matches!(req.command, Command::Quit),
+                }
+            })
+            .collect();
+        if dead.is_some() {
+            // Poisoned: whatever the client was told, the session ends.
+            if let Some(last) = responses.last_mut() {
+                last.close = true;
+            }
+        }
+        responses
+    }
+}
+
+/// What one request line of a burst turned into.
+enum LineSlot {
+    /// A parsed command, answered by the service chain (in order).
+    Cmd,
+    /// A parse failure, answered in place.
+    Err(String),
 }
 
 /// One connection's session: parse, drive the middleware chain,
 /// pipeline replies.
+///
+/// Batched mode drains every complete line already buffered into one
+/// burst, drives the parsed commands through `call_batch`, and writes
+/// the replies (parse errors stitched back in positionally) with one
+/// buffered socket write. Blank/whitespace-only lines are keepalives:
+/// skipped before parsing and before any counter or rate-limit token
+/// is touched, Redis-style.
 fn serve_connection(
     socket: TcpStream,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
+    conn: u64,
+    tuning: ConnTuning,
 ) -> std::io::Result<()> {
     socket.set_nodelay(true)?;
     socket.set_read_timeout(Some(Duration::from_millis(100)))?;
@@ -262,12 +816,15 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(socket.try_clone()?);
     let mut writer = BufWriter::new(socket);
-    let (ack_tx, ack_rx) = channel::<Reply>();
+    let (ack_tx, ack_rx) = channel::<ShardAck>();
     let mut chain = stack.service(
         &session,
         Box::new(ExecService {
             store,
             stats: Arc::clone(&stats),
+            conn,
+            next_seq: 0,
+            ack_timeout: tuning.ack_timeout,
             ack_tx,
             ack_rx,
         }),
@@ -279,27 +836,97 @@ fn serve_connection(
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
-                stats.note_command();
-                let (reply, quit) = match Command::parse(line.trim_end_matches('\n')) {
-                    Ok(cmd) => {
-                        let resp = chain.call(Request::new(cmd));
-                        (resp.reply, resp.close)
+                // Drain the whole buffered burst: every complete line
+                // already in the buffer parses into the same batch
+                // (reading them cannot block — the newline is there).
+                let mut lines = vec![std::mem::take(&mut line)];
+                let mut burst_err: Option<std::io::Error> = None;
+                while tuning.batch && reader.buffer().contains(&b'\n') {
+                    let mut next = String::new();
+                    match reader.read_line(&mut next) {
+                        Ok(0) => break,
+                        Ok(_) => lines.push(next),
+                        Err(e) => {
+                            // A failed mid-burst line (non-UTF-8 bytes)
+                            // must answer like the sequential path —
+                            // after the valid lines before it — not be
+                            // swallowed reply-less.
+                            burst_err = Some(e);
+                            break;
+                        }
                     }
-                    Err(e) => (Reply::Error(e.0), false),
-                };
-                if matches!(reply, Reply::Error(_)) {
-                    stats.note_error();
                 }
-                reply.render(&mut out);
-                line.clear();
-                // Pipelining: only pay a socket write once the input
-                // buffer has run dry.
-                if reader.buffer().is_empty() {
+                let mut requests: Vec<Request> = Vec::new();
+                let mut line_slots: Vec<LineSlot> = Vec::new();
+                for raw in &lines {
+                    let text = raw.trim_end_matches('\n');
+                    // Blank lines are keepalives: no command, no error,
+                    // no token — skip before any accounting.
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    stats.note_command();
+                    match Command::parse(text) {
+                        Ok(cmd) => {
+                            let quit = matches!(cmd, Command::Quit);
+                            requests.push(Request::new(cmd));
+                            line_slots.push(LineSlot::Cmd);
+                            if quit {
+                                // Input after QUIT is discarded, as the
+                                // sequential path always did.
+                                break;
+                            }
+                        }
+                        Err(e) => line_slots.push(LineSlot::Err(e.0)),
+                    }
+                }
+                // Singletons keep the unamortized path: its per-command
+                // metrics (class latency histograms) stay meaningful.
+                let responses = match requests.len() {
+                    0 => Vec::new(),
+                    1 => vec![chain.call(requests.pop().expect("one request"))],
+                    _ => chain.call_batch(requests),
+                };
+                let mut responses = responses.into_iter();
+                let mut closing = false;
+                for slot in line_slots {
+                    let (reply, close) = match slot {
+                        LineSlot::Cmd => {
+                            let resp = responses.next().expect("one response per command");
+                            (resp.reply, resp.close)
+                        }
+                        LineSlot::Err(e) => (Reply::Error(e), false),
+                    };
+                    if matches!(reply, Reply::Error(_)) {
+                        stats.note_error();
+                    }
+                    reply.render(&mut out);
+                    if close {
+                        closing = true;
+                        break;
+                    }
+                }
+                if let Some(e) = burst_err {
+                    if !closing {
+                        // Mirror the outer error arms, positioned after
+                        // the burst's replies: non-UTF-8 input gets its
+                        // structured error, and either way the byte
+                        // stream is unrecoverable — hang up.
+                        if e.kind() == ErrorKind::InvalidData {
+                            stats.note_error();
+                            Reply::Error("protocol requires UTF-8 input".into()).render(&mut out);
+                        }
+                        closing = true;
+                    }
+                }
+                // Pipelining: only pay a socket write once no complete
+                // line remains buffered.
+                if !out.is_empty() && !reader.buffer().contains(&b'\n') {
                     writer.write_all(out.as_bytes())?;
                     writer.flush()?;
                     out.clear();
                 }
-                if quit {
+                if closing {
                     break;
                 }
             }
@@ -334,253 +961,16 @@ fn serve_connection(
     Ok(())
 }
 
-/// Enqueue `mutation` to `shard` and wait for its acknowledgement.
-///
-/// On timeout the connection is poisoned (`dead` set): the ack may
-/// still arrive later, and once a stale ack can be sitting in the
-/// channel every later request/reply pairing would be off by one —
-/// closing the session is the only honest recovery.
-fn roundtrip(
-    store: &Store,
-    shard: usize,
-    mutation: Mutation,
-    ack_rx: &Receiver<Reply>,
-    dead: &mut bool,
-) -> Reply {
-    store.enqueue(shard, mutation);
-    match ack_rx.recv_timeout(ACK_TIMEOUT) {
-        Ok(reply) => reply,
-        Err(RecvTimeoutError::Timeout) => {
-            *dead = true;
-            Reply::Error("shard ack timeout; closing connection".into())
-        }
-        Err(RecvTimeoutError::Disconnected) => {
-            *dead = true;
-            Reply::Error("shard gone; closing connection".into())
-        }
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_grows_and_saturates() {
+        assert_eq!(accept_backoff(0), Duration::from_millis(1));
+        assert_eq!(accept_backoff(3), Duration::from_millis(8));
+        assert_eq!(accept_backoff(7), ACCEPT_BACKOFF_CAP);
+        // Huge streaks must neither overflow nor exceed the cap.
+        assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_CAP);
     }
-}
-
-fn execute(
-    cmd: &Command,
-    store: &Store,
-    stats: &ServerStats,
-    ack_tx: &Sender<Reply>,
-    ack_rx: &Receiver<Reply>,
-) -> (Reply, bool) {
-    let mut dead = false;
-    let reply = match cmd {
-        // ------------------------------------------------ local reads
-        Command::Get(key) => match store.kv.get(key) {
-            Some(v) => {
-                stats.note_get_hit();
-                Reply::Value(v)
-            }
-            None => {
-                stats.note_get_miss();
-                Reply::Nil
-            }
-        },
-        Command::Timeline(user) => {
-            stats.note_timeline_read();
-            let mut row = store.timelines.get(user).unwrap_or_default();
-            // Stored oldest→newest; serve newest first, capped.
-            row.reverse();
-            row.truncate(TIMELINE_LIMIT);
-            Reply::Array(row.iter().map(|m| format!(":{m}")).collect())
-        }
-        Command::IsFollowing(follower, followee) => {
-            let follows = store
-                .followers
-                .get(followee)
-                .is_some_and(|row| row.contains(follower));
-            Reply::Int(follows as i64)
-        }
-        Command::Followers(user) => {
-            Reply::Int(store.followers.get(user).map_or(0, |row| row.len()) as i64)
-        }
-        Command::InGroup(user) => Reply::Int(store.group.contains(user) as i64),
-        Command::ProfileVer(user) => Reply::Int(store.profiles.get(user).unwrap_or(0) as i64),
-        Command::Stats => {
-            let mut snap = stats.snapshot();
-            snap.applied = store.applied.get();
-            Reply::Array(snap.render_lines(store.shards(), store.kv.len()))
-        }
-        Command::Ping => Reply::Status("PONG"),
-        Command::Quit => return (Reply::Status("OK"), true),
-        // Middleware-owned verbs are answered by ExecService (or their
-        // layer) before reaching the store executor.
-        Command::Auth(_) | Command::Expire(..) => {
-            Reply::Error("middleware verb reached the store".into())
-        }
-
-        // -------------------------------------- single-shard mutations
-        Command::Set(key, value) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_key(key),
-                Mutation::Set {
-                    key: key.clone(),
-                    value: value.clone(),
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Del(key) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_key(key),
-                Mutation::Del {
-                    key: key.clone(),
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Incr(key, delta) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_key(key),
-                Mutation::Incr {
-                    key: key.clone(),
-                    delta: *delta,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::AddUser(user) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*user),
-                Mutation::AddUser {
-                    user: *user,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Follow(follower, followee) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*followee),
-                Mutation::FollowerAdd {
-                    followee: *followee,
-                    follower: *follower,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Unfollow(follower, followee) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*followee),
-                Mutation::FollowerDel {
-                    followee: *followee,
-                    follower: *follower,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Join(user) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*user),
-                Mutation::GroupJoin {
-                    user: *user,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Leave(user) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*user),
-                Mutation::GroupLeave {
-                    user: *user,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-        Command::Profile(user) => {
-            stats.note_mutation();
-            roundtrip(
-                store,
-                store.shard_of_user(*user),
-                Mutation::ProfileBump {
-                    user: *user,
-                    reply: ack_tx.clone(),
-                },
-                ack_rx,
-                &mut dead,
-            )
-        }
-
-        // ------------------------------------- multi-shard fan-out
-        Command::Post(author, msg) => {
-            stats.note_mutation();
-            // Fan out to the author plus the first FANOUT_LIMIT
-            // followers; every target's shard must ack before the
-            // client sees +OK, so a post is visible on every timeline
-            // it reached once acknowledged.
-            // The author's own timeline is always a target; a
-            // self-follow must not deliver twice (Vec::dedup would only
-            // catch it when adjacent), so filter the author out of the
-            // follower fan-out.
-            let mut targets = vec![*author];
-            if let Some(row) = store.followers.get(author) {
-                targets.extend(row.into_iter().filter(|f| f != author).take(FANOUT_LIMIT));
-            }
-            let n = targets.len();
-            for user in targets {
-                store.enqueue(
-                    store.shard_of_user(user),
-                    Mutation::TimelinePush {
-                        user,
-                        msg: *msg,
-                        reply: ack_tx.clone(),
-                    },
-                );
-            }
-            let mut failure = None;
-            for _ in 0..n {
-                match ack_rx.recv_timeout(ACK_TIMEOUT) {
-                    Ok(Reply::Error(e)) => failure = Some(e),
-                    Ok(_) => {}
-                    Err(_) => {
-                        // As in `roundtrip`: a late ack would desync
-                        // every later reply on this connection.
-                        dead = true;
-                        failure = Some("shard ack timeout; closing connection".into());
-                    }
-                }
-            }
-            match failure {
-                None => Reply::Status("OK"),
-                Some(e) => Reply::Error(e),
-            }
-        }
-    };
-    (reply, dead)
 }

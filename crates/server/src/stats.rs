@@ -21,6 +21,8 @@ pub struct ServerStats {
     applied: AtomicU64,
     timeline_reads: AtomicU64,
     errors: AtomicU64,
+    accept_errors: AtomicU64,
+    shard_batches: AtomicU64,
 }
 
 macro_rules! bump {
@@ -47,6 +49,8 @@ impl ServerStats {
         note_applied => applied,
         note_timeline_read => timeline_reads,
         note_error => errors,
+        note_accept_error => accept_errors,
+        note_shard_batch => shard_batches,
     }
 
     /// Count a `GET` that found its key.
@@ -67,6 +71,8 @@ impl ServerStats {
             applied: self.applied.load(Ordering::Relaxed),
             timeline_reads: self.timeline_reads.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            shard_batches: self.shard_batches.load(Ordering::Relaxed),
             contention: dego_metrics::GLOBAL.snapshot(),
         }
     }
@@ -91,6 +97,13 @@ pub struct StatsSnapshot {
     pub timeline_reads: u64,
     /// Protocol errors returned.
     pub errors: u64,
+    /// `accept()` failures observed by the accept loop (fd pressure —
+    /// EMFILE/ENFILE — network stack hiccups); each one also pays a
+    /// bounded backoff sleep so the loop cannot busy-spin.
+    pub accept_errors: u64,
+    /// Mutation batches drained by shard owners (group commits); the
+    /// amortization ratio is `applied / shard_batches`.
+    pub shard_batches: u64,
     /// The process-wide stall proxy at snapshot time.
     pub contention: ContentionSnapshot,
 }
@@ -109,6 +122,8 @@ impl StatsSnapshot {
             format!("applied={}", self.applied),
             format!("timeline_reads={}", self.timeline_reads),
             format!("errors={}", self.errors),
+            format!("accept_errors={}", self.accept_errors),
+            format!("shard_batches={}", self.shard_batches),
             format!("cas_failures={}", self.contention.cas_failures),
             format!("lock_spins={}", self.contention.lock_spins),
             format!("rmw_ops={}", self.contention.rmw_ops),

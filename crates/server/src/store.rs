@@ -1,5 +1,5 @@
 //! The sharded storage plane: dego-core adjusted objects behind N
-//! shard-owner threads.
+//! shard-owner threads, with **group acknowledgement**.
 //!
 //! Every structure is segmented with [`SegmentationKind::Hash`] into
 //! one segment per shard, and each shard's segment writers are claimed
@@ -9,6 +9,16 @@
 //! mutations travel through a [`dego_core::mpsc`] queue (the paper's
 //! `QueueMasp`, MWSR) to the owning shard, which applies them in
 //! arrival order and acks through a per-connection reply channel.
+//!
+//! **Group acknowledgement.** A mutation is shipped as a
+//! [`MutationMsg`] envelope tagged with its connection id and a
+//! per-connection sequence number. A shard owner drains its whole
+//! inbox in one sweep, applies every mutation, and sends **one ack per
+//! (connection run, drained batch)** — consecutive mutations from the
+//! same connection collapse into a single [`ShardAck::Many`] message
+//! instead of one channel send each. The connection side reassembles
+//! replies by sequence number, so a pipelined burst of `k` writes
+//! costs the reply channel `O(shards)` sends instead of `O(k)`.
 //!
 //! Routing is [`dego_core::home_segment`] of the key (or user id), the
 //! same hash the maps use internally, so a shard writer never touches
@@ -32,54 +42,42 @@ pub const TIMELINE_KEEP: usize = 64;
 /// `dego_retwis::FANOUT_LIMIT`).
 pub const FANOUT_LIMIT: usize = 16;
 
-/// A mutation on its way to a shard-owner thread, carrying the reply
-/// channel of the issuing connection.
+/// An acknowledgement from a shard owner back to a connection.
+///
+/// Each entry pairs the mutation's per-connection sequence number with
+/// its reply; `Many` carries every consecutive mutation of one drained
+/// batch that belonged to the same connection.
+pub(crate) enum ShardAck {
+    /// A lone mutation's ack.
+    One(u64, Reply),
+    /// A group-commit ack: one send for a whole run of the batch.
+    Many(Vec<(u64, Reply)>),
+}
+
+/// A mutation envelope on its way to a shard-owner thread.
+pub(crate) struct MutationMsg {
+    /// The issuing connection (group-ack run key).
+    pub conn: u64,
+    /// Per-connection sequence number (reply reassembly key).
+    pub seq: u64,
+    /// The issuing connection's ack inlet.
+    pub reply: Sender<ShardAck>,
+    /// The payload.
+    pub op: Mutation,
+}
+
+/// A storage-plane mutation (the payload of a [`MutationMsg`]).
 pub(crate) enum Mutation {
-    Set {
-        key: String,
-        value: String,
-        reply: Sender<Reply>,
-    },
-    Del {
-        key: String,
-        reply: Sender<Reply>,
-    },
-    Incr {
-        key: String,
-        delta: i64,
-        reply: Sender<Reply>,
-    },
-    AddUser {
-        user: u64,
-        reply: Sender<Reply>,
-    },
-    TimelinePush {
-        user: u64,
-        msg: u64,
-        reply: Sender<Reply>,
-    },
-    FollowerAdd {
-        followee: u64,
-        follower: u64,
-        reply: Sender<Reply>,
-    },
-    FollowerDel {
-        followee: u64,
-        follower: u64,
-        reply: Sender<Reply>,
-    },
-    GroupJoin {
-        user: u64,
-        reply: Sender<Reply>,
-    },
-    GroupLeave {
-        user: u64,
-        reply: Sender<Reply>,
-    },
-    ProfileBump {
-        user: u64,
-        reply: Sender<Reply>,
-    },
+    Set { key: String, value: String },
+    Del { key: String },
+    Incr { key: String, delta: i64 },
+    AddUser { user: u64 },
+    TimelinePush { user: u64, msg: u64 },
+    FollowerAdd { followee: u64, follower: u64 },
+    FollowerDel { followee: u64, follower: u64 },
+    GroupJoin { user: u64 },
+    GroupLeave { user: u64 },
+    ProfileBump { user: u64 },
 }
 
 /// The shared storage plane.
@@ -98,7 +96,7 @@ pub(crate) struct Store {
     /// Mutations applied, one owner-exclusive cell per shard (C3).
     pub applied: Arc<CounterIncrementOnly>,
     /// Mutation inlets, indexed by shard.
-    producers: Vec<mpsc::Producer<Mutation>>,
+    producers: Vec<mpsc::Producer<MutationMsg>>,
     /// Shard threads, for post-enqueue wakeups.
     wakers: Vec<Thread>,
 }
@@ -119,9 +117,9 @@ impl Store {
         self.shards
     }
 
-    /// Hand `mutation` to its owning shard and wake the owner.
-    pub(crate) fn enqueue(&self, shard: usize, mutation: Mutation) {
-        self.producers[shard].offer(mutation);
+    /// Hand `msg` to its owning shard and wake the owner.
+    pub(crate) fn enqueue(&self, shard: usize, msg: MutationMsg) {
+        self.producers[shard].offer(msg);
         self.wakers[shard].unpark();
     }
 
@@ -143,11 +141,15 @@ pub(crate) struct ShardRuntime {
 /// writers before the next thread starts, so shard `i` always holds
 /// slot `i` of every segmented structure and key routing stays aligned
 /// with writer ownership.
+///
+/// `apply_delay` is a test hook: when set, the owner sleeps that long
+/// before applying each mutation (a "stuck shard" for timeout tests).
 pub(crate) fn spawn_shards(
     shards: usize,
     capacity: usize,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    apply_delay: Option<Duration>,
 ) -> ShardRuntime {
     assert!(shards > 0, "need at least one shard");
     let kv = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
@@ -162,7 +164,7 @@ pub(crate) fn spawn_shards(
     let mut threads = Vec::with_capacity(shards);
 
     for shard in 0..shards {
-        let (producer, consumer) = mpsc::queue::<Mutation>();
+        let (producer, consumer) = mpsc::queue::<MutationMsg>();
         let (ready_tx, ready_rx) = std::sync::mpsc::channel::<usize>();
         let ctx = ShardCtx {
             shard,
@@ -174,6 +176,7 @@ pub(crate) fn spawn_shards(
             applied: Arc::clone(&applied),
             stats: Arc::clone(&stats),
             shutdown: Arc::clone(&shutdown),
+            apply_delay,
         };
         let handle = Builder::new()
             .name(format!("dego-shard-{shard}"))
@@ -212,11 +215,35 @@ struct ShardCtx {
     applied: Arc<CounterIncrementOnly>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    apply_delay: Option<Duration>,
 }
 
-/// The owner loop: claim this shard's writers, then apply mutations in
-/// arrival order until shutdown.
-fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<Mutation>, ready: Sender<usize>) {
+/// One connection's run of acks within a drained batch, flushed as a
+/// single channel send when the run ends.
+struct AckRun {
+    conn: u64,
+    reply: Sender<ShardAck>,
+    acks: Vec<(u64, Reply)>,
+}
+
+impl AckRun {
+    /// Send the run to its connection (a closed channel means the
+    /// connection died mid-flight; the mutations were still applied).
+    fn flush(mut self) {
+        let ack = if self.acks.len() == 1 {
+            let (seq, reply) = self.acks.pop().expect("one ack");
+            ShardAck::One(seq, reply)
+        } else {
+            ShardAck::Many(self.acks)
+        };
+        let _ = self.reply.send(ack);
+    }
+}
+
+/// The owner loop: claim this shard's writers, then drain and apply
+/// mutation batches in arrival order until shutdown, group-acking each
+/// connection's run of a batch with one send.
+fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Sender<usize>) {
     let mut kv_w = ctx.kv.writer();
     let mut tl_w = ctx.timelines.writer();
     let mut fo_w = ctx.followers.writer();
@@ -227,46 +254,51 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<Mutation>, ready: Sender<
     ready.send(kv_w.slot()).expect("startup handshake");
 
     loop {
-        match inbox.poll() {
-            Some(mutation) => {
-                let reply = apply(
-                    &mutation, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,
-                );
-                // Rejected mutations (e.g. INCR on a non-integer) must
-                // not inflate the applied count.
-                if !matches!(reply, Reply::Error(_)) {
-                    cell.inc();
-                    ctx.stats.note_applied();
-                }
-                // A closed reply channel means the connection died
-                // mid-flight; the mutation was still applied.
-                let _ = reply_target(&mutation).send(reply);
+        let batch = inbox.drain();
+        if batch.is_empty() {
+            if ctx.shutdown.load(Ordering::Acquire) {
+                // Flag is up and the queue is drained: done.
+                return;
             }
-            None => {
-                if ctx.shutdown.load(Ordering::Acquire) {
-                    // Flag is up and the queue is drained: done.
-                    return;
+            // Sleep until a producer wakes us (or a timeout, to
+            // re-check the shutdown flag).
+            std::thread::park_timeout(Duration::from_millis(10));
+            continue;
+        }
+        ctx.stats.note_shard_batch();
+        let mut run: Option<AckRun> = None;
+        for msg in batch {
+            if let Some(delay) = ctx.apply_delay {
+                std::thread::sleep(delay);
+            }
+            let reply = apply(
+                &msg.op, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,
+            );
+            // Rejected mutations (e.g. INCR on a non-integer) must
+            // not inflate the applied count.
+            if !matches!(reply, Reply::Error(_)) {
+                cell.inc();
+                ctx.stats.note_applied();
+            }
+            match &mut run {
+                Some(current) if current.conn == msg.conn => {
+                    current.acks.push((msg.seq, reply));
                 }
-                // Sleep until a producer wakes us (or a timeout, to
-                // re-check the shutdown flag).
-                std::thread::park_timeout(Duration::from_millis(10));
+                _ => {
+                    if let Some(done) = run.take() {
+                        done.flush();
+                    }
+                    run = Some(AckRun {
+                        conn: msg.conn,
+                        reply: msg.reply,
+                        acks: vec![(msg.seq, reply)],
+                    });
+                }
             }
         }
-    }
-}
-
-fn reply_target(mutation: &Mutation) -> &Sender<Reply> {
-    match mutation {
-        Mutation::Set { reply, .. }
-        | Mutation::Del { reply, .. }
-        | Mutation::Incr { reply, .. }
-        | Mutation::AddUser { reply, .. }
-        | Mutation::TimelinePush { reply, .. }
-        | Mutation::FollowerAdd { reply, .. }
-        | Mutation::FollowerDel { reply, .. }
-        | Mutation::GroupJoin { reply, .. }
-        | Mutation::GroupLeave { reply, .. }
-        | Mutation::ProfileBump { reply, .. } => reply,
+        if let Some(done) = run.take() {
+            done.flush();
+        }
     }
 }
 
@@ -282,15 +314,15 @@ fn apply(
     gr_w: &mut dego_core::SegmentedSetWriter<u64>,
 ) -> Reply {
     match mutation {
-        Mutation::Set { key, value, .. } => {
+        Mutation::Set { key, value } => {
             kv_w.put(key.clone(), value.clone());
             Reply::Status("OK")
         }
-        Mutation::Del { key, .. } => {
+        Mutation::Del { key } => {
             kv_w.remove(key);
             Reply::Status("OK")
         }
-        Mutation::Incr { key, delta, .. } => {
+        Mutation::Incr { key, delta } => {
             let current = match kv_w.get(key) {
                 None => 0,
                 Some(raw) => match raw.parse::<i64>() {
@@ -302,7 +334,7 @@ fn apply(
             kv_w.put(key.clone(), next.to_string());
             Reply::Int(next)
         }
-        Mutation::AddUser { user, .. } => {
+        Mutation::AddUser { user } => {
             if tl_w.get(user).is_none() {
                 tl_w.put(*user, Vec::new());
             }
@@ -314,7 +346,7 @@ fn apply(
             }
             Reply::Status("OK")
         }
-        Mutation::TimelinePush { user, msg, .. } => {
+        Mutation::TimelinePush { user, msg } => {
             let mut row = tl_w.get(user).unwrap_or_default();
             row.push(*msg);
             if row.len() > TIMELINE_KEEP {
@@ -324,9 +356,7 @@ fn apply(
             tl_w.put(*user, row);
             Reply::Status("OK")
         }
-        Mutation::FollowerAdd {
-            followee, follower, ..
-        } => {
+        Mutation::FollowerAdd { followee, follower } => {
             let mut row = fo_w.get(followee).unwrap_or_default();
             if !row.contains(follower) {
                 row.push(*follower);
@@ -334,23 +364,21 @@ fn apply(
             fo_w.put(*followee, row);
             Reply::Status("OK")
         }
-        Mutation::FollowerDel {
-            followee, follower, ..
-        } => {
+        Mutation::FollowerDel { followee, follower } => {
             let mut row = fo_w.get(followee).unwrap_or_default();
             row.retain(|f| f != follower);
             fo_w.put(*followee, row);
             Reply::Status("OK")
         }
-        Mutation::GroupJoin { user, .. } => {
+        Mutation::GroupJoin { user } => {
             gr_w.add(*user);
             Reply::Status("OK")
         }
-        Mutation::GroupLeave { user, .. } => {
+        Mutation::GroupLeave { user } => {
             gr_w.remove(user);
             Reply::Status("OK")
         }
-        Mutation::ProfileBump { user, .. } => {
+        Mutation::ProfileBump { user } => {
             let version = pr_w.get(user).unwrap_or(0) + 1;
             pr_w.put(*user, version);
             Reply::Int(version as i64)

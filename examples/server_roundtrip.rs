@@ -85,16 +85,29 @@ fn main() -> std::io::Result<()> {
     println!("GET after TTL     -> {expired:?}");
     check(expired.is_none(), "TTL lazily expires")?;
 
-    // 5. Pipelining: many commands, one round trip.
-    for i in 0..8 {
-        c.send(&format!("SET key{i} value{i}"))?;
-    }
-    c.flush()?;
-    for _ in 0..8 {
-        c.read_reply()?;
-    }
-    println!("pipelined 8 SETs  -> key5 = {:?}", c.get("key5")?);
-    check(c.get("key5")?.as_deref() == Some("value5"), "pipelined SET")?;
+    // 5. Pipelining: many commands, one round trip, through the
+    //    server's batched call_batch/group-commit path. The burst size
+    //    is tunable (the CI smoke job drives it at 32) and the replies
+    //    come back in request order — including the GET-after-SET in
+    //    the same burst, which the server barriers on.
+    let burst: usize = std::env::var("DEGO_ROUNDTRIP_PIPELINE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .max(8); // key5 below must exist whatever the tuning says
+    let mut script: Vec<String> = (0..burst).map(|i| format!("SET key{i} value{i}")).collect();
+    script.push("GET key5".to_string());
+    let replies = c.pipeline(&script)?;
+    println!(
+        "pipelined {burst} SETs + 1 GET -> {} replies, key5 = {:?}",
+        replies.len(),
+        replies.last()
+    );
+    check(replies.len() == burst + 1, "one reply per request")?;
+    check(
+        matches!(replies.last(), Some(dego_server::ClientReply::Value(v)) if v == "value5"),
+        "batched GET observes the SET before it",
+    )?;
 
     // 6. The retwis verbs: a tiny social graph. User ids are derived
     //    from the process id so re-running against a persistent

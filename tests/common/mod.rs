@@ -1,0 +1,13 @@
+//! Helpers shared by the integration test binaries (each test file
+//! pulls this in with `mod common;`).
+
+/// Shard count for a test server, honoring the CI matrix's
+/// `DEGO_TEST_SHARDS` override — the single-shard leg funnels every
+/// integration server through one shard-owner thread (the clients=4
+/// regression class from PR 2 only reproduced there).
+pub fn shards(default: usize) -> usize {
+    std::env::var("DEGO_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

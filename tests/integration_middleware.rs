@@ -20,6 +20,9 @@ use dego_server::{
 use std::sync::Barrier;
 use std::time::Duration;
 
+mod common;
+use common::shards;
+
 const CLIENTS: usize = 8;
 /// Token-bucket capacity: roomy enough for every well-behaved scenario
 /// in this file, small enough that the hammer scenario trips it.
@@ -40,7 +43,7 @@ fn boot() -> ServerHandle {
     middleware.deadline.read_us = 30_000_000;
     middleware.deadline.write_us = 30_000_000;
     spawn(ServerConfig {
-        shards: 4,
+        shards: shards(4),
         capacity: 4096,
         middleware,
         ..ServerConfig::default()
@@ -203,7 +206,7 @@ fn policy_reload_is_live() {
     let mut middleware = MiddlewareConfig::full();
     middleware.auth.anon_role = Role::ReadWrite;
     let server = spawn(ServerConfig {
-        shards: 2,
+        shards: shards(2),
         capacity: 512,
         middleware,
         ..ServerConfig::default()
@@ -234,7 +237,7 @@ fn parallel_sessions_have_independent_buckets() {
     middleware.rate.burst = 50;
     middleware.rate.refill_per_sec = 10;
     let server = spawn(ServerConfig {
-        shards: 2,
+        shards: shards(2),
         capacity: 512,
         middleware,
         ..ServerConfig::default()

@@ -16,7 +16,10 @@ use std::sync::Barrier;
 
 const CLIENTS: usize = 8;
 
+mod common;
+
 fn boot(shards: usize) -> ServerHandle {
+    let shards = common::shards(shards);
     spawn(ServerConfig {
         shards,
         capacity: 4096,
