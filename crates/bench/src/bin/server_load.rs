@@ -1,7 +1,7 @@
 //! Closed-loop load generator for `dego-server` — the middleware
 //! deployment of the adjusted objects.
 //!
-//! Four sweeps, all written to `BENCH_server.json`:
+//! Six sweeps, all written to `BENCH_server.json`:
 //!
 //! 1. **Client sweep** (no middleware): for each point, an in-process
 //!    server is booted on an ephemeral loopback port and `t` client
@@ -19,6 +19,14 @@
 //!    middleware walks and 32 shard ack round-trips per burst, the
 //!    batched path one of each, so this is where group
 //!    acknowledgement shows up (`batched_speedup_x`, target ≥ 1.5×).
+//! 5. **Connection sweep** (full stack, fixed pipeline depth): a
+//!    `connections` probe block tracking throughput across connection
+//!    counts (`DEGO_BENCH_CONNS`, default 4/16/64) — the accept/funnel
+//!    scaling curve in its own JSON block.
+//! 6. **Observability overhead**: the full stack with span sampling
+//!    off vs the default 1-in-64, at burst depth 5 — the cost of the
+//!    per-layer attribution plane (`observability_overhead`, target
+//!    ≤ 2%).
 //!
 //! Keys are **pinned per client** by default: each client owns a
 //! disjoint slice of the key range, so shard parallelism is measurable
@@ -27,8 +35,8 @@
 //!
 //! Environment/flags: the [`BenchEnv`] conventions
 //! (`DEGO_BENCH_MILLIS`, `DEGO_BENCH_THREADS`, `--quick`) plus
-//! `DEGO_BENCH_SHARDS` (default 4) and `DEGO_BENCH_PIPELINE`
-//! (default 16).
+//! `DEGO_BENCH_SHARDS` (default 4), `DEGO_BENCH_PIPELINE`
+//! (default 16) and `DEGO_BENCH_CONNS` (default `4,16,64`).
 
 use dego_bench::harness::BenchEnv;
 use dego_metrics::rng::XorShift64;
@@ -87,6 +95,28 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// A comma-separated usize list from the environment (`"4,16,64"`).
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            v.split(',')
+                .map(|part| part.trim().parse().ok())
+                .collect::<Option<Vec<usize>>>()
+        })
+        .filter(|list| !list.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// The stack a sweep point runs behind: depth 0 = no middleware,
+/// anything else = the full five layers.
+fn depth_config(depth: usize) -> MiddlewareConfig {
+    match depth {
+        0 => MiddlewareConfig::none(),
+        _ => MiddlewareConfig::full(),
+    }
+}
+
 fn shared_keys() -> bool {
     std::env::var("DEGO_BENCH_SHARED_KEYS").is_ok_and(|v| v == "1")
 }
@@ -132,14 +162,10 @@ fn run_point(
     shards: usize,
     pipeline: usize,
     window: Duration,
-    middleware_depth: usize,
+    middleware: MiddlewareConfig,
     batch: bool,
     mix: Mix,
 ) -> Point {
-    let middleware = match middleware_depth {
-        0 => MiddlewareConfig::none(),
-        _ => MiddlewareConfig::full(),
-    };
     let server = spawn(ServerConfig {
         shards,
         capacity: KEY_RANGE * 2,
@@ -209,7 +235,7 @@ fn run_best(
     shards: usize,
     pipeline: usize,
     window: Duration,
-    middleware_depth: usize,
+    middleware: &MiddlewareConfig,
     batch: bool,
     mix: Mix,
 ) -> Point {
@@ -220,7 +246,7 @@ fn run_best(
                 shards,
                 pipeline,
                 window,
-                middleware_depth,
+                middleware.clone(),
                 batch,
                 mix,
             )
@@ -259,11 +285,21 @@ struct GroupCommit {
     unbatched: Point,
 }
 
+/// The sampled-tracing A/B: the full stack with span sampling off vs
+/// the default 1-in-N.
+struct ObservabilityOverhead {
+    sample_every: u32,
+    nosample: Point,
+    sampled: Point,
+}
+
 fn write_json(
     sweep: &[Point],
     batch_depth: &[Point],
     overhead_pair: &[Point],
     commit: &GroupCommit,
+    conns: &[Point],
+    obs: &ObservabilityOverhead,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"key_range\": 4096,\n");
     let _ = writeln!(
@@ -288,7 +324,26 @@ fn write_json(
             "\n"
         });
     }
+    out.push_str("  ],\n  \"connections\": [\n");
+    for (i, p) in conns.iter().enumerate() {
+        out.push_str("    ");
+        write_point(&mut out, p);
+        out.push_str(if i + 1 < conns.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]");
+    // observability_overhead: the cost of the sampled per-layer span
+    // plane — the same full-stack load with tracing spans off vs the
+    // default 1-in-N sampling (positive = cost; target ≤ 2%).
+    let _ = write!(
+        out,
+        ",\n  \"observability_overhead\": {{\"clients\": {}, \"pipeline\": {}, \"sample_every\": {}, \"nosample_ops_per_sec\": {:.0}, \"sampled_ops_per_sec\": {:.0}, \"overhead_pct\": {:.1}}}",
+        obs.sampled.clients,
+        obs.sampled.pipeline,
+        obs.sample_every,
+        obs.nosample.ops_per_sec(),
+        obs.sampled.ops_per_sec(),
+        overhead_pct(&obs.nosample, &obs.sampled),
+    );
     if let [depth0, depth5] = overhead_pair {
         // middleware_overhead: the batched pipeline's throughput cost —
         // how much slower the same load runs at stack depth 5 vs depth
@@ -342,7 +397,15 @@ fn main() {
     // 1. Client sweep, storage plane only.
     let mut points = Vec::new();
     for &clients in &env.threads {
-        let p = run_point(clients, shards, pipeline, env.duration, 0, true, STANDARD);
+        let p = run_point(
+            clients,
+            shards,
+            pipeline,
+            env.duration,
+            depth_config(0),
+            true,
+            STANDARD,
+        );
         row(&p, &mut table);
         points.push(p);
     }
@@ -356,7 +419,7 @@ fn main() {
             shards,
             depth,
             env.duration,
-            5,
+            depth_config(5),
             true,
             STANDARD,
         );
@@ -376,7 +439,7 @@ fn main() {
             shards,
             overhead_pipeline,
             env.duration,
-            depth,
+            &depth_config(depth),
             true,
             STANDARD,
         );
@@ -392,7 +455,7 @@ fn main() {
             shards,
             32,
             env.duration,
-            5,
+            &depth_config(5),
             true,
             WRITE_HEAVY,
         ),
@@ -402,13 +465,64 @@ fn main() {
             shards,
             32,
             env.duration,
-            5,
+            &depth_config(5),
             false,
             WRITE_HEAVY,
         ),
     };
     row(&commit.batched, &mut table);
     row(&commit.unbatched, &mut table);
+
+    // 5. Connection sweep: the full stack at a fixed pipeline depth,
+    // across connection counts — the accept/funnel scaling curve.
+    let conn_counts = env_usize_list("DEGO_BENCH_CONNS", &[4, 16, 64]);
+    let mut conn_points = Vec::new();
+    for &conns in &conn_counts {
+        let p = run_point(
+            conns,
+            shards,
+            pipeline,
+            env.duration,
+            depth_config(5),
+            true,
+            STANDARD,
+        );
+        row(&p, &mut table);
+        conn_points.push(p);
+    }
+
+    // 6. Observability overhead: the full stack with span sampling off
+    // vs the default 1-in-64, at burst depth 5 (short bursts keep the
+    // per-command sampling tick on the critical path).
+    let mut nosample = MiddlewareConfig::full();
+    nosample.trace.sample_every = 0;
+    let sampled = MiddlewareConfig::full();
+    let sample_every = sampled.trace.sample_every;
+    let obs = ObservabilityOverhead {
+        sample_every,
+        nosample: run_best(
+            3,
+            overhead_clients,
+            shards,
+            5,
+            env.duration,
+            &nosample,
+            true,
+            STANDARD,
+        ),
+        sampled: run_best(
+            3,
+            overhead_clients,
+            shards,
+            5,
+            env.duration,
+            &sampled,
+            true,
+            STANDARD,
+        ),
+    };
+    row(&obs.nosample, &mut table);
+    row(&obs.sampled, &mut table);
 
     println!("{}", table.render());
     let pct = overhead_pct(&overhead_points[0], &overhead_points[1]);
@@ -423,11 +537,24 @@ fn main() {
         commit.unbatched.ops_per_sec() as u64,
         commit.batched.ops_per_sec() as u64
     );
+    println!(
+        "observability overhead at sample 1-in-{sample_every}: {:.1}% ({} -> {} ops/s)",
+        overhead_pct(&obs.nosample, &obs.sampled),
+        obs.nosample.ops_per_sec() as u64,
+        obs.sampled.ops_per_sec() as u64
+    );
 
-    let json = write_json(&points, &batch_points, &overhead_points, &commit);
+    let json = write_json(
+        &points,
+        &batch_points,
+        &overhead_points,
+        &commit,
+        &conn_points,
+        &obs,
+    );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!(
         "wrote BENCH_server.json ({} points)",
-        points.len() + batch_points.len() + overhead_points.len()
+        points.len() + batch_points.len() + overhead_points.len() + conn_points.len()
     );
 }

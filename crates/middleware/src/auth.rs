@@ -219,6 +219,7 @@ impl Service for AuthService {
         if reqs.iter().any(|r| matches!(r.command, Command::Auth(_))) {
             return reqs.into_iter().map(|req| self.call(req)).collect();
         }
+        let admission_t = crate::span::start();
         let role = match &self.principal {
             Some(p) => p.role,
             None => self.state.anon_role(),
@@ -227,8 +228,10 @@ impl Service for AuthService {
         // authenticated or read-write session) — no slot bookkeeping.
         if reqs.iter().all(|req| role.allows(req.command.class())) {
             self.metrics.auth_admitted.add(reqs.len() as u64);
+            crate::span::record(LayerKind::Auth, admission_t);
             return self.inner.call_batch(reqs);
         }
+        crate::span::record(LayerKind::Auth, admission_t);
         let metrics = Arc::clone(&self.metrics);
         crate::pipeline::partition_batch(&mut self.inner, reqs, |req| {
             if role.allows(req.command.class()) {
@@ -253,8 +256,9 @@ impl Service for AuthService {
     }
 
     fn call(&mut self, req: Request) -> Response {
+        let admission_t = crate::span::start();
         if let Command::Auth(token) = &req.command {
-            return match self.state.tokens.get(token) {
+            let out = match self.state.tokens.get(token) {
                 Some(principal) => {
                     self.metrics.auth_logins.increment();
                     self.principal = Some(principal);
@@ -265,6 +269,8 @@ impl Service for AuthService {
                     Response::rejection("AUTH", "bad token")
                 }
             };
+            crate::span::record(LayerKind::Auth, admission_t);
+            return out;
         }
         let role = match &self.principal {
             Some(p) => p.role,
@@ -272,8 +278,10 @@ impl Service for AuthService {
         };
         if role.allows(req.command.class()) {
             self.metrics.auth_admitted.increment();
+            crate::span::record(LayerKind::Auth, admission_t);
             self.inner.call(req)
         } else {
+            crate::span::record(LayerKind::Auth, admission_t);
             self.metrics.auth_denied.increment();
             Response::rejection(
                 "AUTH",

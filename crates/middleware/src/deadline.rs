@@ -10,6 +10,7 @@
 use crate::metrics::PipelineMetrics;
 use crate::pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session};
 use crate::protocol::{CommandClass, Reply};
+use crate::span;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -89,6 +90,7 @@ impl Service for DeadlineService {
     /// check fires in the same pathological stalls the per-request one
     /// would, and replies stay identical to sequential `call`s.
     fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let admission_t = span::start();
         let mut budget_us = 0u64;
         let mut checked = 0u64;
         let exempt: Vec<bool> = reqs
@@ -104,12 +106,14 @@ impl Service for DeadlineService {
                 }
             })
             .collect();
+        span::record(LayerKind::Deadline, admission_t);
         if budget_us == 0 {
             return self.inner.call_batch(reqs);
         }
         let start = Instant::now();
         let mut resps = self.inner.call_batch(reqs);
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let check_t = span::start();
         self.metrics.deadline_checked.add(checked);
         if elapsed_us > budget_us {
             self.metrics.deadline_missed.add(checked);
@@ -121,20 +125,25 @@ impl Service for DeadlineService {
                 }
             }
         }
+        span::record(LayerKind::Deadline, check_t);
         resps
     }
 
     fn call(&mut self, req: Request) -> Response {
+        let admission_t = span::start();
         let budget_us = self.budget_us(&req);
         if budget_us == 0 {
+            span::record(LayerKind::Deadline, admission_t);
             return self.inner.call(req);
         }
         let verb = req.command.verb();
         let start = Instant::now();
+        span::record(LayerKind::Deadline, admission_t);
         let resp = self.inner.call(req);
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let check_t = span::start();
         self.metrics.deadline_checked.increment();
-        if elapsed_us > budget_us {
+        let out = if elapsed_us > budget_us {
             self.metrics.deadline_missed.increment();
             Response {
                 reply: Reply::Error(format!(
@@ -144,7 +153,9 @@ impl Service for DeadlineService {
             }
         } else {
             resp
-        }
+        };
+        span::record(LayerKind::Deadline, check_t);
+        out
     }
 }
 

@@ -55,16 +55,23 @@ pub mod config;
 pub mod deadline;
 pub mod metrics;
 pub mod pipeline;
+pub mod prom;
 pub mod protocol;
 pub mod rate_limit;
+pub mod slowlog;
+pub mod span;
 pub mod trace;
 pub mod ttl;
 
 pub use auth::{AuthConfig, AuthLayer, Principal, Role, TokenSpec};
-pub use config::MiddlewareConfig;
+pub use config::{MiddlewareConfig, TraceConfig};
 pub use deadline::{DeadlineConfig, DeadlineLayer};
-pub use metrics::{LatencyHistogram, PipelineMetrics};
-pub use pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session, Stack};
+pub use metrics::{LatencyHistogram, PipelineMetrics, RelaxedCounter, StatLines};
+pub use pipeline::{
+    BoxService, Layer, LayerKind, Request, Response, Service, Session, Stack, LAYER_COUNT,
+};
+pub use prom::PromText;
 pub use rate_limit::{RateLimitConfig, RateLimitLayer};
+pub use slowlog::{SlowLog, SlowLogEntry};
 pub use trace::TraceLayer;
 pub use ttl::TtlLayer;

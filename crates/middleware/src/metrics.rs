@@ -12,6 +12,9 @@
 //! log₂-bucket histograms of relaxed atomics: recording is one
 //! `fetch_add`, never a lock.
 
+use crate::config::TraceConfig;
+use crate::pipeline::{LayerKind, LAYER_COUNT};
+use crate::slowlog::SlowLog;
 use dego_juc::LongAdder;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,6 +56,8 @@ const BUCKETS: usize = 26;
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Sum of every recorded sample (for Prometheus `_sum`).
+    sum_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -66,6 +71,7 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
         }
     }
 
@@ -74,6 +80,30 @@ impl LatencyHistogram {
     pub fn record(&self, micros: u64) {
         let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Sum of every recorded sample in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts in Prometheus form: `(Some(le),
+    /// count ≤ le)` per bucket — bucket `i` holds integer samples up to
+    /// `2^i − 1` µs inclusive, so that is its `le` bound — with a final
+    /// `(None, total)` entry for the open `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(BUCKETS);
+        let mut running = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            running += b.load(Ordering::Relaxed);
+            if i < BUCKETS - 1 {
+                out.push((Some((1u64 << i) - 1), running));
+            } else {
+                out.push((None, running));
+            }
+        }
+        out
     }
 
     /// Total samples recorded.
@@ -99,6 +129,59 @@ impl LatencyHistogram {
         }
         1u64 << (BUCKETS - 1)
     }
+}
+
+/// The one `name=value` emitter behind every `STATS` line — the
+/// server plane, the `mw_*` block and the `STATS SHARDS` reply all
+/// render through it. In debug builds it asserts that no stat name is
+/// pushed twice, so the server-plane and middleware blocks can never
+/// silently drift into emitting duplicates.
+#[derive(Debug, Default)]
+pub struct StatLines {
+    lines: Vec<String>,
+    #[cfg(debug_assertions)]
+    seen: std::collections::HashSet<String>,
+}
+
+impl StatLines {
+    /// An empty emitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one `name=value` line.
+    pub fn push(&mut self, name: &str, value: impl std::fmt::Display) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.seen.insert(name.to_string()),
+            "duplicate stat name {name:?} in one STATS reply"
+        );
+        self.lines.push(format!("{name}={value}"));
+    }
+
+    /// The finished lines.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+}
+
+/// Debug-assert that a fully assembled `STATS` reply carries no
+/// duplicate stat names — the cross-block guard run where the trace
+/// layer folds the `mw_*` lines into the server-plane lines.
+pub fn debug_assert_unique_stat_names(lines: &[String]) {
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::HashSet::new();
+        for line in lines {
+            let name = line.split('=').next().unwrap_or(line);
+            debug_assert!(
+                seen.insert(name),
+                "duplicate stat name {name:?} in one STATS reply"
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = lines;
 }
 
 /// Shared counters for the whole pipeline: each layer bumps its own
@@ -148,6 +231,15 @@ pub struct PipelineMetrics {
     pub ttl_armed: RelaxedCounter,
     /// Keys lazily expired on `GET`.
     pub ttl_expired: RelaxedCounter,
+
+    /// Per-layer admission cost (µs), indexed by
+    /// [`LayerKind::index`]; fed only by sampled spans, so each
+    /// histogram describes the sampled population.
+    pub layer_admission_us: [LatencyHistogram; LAYER_COUNT],
+    /// Spans actually sampled (the denominator for `layer_admission_us`).
+    pub spans_sampled: RelaxedCounter,
+    /// The slow-command ring served by `SLOWLOG GET|RESET|LEN`.
+    pub slowlog: SlowLog,
 }
 
 impl Default for PipelineMetrics {
@@ -157,8 +249,13 @@ impl Default for PipelineMetrics {
 }
 
 impl PipelineMetrics {
-    /// A zeroed sink.
+    /// A zeroed sink with the default trace/slowlog configuration.
     pub fn new() -> Self {
+        Self::with_trace(&TraceConfig::default())
+    }
+
+    /// A zeroed sink whose slowlog ring is sized per `trace`.
+    pub fn with_trace(trace: &TraceConfig) -> Self {
         PipelineMetrics {
             traced: RelaxedCounter::new(),
             read_latency: LatencyHistogram::new(),
@@ -179,34 +276,61 @@ impl PipelineMetrics {
             ttl_checked: RelaxedCounter::new(),
             ttl_armed: RelaxedCounter::new(),
             ttl_expired: RelaxedCounter::new(),
+            layer_admission_us: std::array::from_fn(|_| LatencyHistogram::new()),
+            spans_sampled: RelaxedCounter::new(),
+            slowlog: SlowLog::new(trace.slowlog_threshold_us, trace.slowlog_capacity),
+        }
+    }
+
+    /// Fold one harvested span into the per-layer histograms.
+    pub fn note_span(&self, costs: &[Option<u64>; LAYER_COUNT]) {
+        self.spans_sampled.increment();
+        for (i, cost) in costs.iter().enumerate() {
+            if let Some(us) = cost {
+                self.layer_admission_us[i].record(*us);
+            }
         }
     }
 
     /// The `mw_*` lines appended to the `STATS` array reply.
     pub fn render_lines(&self, depth: usize) -> Vec<String> {
-        vec![
-            format!("mw_depth={depth}"),
-            format!("mw_traced={}", self.traced.sum()),
-            format!("mw_read_p50_us={}", self.read_latency.percentile_us(0.50)),
-            format!("mw_read_p99_us={}", self.read_latency.percentile_us(0.99)),
-            format!("mw_write_p50_us={}", self.write_latency.percentile_us(0.50)),
-            format!("mw_write_p99_us={}", self.write_latency.percentile_us(0.99)),
-            format!("mw_batches={}", self.batches.sum()),
-            format!("mw_batch_commands={}", self.batch_commands.sum()),
-            format!("mw_batch_p99_us={}", self.batch_latency.percentile_us(0.99)),
-            format!("mw_rate_admitted={}", self.rate_admitted.sum()),
-            format!("mw_rate_rejected={}", self.rate_rejected.sum()),
-            format!("mw_rate_refilled={}", self.rate_refilled.sum()),
-            format!("mw_auth_admitted={}", self.auth_admitted.sum()),
-            format!("mw_auth_denied={}", self.auth_denied.sum()),
-            format!("mw_auth_logins={}", self.auth_logins.sum()),
-            format!("mw_auth_reloads={}", self.auth_reloads.sum()),
-            format!("mw_deadline_checked={}", self.deadline_checked.sum()),
-            format!("mw_deadline_missed={}", self.deadline_missed.sum()),
-            format!("mw_ttl_checked={}", self.ttl_checked.sum()),
-            format!("mw_ttl_armed={}", self.ttl_armed.sum()),
-            format!("mw_ttl_expired={}", self.ttl_expired.sum()),
-        ]
+        let mut out = StatLines::new();
+        out.push("mw_depth", depth);
+        out.push("mw_traced", self.traced.sum());
+        out.push("mw_read_p50_us", self.read_latency.percentile_us(0.50));
+        out.push("mw_read_p99_us", self.read_latency.percentile_us(0.99));
+        out.push("mw_write_p50_us", self.write_latency.percentile_us(0.50));
+        out.push("mw_write_p99_us", self.write_latency.percentile_us(0.99));
+        out.push("mw_batches", self.batches.sum());
+        out.push("mw_batch_commands", self.batch_commands.sum());
+        out.push("mw_batch_p99_us", self.batch_latency.percentile_us(0.99));
+        out.push("mw_rate_admitted", self.rate_admitted.sum());
+        out.push("mw_rate_rejected", self.rate_rejected.sum());
+        out.push("mw_rate_refilled", self.rate_refilled.sum());
+        out.push("mw_auth_admitted", self.auth_admitted.sum());
+        out.push("mw_auth_denied", self.auth_denied.sum());
+        out.push("mw_auth_logins", self.auth_logins.sum());
+        out.push("mw_auth_reloads", self.auth_reloads.sum());
+        out.push("mw_deadline_checked", self.deadline_checked.sum());
+        out.push("mw_deadline_missed", self.deadline_missed.sum());
+        out.push("mw_ttl_checked", self.ttl_checked.sum());
+        out.push("mw_ttl_armed", self.ttl_armed.sum());
+        out.push("mw_ttl_expired", self.ttl_expired.sum());
+        out.push("mw_spans_sampled", self.spans_sampled.sum());
+        for kind in LayerKind::ALL {
+            let hist = &self.layer_admission_us[kind.index()];
+            out.push(
+                &format!("mw_{}_us_p50", kind.name()),
+                hist.percentile_us(0.50),
+            );
+            out.push(
+                &format!("mw_{}_us_p99", kind.name()),
+                hist.percentile_us(0.99),
+            );
+        }
+        out.push("mw_slowlog_len", self.slowlog.len());
+        out.push("mw_slowlog_total", self.slowlog.total());
+        out.into_lines()
     }
 }
 
@@ -233,6 +357,63 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert_eq!(h.percentile_us(0.99), 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn histogram_tracks_sum_and_cumulative_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.sum_us(), 10);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets[0], (Some(0), 1), "zero lands in the 0-bucket");
+        assert_eq!(buckets[3], (Some(7), 3), "5µs lands at le=7");
+        assert_eq!(buckets.last().unwrap(), &(None, 3), "+Inf holds the total");
+        let bounds: Vec<_> = buckets.iter().filter_map(|(le, _)| *le).collect();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "le strictly grows");
+    }
+
+    #[test]
+    fn stat_lines_render_name_value() {
+        let mut lines = StatLines::new();
+        lines.push("a", 1);
+        lines.push("b", "x");
+        assert_eq!(lines.into_lines(), vec!["a=1".to_string(), "b=x".into()]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate stat name")]
+    fn stat_lines_reject_duplicates_in_debug() {
+        let mut lines = StatLines::new();
+        lines.push("a", 1);
+        lines.push("a", 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate stat name")]
+    fn assembled_reply_duplicate_names_assert_in_debug() {
+        debug_assert_unique_stat_names(&["a=1".to_string(), "a=2".to_string()]);
+    }
+
+    #[test]
+    fn render_lines_cover_spans_and_slowlog() {
+        let m = PipelineMetrics::new();
+        let mut costs = [None; LAYER_COUNT];
+        costs[LayerKind::Auth.index()] = Some(3);
+        m.note_span(&costs);
+        let lines = m.render_lines(5);
+        assert!(lines.contains(&"mw_spans_sampled=1".to_string()));
+        assert!(lines.contains(&"mw_auth_us_p50=4".to_string()));
+        assert!(lines.contains(&"mw_auth_us_p99=4".to_string()));
+        assert!(
+            lines.contains(&"mw_trace_us_p50=0".to_string()),
+            "untouched"
+        );
+        assert!(lines.contains(&"mw_slowlog_len=0".to_string()));
+        debug_assert_unique_stat_names(&lines);
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub trait Layer: Send + Sync {
     fn wrap(&self, session: &Session, inner: BoxService) -> BoxService;
 }
 
+/// Number of production [`LayerKind`]s — the size of every
+/// per-layer metric array (span cost tables, admission histograms).
+pub const LAYER_COUNT: usize = 5;
+
 /// The five production layers, in canonical outer→inner order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LayerKind {
@@ -176,6 +180,27 @@ pub enum LayerKind {
 }
 
 impl LayerKind {
+    /// Every production layer in canonical outer→inner order.
+    pub const ALL: [LayerKind; LAYER_COUNT] = [
+        LayerKind::Trace,
+        LayerKind::Deadline,
+        LayerKind::Auth,
+        LayerKind::RateLimit,
+        LayerKind::Ttl,
+    ];
+
+    /// This layer's slot in per-layer metric arrays (canonical order).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LayerKind::Trace => 0,
+            LayerKind::Deadline => 1,
+            LayerKind::Auth => 2,
+            LayerKind::RateLimit => 3,
+            LayerKind::Ttl => 4,
+        }
+    }
+
     /// The lowercase config/display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -228,7 +253,7 @@ impl Stack {
     /// Build the stack from a config. Layer order in the config is
     /// irrelevant; duplicates collapse.
     pub fn build(config: &MiddlewareConfig) -> Arc<Stack> {
-        let metrics = Arc::new(PipelineMetrics::new());
+        let metrics = Arc::new(PipelineMetrics::with_trace(&config.trace));
         let mut kinds = config.layers.clone();
         kinds.sort();
         kinds.dedup();
@@ -238,7 +263,11 @@ impl Stack {
             .into_iter()
             .map(|kind| -> Box<dyn Layer> {
                 match kind {
-                    LayerKind::Trace => Box::new(TraceLayer::new(Arc::clone(&metrics), depth)),
+                    LayerKind::Trace => Box::new(TraceLayer::new(
+                        Arc::clone(&metrics),
+                        depth,
+                        config.trace.sample_every,
+                    )),
                     LayerKind::Deadline => Box::new(DeadlineLayer::new(
                         config.deadline.clone(),
                         Arc::clone(&metrics),

@@ -1,0 +1,202 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! [`PromText`] is a tiny append-only builder for the plain-text
+//! scrape format: `# HELP`/`# TYPE` headers, counter and gauge
+//! samples (optionally labelled), and histogram families rendered
+//! from the log2 [`LatencyHistogram`]s — cumulative `_bucket{le=...}`
+//! series plus `_sum` and `_count`. No timestamps are emitted; the
+//! scraper assigns them.
+//!
+//! Label values are escaped per the exposition format: backslash,
+//! double quote and newline become `\\`, `\"` and `\n`.
+
+use crate::metrics::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Escape a label value for the text exposition format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Builder for one `/metrics` response body.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    #[cfg(debug_assertions)]
+    headered: std::collections::HashSet<String>,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.headered.insert(name.to_string()),
+            "duplicate metric family {name}"
+        );
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: impl std::fmt::Display) {
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels));
+    }
+
+    /// One unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value);
+    }
+
+    /// A counter family with one sample per label set.
+    pub fn counter_vec(&mut self, name: &str, help: &str, series: &[(Vec<(&str, String)>, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            let borrowed: Vec<(&str, &str)> =
+                labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(name, &borrowed, value);
+        }
+    }
+
+    /// One unlabelled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// A gauge family with one sample per label set.
+    pub fn gauge_vec(&mut self, name: &str, help: &str, series: &[(Vec<(&str, String)>, u64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            let borrowed: Vec<(&str, &str)> =
+                labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(name, &borrowed, value);
+        }
+    }
+
+    /// A histogram family rendered from log2 histograms, one
+    /// `_bucket`/`_sum`/`_count` set per label set.
+    pub fn histogram_vec(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(Vec<(&str, String)>, &LatencyHistogram)],
+    ) {
+        self.header(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        for (labels, hist) in series {
+            let base: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            let mut total = 0;
+            for (le, cumulative) in hist.cumulative_buckets() {
+                let le = match le {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let mut with_le = base.clone();
+                with_le.push(("le", le.as_str()));
+                self.sample(&bucket, &with_le, cumulative);
+                total = cumulative;
+            }
+            self.sample(&format!("{name}_sum"), &base, hist.sum_us());
+            self.sample(&format!("{name}_count"), &base, total);
+        }
+    }
+
+    /// A histogram family with a single unlabelled member.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &LatencyHistogram) {
+        self.histogram_vec(name, help, &[(Vec::new(), hist)]);
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut p = PromText::new();
+        p.counter("dego_commands_total", "Commands handled.", 42);
+        p.gauge("dego_keys", "Live keys.", 7);
+        let text = p.finish();
+        assert!(text.contains("# TYPE dego_commands_total counter\n"));
+        assert!(text.contains("dego_commands_total 42\n"));
+        assert!(text.contains("# TYPE dego_keys gauge\n"));
+        assert!(text.contains("dego_keys 7\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label_value("a\nb"), r#"a\nb"#);
+        let mut p = PromText::new();
+        p.gauge_vec(
+            "dego_widget",
+            "Widget.",
+            &[(vec![("name", "he said \"hi\"\n".to_string())], 1)],
+        );
+        assert!(p
+            .finish()
+            .contains(r#"dego_widget{name="he said \"hi\"\n"} 1"#));
+    }
+
+    #[test]
+    fn histogram_emits_cumulative_buckets_sum_and_count() {
+        let hist = LatencyHistogram::new();
+        hist.record(0);
+        hist.record(3);
+        hist.record(3);
+        hist.record(100);
+        let mut p = PromText::new();
+        p.histogram("dego_lat_us", "Latency.", &hist);
+        let text = p.finish();
+        assert!(text.contains("# TYPE dego_lat_us histogram\n"));
+        assert!(text.contains("dego_lat_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("dego_lat_us_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("dego_lat_us_bucket{le=\"127\"} 4\n"));
+        assert!(text.contains("dego_lat_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("dego_lat_us_sum 106\n"));
+        assert!(text.contains("dego_lat_us_count 4\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric family")]
+    #[cfg(debug_assertions)]
+    fn duplicate_family_names_assert_in_debug() {
+        let mut p = PromText::new();
+        p.counter("dego_x", "x", 1);
+        p.counter("dego_x", "x", 2);
+    }
+}

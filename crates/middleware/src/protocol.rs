@@ -22,7 +22,7 @@
 //!
 //! Middleware rejections are structured: the message after `-ERR ` is
 //! `<LAYER> <detail>` where `<LAYER>` is one of `AUTH`, `RATELIMIT`,
-//! `DEADLINE`, `TTL`, and `<detail>` is free text that may carry
+//! `DEADLINE`, `TTL`, `TRACE`, and `<detail>` is free text that may carry
 //! `key=value` hints (e.g. `-ERR RATELIMIT rejected retry_us=50000`).
 //! Parse errors and store-level errors keep their historical free-form
 //! messages.
@@ -66,6 +66,16 @@ pub enum Command {
     ProfileVer(u64),
     /// `STATS` → `*n` + n × `name=value`
     Stats,
+    /// `STATS SHARDS` → `*n` + n × `name=value` of per-shard telemetry
+    /// (queue depth, drained batch sizes, ack latency)
+    StatsShards,
+    /// `SLOWLOG GET` → `*n` + n × entry lines, slowest first (handled
+    /// by the trace middleware layer; rejected when it is absent)
+    SlowlogGet,
+    /// `SLOWLOG RESET` → `+OK`
+    SlowlogReset,
+    /// `SLOWLOG LEN` → `:n`
+    SlowlogLen,
     /// `PING` → `+PONG`
     Ping,
     /// `QUIT` → `+OK`, then the server closes the connection
@@ -159,7 +169,25 @@ impl Command {
             "INGROUP" => Command::InGroup(need_u64(&mut parts, "user")?),
             "PROFILE" => Command::Profile(need_u64(&mut parts, "user")?),
             "PROFILEVER" => Command::ProfileVer(need_u64(&mut parts, "user")?),
-            "STATS" => Command::Stats,
+            "STATS" => match parts.next() {
+                // Extra tokens after a plain STATS were historically
+                // ignored; only the SHARDS subcommand changes meaning.
+                Some(sub) if sub.eq_ignore_ascii_case("SHARDS") => Command::StatsShards,
+                _ => Command::Stats,
+            },
+            "SLOWLOG" => {
+                let sub = need(&mut parts, "subcommand (GET|RESET|LEN)")?;
+                match sub.to_ascii_uppercase().as_str() {
+                    "GET" => Command::SlowlogGet,
+                    "RESET" => Command::SlowlogReset,
+                    "LEN" => Command::SlowlogLen,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown SLOWLOG subcommand {other:?} (want GET|RESET|LEN)"
+                        )))
+                    }
+                }
+            }
             "PING" => Command::Ping,
             "QUIT" => Command::Quit,
             "AUTH" => Command::Auth(need(&mut parts, "token")?.to_string()),
@@ -195,7 +223,8 @@ impl Command {
             Command::InGroup(..) => "INGROUP",
             Command::Profile(..) => "PROFILE",
             Command::ProfileVer(..) => "PROFILEVER",
-            Command::Stats => "STATS",
+            Command::Stats | Command::StatsShards => "STATS",
+            Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => "SLOWLOG",
             Command::Ping => "PING",
             Command::Quit => "QUIT",
             Command::Auth(..) => "AUTH",
@@ -223,9 +252,14 @@ impl Command {
             | Command::Leave(..)
             | Command::Profile(..)
             | Command::Expire(..) => CommandClass::Write,
-            Command::Stats | Command::Ping | Command::Quit | Command::Auth(..) => {
-                CommandClass::Control
-            }
+            Command::Stats
+            | Command::StatsShards
+            | Command::SlowlogGet
+            | Command::SlowlogReset
+            | Command::SlowlogLen
+            | Command::Ping
+            | Command::Quit
+            | Command::Auth(..) => CommandClass::Control,
         }
     }
 
@@ -253,6 +287,10 @@ impl Command {
             Command::Profile(u) => format!("PROFILE {u}"),
             Command::ProfileVer(u) => format!("PROFILEVER {u}"),
             Command::Stats => "STATS".into(),
+            Command::StatsShards => "STATS SHARDS".into(),
+            Command::SlowlogGet => "SLOWLOG GET".into(),
+            Command::SlowlogReset => "SLOWLOG RESET".into(),
+            Command::SlowlogLen => "SLOWLOG LEN".into(),
             Command::Ping => "PING".into(),
             Command::Quit => "QUIT".into(),
             Command::Auth(t) => format!("AUTH {t}"),
@@ -333,6 +371,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_observability_verbs() {
+        assert_eq!(Command::parse("STATS SHARDS"), Ok(Command::StatsShards));
+        assert_eq!(Command::parse("stats shards"), Ok(Command::StatsShards));
+        // Unknown trailing tokens keep meaning plain STATS (historical
+        // leniency).
+        assert_eq!(Command::parse("STATS extra"), Ok(Command::Stats));
+        assert_eq!(Command::parse("SLOWLOG GET"), Ok(Command::SlowlogGet));
+        assert_eq!(Command::parse("slowlog reset"), Ok(Command::SlowlogReset));
+        assert_eq!(Command::parse("SLOWLOG len"), Ok(Command::SlowlogLen));
+        assert!(Command::parse("SLOWLOG").is_err());
+        assert!(Command::parse("SLOWLOG FROB").is_err());
+        assert_eq!(Command::SlowlogGet.class(), CommandClass::Control);
+        assert_eq!(Command::StatsShards.class(), CommandClass::Control);
+    }
+
+    #[test]
     fn leading_whitespace_does_not_corrupt_set() {
         assert_eq!(
             Command::parse("  SET k v"),
@@ -376,6 +430,10 @@ mod tests {
             Command::Incr("n".into(), -4),
             Command::Post(3, 77),
             Command::Stats,
+            Command::StatsShards,
+            Command::SlowlogGet,
+            Command::SlowlogReset,
+            Command::SlowlogLen,
             Command::Auth("tok".into()),
             Command::Expire("k".into(), 99),
         ];

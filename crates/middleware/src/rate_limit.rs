@@ -225,11 +225,13 @@ impl Service for RateLimitService {
     /// and order is preserved: admitted commands travel downstream as
     /// one inner batch and are zipped back around the rejections.
     fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let admission_t = crate::span::start();
         let chargeable = reqs
             .iter()
             .filter(|r| !matches!(r.command, Command::Quit))
             .count() as u64;
         let granted = self.state.admit_n(&self.bucket, chargeable);
+        crate::span::record(LayerKind::RateLimit, admission_t);
         // Fast path: the whole burst fit the bucket — no slot
         // bookkeeping.
         if granted == chargeable {
@@ -258,7 +260,10 @@ impl Service for RateLimitService {
         if matches!(req.command, Command::Quit) {
             return self.inner.call(req);
         }
-        if self.state.admit(&self.bucket) {
+        let admission_t = crate::span::start();
+        let admitted = self.state.admit(&self.bucket);
+        crate::span::record(LayerKind::RateLimit, admission_t);
+        if admitted {
             self.inner.call(req)
         } else {
             Response::rejection(

@@ -1,0 +1,254 @@
+//! SLOWLOG: a fixed-capacity lock-free ring of the slowest commands.
+//!
+//! The trace layer records an entry for every command (or pipelined
+//! burst) whose wall-clock time crosses the configured threshold. The
+//! ring is built on `dego-juc` primitives — an [`AtomicLong`] write
+//! cursor claimed with one `get_and_increment`, and one epoch-reclaimed
+//! [`AtomicRef`] slot per position — so writers from any connection
+//! thread never block each other or readers: a `SLOWLOG GET` taken
+//! mid-write simply sees the previous entry in that slot.
+//!
+//! Semantics: the ring keeps the most recent `capacity` over-threshold
+//! entries; [`SlowLog::entries`] returns them sorted slowest-first
+//! (Redis-style). [`SlowLog::reset`] empties the ring but keeps entry
+//! ids monotonic across resets.
+
+use crate::pipeline::{LayerKind, LAYER_COUNT};
+use dego_juc::{AtomicLong, AtomicRef};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One captured slow command or burst.
+#[derive(Clone, Debug)]
+pub struct SlowLogEntry {
+    /// Monotonic id (survives [`SlowLog::reset`]).
+    pub id: u64,
+    /// Peer address of the connection that issued it.
+    pub client: Arc<str>,
+    /// Verb, or `"BATCH"` for a pipelined burst.
+    pub verb: &'static str,
+    /// Command class name (`read`/`write`/`control`, `batch` for bursts).
+    pub class: &'static str,
+    /// Commands in the burst (1 for a singleton).
+    pub burst: usize,
+    /// End-to-end wall-clock time through the whole stack.
+    pub elapsed_us: u64,
+    /// Sampled per-layer admission breakdown, when the span sampler
+    /// happened to cover this command; `None` for layers the span
+    /// never touched and for unsampled commands.
+    pub layer_us: Option<[Option<u64>; LAYER_COUNT]>,
+}
+
+impl SlowLogEntry {
+    /// The `SLOWLOG GET` wire line:
+    /// `id=3 client=127.0.0.1:4242 verb=SET class=write burst=1 us=15000 span=auth:2,ttl:9`
+    /// (`span=-` when the command was not sampled).
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "id={} client={} verb={} class={} burst={} us={} span=",
+            self.id, self.client, self.verb, self.class, self.burst, self.elapsed_us
+        );
+        match &self.layer_us {
+            None => line.push('-'),
+            Some(costs) => {
+                let mut any = false;
+                for kind in LayerKind::ALL {
+                    if let Some(us) = costs[kind.index()] {
+                        if any {
+                            line.push(',');
+                        }
+                        let _ = write!(line, "{}:{us}", kind.name());
+                        any = true;
+                    }
+                }
+                if !any {
+                    line.push('-');
+                }
+            }
+        }
+        line
+    }
+}
+
+/// The lock-free slow-command ring shared by every connection chain.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_us: u64,
+    slots: Vec<AtomicRef<Arc<SlowLogEntry>>>,
+    /// Write cursor; also the source of monotonic entry ids.
+    head: AtomicLong,
+}
+
+impl SlowLog {
+    /// A ring holding the `capacity` most recent entries at or above
+    /// `threshold_us`. Capacity 0 disables capture entirely.
+    pub fn new(threshold_us: u64, capacity: usize) -> Self {
+        SlowLog {
+            threshold_us,
+            slots: (0..capacity).map(|_| AtomicRef::empty()).collect(),
+            head: AtomicLong::new(0),
+        }
+    }
+
+    /// The capture threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Offer an observation; it is stored only when it crosses the
+    /// threshold and the ring has capacity. Returns whether it was
+    /// captured.
+    pub fn offer(
+        &self,
+        client: &Arc<str>,
+        verb: &'static str,
+        class: &'static str,
+        burst: usize,
+        elapsed_us: u64,
+        layer_us: Option<[Option<u64>; LAYER_COUNT]>,
+    ) -> bool {
+        if self.slots.is_empty() || elapsed_us < self.threshold_us {
+            return false;
+        }
+        let id = self.head.get_and_increment() as u64;
+        let slot = &self.slots[(id as usize) % self.slots.len()];
+        slot.set(Arc::new(SlowLogEntry {
+            id,
+            client: Arc::clone(client),
+            verb,
+            class,
+            burst,
+            elapsed_us,
+            layer_us,
+        }));
+        true
+    }
+
+    /// Snapshot the ring, sorted slowest-first (ties: newest first).
+    pub fn entries(&self) -> Vec<Arc<SlowLogEntry>> {
+        let mut out: Vec<Arc<SlowLogEntry>> = self.slots.iter().filter_map(|s| s.get()).collect();
+        out.sort_by(|a, b| b.elapsed_us.cmp(&a.elapsed_us).then(b.id.cmp(&a.id)));
+        out
+    }
+
+    /// Occupied slots (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Whether the ring currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_empty())
+    }
+
+    /// Entries ever captured (not clamped by capacity or reset).
+    pub fn total(&self) -> u64 {
+        self.head.get() as u64
+    }
+
+    /// Drop every entry; ids keep counting from where they were.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Arc<str> {
+        Arc::from("test:1")
+    }
+
+    #[test]
+    fn below_threshold_is_ignored() {
+        let log = SlowLog::new(100, 4);
+        assert!(!log.offer(&client(), "GET", "read", 1, 99, None));
+        assert_eq!(log.len(), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn keeps_most_recent_capacity_sorted_slowest_first() {
+        let log = SlowLog::new(10, 2);
+        log.offer(&client(), "GET", "read", 1, 50, None);
+        log.offer(&client(), "SET", "write", 1, 500, None);
+        log.offer(&client(), "DEL", "write", 1, 200, None); // evicts id 0
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].elapsed_us, 500);
+        assert_eq!(entries[1].verb, "DEL");
+        assert_eq!(log.total(), 3);
+    }
+
+    #[test]
+    fn reset_clears_but_ids_stay_monotonic() {
+        let log = SlowLog::new(0, 4);
+        log.offer(&client(), "GET", "read", 1, 1, None);
+        log.offer(&client(), "GET", "read", 1, 2, None);
+        log.reset();
+        assert_eq!(log.len(), 0);
+        log.offer(&client(), "GET", "read", 1, 3, None);
+        assert_eq!(log.entries()[0].id, 2, "ids continue across reset");
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let log = SlowLog::new(0, 0);
+        assert!(!log.offer(&client(), "GET", "read", 1, u64::MAX, None));
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn render_line_is_well_formed() {
+        let mut costs = [None; LAYER_COUNT];
+        costs[LayerKind::Auth.index()] = Some(7);
+        costs[LayerKind::Ttl.index()] = Some(0);
+        let entry = SlowLogEntry {
+            id: 9,
+            client: client(),
+            verb: "SET",
+            class: "write",
+            burst: 1,
+            elapsed_us: 1234,
+            layer_us: Some(costs),
+        };
+        assert_eq!(
+            entry.render_line(),
+            "id=9 client=test:1 verb=SET class=write burst=1 us=1234 span=auth:7,ttl:0"
+        );
+        let unsampled = SlowLogEntry {
+            layer_us: None,
+            ..entry
+        };
+        assert!(unsampled.render_line().ends_with("span=-"));
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let log = Arc::new(SlowLog::new(0, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let who: Arc<str> = Arc::from(format!("w{t}"));
+                    for i in 0..500 {
+                        log.offer(&who, "SET", "write", 1, 100 + i, None);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(log.total(), 2000);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 8);
+        for pair in entries.windows(2) {
+            assert!(pair[0].elapsed_us >= pair[1].elapsed_us);
+        }
+    }
+}

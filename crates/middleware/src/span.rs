@@ -1,0 +1,143 @@
+//! Sampled span scopes: per-layer admission-cost attribution.
+//!
+//! The trace layer (outermost) decides once per command or burst
+//! whether to sample a span ([`enter`]); while a span is active, every
+//! layer brackets its own admission work with [`start`]/[`record`],
+//! which accumulates microseconds into a thread-local cost table keyed
+//! by [`LayerKind`]. When the guard is finished the trace layer
+//! harvests the table into the shared per-layer histograms.
+//!
+//! Thread-locals are sound here by construction: a connection's service
+//! chain ([`crate::pipeline::BoxService`]) is built and driven entirely
+//! on that connection's thread (no `Send` bound), so an active span can
+//! never be observed from another chain.
+//!
+//! The unsampled fast path is one thread-local boolean load per layer
+//! ([`start`] returns `None` and [`record`] is a no-op), which is what
+//! keeps the default 1-in-N sampling overhead negligible.
+
+use crate::pipeline::{LayerKind, LAYER_COUNT};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COSTS: Cell<[u64; LAYER_COUNT]> = const { Cell::new([0; LAYER_COUNT]) };
+    static TOUCHED: Cell<[bool; LAYER_COUNT]> = const { Cell::new([false; LAYER_COUNT]) };
+}
+
+/// An active span scope. Dropping it (or calling
+/// [`SpanGuard::finish`]) deactivates the thread's span.
+pub struct SpanGuard {
+    /// Chains are single-threaded; keep the guard that way too.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Begin a sampled span on this thread, resetting the cost table.
+pub fn enter() -> SpanGuard {
+    ACTIVE.with(|a| a.set(true));
+    COSTS.with(|c| c.set([0; LAYER_COUNT]));
+    TOUCHED.with(|t| t.set([false; LAYER_COUNT]));
+    SpanGuard {
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// End the span and harvest the per-layer costs: `Some(micros)`
+    /// for every layer that recorded at least one segment, `None` for
+    /// layers the span never saw (not configured, or exempt paths).
+    pub fn finish(self) -> [Option<u64>; LAYER_COUNT] {
+        let costs = COSTS.with(|c| c.get());
+        let touched = TOUCHED.with(|t| t.get());
+        let mut out = [None; LAYER_COUNT];
+        for i in 0..LAYER_COUNT {
+            if touched[i] {
+                out[i] = Some(costs[i]);
+            }
+        }
+        out
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.set(false));
+    }
+}
+
+/// The start of one layer segment: `Some(now)` when a span is active
+/// on this thread, `None` (one thread-local load) otherwise.
+#[inline]
+pub fn start() -> Option<Instant> {
+    if ACTIVE.with(|a| a.get()) {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Close a segment opened by [`start`], charging its elapsed
+/// microseconds to `kind`. A `None` segment (no active span) is free.
+#[inline]
+pub fn record(kind: LayerKind, segment: Option<Instant>) {
+    let Some(started) = segment else { return };
+    let us = started.elapsed().as_micros() as u64;
+    let i = kind.index();
+    COSTS.with(|c| {
+        let mut costs = c.get();
+        costs[i] = costs[i].saturating_add(us);
+        c.set(costs);
+    });
+    TOUCHED.with(|t| {
+        let mut touched = t.get();
+        touched[i] = true;
+        t.set(touched);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_span_means_free_segments() {
+        assert!(start().is_none());
+        record(LayerKind::Auth, None); // must not panic or record
+    }
+
+    #[test]
+    fn segments_accumulate_per_layer_and_harvest() {
+        let guard = enter();
+        let t = start();
+        assert!(t.is_some(), "span active");
+        record(LayerKind::Auth, t);
+        record(LayerKind::Auth, start()); // second segment, same layer
+        record(LayerKind::Ttl, start());
+        let costs = guard.finish();
+        assert!(costs[LayerKind::Auth.index()].is_some());
+        assert!(costs[LayerKind::Ttl.index()].is_some());
+        assert_eq!(costs[LayerKind::Deadline.index()], None, "never touched");
+        assert!(start().is_none(), "span closed after finish");
+    }
+
+    #[test]
+    fn dropping_the_guard_deactivates_the_span() {
+        {
+            let _guard = enter();
+            assert!(start().is_some());
+        }
+        assert!(start().is_none());
+    }
+
+    #[test]
+    fn reentering_resets_stale_costs() {
+        let guard = enter();
+        record(LayerKind::Trace, start());
+        drop(guard);
+        let guard = enter();
+        let costs = guard.finish();
+        assert_eq!(costs, [None; LAYER_COUNT], "fresh span starts clean");
+    }
+}

@@ -5,24 +5,71 @@
 //! `STATS` and the store answered with the usual `name=value` array —
 //! folds the whole pipeline's `mw_*` lines into the reply, so one
 //! `STATS` round-trip observes both planes.
+//!
+//! Being outermost also makes it the observability anchor:
+//!
+//! * **Span sampling**: every `sample_every`-th command (or burst) per
+//!   connection opens a [`crate::span`] scope; each layer below charges
+//!   its admission cost to the scope, and the harvest lands in the
+//!   per-layer histograms behind `mw_<layer>_us_p50/p99`.
+//! * **Slowlog capture**: commands/bursts whose wall-clock time crosses
+//!   the configured threshold are pushed into the lock-free
+//!   [`crate::slowlog::SlowLog`] ring, together with the sampled
+//!   breakdown when one was taken.
+//! * **`SLOWLOG GET|RESET|LEN`** are answered here — they never travel
+//!   further down the stack, so they are immune to deadline/rate/ACL
+//!   policy and usable for diagnosis even mid-overload.
 
-use crate::metrics::PipelineMetrics;
-use crate::pipeline::{BoxService, Layer, LayerKind, Request, Response, Service, Session};
+use crate::metrics::{debug_assert_unique_stat_names, PipelineMetrics};
+use crate::pipeline::{
+    partition_batch, BoxService, Layer, LayerKind, Request, Response, Service, Session, LAYER_COUNT,
+};
 use crate::protocol::{Command, CommandClass, Reply};
+use crate::slowlog::SlowLog;
+use crate::span;
 use std::sync::Arc;
 use std::time::Instant;
+
+fn class_name(class: CommandClass) -> &'static str {
+    match class {
+        CommandClass::Read => "read",
+        CommandClass::Write => "write",
+        CommandClass::Control => "control",
+    }
+}
+
+/// Answer a slowlog verb from the ring, or `None` for anything else.
+fn slowlog_reply(slowlog: &SlowLog, cmd: &Command) -> Option<Reply> {
+    match cmd {
+        Command::SlowlogGet => Some(Reply::Array(
+            slowlog.entries().iter().map(|e| e.render_line()).collect(),
+        )),
+        Command::SlowlogReset => {
+            slowlog.reset();
+            Some(Reply::Status("OK"))
+        }
+        Command::SlowlogLen => Some(Reply::Int(slowlog.len() as i64)),
+        _ => None,
+    }
+}
 
 /// The trace [`Layer`].
 pub struct TraceLayer {
     metrics: Arc<PipelineMetrics>,
     depth: usize,
+    sample_every: u32,
 }
 
 impl TraceLayer {
     /// Build the layer; `depth` is the configured stack depth reported
-    /// as `mw_depth`.
-    pub fn new(metrics: Arc<PipelineMetrics>, depth: usize) -> Self {
-        TraceLayer { metrics, depth }
+    /// as `mw_depth`, `sample_every` the span-sampling period (0
+    /// disables sampling, 1 samples everything).
+    pub fn new(metrics: Arc<PipelineMetrics>, depth: usize, sample_every: u32) -> Self {
+        TraceLayer {
+            metrics,
+            depth,
+            sample_every,
+        }
     }
 }
 
@@ -31,10 +78,13 @@ impl Layer for TraceLayer {
         LayerKind::Trace
     }
 
-    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
         Box::new(TraceService {
             metrics: Arc::clone(&self.metrics),
             depth: self.depth,
+            client: Arc::from(session.client.as_str()),
+            sample_every: self.sample_every,
+            tick: 0,
             inner,
         })
     }
@@ -43,7 +93,48 @@ impl Layer for TraceLayer {
 struct TraceService {
     metrics: Arc<PipelineMetrics>,
     depth: usize,
+    client: Arc<str>,
+    sample_every: u32,
+    /// Per-connection sampling phase: 0 means "sample now", so the
+    /// first command of every connection is always covered —
+    /// contention-free and deterministic for tests.
+    tick: u32,
     inner: BoxService,
+}
+
+impl TraceService {
+    fn tick_sample(&mut self) -> bool {
+        if self.sample_every == 0 {
+            return false;
+        }
+        let hit = self.tick == 0;
+        self.tick += 1;
+        if self.tick >= self.sample_every {
+            self.tick = 0;
+        }
+        hit
+    }
+
+    /// Close out one traced command/burst: harvest the span (if any)
+    /// into the per-layer histograms and offer the observation to the
+    /// slowlog ring.
+    fn finish(
+        &self,
+        span: Option<span::SpanGuard>,
+        verb: &'static str,
+        class: &'static str,
+        burst: usize,
+        elapsed_us: u64,
+    ) {
+        let costs: Option<[Option<u64>; LAYER_COUNT]> = span.map(|guard| {
+            let costs = guard.finish();
+            self.metrics.note_span(&costs);
+            costs
+        });
+        self.metrics
+            .slowlog
+            .offer(&self.client, verb, class, burst, elapsed_us, costs);
+    }
 }
 
 impl Service for TraceService {
@@ -52,20 +143,40 @@ impl Service for TraceService {
     /// command — the per-class histograms only see singleton traffic,
     /// which is what they meter best anyway (a per-batch sample would
     /// conflate k commands into one latency). `STATS` replies inside
-    /// the burst still grow the `mw_*` lines at their position.
+    /// the burst still grow the `mw_*` lines at their position, and
+    /// slowlog verbs are answered in place without travelling further
+    /// down; a slow burst enters the slowlog as one `BATCH` entry
+    /// (covering the burst end to end, which no position inside it
+    /// could observe anyway).
     fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         let n = reqs.len() as u64;
         let stats_at: Vec<bool> = reqs
             .iter()
             .map(|r| matches!(r.command, Command::Stats))
             .collect();
+        let has_slowlog_verbs = reqs.iter().any(|r| {
+            matches!(
+                r.command,
+                Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen
+            )
+        });
+        let span = self.tick_sample().then(span::enter);
         let start = Instant::now();
-        let mut resps = self.inner.call_batch(reqs);
+        let mut resps = if has_slowlog_verbs {
+            let metrics = Arc::clone(&self.metrics);
+            partition_batch(&mut self.inner, reqs, |req| {
+                slowlog_reply(&metrics.slowlog, &req.command).map(Response::ok)
+            })
+        } else {
+            self.inner.call_batch(reqs)
+        };
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let trace_t = span::start();
         for (resp, is_stats) in resps.iter_mut().zip(stats_at) {
             if is_stats {
                 if let Reply::Array(lines) = &mut resp.reply {
                     lines.extend(self.metrics.render_lines(self.depth));
+                    debug_assert_unique_stat_names(lines);
                 }
             }
         }
@@ -73,20 +184,30 @@ impl Service for TraceService {
         self.metrics.batch_commands.add(n);
         self.metrics.batches.increment();
         self.metrics.batch_latency.record(elapsed_us);
+        span::record(LayerKind::Trace, trace_t);
+        self.finish(span, "BATCH", "batch", n as usize, elapsed_us);
         resps
     }
 
     fn call(&mut self, req: Request) -> Response {
+        if let Some(reply) = slowlog_reply(&self.metrics.slowlog, &req.command) {
+            self.metrics.traced.increment();
+            return Response::ok(reply);
+        }
         let class = req.command.class();
+        let verb = req.command.verb();
         let is_stats = matches!(req.command, Command::Stats);
+        let span = self.tick_sample().then(span::enter);
         let start = Instant::now();
         let mut resp = self.inner.call(req);
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let trace_t = span::start();
         // Render before recording, so a `STATS` reply reflects the
         // traffic *before* it, not itself.
         if is_stats {
             if let Reply::Array(lines) = &mut resp.reply {
                 lines.extend(self.metrics.render_lines(self.depth));
+                debug_assert_unique_stat_names(lines);
             }
         }
         self.metrics.traced.increment();
@@ -95,6 +216,8 @@ impl Service for TraceService {
             CommandClass::Write => self.metrics.write_latency.record(elapsed_us),
             CommandClass::Control => self.metrics.control_latency.record(elapsed_us),
         }
+        span::record(LayerKind::Trace, trace_t);
+        self.finish(span, verb, class_name(class), 1, elapsed_us);
         resp
     }
 }
@@ -102,6 +225,7 @@ impl Service for TraceService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TraceConfig;
 
     struct Store;
     impl Service for Store {
@@ -113,13 +237,18 @@ mod tests {
         }
     }
 
-    fn traced() -> (BoxService, Arc<PipelineMetrics>) {
-        let metrics = Arc::new(PipelineMetrics::new());
-        let layer = TraceLayer::new(Arc::clone(&metrics), 5);
+    fn traced_with(config: TraceConfig) -> (BoxService, Arc<PipelineMetrics>) {
+        let sample_every = config.sample_every;
+        let metrics = Arc::new(PipelineMetrics::with_trace(&config));
+        let layer = TraceLayer::new(Arc::clone(&metrics), 5, sample_every);
         let session = Session {
             client: "t:1".into(),
         };
         (layer.wrap(&session, Box::new(Store)), metrics)
+    }
+
+    fn traced() -> (BoxService, Arc<PipelineMetrics>) {
+        traced_with(TraceConfig::default())
     }
 
     #[test]
@@ -173,5 +302,111 @@ mod tests {
             }
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_sample_one_in_n_per_connection() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            sample_every: 3,
+            ..TraceConfig::default()
+        });
+        for _ in 0..7 {
+            svc.call(Request::new(Command::Ping));
+        }
+        // Commands 1, 4 and 7 are sampled (phase starts at "now").
+        assert_eq!(metrics.spans_sampled.sum(), 3);
+        assert!(metrics.layer_admission_us[LayerKind::Trace.index()].count() >= 3);
+    }
+
+    #[test]
+    fn sampling_zero_disables_spans() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::default()
+        });
+        for _ in 0..10 {
+            svc.call(Request::new(Command::Ping));
+        }
+        assert_eq!(metrics.spans_sampled.sum(), 0);
+    }
+
+    #[test]
+    fn slow_commands_enter_the_slowlog() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            slowlog_threshold_us: 0, // everything is "slow"
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        assert_eq!(metrics.slowlog.len(), 1);
+        let entry = &metrics.slowlog.entries()[0];
+        assert_eq!(entry.verb, "SET");
+        assert_eq!(entry.class, "write");
+        assert_eq!(entry.burst, 1);
+        assert_eq!(&*entry.client, "t:1");
+        assert!(entry.layer_us.is_some(), "first command is sampled");
+    }
+
+    #[test]
+    fn slowlog_verbs_are_answered_by_the_trace_layer() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            slowlog_threshold_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        match svc.call(Request::new(Command::SlowlogLen)).reply {
+            Reply::Int(1) => {}
+            other => panic!("expected :1, got {other:?}"),
+        }
+        match svc.call(Request::new(Command::SlowlogGet)).reply {
+            Reply::Array(lines) => {
+                assert_eq!(lines.len(), 1);
+                assert!(lines[0].contains("verb=SET"), "line: {}", lines[0]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            svc.call(Request::new(Command::SlowlogReset)).reply,
+            Reply::Status("OK")
+        );
+        assert_eq!(metrics.slowlog.len(), 0);
+        // The verbs themselves never entered the ring or the class
+        // histograms, but were counted as traffic.
+        assert_eq!(metrics.traced.sum(), 4);
+        assert_eq!(metrics.control_latency.count(), 0);
+    }
+
+    #[test]
+    fn slowlog_verbs_in_bursts_answer_in_place() {
+        let (mut svc, _) = traced_with(TraceConfig {
+            slowlog_threshold_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::SlowlogLen),
+            Request::new(Command::Ping),
+        ]);
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0].reply, Reply::Status("OK"), "inner store reply");
+        assert_eq!(resps[1].reply, Reply::Int(1), "answered by trace");
+        assert_eq!(resps[2].reply, Reply::Status("OK"));
+    }
+
+    #[test]
+    fn slow_bursts_enter_as_one_batch_entry() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            slowlog_threshold_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.call_batch(vec![
+            Request::new(Command::Ping),
+            Request::new(Command::Ping),
+        ]);
+        let entries = metrics.slowlog.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].verb, "BATCH");
+        assert_eq!(entries[0].class, "batch");
+        assert_eq!(entries[0].burst, 2);
     }
 }

@@ -197,6 +197,7 @@ impl Service for TtlService {
     /// `EXPIRE` arming one mid-burst) drops to the sequential path,
     /// whose reap locking is what makes expiry safe.
     fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let admission_t = crate::span::start();
         let arming = reqs
             .iter()
             .any(|r| matches!(r.command, Command::Expire(..)));
@@ -211,12 +212,15 @@ impl Service for TtlService {
                 })
                 .count() as u64;
             self.state.metrics.ttl_checked.add(kv);
+            crate::span::record(LayerKind::Ttl, admission_t);
             return self.inner.call_batch(reqs);
         }
+        crate::span::record(LayerKind::Ttl, admission_t);
         reqs.into_iter().map(|req| self.call(req)).collect()
     }
 
     fn call(&mut self, req: Request) -> Response {
+        let admission_t = crate::span::start();
         // Decide on a borrowed view first so the fast paths forward
         // `req` without cloning its key.
         enum Plan {
@@ -248,6 +252,10 @@ impl Service for TtlService {
             }
             _ => Plan::Forward,
         };
+        // The sidecar probe is this layer's admission cost; the plan's
+        // own downstream work (reaps, the rewrite) is real store
+        // traffic, not admission overhead.
+        crate::span::record(LayerKind::Ttl, admission_t);
         match plan {
             Plan::Forward => self.inner.call(req),
             Plan::MutateTimed(key) => self.mutate_timed(req, key),

@@ -3,11 +3,14 @@
 //! encoder and the parser are exact inverses, and malformed input is
 //! rejected rather than misparsed — plus the batch-path law: a
 //! pipelined burst through `call_batch` answers byte-identically, in
-//! order, to the same commands sent through `call` one at a time.
+//! order, to the same commands sent through `call` one at a time —
+//! plus Prometheus exposition invariants: metric names survive
+//! rendering and label values escape losslessly.
 
 use dego_middleware::protocol::{Command, CommandClass, Reply};
 use dego_middleware::{
-    AuthConfig, MiddlewareConfig, Request, Response, Role, Service, Session, Stack, TokenSpec,
+    AuthConfig, MiddlewareConfig, PromText, Request, Response, Role, Service, Session, Stack,
+    TokenSpec,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -48,10 +51,14 @@ fn command() -> impl Strategy<Value = Command> {
         user().prop_map(Command::Profile),
         user().prop_map(Command::ProfileVer),
         Just(Command::Stats),
+        Just(Command::StatsShards),
         Just(Command::Ping),
         Just(Command::Quit),
         key().prop_map(Command::Auth),
         (key(), any::<u64>()).prop_map(|(k, ms)| Command::Expire(k, ms)),
+        Just(Command::SlowlogGet),
+        Just(Command::SlowlogReset),
+        Just(Command::SlowlogLen),
     )
 }
 
@@ -141,6 +148,46 @@ fn equivalence_chain(burst: u64) -> dego_middleware::BoxService {
     )
 }
 
+/// Metric family names as the exposition format allows them.
+fn metric_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,24}".prop_map(|s| s)
+}
+
+/// Label values across the full escaping surface: backslashes, double
+/// quotes, newlines, and ordinary printable ASCII.
+fn label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('\\'),
+            Just('"'),
+            Just('\n'),
+            (32u8..127).prop_map(|b| b as char),
+        ],
+        0..16,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Inverse of [`dego_middleware::prom::escape_label_value`]: the three
+/// escape sequences the exposition format defines, nothing else.
+fn unescape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => panic!("dangling escape {other:?} in {s:?}"),
+        }
+    }
+    out
+}
+
 const KNOWN_VERBS: &[&str] = &[
     "GET",
     "SET",
@@ -163,6 +210,7 @@ const KNOWN_VERBS: &[&str] = &[
     "QUIT",
     "AUTH",
     "EXPIRE",
+    "SLOWLOG",
 ];
 
 proptest! {
@@ -255,6 +303,60 @@ proptest! {
             .map(|resp| (resp.reply, resp.close))
             .collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Escaping is lossless: unescape ∘ escape = identity, and the
+    /// escaped form never carries a raw newline (which would tear the
+    /// line-oriented exposition).
+    #[test]
+    fn prom_label_escaping_round_trips(v in label_value()) {
+        let escaped = dego_middleware::prom::escape_label_value(&v);
+        prop_assert!(!escaped.contains('\n'), "no raw newline in {escaped:?}");
+        prop_assert_eq!(unescape_label_value(&escaped), v);
+    }
+
+    /// Rendered expositions round-trip their family names and values:
+    /// the `# TYPE` header, the bare counter sample, and the labelled
+    /// gauge sample (label value recovered through unescaping) all
+    /// survive a parse of the finished text.
+    #[test]
+    fn prom_rendering_round_trips(
+        name in metric_name(),
+        count in any::<u64>(),
+        gauge_val in any::<u64>(),
+        label in label_value(),
+    ) {
+        let counter_name = format!("{name}_total");
+        let gauge_name = format!("{name}_depth");
+        let mut p = PromText::new();
+        p.counter(&counter_name, "a counter", count);
+        p.gauge_vec(&gauge_name, "a gauge", &[(vec![("l", label.clone())], gauge_val)]);
+        let text = p.finish();
+
+        prop_assert!(
+            text.lines().any(|l| l == format!("# TYPE {counter_name} counter")),
+            "counter TYPE header in {text:?}"
+        );
+        prop_assert!(
+            text.lines().any(|l| l == format!("{counter_name} {count}")),
+            "counter sample in {text:?}"
+        );
+        prop_assert!(
+            text.lines().any(|l| l == format!("# TYPE {gauge_name} gauge")),
+            "gauge TYPE header in {text:?}"
+        );
+
+        // The labelled series: name{l="ESCAPED"} value — recover both.
+        let prefix = format!("{gauge_name}{{l=\"");
+        let series = text.lines().find(|l| l.starts_with(&prefix));
+        prop_assert!(series.is_some(), "labelled gauge series in {text:?}");
+        let (sample, value) = series.unwrap().rsplit_once(' ').expect("sample line");
+        prop_assert_eq!(value.parse::<u64>().ok(), Some(gauge_val));
+        let inner = sample
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix("\"}"))
+            .expect("label delimiters");
+        prop_assert_eq!(unescape_label_value(inner), label);
     }
 
     /// Reply rendering always emits exactly one line per element

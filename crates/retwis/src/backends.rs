@@ -490,6 +490,14 @@ impl NetworkBackend {
         self.server.stack().depth()
     }
 
+    /// `SLOWLOG GET` against the embedded server: the slowest captured
+    /// commands, slowest first, one rendered line each. Errors when no
+    /// trace layer is configured (the verb rejects structurally).
+    pub fn slowlog(&self) -> std::io::Result<Vec<String>> {
+        let mut client = dego_server::Client::connect(self.server.local_addr())?;
+        client.slowlog_get()
+    }
+
     /// Boot the embedded server behind an explicit middleware pipeline
     /// (the trait's `create` reads `DEGO_RETWIS_MIDDLEWARE` instead).
     pub fn create_with_middleware(
@@ -708,6 +716,29 @@ mod tests {
         assert_eq!(w.read_timeline(1), vec![7]);
         assert!(w.is_following(1, 0));
         assert!(backend.server_stats().applied > 0);
+    }
+
+    #[test]
+    fn network_backend_surfaces_the_slowlog() {
+        // A zero threshold captures every traced command, so the social
+        // traffic above the middleware shows up in SLOWLOG GET.
+        let mut middleware = dego_server::MiddlewareConfig::full();
+        middleware.trace.slowlog_threshold_us = 0;
+        let backend = NetworkBackend::create_with_middleware(1, 64, middleware);
+        let mut w = backend.worker();
+        w.add_user(1);
+        w.post(1, 3);
+        let entries = backend.slowlog().expect("trace layer answers SLOWLOG");
+        assert!(!entries.is_empty(), "zero threshold captures commands");
+        assert!(
+            entries.iter().all(|line| line.contains("us=")),
+            "rendered entries carry elapsed time: {entries:?}"
+        );
+
+        // Without a trace layer the verb rejects structurally.
+        let bare =
+            NetworkBackend::create_with_middleware(1, 64, dego_server::MiddlewareConfig::none());
+        assert!(bare.slowlog().is_err());
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! * `--anon-role ROLE` — role of unauthenticated sessions
 //! * `--rate-burst N` / `--rate-per-sec N` — token-bucket tuning
 //! * `--deadline-read-us N` / `--deadline-write-us N` — class budgets
+//! * `--trace-sample N` — sample per-layer span costs 1-in-N (0 = off,
+//!   default 64)
+//! * `--slowlog-threshold-us N` / `--slowlog-capacity N` — slowlog ring
+//!   tuning (0 threshold captures everything, 0 capacity disables)
+//! * `--metrics-addr ADDR` — serve Prometheus text exposition at
+//!   `http://ADDR/metrics` (off by default)
 //! * `--no-batch` — disable the batched pipeline path (A/B runs; the
 //!   group-commit batching is on by default)
 //! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
@@ -23,7 +29,8 @@ fn usage_exit(err: &str) -> ! {
         "usage: dego-server [addr] [--shards N] [--middleware none|full|LAYERS] \
          [--auth-token NAME:TOKEN:ROLE] [--anon-role ROLE] [--rate-burst N] \
          [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N] \
-         [--no-batch] [--ack-timeout-ms N]"
+         [--trace-sample N] [--slowlog-threshold-us N] [--slowlog-capacity N] \
+         [--metrics-addr ADDR] [--no-batch] [--ack-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,10 @@ fn main() {
                     }
                     _ => usage_exit(&format!("bad ack timeout {value:?}")),
                 },
+                Ok(false) if flag == "--metrics-addr" => match value.parse() {
+                    Ok(addr) => config.metrics_addr = Some(addr),
+                    Err(e) => usage_exit(&format!("bad metrics address {value:?}: {e}")),
+                },
                 Ok(false) => usage_exit(&format!("unknown flag {flag}")),
                 Err(e) => usage_exit(&e),
             }
@@ -83,6 +94,9 @@ fn main() {
         server.shards(),
         server.stack().depth()
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics exposition at http://{addr}/metrics");
+    }
     loop {
         std::thread::park();
     }

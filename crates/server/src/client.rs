@@ -5,6 +5,7 @@
 //! the integration tests; applications are equally welcome to speak
 //! the line protocol directly.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -301,7 +302,24 @@ impl Client {
 
     /// `STATS` as `name=value` pairs.
     pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
-        match self.request("STATS")? {
+        self.name_value_array("STATS")
+    }
+
+    /// `STATS` parsed into a map — the ergonomic way to assert on
+    /// individual stats (names are unique per reply by construction).
+    pub fn stats_map(&mut self) -> std::io::Result<BTreeMap<String, String>> {
+        Ok(self.stats()?.into_iter().collect())
+    }
+
+    /// `STATS SHARDS` — per-shard queue depth, drained-batch shape and
+    /// enqueue→apply latency — parsed into a map.
+    pub fn stats_shards(&mut self) -> std::io::Result<BTreeMap<String, String>> {
+        Ok(self.name_value_array("STATS SHARDS")?.into_iter().collect())
+    }
+
+    /// Issue `verb` and parse its array reply's `name=value` lines.
+    fn name_value_array(&mut self, verb: &str) -> std::io::Result<Vec<(String, String)>> {
+        match self.request(verb)? {
             ClientReply::Array(items) => Ok(items
                 .into_iter()
                 .filter_map(|item| {
@@ -309,8 +327,28 @@ impl Client {
                         .map(|(k, v)| (k.to_string(), v.to_string()))
                 })
                 .collect()),
-            other => Err(bad_reply("STATS", &other)),
+            other => Err(bad_reply(verb, &other)),
         }
+    }
+
+    /// `SLOWLOG GET` — the slowest captured commands, slowest first,
+    /// one rendered line per entry.
+    pub fn slowlog_get(&mut self) -> std::io::Result<Vec<String>> {
+        match self.request("SLOWLOG GET")? {
+            ClientReply::Array(items) => Ok(items),
+            other => Err(bad_reply("SLOWLOG GET", &other)),
+        }
+    }
+
+    /// `SLOWLOG LEN` — entries currently held by the ring.
+    pub fn slowlog_len(&mut self) -> std::io::Result<u64> {
+        Ok(self.request("SLOWLOG LEN")?.expect_int("SLOWLOG LEN")? as u64)
+    }
+
+    /// `SLOWLOG RESET` — clear the ring (entry ids keep counting).
+    pub fn slowlog_reset(&mut self) -> std::io::Result<()> {
+        self.request("SLOWLOG RESET")?
+            .expect_status("SLOWLOG RESET")
     }
 
     /// `QUIT` (the server closes the connection afterwards).

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod metrics_http;
 mod server;
 pub mod stats;
 mod store;
@@ -255,13 +256,11 @@ mod tests {
         c.set("b", "2").unwrap();
         let _ = c.get("a").unwrap();
         let _ = c.get("nope").unwrap();
-        let pairs = c.stats().unwrap();
+        let stats = c.stats_map().unwrap();
         let lookup = |name: &str| -> u64 {
-            pairs
-                .iter()
-                .find(|(k, _)| k == name)
+            stats
+                .get(name)
                 .unwrap_or_else(|| panic!("stat {name} missing"))
-                .1
                 .parse()
                 .expect("numeric stat")
         };
@@ -345,9 +344,9 @@ mod tests {
         let err = c.auth("nope").unwrap_err();
         assert!(err.to_string().contains("AUTH"), "got {err}");
         // The trace layer folds mw_* lines into STATS.
-        let pairs = c.stats().unwrap();
-        assert!(pairs.iter().any(|(k, v)| k == "mw_depth" && v == "5"));
-        assert!(pairs.iter().any(|(k, _)| k == "mw_ttl_expired"));
+        let stats = c.stats_map().unwrap();
+        assert_eq!(stats.get("mw_depth").map(String::as_str), Some("5"));
+        assert!(stats.contains_key("mw_ttl_expired"));
         server.shutdown();
     }
 

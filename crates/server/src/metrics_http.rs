@@ -1,0 +1,351 @@
+//! A minimal Prometheus text-exposition responder.
+//!
+//! `--metrics-addr` spawns one thread running an HTTP/1.0 accept loop:
+//! `GET /metrics` renders a point-in-time snapshot of every server and
+//! middleware counter in the Prometheus text format (version 0.0.4)
+//! and closes the connection; anything else is a 404. One request per
+//! connection, served sequentially — a scrape endpoint, not a web
+//! server. No HTTP library is involved: the protocol surface is a
+//! request line in, a `Content-Length`-framed body out.
+
+use crate::stats::ServerStats;
+use crate::store::Store;
+use dego_middleware::{LatencyHistogram, LayerKind, PromText, Stack};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A client gets this long to send its request line before the
+/// responder hangs up (one stuck scraper must not wedge the loop).
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Bind `addr` and spawn the responder thread. Returns the bound
+/// address (port 0 resolves here) and the join handle; the thread
+/// exits once `shutdown` is up and the accept loop is poked with a
+/// throwaway connection.
+pub(crate) fn spawn_metrics(
+    addr: SocketAddr,
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    stack: Arc<Stack>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("dego-metrics".into())
+        .spawn(move || loop {
+            let socket = match listener.accept() {
+                Ok((socket, _)) => socket,
+                Err(_) => {
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Accept failures (fd pressure) must not busy-spin.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = serve_one(socket, &store, &stats, &stack);
+        })?;
+    Ok((bound, handle))
+}
+
+/// Answer one scrape: read the request line, write the exposition (or
+/// a 404), close.
+fn serve_one(
+    socket: TcpStream,
+    store: &Store,
+    stats: &ServerStats,
+    stack: &Stack,
+) -> std::io::Result<()> {
+    socket.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(socket.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let hit =
+        parts.next() == Some("GET") && matches!(parts.next(), Some("/metrics") | Some("/metrics/"));
+    let mut socket = socket;
+    if hit {
+        let body = render_exposition(store, stats, stack);
+        write!(
+            socket,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            socket,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    socket.flush()
+}
+
+/// Render every counter, gauge and histogram the server knows about.
+///
+/// Families are grouped by plane: server counters (`dego_*_total`),
+/// storage-plane gauges and per-shard series (`dego_shard_*`), then
+/// the middleware pipeline (`dego_mw_*`) including the sampled
+/// per-layer admission-cost histograms.
+fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> String {
+    let snap = stats.snapshot();
+    let mut prom = PromText::new();
+
+    prom.counter(
+        "dego_connections_total",
+        "Connections accepted since boot.",
+        snap.connections,
+    );
+    prom.counter(
+        "dego_commands_total",
+        "Request lines handled.",
+        snap.commands,
+    );
+    prom.counter("dego_gets_total", "GETs served (hit or miss).", snap.gets);
+    prom.counter(
+        "dego_get_hits_total",
+        "GETs that found the key.",
+        snap.get_hits,
+    );
+    prom.counter(
+        "dego_mutations_total",
+        "Mutations enqueued to shard owners.",
+        snap.mutations,
+    );
+    prom.counter(
+        "dego_applied_total",
+        "Mutations applied by shard owners.",
+        store.applied.get(),
+    );
+    prom.counter(
+        "dego_timeline_reads_total",
+        "TIMELINE reads served.",
+        snap.timeline_reads,
+    );
+    prom.counter(
+        "dego_errors_total",
+        "Protocol errors returned.",
+        snap.errors,
+    );
+    prom.counter(
+        "dego_accept_errors_total",
+        "accept() failures observed by the accept loop.",
+        snap.accept_errors,
+    );
+    prom.counter(
+        "dego_shard_batches_total",
+        "Mutation batches drained by shard owners (group commits).",
+        snap.shard_batches,
+    );
+    prom.counter(
+        "dego_cas_failures_total",
+        "Process-wide CAS retries (contention stall proxy).",
+        snap.contention.cas_failures,
+    );
+    prom.counter(
+        "dego_lock_spins_total",
+        "Process-wide lock spin events.",
+        snap.contention.lock_spins,
+    );
+    prom.counter(
+        "dego_rmw_ops_total",
+        "Process-wide read-modify-write operations.",
+        snap.contention.rmw_ops,
+    );
+    prom.gauge("dego_shards", "Storage shards.", store.shards() as u64);
+    prom.gauge(
+        "dego_keys",
+        "Keys in the string keyspace.",
+        store.kv.len() as u64,
+    );
+
+    let shard_label = |i: usize| vec![("shard", i.to_string())];
+    let depths: Vec<_> = store
+        .telemetry()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (shard_label(i), t.queue_depth()))
+        .collect();
+    prom.gauge_vec(
+        "dego_shard_queue_depth",
+        "Mutations enqueued to the shard but not yet applied.",
+        &depths,
+    );
+    let enqueued: Vec<_> = store
+        .telemetry()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (shard_label(i), t.enqueued()))
+        .collect();
+    prom.counter_vec(
+        "dego_shard_enqueued_total",
+        "Mutations handed to the shard since boot.",
+        &enqueued,
+    );
+    let batch_sizes: Vec<(Vec<(&str, String)>, &LatencyHistogram)> = store
+        .telemetry()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (shard_label(i), t.drained_batch()))
+        .collect();
+    prom.histogram_vec(
+        "dego_shard_drained_batch_size",
+        "Group-commit width: mutations per drained batch.",
+        &batch_sizes,
+    );
+    let ack_us: Vec<(Vec<(&str, String)>, &LatencyHistogram)> = store
+        .telemetry()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (shard_label(i), t.ack_us()))
+        .collect();
+    prom.histogram_vec(
+        "dego_shard_ack_us",
+        "Enqueue-to-apply latency per mutation, microseconds.",
+        &ack_us,
+    );
+
+    let m = stack.metrics();
+    prom.gauge(
+        "dego_mw_depth",
+        "Configured middleware layers.",
+        stack.depth() as u64,
+    );
+    prom.counter(
+        "dego_mw_traced_total",
+        "Commands observed by the trace layer.",
+        m.traced.sum(),
+    );
+    prom.histogram(
+        "dego_mw_read_us",
+        "Read-class command latency below trace, microseconds.",
+        &m.read_latency,
+    );
+    prom.histogram(
+        "dego_mw_write_us",
+        "Write-class command latency below trace, microseconds.",
+        &m.write_latency,
+    );
+    prom.histogram(
+        "dego_mw_control_us",
+        "Control-class command latency below trace, microseconds.",
+        &m.control_latency,
+    );
+    prom.counter(
+        "dego_mw_batches_total",
+        "Pipelined bursts driven through call_batch.",
+        m.batches.sum(),
+    );
+    prom.counter(
+        "dego_mw_batch_commands_total",
+        "Commands carried by those bursts.",
+        m.batch_commands.sum(),
+    );
+    prom.histogram(
+        "dego_mw_batch_us",
+        "Whole-burst latency, microseconds.",
+        &m.batch_latency,
+    );
+    prom.counter(
+        "dego_mw_rate_admitted_total",
+        "Requests admitted by the rate limiter.",
+        m.rate_admitted.sum().max(0) as u64,
+    );
+    prom.counter(
+        "dego_mw_rate_rejected_total",
+        "Requests rejected by the rate limiter.",
+        m.rate_rejected.sum().max(0) as u64,
+    );
+    prom.counter(
+        "dego_mw_rate_refilled_total",
+        "Tokens refilled into buckets.",
+        m.rate_refilled.sum().max(0) as u64,
+    );
+    prom.counter(
+        "dego_mw_auth_admitted_total",
+        "Commands admitted by the ACL check.",
+        m.auth_admitted.sum(),
+    );
+    prom.counter(
+        "dego_mw_auth_denied_total",
+        "Commands or AUTH attempts denied.",
+        m.auth_denied.sum(),
+    );
+    prom.counter(
+        "dego_mw_auth_logins_total",
+        "Successful AUTH logins.",
+        m.auth_logins.sum(),
+    );
+    prom.counter(
+        "dego_mw_auth_reloads_total",
+        "Runtime policy/token reloads.",
+        m.auth_reloads.sum(),
+    );
+    prom.counter(
+        "dego_mw_deadline_checked_total",
+        "Commands measured against a deadline budget.",
+        m.deadline_checked.sum(),
+    );
+    prom.counter(
+        "dego_mw_deadline_missed_total",
+        "Commands that blew their budget.",
+        m.deadline_missed.sum(),
+    );
+    prom.counter(
+        "dego_mw_ttl_checked_total",
+        "Commands inspected by the TTL layer.",
+        m.ttl_checked.sum(),
+    );
+    prom.counter(
+        "dego_mw_ttl_armed_total",
+        "TTL timers armed by EXPIRE.",
+        m.ttl_armed.sum(),
+    );
+    prom.counter(
+        "dego_mw_ttl_expired_total",
+        "Keys lazily expired on GET.",
+        m.ttl_expired.sum(),
+    );
+    prom.counter(
+        "dego_mw_spans_sampled_total",
+        "Requests whose per-layer costs were sampled.",
+        m.spans_sampled.sum(),
+    );
+    let layers: Vec<(Vec<(&str, String)>, &LatencyHistogram)> = LayerKind::ALL
+        .iter()
+        .map(|k| {
+            (
+                vec![("layer", k.name().to_string())],
+                &m.layer_admission_us[k.index()],
+            )
+        })
+        .collect();
+    prom.histogram_vec(
+        "dego_mw_layer_admission_us",
+        "Sampled per-layer admission cost, microseconds.",
+        &layers,
+    );
+    prom.gauge(
+        "dego_mw_slowlog_len",
+        "Entries currently held by the slowlog ring.",
+        m.slowlog.len() as u64,
+    );
+    prom.counter(
+        "dego_mw_slowlog_total",
+        "Slow commands captured since boot (resets keep counting).",
+        m.slowlog.total(),
+    );
+    prom.finish()
+}

@@ -75,6 +75,10 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: SocketAddr,
+    /// Bind address for the Prometheus `/metrics` responder; `None`
+    /// (the default) means no metrics endpoint. Port 0 picks an
+    /// ephemeral port (see [`ServerHandle::metrics_addr`]).
+    pub metrics_addr: Option<SocketAddr>,
     /// The middleware pipeline in front of the store (default: none —
     /// requests go straight to the storage plane).
     pub middleware: MiddlewareConfig,
@@ -101,6 +105,7 @@ impl Default for ServerConfig {
             shards: 4,
             capacity: 16_384,
             addr: "127.0.0.1:0".parse().expect("literal addr"),
+            metrics_addr: None,
             middleware: MiddlewareConfig::none(),
             batch: true,
             ack_timeout: Duration::from_secs(5),
@@ -114,11 +119,13 @@ impl Default for ServerConfig {
 /// stops it.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -127,6 +134,12 @@ impl ServerHandle {
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address the Prometheus `/metrics` responder is listening
+    /// on, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Number of storage shards.
@@ -161,6 +174,13 @@ impl ServerHandle {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Same trick for the metrics responder's accept loop.
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
         let conns = std::mem::take(&mut *self.connections.lock().expect("connection registry"));
@@ -230,13 +250,29 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .expect("spawn accept thread")
     };
 
+    let (metrics_addr, metrics_thread) = match config.metrics_addr {
+        Some(addr) => {
+            let (bound, handle) = crate::metrics_http::spawn_metrics(
+                addr,
+                Arc::clone(&runtime.store),
+                Arc::clone(&stats),
+                Arc::clone(&stack),
+                Arc::clone(&shutdown),
+            )?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
+
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         store: runtime.store,
         stats,
         stack,
         shutdown,
         accept_thread: Some(accept_thread),
+        metrics_thread,
         shard_threads: runtime.threads,
         connections,
     })
@@ -382,6 +418,7 @@ impl ExecService {
                 conn: self.conn,
                 seq,
                 reply: self.ack_tx.clone(),
+                enqueued_at: Instant::now(),
                 op,
             },
         );
@@ -498,7 +535,7 @@ impl ExecService {
             Command::Followers(user) => Some(vec![PendingKey::Follower(*user)]),
             Command::InGroup(user) => Some(vec![PendingKey::Group(*user)]),
             Command::ProfileVer(user) => Some(vec![PendingKey::Profile(*user)]),
-            Command::Stats => None,
+            Command::Stats | Command::StatsShards => None,
             _ => Some(Vec::new()),
         }
     }
@@ -545,6 +582,7 @@ impl ExecService {
                 snap.applied = self.store.applied.get();
                 Reply::Array(snap.render_lines(self.store.shards(), self.store.kv.len()))
             }
+            Command::StatsShards => Reply::Array(self.store.render_shard_lines()),
             Command::Ping => Reply::Status("PONG"),
             other => Reply::Error(format!("{} reached the read executor", other.verb())),
         }
@@ -601,6 +639,9 @@ impl Service for ExecService {
             // layer is not in the pipeline (they never reach the store).
             Command::Auth(_) => Response::rejection("AUTH", "auth layer not enabled"),
             Command::Expire(..) => Response::rejection("TTL", "ttl layer not enabled"),
+            Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => {
+                Response::rejection("TRACE", "trace layer not enabled")
+            }
             Command::Quit => Response {
                 reply: Reply::Status("OK"),
                 close: true,
@@ -699,6 +740,11 @@ impl Service for ExecService {
                 Command::Expire(..) => {
                     slots.push(Slot::Done(
                         Response::rejection("TTL", "ttl layer not enabled").reply,
+                    ));
+                }
+                Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => {
+                    slots.push(Slot::Done(
+                        Response::rejection("TRACE", "trace layer not enabled").reply,
                     ));
                 }
                 Command::Quit => slots.push(Slot::Done(Reply::Status("OK"))),

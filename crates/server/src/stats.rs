@@ -8,6 +8,7 @@
 //! stall proxy from [`dego_metrics::GLOBAL`].
 
 use dego_metrics::ContentionSnapshot;
+use dego_middleware::StatLines;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relaxed event counters bumped by the connection threads.
@@ -110,24 +111,28 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// The `name=value` lines of the `STATS` array reply.
+    ///
+    /// Emitted through [`StatLines`], which `debug_assert`s that no
+    /// stat name repeats — the invariant clients rely on when they
+    /// parse the reply into a map.
     pub fn render_lines(&self, shards: usize, keys: usize) -> Vec<String> {
-        vec![
-            format!("shards={shards}"),
-            format!("keys={keys}"),
-            format!("connections={}", self.connections),
-            format!("commands={}", self.commands),
-            format!("gets={}", self.gets),
-            format!("get_hits={}", self.get_hits),
-            format!("mutations={}", self.mutations),
-            format!("applied={}", self.applied),
-            format!("timeline_reads={}", self.timeline_reads),
-            format!("errors={}", self.errors),
-            format!("accept_errors={}", self.accept_errors),
-            format!("shard_batches={}", self.shard_batches),
-            format!("cas_failures={}", self.contention.cas_failures),
-            format!("lock_spins={}", self.contention.lock_spins),
-            format!("rmw_ops={}", self.contention.rmw_ops),
-        ]
+        let mut out = StatLines::new();
+        out.push("shards", shards);
+        out.push("keys", keys);
+        out.push("connections", self.connections);
+        out.push("commands", self.commands);
+        out.push("gets", self.gets);
+        out.push("get_hits", self.get_hits);
+        out.push("mutations", self.mutations);
+        out.push("applied", self.applied);
+        out.push("timeline_reads", self.timeline_reads);
+        out.push("errors", self.errors);
+        out.push("accept_errors", self.accept_errors);
+        out.push("shard_batches", self.shard_batches);
+        out.push("cas_failures", self.contention.cas_failures);
+        out.push("lock_spins", self.contention.lock_spins);
+        out.push("rmw_ops", self.contention.rmw_ops);
+        out.into_lines()
     }
 }
 

@@ -29,11 +29,12 @@ use crate::stats::ServerStats;
 use dego_core::{
     home_segment, mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, SegmentedSet,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use dego_middleware::{LatencyHistogram, StatLines};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::{Builder, JoinHandle, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Messages never linger longer than this in a timeline row.
 pub const TIMELINE_KEEP: usize = 64;
@@ -62,8 +63,63 @@ pub(crate) struct MutationMsg {
     pub seq: u64,
     /// The issuing connection's ack inlet.
     pub reply: Sender<ShardAck>,
+    /// When the envelope was built — the shard owner turns this into
+    /// the enqueue→apply latency sample.
+    pub enqueued_at: Instant,
     /// The payload.
     pub op: Mutation,
+}
+
+/// Per-shard observability counters: the load-shedding inputs
+/// (`STATS SHARDS`, `/metrics`) for one shard owner.
+///
+/// Counters are relaxed atomics and the histograms are the same
+/// log₂-bucket [`LatencyHistogram`]s the middleware uses — statistics,
+/// not synchronization, on the storage plane's hottest path.
+pub(crate) struct ShardTelemetry {
+    /// Mutations handed to this shard's queue.
+    enqueued: AtomicU64,
+    /// Mutations the owner has drained and applied.
+    drained: AtomicU64,
+    /// Drained-batch sizes (the group-commit width, log₂ buckets).
+    drained_batch: LatencyHistogram,
+    /// Enqueue→apply latency per mutation, microseconds.
+    ack_us: LatencyHistogram,
+}
+
+impl ShardTelemetry {
+    fn new() -> Self {
+        ShardTelemetry {
+            enqueued: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            drained_batch: LatencyHistogram::new(),
+            ack_us: LatencyHistogram::new(),
+        }
+    }
+
+    /// Mutations enqueued but not yet applied. The two counters are
+    /// read independently, so the gauge can transiently read high
+    /// while a drain is in flight — never negative.
+    pub fn queue_depth(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.drained.load(Ordering::Relaxed))
+    }
+
+    /// Mutations handed to this shard since boot.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Drained-batch size histogram (group-commit width).
+    pub fn drained_batch(&self) -> &LatencyHistogram {
+        &self.drained_batch
+    }
+
+    /// Enqueue→apply latency histogram, microseconds.
+    pub fn ack_us(&self) -> &LatencyHistogram {
+        &self.ack_us
+    }
 }
 
 /// A storage-plane mutation (the payload of a [`MutationMsg`]).
@@ -99,6 +155,8 @@ pub(crate) struct Store {
     producers: Vec<mpsc::Producer<MutationMsg>>,
     /// Shard threads, for post-enqueue wakeups.
     wakers: Vec<Thread>,
+    /// Per-shard observability counters, indexed by shard.
+    telemetry: Vec<Arc<ShardTelemetry>>,
 }
 
 impl Store {
@@ -119,6 +177,9 @@ impl Store {
 
     /// Hand `msg` to its owning shard and wake the owner.
     pub(crate) fn enqueue(&self, shard: usize, msg: MutationMsg) {
+        self.telemetry[shard]
+            .enqueued
+            .fetch_add(1, Ordering::Relaxed);
         self.producers[shard].offer(msg);
         self.wakers[shard].unpark();
     }
@@ -126,6 +187,45 @@ impl Store {
     /// Wake a parked shard owner (e.g. to notice shutdown).
     pub(crate) fn wake(&self, shard: usize) {
         self.wakers[shard].unpark();
+    }
+
+    /// Per-shard observability counters, indexed by shard.
+    pub(crate) fn telemetry(&self) -> &[Arc<ShardTelemetry>] {
+        &self.telemetry
+    }
+
+    /// The `name=value` lines of the `STATS SHARDS` array reply:
+    /// per-shard queue depth, group-commit batch shape, and
+    /// enqueue→apply latency percentiles — the inputs a load shedder
+    /// (or a human squinting at a hot shard) needs.
+    pub(crate) fn render_shard_lines(&self) -> Vec<String> {
+        let mut out = StatLines::new();
+        out.push("shards", self.shards);
+        for (i, t) in self.telemetry.iter().enumerate() {
+            out.push(&format!("shard{i}_queue_depth"), t.queue_depth());
+            out.push(&format!("shard{i}_enqueued"), t.enqueued());
+            out.push(
+                &format!("shard{i}_drained_batches"),
+                t.drained_batch.count(),
+            );
+            out.push(
+                &format!("shard{i}_batch_p50"),
+                t.drained_batch.percentile_us(0.50),
+            );
+            out.push(
+                &format!("shard{i}_batch_p99"),
+                t.drained_batch.percentile_us(0.99),
+            );
+            out.push(
+                &format!("shard{i}_ack_p50_us"),
+                t.ack_us.percentile_us(0.50),
+            );
+            out.push(
+                &format!("shard{i}_ack_p99_us"),
+                t.ack_us.percentile_us(0.99),
+            );
+        }
+        out.into_lines()
     }
 }
 
@@ -158,12 +258,15 @@ pub(crate) fn spawn_shards(
     let profiles = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
     let group = SegmentedSet::new(shards, capacity, SegmentationKind::Hash);
     let applied = CounterIncrementOnly::new(shards);
+    let telemetry: Vec<Arc<ShardTelemetry>> = (0..shards)
+        .map(|_| Arc::new(ShardTelemetry::new()))
+        .collect();
 
     let mut producers = Vec::with_capacity(shards);
     let mut wakers = Vec::with_capacity(shards);
     let mut threads = Vec::with_capacity(shards);
 
-    for shard in 0..shards {
+    for (shard, shard_telemetry) in telemetry.iter().enumerate() {
         let (producer, consumer) = mpsc::queue::<MutationMsg>();
         let (ready_tx, ready_rx) = std::sync::mpsc::channel::<usize>();
         let ctx = ShardCtx {
@@ -175,6 +278,7 @@ pub(crate) fn spawn_shards(
             group: Arc::clone(&group),
             applied: Arc::clone(&applied),
             stats: Arc::clone(&stats),
+            telemetry: Arc::clone(shard_telemetry),
             shutdown: Arc::clone(&shutdown),
             apply_delay,
         };
@@ -201,6 +305,7 @@ pub(crate) fn spawn_shards(
         applied,
         producers,
         wakers,
+        telemetry,
     });
     ShardRuntime { store, threads }
 }
@@ -214,6 +319,7 @@ struct ShardCtx {
     group: Arc<SegmentedSet<u64>>,
     applied: Arc<CounterIncrementOnly>,
     stats: Arc<ServerStats>,
+    telemetry: Arc<ShardTelemetry>,
     shutdown: Arc<AtomicBool>,
     apply_delay: Option<Duration>,
 }
@@ -266,6 +372,7 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
             continue;
         }
         ctx.stats.note_shard_batch();
+        ctx.telemetry.drained_batch.record(batch.len() as u64);
         let mut run: Option<AckRun> = None;
         for msg in batch {
             if let Some(delay) = ctx.apply_delay {
@@ -274,6 +381,10 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
             let reply = apply(
                 &msg.op, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,
             );
+            ctx.telemetry
+                .ack_us
+                .record(msg.enqueued_at.elapsed().as_micros() as u64);
+            ctx.telemetry.drained.fetch_add(1, Ordering::Relaxed);
             // Rejected mutations (e.g. INCR on a non-integer) must
             // not inflate the applied count.
             if !matches!(reply, Reply::Error(_)) {

@@ -175,12 +175,10 @@ fn accept_errors_back_off_instead_of_spinning() {
         errors < 1000,
         "backoff must bound the retry rate (busy-spin would hit millions), got {errors}"
     );
-    let pairs = c.stats().expect("stats");
-    let accept_errors: u64 = pairs
-        .iter()
-        .find(|(k, _)| k == "accept_errors")
+    let stats = c.stats_map().expect("stats");
+    let accept_errors: u64 = stats
+        .get("accept_errors")
         .expect("accept_errors stat")
-        .1
         .parse()
         .expect("numeric");
     assert_eq!(accept_errors, errors, "every failure counted");

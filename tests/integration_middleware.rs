@@ -171,13 +171,11 @@ fn five_layer_stack_end_to_end() {
 
     // -------------------------------------- per-layer STATS counters
     let mut observer = connect(&server);
-    let pairs = observer.stats().expect("stats");
+    let stats = observer.stats_map().expect("stats");
     let lookup = |name: &str| -> u64 {
-        pairs
-            .iter()
-            .find(|(k, _)| k == name)
+        stats
+            .get(name)
             .unwrap_or_else(|| panic!("stat {name} missing"))
-            .1
             .parse()
             .expect("numeric stat")
     };

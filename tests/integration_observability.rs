@@ -1,0 +1,309 @@
+//! Integration of the observability plane: per-layer span attribution
+//! in `STATS`, per-shard telemetry behind `STATS SHARDS`, the SLOWLOG
+//! ring, and the Prometheus `/metrics` responder — all exercised over
+//! real loopback TCP.
+
+use dego_server::{spawn, Client, ClientReply, MiddlewareConfig, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::Duration;
+
+mod common;
+use common::shards;
+
+fn connect(server: &ServerHandle) -> Client {
+    Client::connect(server.local_addr()).expect("client connects")
+}
+
+fn lookup(stats: &std::collections::BTreeMap<String, String>, name: &str) -> u64 {
+    stats
+        .get(name)
+        .unwrap_or_else(|| panic!("stat {name} missing"))
+        .parse()
+        .expect("numeric stat")
+}
+
+/// Every request sampled (1-in-1): the five per-layer histograms fill
+/// and surface as `mw_<layer>_us_p50/p99` in `STATS`.
+#[test]
+fn sampled_spans_attribute_cost_per_layer() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 1;
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    for i in 0..32 {
+        c.set(&format!("span{i}"), "v").expect("set");
+        let _ = c.get(&format!("span{i}")).expect("get");
+    }
+    let stats = c.stats_map().expect("stats");
+    assert!(
+        lookup(&stats, "mw_spans_sampled") >= 64,
+        "every call sampled"
+    );
+    for layer in ["trace", "deadline", "auth", "ratelimit", "ttl"] {
+        assert!(
+            stats.contains_key(&format!("mw_{layer}_us_p50")),
+            "p50 line for {layer}"
+        );
+        assert!(
+            stats.contains_key(&format!("mw_{layer}_us_p99")),
+            "p99 line for {layer}"
+        );
+    }
+    server.shutdown();
+}
+
+/// `STATS SHARDS` reports per-shard queue depth, drained batches and
+/// ack latency, and the enqueue counters add up to the write traffic.
+#[test]
+fn stats_shards_reports_per_shard_telemetry() {
+    let n_shards = shards(2);
+    let server = spawn(ServerConfig {
+        shards: n_shards,
+        capacity: 512,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    const WRITES: u64 = 64;
+    for i in 0..WRITES {
+        c.set(&format!("sh{i}"), "v").expect("set");
+    }
+    let shard_stats = c.stats_shards().expect("stats shards");
+    assert_eq!(lookup(&shard_stats, "shards"), n_shards as u64);
+    let mut enqueued = 0;
+    let mut batches = 0;
+    for i in 0..n_shards {
+        // Acked writes are applied writes: nothing can still be queued.
+        assert_eq!(lookup(&shard_stats, &format!("shard{i}_queue_depth")), 0);
+        enqueued += lookup(&shard_stats, &format!("shard{i}_enqueued"));
+        batches += lookup(&shard_stats, &format!("shard{i}_drained_batches"));
+        // Percentile lines exist for every shard, loaded or not.
+        lookup(&shard_stats, &format!("shard{i}_batch_p50"));
+        lookup(&shard_stats, &format!("shard{i}_batch_p99"));
+        lookup(&shard_stats, &format!("shard{i}_ack_p50_us"));
+        lookup(&shard_stats, &format!("shard{i}_ack_p99_us"));
+    }
+    assert_eq!(enqueued, WRITES, "every SET routed to some shard");
+    assert!(batches > 0, "shard owners drained batches");
+    server.shutdown();
+}
+
+/// A seeded slow request (stuck-shard delay, low threshold) lands in
+/// the slowlog; `GET` returns it slowest-first, `RESET` clears, `LEN`
+/// counts.
+#[test]
+fn slowlog_captures_the_seeded_slow_request() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.slowlog_threshold_us = 10_000; // 10 ms
+    let server = spawn(ServerConfig {
+        shards: shards(1),
+        capacity: 256,
+        middleware,
+        // Every mutation applies 30 ms late: comfortably over threshold.
+        shard_delay: Some(Duration::from_millis(30)),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    c.set("slow", "v").expect("slow set");
+    let _ = c.get("slow").expect("fast get");
+
+    assert!(c.slowlog_len().expect("len") >= 1);
+    let entries = c.slowlog_get().expect("slowlog get");
+    assert!(!entries.is_empty());
+    // The SET is the slowest thing this session did.
+    assert!(
+        entries[0].contains("verb=SET") && entries[0].contains("class=write"),
+        "slowest entry is the delayed SET: {:?}",
+        entries[0]
+    );
+    c.slowlog_reset().expect("reset");
+    assert_eq!(c.slowlog_len().expect("len after reset"), 0);
+    assert!(c.slowlog_get().expect("get after reset").is_empty());
+    server.shutdown();
+}
+
+/// Without a trace layer, the SLOWLOG verbs reject structurally — same
+/// shape as AUTH/EXPIRE at depth 0 — on both the single and batched
+/// paths.
+#[test]
+fn slowlog_rejects_structurally_without_a_trace_layer() {
+    let server = spawn(ServerConfig {
+        shards: shards(1),
+        capacity: 256,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    for verb in ["SLOWLOG GET", "SLOWLOG RESET", "SLOWLOG LEN"] {
+        match c.request(verb).expect("reply") {
+            ClientReply::Error(e) => assert!(e.starts_with("TRACE "), "got {e:?}"),
+            other => panic!("expected TRACE rejection for {verb}, got {other:?}"),
+        }
+    }
+    // The batched path produces the identical rejection text.
+    let replies = c
+        .pipeline(["SET k v", "SLOWLOG LEN", "GET k"])
+        .expect("burst");
+    match &replies[1] {
+        ClientReply::Error(e) => assert!(e.starts_with("TRACE "), "got {e:?}"),
+        other => panic!("expected TRACE rejection in burst, got {other:?}"),
+    }
+    assert_eq!(replies[2], ClientReply::Value("v".into()));
+    server.shutdown();
+}
+
+/// 8 clients hammer `STATS`, `STATS SHARDS` and the SLOWLOG verbs
+/// while other clients drive write bursts: no torn replies, no
+/// panics, every stats reply parses with unique names.
+#[test]
+fn observability_verbs_survive_concurrent_hammering() {
+    const READERS: usize = 8;
+    const WRITERS: usize = 4;
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 4;
+    middleware.trace.slowlog_threshold_us = 0; // capture everything
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 2048,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let barrier = Barrier::new(READERS + WRITERS);
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let mut c = connect(&server);
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for round in 0..16u64 {
+                    let burst: Vec<String> = (0..16)
+                        .map(|k| format!("SET hammer{w}k{k} r{round}"))
+                        .collect();
+                    for reply in c.pipeline(&burst).expect("write burst") {
+                        assert_eq!(reply, ClientReply::Status("OK".into()));
+                    }
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let mut c = connect(&server);
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for round in 0..24 {
+                    let stats = c.stats_map().expect("stats under load");
+                    assert!(stats.contains_key("mw_spans_sampled"));
+                    let shard_stats = c.stats_shards().expect("stats shards under load");
+                    assert!(shard_stats.contains_key("shard0_queue_depth"));
+                    let _ = c.slowlog_len().expect("slowlog len under load");
+                    let entries = c.slowlog_get().expect("slowlog get under load");
+                    for line in &entries {
+                        assert!(line.contains("us="), "entry renders whole: {line:?}");
+                    }
+                    if round % 8 == 0 {
+                        c.slowlog_reset().expect("slowlog reset under load");
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+/// `--metrics-addr`: a raw HTTP/1.0 `GET /metrics` serves a parseable
+/// Prometheus text exposition; other paths get a 404.
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 1;
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        middleware,
+        metrics_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint configured");
+
+    let mut c = connect(&server);
+    for i in 0..16 {
+        c.set(&format!("m{i}"), "v").expect("set");
+        let _ = c.get(&format!("m{i}")).expect("get");
+    }
+
+    let body = http_get(metrics_addr, "/metrics");
+    let (head, payload) = body.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "got {head:?}");
+    assert!(head.contains("Content-Type: text/plain"));
+
+    // The exposition parses: every line is a comment or `name[{labels}] value`.
+    let mut families = std::collections::BTreeSet::new();
+    for line in payload.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            families.insert(parts.next().expect("family name").to_string());
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                "known type: {line:?}"
+            );
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "numeric sample value: {line:?}"
+        );
+        let name = series.split('{').next().expect("series name");
+        assert!(
+            name.chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+            "metric name charset: {name:?}"
+        );
+    }
+    for family in [
+        "dego_commands_total",
+        "dego_get_hits_total",
+        "dego_shard_queue_depth",
+        "dego_shard_ack_us",
+        "dego_mw_traced_total",
+        "dego_mw_layer_admission_us",
+        "dego_mw_slowlog_total",
+    ] {
+        assert!(families.contains(family), "family {family} exposed");
+    }
+    // Histogram series carry cumulative le buckets ending at +Inf.
+    assert!(payload.contains("dego_mw_layer_admission_us_bucket"));
+    assert!(payload.contains("le=\"+Inf\""));
+    // Per-shard series are labelled by shard index.
+    assert!(payload.contains("dego_shard_queue_depth{shard=\"0\"}"));
+
+    let miss = http_get(metrics_addr, "/nope");
+    assert!(miss.starts_with("HTTP/1.0 404"), "got {miss:?}");
+
+    server.shutdown();
+}
+
+/// One raw HTTP/1.0 request; returns the full response text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut socket = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    socket
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut body = String::new();
+    socket.read_to_string(&mut body).expect("read response");
+    body
+}
