@@ -27,6 +27,10 @@
 //!    off vs the default 1-in-64, at burst depth 5 — the cost of the
 //!    per-layer attribution plane (`observability_overhead`, target
 //!    ≤ 2%).
+//! 7. **Tracing overhead**: the whole recording plane A/B — flight
+//!    recorder, slowlog, span sampling and windowed histograms all off
+//!    vs every default on — at burst depth 5 (`tracing_overhead`,
+//!    target ≤ 3% at default sampling).
 //!
 //! Keys are **pinned per client** by default: each client owns a
 //! disjoint slice of the key range, so shard parallelism is measurable
@@ -293,6 +297,13 @@ struct ObservabilityOverhead {
     sampled: Point,
 }
 
+/// The whole-recording-plane A/B: flight recorder + slowlog + span
+/// sampling + windowed histograms, everything off vs every default on.
+struct TracingOverhead {
+    off: Point,
+    on: Point,
+}
+
 fn write_json(
     sweep: &[Point],
     batch_depth: &[Point],
@@ -300,6 +311,7 @@ fn write_json(
     commit: &GroupCommit,
     conns: &[Point],
     obs: &ObservabilityOverhead,
+    tracing: &TracingOverhead,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"key_range\": 4096,\n");
     let _ = writeln!(
@@ -343,6 +355,18 @@ fn write_json(
         obs.nosample.ops_per_sec(),
         obs.sampled.ops_per_sec(),
         overhead_pct(&obs.nosample, &obs.sampled),
+    );
+    // tracing_overhead: the whole recording plane — flight recorder,
+    // slowlog, span sampling and windowed histograms, all off vs every
+    // default on (positive = cost; target ≤ 3% at default sampling).
+    let _ = write!(
+        out,
+        ",\n  \"tracing_overhead\": {{\"clients\": {}, \"pipeline\": {}, \"off_ops_per_sec\": {:.0}, \"on_ops_per_sec\": {:.0}, \"overhead_pct\": {:.1}}}",
+        tracing.on.clients,
+        tracing.on.pipeline,
+        tracing.off.ops_per_sec(),
+        tracing.on.ops_per_sec(),
+        overhead_pct(&tracing.off, &tracing.on),
     );
     if let [depth0, depth5] = overhead_pair {
         // middleware_overhead: the batched pipeline's throughput cost —
@@ -524,6 +548,39 @@ fn main() {
     row(&obs.nosample, &mut table);
     row(&obs.sampled, &mut table);
 
+    // 7. Tracing overhead: every recording surface off (no spans, no
+    // slowlog, no flight recorder, no window slots) vs every default
+    // on — the headline cost of the whole observability tentpole.
+    let mut recording_off = MiddlewareConfig::full();
+    recording_off.trace.sample_every = 0;
+    recording_off.trace.slowlog_capacity = 0;
+    recording_off.trace.trace_capacity = 0;
+    recording_off.trace.window_secs = 0;
+    let tracing = TracingOverhead {
+        off: run_best(
+            3,
+            overhead_clients,
+            shards,
+            5,
+            env.duration,
+            &recording_off,
+            true,
+            STANDARD,
+        ),
+        on: run_best(
+            3,
+            overhead_clients,
+            shards,
+            5,
+            env.duration,
+            &MiddlewareConfig::full(),
+            true,
+            STANDARD,
+        ),
+    };
+    row(&tracing.off, &mut table);
+    row(&tracing.on, &mut table);
+
     println!("{}", table.render());
     let pct = overhead_pct(&overhead_points[0], &overhead_points[1]);
     println!(
@@ -543,6 +600,12 @@ fn main() {
         obs.nosample.ops_per_sec() as u64,
         obs.sampled.ops_per_sec() as u64
     );
+    println!(
+        "tracing overhead, whole recording plane on vs off: {:.1}% ({} -> {} ops/s)",
+        overhead_pct(&tracing.off, &tracing.on),
+        tracing.off.ops_per_sec() as u64,
+        tracing.on.ops_per_sec() as u64
+    );
 
     let json = write_json(
         &points,
@@ -551,6 +614,7 @@ fn main() {
         &commit,
         &conn_points,
         &obs,
+        &tracing,
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!(

@@ -23,6 +23,16 @@ pub struct TraceConfig {
     pub slowlog_threshold_us: u64,
     /// Slowlog ring capacity (`--slowlog-capacity`); 0 disables it.
     pub slowlog_capacity: usize,
+    /// Flight-recorder ring capacity (`--trace-capacity`); sampled
+    /// trace trees land here. 0 disables capture.
+    pub trace_capacity: usize,
+    /// Sampled trees at or above this wall-clock cost (µs) are
+    /// retained (`--trace-threshold-us`); the default 0 keeps every
+    /// sampled tree.
+    pub trace_threshold_us: u64,
+    /// Rolling-window width (s) for `STATS`/`STATS SHARDS` percentiles
+    /// (`--stats-window-secs`); 0 reports lifetime percentiles only.
+    pub window_secs: u64,
 }
 
 impl Default for TraceConfig {
@@ -31,6 +41,9 @@ impl Default for TraceConfig {
             sample_every: 64,
             slowlog_threshold_us: 10_000,
             slowlog_capacity: 128,
+            trace_capacity: 64,
+            trace_threshold_us: 0,
+            window_secs: 60,
         }
     }
 }
@@ -116,6 +129,9 @@ impl MiddlewareConfig {
             "--trace-sample" => self.trace.sample_every = parse_u64(value)? as u32,
             "--slowlog-threshold-us" => self.trace.slowlog_threshold_us = parse_u64(value)?,
             "--slowlog-capacity" => self.trace.slowlog_capacity = parse_u64(value)? as usize,
+            "--trace-capacity" => self.trace.trace_capacity = parse_u64(value)? as usize,
+            "--trace-threshold-us" => self.trace.trace_threshold_us = parse_u64(value)?,
+            "--stats-window-secs" => self.trace.window_secs = parse_u64(value)?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -172,6 +188,14 @@ mod tests {
         assert_eq!(config.trace.slowlog_threshold_us, 500);
         assert!(config.apply_flag("--slowlog-capacity", "16").unwrap());
         assert_eq!(config.trace.slowlog_capacity, 16);
+        assert_eq!(config.trace.trace_capacity, 64, "default flight ring");
+        assert!(config.apply_flag("--trace-capacity", "8").unwrap());
+        assert_eq!(config.trace.trace_capacity, 8);
+        assert!(config.apply_flag("--trace-threshold-us", "250").unwrap());
+        assert_eq!(config.trace.trace_threshold_us, 250);
+        assert_eq!(config.trace.window_secs, 60, "default ~60s window");
+        assert!(config.apply_flag("--stats-window-secs", "0").unwrap());
+        assert_eq!(config.trace.window_secs, 0);
         assert!(config.apply_flag("--trace-sample", "sometimes").is_err());
     }
 }

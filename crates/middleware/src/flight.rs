@@ -1,0 +1,417 @@
+//! The request flight recorder: completed cross-thread trace trees.
+//!
+//! Where the slowlog captures *that* a command was slow, the flight
+//! recorder captures *where the time went*: one [`TraceTree`] per
+//! sampled (or over-threshold) command/burst, carrying the
+//! connection-thread per-layer admission segments harvested from the
+//! span scope **plus** the store-side segments stamped by the
+//! shard-owner threads (queue wait and apply time per mutation). The
+//! tree therefore spans both execution stages — the connection thread
+//! and the shard thread — which no single-thread profile can see.
+//!
+//! The ring is the same lock-free shape as the slowlog: an
+//! [`AtomicLong`] write cursor claimed with one `get_and_increment`,
+//! and one epoch-reclaimed [`AtomicRef`] slot per position. Writers
+//! never block each other or readers; a `TRACE GET` taken mid-write
+//! sees the previous tree in that slot.
+//!
+//! Exposure: `TRACE GET|LEN|RESET` over the wire (answered by the
+//! trace layer), and `/trace` as JSON on the metrics responder.
+
+use crate::pipeline::{LayerKind, LAYER_COUNT};
+use dego_juc::{AtomicLong, AtomicRef};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Milliseconds since the Unix epoch — the wall-clock arrival stamp
+/// carried by slowlog entries and trace trees so they can be
+/// correlated with external logs.
+pub fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One store-side span: a mutation's life on its shard-owner thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreSegment {
+    /// The shard whose owner applied the mutation.
+    pub shard: usize,
+    /// Enqueue → apply start: queue wait, including time spent behind
+    /// earlier mutations of the same drained batch.
+    pub queue_us: u64,
+    /// Apply start → applied.
+    pub apply_us: u64,
+}
+
+/// A completed request trace: connection-thread layer segments plus
+/// the store-side segments collected across the queue boundary.
+#[derive(Clone, Debug)]
+pub struct TraceTree {
+    /// Monotonic id (survives [`FlightRecorder::reset`]).
+    pub id: u64,
+    /// Wall-clock arrival, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Peer address of the connection that issued it.
+    pub client: Arc<str>,
+    /// Verb, or `"BATCH"` for a pipelined burst.
+    pub verb: &'static str,
+    /// Command class name (`read`/`write`/`control`, `batch` for bursts).
+    pub class: &'static str,
+    /// Commands in the burst (1 for a singleton).
+    pub burst: usize,
+    /// End-to-end wall-clock time through the whole stack.
+    pub total_us: u64,
+    /// Per-layer admission cost on the connection thread; `None` for
+    /// layers the span never touched.
+    pub layers: [Option<u64>; LAYER_COUNT],
+    /// Store-side segments, one per mutation the request enqueued, in
+    /// ack-arrival order.
+    pub store: Vec<StoreSegment>,
+}
+
+impl TraceTree {
+    /// The `TRACE GET` wire line:
+    /// `id=0 unix_ms=1722470400000 client=127.0.0.1:4242 verb=SET class=write burst=1 total_us=31050 span=conn/trace:3,conn/ttl:1,shard0/queue:12,shard0/apply:30021`
+    /// (`span=-` when no segment was recorded).
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "id={} unix_ms={} client={} verb={} class={} burst={} total_us={} span=",
+            self.id, self.unix_ms, self.client, self.verb, self.class, self.burst, self.total_us
+        );
+        let mut any = false;
+        for kind in LayerKind::ALL {
+            if let Some(us) = self.layers[kind.index()] {
+                if any {
+                    line.push(',');
+                }
+                let _ = write!(line, "conn/{}:{us}", kind.name());
+                any = true;
+            }
+        }
+        for seg in &self.store {
+            if any {
+                line.push(',');
+            }
+            let _ = write!(
+                line,
+                "shard{}/queue:{},shard{}/apply:{}",
+                seg.shard, seg.queue_us, seg.shard, seg.apply_us
+            );
+            any = true;
+        }
+        if !any {
+            line.push('-');
+        }
+        line
+    }
+
+    /// The `/trace` endpoint's JSON object: metadata plus a flat
+    /// `spans` array, each span tagged with the thread it ran on.
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":{},\"unix_ms\":{},\"client\":\"{}\",\"verb\":\"{}\",\"class\":\"{}\",\"burst\":{},\"total_us\":{},\"spans\":[",
+            self.id,
+            self.unix_ms,
+            escape_json(&self.client),
+            self.verb,
+            self.class,
+            self.burst,
+            self.total_us
+        );
+        let mut any = false;
+        for kind in LayerKind::ALL {
+            if let Some(us) = self.layers[kind.index()] {
+                if any {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"thread\":\"conn\",\"name\":\"{}\",\"dur_us\":{us}}}",
+                    kind.name()
+                );
+                any = true;
+            }
+        }
+        for seg in &self.store {
+            if any {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"thread\":\"shard{sh}\",\"name\":\"queue_wait\",\"dur_us\":{q}}},{{\"thread\":\"shard{sh}\",\"name\":\"apply\",\"dur_us\":{a}}}",
+                sh = seg.shard,
+                q = seg.queue_us,
+                a = seg.apply_us
+            );
+            any = true;
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// client strings are peer addresses, but never trust them raw.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The lock-free flight-recorder ring shared by every connection chain.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    threshold_us: u64,
+    slots: Vec<AtomicRef<Arc<TraceTree>>>,
+    /// Write cursor; also the source of monotonic tree ids.
+    head: AtomicLong,
+}
+
+impl FlightRecorder {
+    /// A ring holding the `capacity` most recent trees whose total
+    /// time is at or above `threshold_us`. Capacity 0 disables capture
+    /// entirely; the default threshold 0 retains every sampled tree.
+    pub fn new(threshold_us: u64, capacity: usize) -> Self {
+        FlightRecorder {
+            threshold_us,
+            slots: (0..capacity).map(|_| AtomicRef::empty()).collect(),
+            head: AtomicLong::new(0),
+        }
+    }
+
+    /// The retention threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Offer a completed tree; it is stored only when it crosses the
+    /// threshold and the ring has capacity. Returns whether it was
+    /// captured.
+    #[allow(clippy::too_many_arguments)]
+    pub fn offer(
+        &self,
+        client: &Arc<str>,
+        verb: &'static str,
+        class: &'static str,
+        burst: usize,
+        total_us: u64,
+        layers: [Option<u64>; LAYER_COUNT],
+        store: Vec<StoreSegment>,
+    ) -> bool {
+        if self.slots.is_empty() || total_us < self.threshold_us {
+            return false;
+        }
+        let id = self.head.get_and_increment() as u64;
+        let slot = &self.slots[(id as usize) % self.slots.len()];
+        slot.set(Arc::new(TraceTree {
+            id,
+            unix_ms: unix_ms_now(),
+            client: Arc::clone(client),
+            verb,
+            class,
+            burst,
+            total_us,
+            layers,
+            store,
+        }));
+        true
+    }
+
+    /// Snapshot the ring, sorted slowest-first (ties: newest first).
+    pub fn entries(&self) -> Vec<Arc<TraceTree>> {
+        let mut out: Vec<Arc<TraceTree>> = self.slots.iter().filter_map(|s| s.get()).collect();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(b.id.cmp(&a.id)));
+        out
+    }
+
+    /// Occupied slots (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Whether the ring currently holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_empty())
+    }
+
+    /// Trees ever captured (not clamped by capacity or reset).
+    pub fn total(&self) -> u64 {
+        self.head.get() as u64
+    }
+
+    /// Drop every tree; ids keep counting from where they were.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Arc<str> {
+        Arc::from("test:1")
+    }
+
+    fn layers_with(kind: LayerKind, us: u64) -> [Option<u64>; LAYER_COUNT] {
+        let mut layers = [None; LAYER_COUNT];
+        layers[kind.index()] = Some(us);
+        layers
+    }
+
+    #[test]
+    fn render_line_spans_both_threads() {
+        let tree = TraceTree {
+            id: 0,
+            unix_ms: 1_722_470_400_000,
+            client: client(),
+            verb: "SET",
+            class: "write",
+            burst: 1,
+            total_us: 31_050,
+            layers: layers_with(LayerKind::Trace, 3),
+            store: vec![StoreSegment {
+                shard: 0,
+                queue_us: 12,
+                apply_us: 30_021,
+            }],
+        };
+        assert_eq!(
+            tree.render_line(),
+            "id=0 unix_ms=1722470400000 client=test:1 verb=SET class=write burst=1 \
+             total_us=31050 span=conn/trace:3,shard0/queue:12,shard0/apply:30021"
+        );
+    }
+
+    #[test]
+    fn render_line_with_no_segments_is_dash() {
+        let tree = TraceTree {
+            id: 4,
+            unix_ms: 7,
+            client: client(),
+            verb: "PING",
+            class: "control",
+            burst: 1,
+            total_us: 2,
+            layers: [None; LAYER_COUNT],
+            store: Vec::new(),
+        };
+        assert!(tree.render_line().ends_with("span=-"));
+    }
+
+    #[test]
+    fn render_json_carries_store_segments() {
+        let tree = TraceTree {
+            id: 1,
+            unix_ms: 99,
+            client: client(),
+            verb: "SET",
+            class: "write",
+            burst: 1,
+            total_us: 50,
+            layers: layers_with(LayerKind::Auth, 5),
+            store: vec![StoreSegment {
+                shard: 2,
+                queue_us: 10,
+                apply_us: 30,
+            }],
+        };
+        let json = tree.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"spans\":["), "{json}");
+        assert!(
+            json.contains("{\"thread\":\"conn\",\"name\":\"auth\",\"dur_us\":5}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"thread\":\"shard2\",\"name\":\"queue_wait\",\"dur_us\":10}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"thread\":\"shard2\",\"name\":\"apply\",\"dur_us\":30}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_neutralizes_hostile_clients() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn threshold_filters_and_capacity_rings() {
+        let rec = FlightRecorder::new(100, 2);
+        assert!(!rec.offer(&client(), "GET", "read", 1, 99, [None; LAYER_COUNT], vec![]));
+        assert!(rec.offer(
+            &client(),
+            "SET",
+            "write",
+            1,
+            500,
+            [None; LAYER_COUNT],
+            vec![]
+        ));
+        assert!(rec.offer(
+            &client(),
+            "DEL",
+            "write",
+            1,
+            200,
+            [None; LAYER_COUNT],
+            vec![]
+        ));
+        assert!(rec.offer(
+            &client(),
+            "INCR",
+            "write",
+            1,
+            300,
+            [None; LAYER_COUNT],
+            vec![]
+        ));
+        let entries = rec.entries();
+        assert_eq!(entries.len(), 2, "ring keeps the most recent capacity");
+        assert_eq!(entries[0].total_us, 300, "slowest-first among survivors");
+        assert_eq!(rec.total(), 3);
+    }
+
+    #[test]
+    fn reset_clears_but_ids_stay_monotonic() {
+        let rec = FlightRecorder::new(0, 4);
+        rec.offer(&client(), "GET", "read", 1, 1, [None; LAYER_COUNT], vec![]);
+        rec.offer(&client(), "GET", "read", 1, 2, [None; LAYER_COUNT], vec![]);
+        rec.reset();
+        assert_eq!(rec.len(), 0);
+        assert!(rec.is_empty());
+        rec.offer(&client(), "GET", "read", 1, 3, [None; LAYER_COUNT], vec![]);
+        assert_eq!(rec.entries()[0].id, 2, "ids continue across reset");
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let rec = FlightRecorder::new(0, 0);
+        assert!(!rec.offer(
+            &client(),
+            "GET",
+            "read",
+            1,
+            u64::MAX,
+            [None; LAYER_COUNT],
+            vec![]
+        ));
+        assert!(rec.entries().is_empty());
+    }
+}

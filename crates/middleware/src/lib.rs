@@ -53,6 +53,7 @@
 pub mod auth;
 pub mod config;
 pub mod deadline;
+pub mod flight;
 pub mod metrics;
 pub mod pipeline;
 pub mod prom;
@@ -66,7 +67,10 @@ pub mod ttl;
 pub use auth::{AuthConfig, AuthLayer, Principal, Role, TokenSpec};
 pub use config::{MiddlewareConfig, TraceConfig};
 pub use deadline::{DeadlineConfig, DeadlineLayer};
-pub use metrics::{LatencyHistogram, PipelineMetrics, RelaxedCounter, StatLines};
+pub use flight::{FlightRecorder, StoreSegment, TraceTree};
+pub use metrics::{
+    LatencyHistogram, PipelineMetrics, RelaxedCounter, StatLines, WindowedHistogram,
+};
 pub use pipeline::{
     BoxService, Layer, LayerKind, Request, Response, Service, Session, Stack, LAYER_COUNT,
 };

@@ -13,10 +13,12 @@
 //! `fetch_add`, never a lock.
 
 use crate::config::TraceConfig;
+use crate::flight::FlightRecorder;
 use crate::pipeline::{LayerKind, LAYER_COUNT};
 use crate::slowlog::SlowLog;
 use dego_juc::LongAdder;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A relaxed event counter (statistics, not synchronization).
 #[derive(Debug, Default)]
@@ -45,6 +47,12 @@ impl RelaxedCounter {
     /// The total so far.
     pub fn sum(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (`STATS RESET`). Relaxed like every other
+    /// access: a bump racing the reset may land on either side.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,23 +119,220 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Raw per-bucket counts, low bucket first (bucket count is an
+    /// internal constant, so callers get a `Vec` sized to match).
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zero every bucket and the sample sum. Relaxed: a record racing
+    /// the clear may survive it or vanish — statistics, not state.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_us.store(0, Ordering::Relaxed);
+    }
+
     /// The upper bound (µs) of the bucket containing the `p`-th
     /// percentile sample, or 0 when empty. `p` in `0.0..=1.0`.
     pub fn percentile_us(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+        percentile_from_counts(&self.counts(), p)
+    }
+}
+
+/// The percentile scan shared by lifetime histograms and merged
+/// window slots: the upper bound (µs) of the bucket containing the
+/// `p`-th percentile sample, or 0 when empty.
+pub fn percentile_from_counts(counts: &[u64], p: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // Bucket i spans [2^(i-1), 2^i) µs (bucket 0 is [0,1)).
+            return 1u64 << i;
         }
-        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket i spans [2^(i-1), 2^i) µs (bucket 0 is [0,1)).
-                return 1u64 << i;
+    }
+    1u64 << (BUCKETS - 1)
+}
+
+/// Window slots per histogram: the window is divided into this many
+/// rotating sub-histograms, so expiry granularity is window/6.
+const WINDOW_SLOTS: usize = 6;
+
+/// One rotating slot: a histogram plus the coarse-tick epoch it
+/// currently belongs to.
+#[derive(Debug)]
+struct WindowSlot {
+    /// The epoch whose samples this slot holds (`u64::MAX` = never
+    /// touched, so epoch 0 is representable).
+    epoch: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+/// A latency histogram with rolling windowed aggregation on top.
+///
+/// Every sample lands in a lifetime [`LatencyHistogram`] (served under
+/// the `_total` stat names and as the Prometheus histogram families,
+/// which stay cumulative per the exposition contract) *and* in one of
+/// [`WINDOW_SLOTS`] slot histograms keyed by a coarse epoch tick
+/// (`elapsed_secs / slot_secs`). Reads merge the slots whose epoch
+/// falls inside the last full window, so `STATS` percentiles describe
+/// the last ~window seconds and recover after a spike clears instead
+/// of averaging it forever.
+///
+/// Rotation is rotate-on-access: the first recorder (or reader) to
+/// touch a slot under a new epoch claims it with one CAS and clears
+/// it. A sample racing that clear can be lost or double-counted in
+/// that one slot for one tick — transient fuzz in a statistics plane,
+/// never a lock on the hot path.
+///
+/// `window_secs = 0` disables windowing entirely (no slots, no extra
+/// work per record): the bench A/B off-side and a pure-lifetime mode.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    lifetime: LatencyHistogram,
+    slots: Vec<WindowSlot>,
+    slot_secs: u64,
+    born: Instant,
+}
+
+impl WindowedHistogram {
+    /// A histogram windowed over roughly `window_secs` (rounded to the
+    /// slot granularity; 0 disables windowing).
+    pub fn new(window_secs: u64) -> Self {
+        let slot_secs = (window_secs / WINDOW_SLOTS as u64).max(1);
+        let slots = if window_secs == 0 {
+            Vec::new()
+        } else {
+            (0..WINDOW_SLOTS)
+                .map(|_| WindowSlot {
+                    epoch: AtomicU64::new(u64::MAX),
+                    hist: LatencyHistogram::new(),
+                })
+                .collect()
+        };
+        WindowedHistogram {
+            lifetime: LatencyHistogram::new(),
+            slots,
+            slot_secs,
+            born: Instant::now(),
+        }
+    }
+
+    /// The effective window width in seconds (0 when disabled).
+    pub fn window_secs(&self) -> u64 {
+        self.slot_secs * self.slots.len() as u64
+    }
+
+    /// The current coarse epoch tick.
+    fn current_epoch(&self) -> u64 {
+        self.born.elapsed().as_secs() / self.slot_secs
+    }
+
+    /// Claim `slot` for `epoch`, clearing stale samples. Returns the
+    /// slot's histogram, now attributed to `epoch`.
+    fn rotated(&self, epoch: u64) -> &LatencyHistogram {
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let cur = slot.epoch.load(Ordering::Relaxed);
+        if cur != epoch
+            && slot
+                .epoch
+                .compare_exchange(cur, epoch, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // This thread won the rotation: drop the previous epoch's
+            // samples. Concurrent recorders may slip a sample in on
+            // either side of the clear — accepted fuzz.
+            slot.hist.clear();
+        }
+        &slot.hist
+    }
+
+    /// Record one sample of `micros` at the current wall-clock epoch.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        if self.slots.is_empty() {
+            self.lifetime.record(micros);
+            return;
+        }
+        self.record_at(micros, self.current_epoch());
+    }
+
+    /// Record one sample at an explicit `epoch` — the deterministic
+    /// test hook behind the window-merge proptest and the
+    /// spike-recovery test. Records into the lifetime histogram too,
+    /// exactly like [`WindowedHistogram::record`].
+    pub fn record_at(&self, micros: u64, epoch: u64) {
+        self.lifetime.record(micros);
+        if self.slots.is_empty() {
+            return;
+        }
+        self.rotated(epoch).record(micros);
+    }
+
+    /// Merged per-bucket counts over the window ending at `epoch`
+    /// (slots whose epoch lies in `(epoch - WINDOW_SLOTS, epoch]`).
+    pub fn windowed_counts_at(&self, epoch: u64) -> Vec<u64> {
+        let mut merged = vec![0u64; BUCKETS];
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Relaxed);
+            // `e + slots > epoch` (not `e > epoch - slots`): the
+            // subtraction form saturates at epoch 0 and would exclude
+            // the very first epoch from its own window.
+            if e != u64::MAX && e <= epoch && e + self.slots.len() as u64 > epoch {
+                for (m, c) in merged.iter_mut().zip(slot.hist.counts()) {
+                    *m += c;
+                }
             }
         }
-        1u64 << (BUCKETS - 1)
+        merged
+    }
+
+    /// The `p`-th percentile over the last window, or over the
+    /// lifetime histogram when windowing is disabled.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.slots.is_empty() {
+            return self.lifetime.percentile_us(p);
+        }
+        let epoch = self.current_epoch();
+        // Touch the current slot first so a quiet period expires it
+        // instead of a stale spike lingering until the next record.
+        self.rotated(epoch);
+        percentile_from_counts(&self.windowed_counts_at(epoch), p)
+    }
+
+    /// Lifetime sample count (windowing never subtracts from this).
+    pub fn count(&self) -> u64 {
+        self.lifetime.count()
+    }
+
+    /// Lifetime sample sum in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.lifetime.sum_us()
+    }
+
+    /// The cumulative lifetime histogram (Prometheus families and
+    /// `_total` stat lines render from this).
+    pub fn lifetime(&self) -> &LatencyHistogram {
+        &self.lifetime
+    }
+
+    /// Drop every sample, lifetime and windowed (`STATS RESET`).
+    pub fn reset(&self) {
+        self.lifetime.clear();
+        for slot in &self.slots {
+            slot.epoch.store(u64::MAX, Ordering::Relaxed);
+            slot.hist.clear();
+        }
     }
 }
 
@@ -191,18 +396,18 @@ pub struct PipelineMetrics {
     /// Commands observed by the trace layer.
     pub traced: RelaxedCounter,
     /// Latency of read-class commands (µs, end-to-end below trace).
-    pub read_latency: LatencyHistogram,
+    pub read_latency: WindowedHistogram,
     /// Latency of write-class commands.
-    pub write_latency: LatencyHistogram,
+    pub write_latency: WindowedHistogram,
     /// Latency of control-class commands.
-    pub control_latency: LatencyHistogram,
+    pub control_latency: WindowedHistogram,
     /// Pipelined bursts driven through `call_batch`.
     pub batches: RelaxedCounter,
     /// Commands carried by those bursts (`traced` counts them too).
     pub batch_commands: RelaxedCounter,
     /// Whole-batch latency (µs): one sample per burst, however many
     /// commands it carried.
-    pub batch_latency: LatencyHistogram,
+    pub batch_latency: WindowedHistogram,
 
     /// Requests admitted by the rate limiter.
     pub rate_admitted: LongAdder,
@@ -235,11 +440,14 @@ pub struct PipelineMetrics {
     /// Per-layer admission cost (µs), indexed by
     /// [`LayerKind::index`]; fed only by sampled spans, so each
     /// histogram describes the sampled population.
-    pub layer_admission_us: [LatencyHistogram; LAYER_COUNT],
+    pub layer_admission_us: [WindowedHistogram; LAYER_COUNT],
     /// Spans actually sampled (the denominator for `layer_admission_us`).
     pub spans_sampled: RelaxedCounter,
     /// The slow-command ring served by `SLOWLOG GET|RESET|LEN`.
     pub slowlog: SlowLog,
+    /// The flight-recorder ring of completed cross-thread trace trees,
+    /// served by `TRACE GET|RESET|LEN` and `/trace`.
+    pub flight: FlightRecorder,
 }
 
 impl Default for PipelineMetrics {
@@ -254,16 +462,18 @@ impl PipelineMetrics {
         Self::with_trace(&TraceConfig::default())
     }
 
-    /// A zeroed sink whose slowlog ring is sized per `trace`.
+    /// A zeroed sink whose slowlog ring, flight-recorder ring and
+    /// aggregation windows are sized per `trace`.
     pub fn with_trace(trace: &TraceConfig) -> Self {
+        let w = trace.window_secs;
         PipelineMetrics {
             traced: RelaxedCounter::new(),
-            read_latency: LatencyHistogram::new(),
-            write_latency: LatencyHistogram::new(),
-            control_latency: LatencyHistogram::new(),
+            read_latency: WindowedHistogram::new(w),
+            write_latency: WindowedHistogram::new(w),
+            control_latency: WindowedHistogram::new(w),
             batches: RelaxedCounter::new(),
             batch_commands: RelaxedCounter::new(),
-            batch_latency: LatencyHistogram::new(),
+            batch_latency: WindowedHistogram::new(w),
             rate_admitted: LongAdder::new(),
             rate_rejected: LongAdder::new(),
             rate_refilled: LongAdder::new(),
@@ -276,10 +486,40 @@ impl PipelineMetrics {
             ttl_checked: RelaxedCounter::new(),
             ttl_armed: RelaxedCounter::new(),
             ttl_expired: RelaxedCounter::new(),
-            layer_admission_us: std::array::from_fn(|_| LatencyHistogram::new()),
+            layer_admission_us: std::array::from_fn(|_| WindowedHistogram::new(w)),
             spans_sampled: RelaxedCounter::new(),
             slowlog: SlowLog::new(trace.slowlog_threshold_us, trace.slowlog_capacity),
+            flight: FlightRecorder::new(trace.trace_threshold_us, trace.trace_capacity),
         }
+    }
+
+    /// `STATS RESET`: zero every counter and histogram (lifetime and
+    /// windowed). The slowlog and flight-recorder rings are *not*
+    /// touched — they have their own `RESET` verbs.
+    pub fn reset(&self) {
+        self.traced.reset();
+        self.read_latency.reset();
+        self.write_latency.reset();
+        self.control_latency.reset();
+        self.batches.reset();
+        self.batch_commands.reset();
+        self.batch_latency.reset();
+        self.rate_admitted.reset();
+        self.rate_rejected.reset();
+        self.rate_refilled.reset();
+        self.auth_admitted.reset();
+        self.auth_denied.reset();
+        self.auth_logins.reset();
+        self.auth_reloads.reset();
+        self.deadline_checked.reset();
+        self.deadline_missed.reset();
+        self.ttl_checked.reset();
+        self.ttl_armed.reset();
+        self.ttl_expired.reset();
+        for hist in &self.layer_admission_us {
+            hist.reset();
+        }
+        self.spans_sampled.reset();
     }
 
     /// Fold one harvested span into the per-layer histograms.
@@ -293,17 +533,43 @@ impl PipelineMetrics {
     }
 
     /// The `mw_*` lines appended to the `STATS` array reply.
+    ///
+    /// Percentile lines report the rolling window (the last
+    /// `mw_window_secs` seconds); each carries a `_total`-suffixed
+    /// twin computed over the lifetime histogram. When windowing is
+    /// disabled (`--stats-window-secs 0`) the two are identical.
     pub fn render_lines(&self, depth: usize) -> Vec<String> {
         let mut out = StatLines::new();
         out.push("mw_depth", depth);
+        out.push("mw_window_secs", self.read_latency.window_secs());
         out.push("mw_traced", self.traced.sum());
         out.push("mw_read_p50_us", self.read_latency.percentile_us(0.50));
         out.push("mw_read_p99_us", self.read_latency.percentile_us(0.99));
+        out.push(
+            "mw_read_p50_us_total",
+            self.read_latency.lifetime().percentile_us(0.50),
+        );
+        out.push(
+            "mw_read_p99_us_total",
+            self.read_latency.lifetime().percentile_us(0.99),
+        );
         out.push("mw_write_p50_us", self.write_latency.percentile_us(0.50));
         out.push("mw_write_p99_us", self.write_latency.percentile_us(0.99));
+        out.push(
+            "mw_write_p50_us_total",
+            self.write_latency.lifetime().percentile_us(0.50),
+        );
+        out.push(
+            "mw_write_p99_us_total",
+            self.write_latency.lifetime().percentile_us(0.99),
+        );
         out.push("mw_batches", self.batches.sum());
         out.push("mw_batch_commands", self.batch_commands.sum());
         out.push("mw_batch_p99_us", self.batch_latency.percentile_us(0.99));
+        out.push(
+            "mw_batch_p99_us_total",
+            self.batch_latency.lifetime().percentile_us(0.99),
+        );
         out.push("mw_rate_admitted", self.rate_admitted.sum());
         out.push("mw_rate_rejected", self.rate_rejected.sum());
         out.push("mw_rate_refilled", self.rate_refilled.sum());
@@ -327,9 +593,19 @@ impl PipelineMetrics {
                 &format!("mw_{}_us_p99", kind.name()),
                 hist.percentile_us(0.99),
             );
+            out.push(
+                &format!("mw_{}_us_p50_total", kind.name()),
+                hist.lifetime().percentile_us(0.50),
+            );
+            out.push(
+                &format!("mw_{}_us_p99_total", kind.name()),
+                hist.lifetime().percentile_us(0.99),
+            );
         }
         out.push("mw_slowlog_len", self.slowlog.len());
         out.push("mw_slowlog_total", self.slowlog.total());
+        out.push("mw_trace_len", self.flight.len());
+        out.push("mw_trace_total", self.flight.total());
         out.into_lines()
     }
 }
@@ -396,6 +672,71 @@ mod tests {
     #[should_panic(expected = "duplicate stat name")]
     fn assembled_reply_duplicate_names_assert_in_debug() {
         debug_assert_unique_stat_names(&["a=1".to_string(), "a=2".to_string()]);
+    }
+
+    #[test]
+    fn windowed_percentile_recovers_after_a_spike_expires() {
+        let h = WindowedHistogram::new(60); // 6 slots × 10 s
+        for _ in 0..100 {
+            h.record_at(100, 10); // baseline ~100 µs at epoch 10
+        }
+        for _ in 0..100 {
+            h.record_at(1_000_000, 11); // 1 s spike at epoch 11
+        }
+        assert!(
+            percentile_from_counts(&h.windowed_counts_at(11), 0.99) >= 1_000_000,
+            "spike dominates the window while fresh"
+        );
+        // Two windows later the spike slots have expired; only fresh
+        // baseline samples are inside the window.
+        for _ in 0..10 {
+            h.record_at(100, 24);
+        }
+        let p99 = percentile_from_counts(&h.windowed_counts_at(24), 0.99);
+        assert!(p99 <= 128, "windowed p99 back to baseline, got {p99}");
+        // The lifetime histogram still remembers the spike.
+        assert!(h.lifetime().percentile_us(0.99) >= 1_000_000);
+        assert_eq!(h.count(), 210, "lifetime count keeps everything");
+    }
+
+    #[test]
+    fn windowed_slots_reuse_clears_stale_epochs() {
+        let h = WindowedHistogram::new(60);
+        h.record_at(50, 3);
+        // Epoch 9 maps to the same slot as epoch 3 (9 % 6 == 3): the
+        // rotation must clear the old samples before recording.
+        h.record_at(7, 9);
+        let counts = h.windowed_counts_at(9);
+        assert_eq!(counts.iter().sum::<u64>(), 1, "stale epoch-3 sample gone");
+        assert_eq!(h.count(), 2, "lifetime unaffected by rotation");
+    }
+
+    #[test]
+    fn zero_window_disables_slots_and_serves_lifetime() {
+        let h = WindowedHistogram::new(0);
+        assert_eq!(h.window_secs(), 0);
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_us(0.5), 1024, "lifetime percentile");
+        assert!(h.windowed_counts_at(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_both_histogram_planes() {
+        let m = PipelineMetrics::new();
+        m.traced.increment();
+        m.rate_admitted.increment();
+        m.read_latency.record(500);
+        let mut costs = [None; LAYER_COUNT];
+        costs[LayerKind::Ttl.index()] = Some(9);
+        m.note_span(&costs);
+        m.reset();
+        assert_eq!(m.traced.sum(), 0);
+        assert_eq!(m.rate_admitted.sum(), 0);
+        assert_eq!(m.read_latency.count(), 0);
+        assert_eq!(m.read_latency.percentile_us(0.99), 0);
+        assert_eq!(m.spans_sampled.sum(), 0);
+        assert_eq!(m.layer_admission_us[LayerKind::Ttl.index()].count(), 0);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub enum Command {
     /// `STATS SHARDS` → `*n` + n × `name=value` of per-shard telemetry
     /// (queue depth, drained batch sizes, ack latency)
     StatsShards,
+    /// `STATS RESET` → `+OK` (zeroes middleware and shard
+    /// counters/histograms; the slowlog and flight-recorder rings keep
+    /// their own `RESET` verbs)
+    StatsReset,
     /// `SLOWLOG GET` → `*n` + n × entry lines, slowest first (handled
     /// by the trace middleware layer; rejected when it is absent)
     SlowlogGet,
@@ -76,6 +80,14 @@ pub enum Command {
     SlowlogReset,
     /// `SLOWLOG LEN` → `:n`
     SlowlogLen,
+    /// `TRACE GET` → `*n` + n × flight-recorder trace-tree lines,
+    /// slowest first (handled by the trace middleware layer; rejected
+    /// when it is absent)
+    TraceGet,
+    /// `TRACE RESET` → `+OK`
+    TraceReset,
+    /// `TRACE LEN` → `:n`
+    TraceLen,
     /// `PING` → `+PONG`
     Ping,
     /// `QUIT` → `+OK`, then the server closes the connection
@@ -171,8 +183,10 @@ impl Command {
             "PROFILEVER" => Command::ProfileVer(need_u64(&mut parts, "user")?),
             "STATS" => match parts.next() {
                 // Extra tokens after a plain STATS were historically
-                // ignored; only the SHARDS subcommand changes meaning.
+                // ignored; only the SHARDS and RESET subcommands change
+                // meaning.
                 Some(sub) if sub.eq_ignore_ascii_case("SHARDS") => Command::StatsShards,
+                Some(sub) if sub.eq_ignore_ascii_case("RESET") => Command::StatsReset,
                 _ => Command::Stats,
             },
             "SLOWLOG" => {
@@ -184,6 +198,19 @@ impl Command {
                     other => {
                         return Err(ParseError(format!(
                             "unknown SLOWLOG subcommand {other:?} (want GET|RESET|LEN)"
+                        )))
+                    }
+                }
+            }
+            "TRACE" => {
+                let sub = need(&mut parts, "subcommand (GET|RESET|LEN)")?;
+                match sub.to_ascii_uppercase().as_str() {
+                    "GET" => Command::TraceGet,
+                    "RESET" => Command::TraceReset,
+                    "LEN" => Command::TraceLen,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown TRACE subcommand {other:?} (want GET|RESET|LEN)"
                         )))
                     }
                 }
@@ -223,8 +250,9 @@ impl Command {
             Command::InGroup(..) => "INGROUP",
             Command::Profile(..) => "PROFILE",
             Command::ProfileVer(..) => "PROFILEVER",
-            Command::Stats | Command::StatsShards => "STATS",
+            Command::Stats | Command::StatsShards | Command::StatsReset => "STATS",
             Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => "SLOWLOG",
+            Command::TraceGet | Command::TraceReset | Command::TraceLen => "TRACE",
             Command::Ping => "PING",
             Command::Quit => "QUIT",
             Command::Auth(..) => "AUTH",
@@ -254,9 +282,13 @@ impl Command {
             | Command::Expire(..) => CommandClass::Write,
             Command::Stats
             | Command::StatsShards
+            | Command::StatsReset
             | Command::SlowlogGet
             | Command::SlowlogReset
             | Command::SlowlogLen
+            | Command::TraceGet
+            | Command::TraceReset
+            | Command::TraceLen
             | Command::Ping
             | Command::Quit
             | Command::Auth(..) => CommandClass::Control,
@@ -288,9 +320,13 @@ impl Command {
             Command::ProfileVer(u) => format!("PROFILEVER {u}"),
             Command::Stats => "STATS".into(),
             Command::StatsShards => "STATS SHARDS".into(),
+            Command::StatsReset => "STATS RESET".into(),
             Command::SlowlogGet => "SLOWLOG GET".into(),
             Command::SlowlogReset => "SLOWLOG RESET".into(),
             Command::SlowlogLen => "SLOWLOG LEN".into(),
+            Command::TraceGet => "TRACE GET".into(),
+            Command::TraceReset => "TRACE RESET".into(),
+            Command::TraceLen => "TRACE LEN".into(),
             Command::Ping => "PING".into(),
             Command::Quit => "QUIT".into(),
             Command::Auth(t) => format!("AUTH {t}"),
@@ -374,6 +410,8 @@ mod tests {
     fn parses_the_observability_verbs() {
         assert_eq!(Command::parse("STATS SHARDS"), Ok(Command::StatsShards));
         assert_eq!(Command::parse("stats shards"), Ok(Command::StatsShards));
+        assert_eq!(Command::parse("STATS RESET"), Ok(Command::StatsReset));
+        assert_eq!(Command::parse("stats reset"), Ok(Command::StatsReset));
         // Unknown trailing tokens keep meaning plain STATS (historical
         // leniency).
         assert_eq!(Command::parse("STATS extra"), Ok(Command::Stats));
@@ -382,8 +420,15 @@ mod tests {
         assert_eq!(Command::parse("SLOWLOG len"), Ok(Command::SlowlogLen));
         assert!(Command::parse("SLOWLOG").is_err());
         assert!(Command::parse("SLOWLOG FROB").is_err());
+        assert_eq!(Command::parse("TRACE GET"), Ok(Command::TraceGet));
+        assert_eq!(Command::parse("trace reset"), Ok(Command::TraceReset));
+        assert_eq!(Command::parse("TRACE len"), Ok(Command::TraceLen));
+        assert!(Command::parse("TRACE").is_err());
+        assert!(Command::parse("TRACE FROB").is_err());
         assert_eq!(Command::SlowlogGet.class(), CommandClass::Control);
         assert_eq!(Command::StatsShards.class(), CommandClass::Control);
+        assert_eq!(Command::StatsReset.class(), CommandClass::Control);
+        assert_eq!(Command::TraceGet.class(), CommandClass::Control);
     }
 
     #[test]
@@ -431,9 +476,13 @@ mod tests {
             Command::Post(3, 77),
             Command::Stats,
             Command::StatsShards,
+            Command::StatsReset,
             Command::SlowlogGet,
             Command::SlowlogReset,
             Command::SlowlogLen,
+            Command::TraceGet,
+            Command::TraceReset,
+            Command::TraceLen,
             Command::Auth("tok".into()),
             Command::Expire("k".into(), 99),
         ];

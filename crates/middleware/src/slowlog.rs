@@ -23,6 +23,10 @@ use std::sync::Arc;
 pub struct SlowLogEntry {
     /// Monotonic id (survives [`SlowLog::reset`]).
     pub id: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch —
+    /// the anchor for correlating entries with external logs (the
+    /// other fields are all relative durations).
+    pub unix_ms: u64,
     /// Peer address of the connection that issued it.
     pub client: Arc<str>,
     /// Verb, or `"BATCH"` for a pipelined burst.
@@ -41,12 +45,12 @@ pub struct SlowLogEntry {
 
 impl SlowLogEntry {
     /// The `SLOWLOG GET` wire line:
-    /// `id=3 client=127.0.0.1:4242 verb=SET class=write burst=1 us=15000 span=auth:2,ttl:9`
+    /// `id=3 unix_ms=1722470400000 client=127.0.0.1:4242 verb=SET class=write burst=1 us=15000 span=auth:2,ttl:9`
     /// (`span=-` when the command was not sampled).
     pub fn render_line(&self) -> String {
         let mut line = format!(
-            "id={} client={} verb={} class={} burst={} us={} span=",
-            self.id, self.client, self.verb, self.class, self.burst, self.elapsed_us
+            "id={} unix_ms={} client={} verb={} class={} burst={} us={} span=",
+            self.id, self.unix_ms, self.client, self.verb, self.class, self.burst, self.elapsed_us
         );
         match &self.layer_us {
             None => line.push('-'),
@@ -67,6 +71,12 @@ impl SlowLogEntry {
             }
         }
         line
+    }
+}
+
+impl std::fmt::Display for SlowLogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render_line())
     }
 }
 
@@ -114,6 +124,7 @@ impl SlowLog {
         let slot = &self.slots[(id as usize) % self.slots.len()];
         slot.set(Arc::new(SlowLogEntry {
             id,
+            unix_ms: crate::flight::unix_ms_now(),
             client: Arc::clone(client),
             verb,
             class,
@@ -209,6 +220,7 @@ mod tests {
         costs[LayerKind::Ttl.index()] = Some(0);
         let entry = SlowLogEntry {
             id: 9,
+            unix_ms: 1_722_470_400_000,
             client: client(),
             verb: "SET",
             class: "write",
@@ -218,13 +230,24 @@ mod tests {
         };
         assert_eq!(
             entry.render_line(),
-            "id=9 client=test:1 verb=SET class=write burst=1 us=1234 span=auth:7,ttl:0"
+            "id=9 unix_ms=1722470400000 client=test:1 verb=SET class=write burst=1 \
+             us=1234 span=auth:7,ttl:0"
         );
+        assert_eq!(entry.to_string(), entry.render_line(), "Display delegates");
         let unsampled = SlowLogEntry {
             layer_us: None,
             ..entry
         };
         assert!(unsampled.render_line().ends_with("span=-"));
+    }
+
+    #[test]
+    fn offered_entries_carry_a_wall_clock_stamp() {
+        let log = SlowLog::new(0, 1);
+        log.offer(&client(), "SET", "write", 1, 5, None);
+        let entry = &log.entries()[0];
+        // Any plausible present-day stamp: after 2020-01-01.
+        assert!(entry.unix_ms > 1_577_836_800_000, "got {}", entry.unix_ms);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! ([`start`] returns `None` and [`record`] is a no-op), which is what
 //! keeps the default 1-in-N sampling overhead negligible.
 
+use crate::flight::StoreSegment;
 use crate::pipeline::{LayerKind, LAYER_COUNT};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::time::Instant;
 
@@ -25,6 +26,10 @@ thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     static COSTS: Cell<[u64; LAYER_COUNT]> = const { Cell::new([0; LAYER_COUNT]) };
     static TOUCHED: Cell<[bool; LAYER_COUNT]> = const { Cell::new([false; LAYER_COUNT]) };
+    /// Store-side segments delivered back across the queue boundary:
+    /// the shard owner stamps them into the ack envelope, and the
+    /// connection thread deposits them here while collecting replies.
+    static STORE: RefCell<Vec<StoreSegment>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An active span scope. Dropping it (or calling
@@ -34,30 +39,43 @@ pub struct SpanGuard {
     _not_send: PhantomData<*const ()>,
 }
 
+/// Everything a finished span saw: per-layer admission costs from this
+/// thread plus the store-side segments the shard owners sent back.
+#[derive(Debug)]
+pub struct SpanHarvest {
+    /// `Some(micros)` for every layer that recorded at least one
+    /// segment, `None` for layers the span never saw.
+    pub layer_us: [Option<u64>; LAYER_COUNT],
+    /// Shard-thread segments in ack-arrival order.
+    pub store: Vec<StoreSegment>,
+}
+
 /// Begin a sampled span on this thread, resetting the cost table.
 pub fn enter() -> SpanGuard {
     ACTIVE.with(|a| a.set(true));
     COSTS.with(|c| c.set([0; LAYER_COUNT]));
     TOUCHED.with(|t| t.set([false; LAYER_COUNT]));
+    STORE.with(|s| s.borrow_mut().clear());
     SpanGuard {
         _not_send: PhantomData,
     }
 }
 
 impl SpanGuard {
-    /// End the span and harvest the per-layer costs: `Some(micros)`
-    /// for every layer that recorded at least one segment, `None` for
-    /// layers the span never saw (not configured, or exempt paths).
-    pub fn finish(self) -> [Option<u64>; LAYER_COUNT] {
+    /// End the span and harvest its segments.
+    pub fn finish(self) -> SpanHarvest {
         let costs = COSTS.with(|c| c.get());
         let touched = TOUCHED.with(|t| t.get());
-        let mut out = [None; LAYER_COUNT];
+        let mut layer_us = [None; LAYER_COUNT];
         for i in 0..LAYER_COUNT {
             if touched[i] {
-                out[i] = Some(costs[i]);
+                layer_us[i] = Some(costs[i]);
             }
         }
-        out
+        SpanHarvest {
+            layer_us,
+            store: STORE.with(|s| std::mem::take(&mut *s.borrow_mut())),
+        }
     }
 }
 
@@ -67,14 +85,30 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Whether a span is active on this thread — the one-boolean probe the
+/// server uses to decide if a mutation envelope should carry timing.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
 /// The start of one layer segment: `Some(now)` when a span is active
 /// on this thread, `None` (one thread-local load) otherwise.
 #[inline]
 pub fn start() -> Option<Instant> {
-    if ACTIVE.with(|a| a.get()) {
+    if active() {
         Some(Instant::now())
     } else {
         None
+    }
+}
+
+/// Deposit a store-side segment received in an ack envelope. A no-op
+/// when no span is active (late acks, unsampled requests).
+#[inline]
+pub fn record_store(seg: StoreSegment) {
+    if active() {
+        STORE.with(|s| s.borrow_mut().push(seg));
     }
 }
 
@@ -115,11 +149,34 @@ mod tests {
         record(LayerKind::Auth, t);
         record(LayerKind::Auth, start()); // second segment, same layer
         record(LayerKind::Ttl, start());
-        let costs = guard.finish();
-        assert!(costs[LayerKind::Auth.index()].is_some());
-        assert!(costs[LayerKind::Ttl.index()].is_some());
-        assert_eq!(costs[LayerKind::Deadline.index()], None, "never touched");
+        let harvest = guard.finish();
+        assert!(harvest.layer_us[LayerKind::Auth.index()].is_some());
+        assert!(harvest.layer_us[LayerKind::Ttl.index()].is_some());
+        assert_eq!(
+            harvest.layer_us[LayerKind::Deadline.index()],
+            None,
+            "never touched"
+        );
         assert!(start().is_none(), "span closed after finish");
+    }
+
+    #[test]
+    fn store_segments_ride_the_harvest_only_while_active() {
+        let seg = StoreSegment {
+            shard: 1,
+            queue_us: 10,
+            apply_us: 20,
+        };
+        record_store(seg); // no span: dropped
+        let guard = enter();
+        assert!(active());
+        record_store(seg);
+        let harvest = guard.finish();
+        assert_eq!(harvest.store, vec![seg], "only the in-span deposit kept");
+        assert!(!active());
+        // A fresh span starts with an empty store table.
+        let guard = enter();
+        assert!(guard.finish().store.is_empty());
     }
 
     #[test]
@@ -137,7 +194,10 @@ mod tests {
         record(LayerKind::Trace, start());
         drop(guard);
         let guard = enter();
-        let costs = guard.finish();
-        assert_eq!(costs, [None; LAYER_COUNT], "fresh span starts clean");
+        let harvest = guard.finish();
+        assert_eq!(
+            harvest.layer_us, [None; LAYER_COUNT],
+            "fresh span starts clean"
+        );
     }
 }

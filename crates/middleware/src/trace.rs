@@ -16,16 +16,25 @@
 //!   the configured threshold are pushed into the lock-free
 //!   [`crate::slowlog::SlowLog`] ring, together with the sampled
 //!   breakdown when one was taken.
-//! * **`SLOWLOG GET|RESET|LEN`** are answered here — they never travel
-//!   further down the stack, so they are immune to deadline/rate/ACL
-//!   policy and usable for diagnosis even mid-overload.
+//! * **Flight recording**: every sampled command/burst assembles a
+//!   [`crate::flight::TraceTree`] — the per-layer admission segments
+//!   from this thread plus the store-side queue-wait/apply segments the
+//!   shard owners stamped into the ack envelopes — and offers it to the
+//!   lock-free [`crate::flight::FlightRecorder`] ring.
+//! * **`SLOWLOG GET|RESET|LEN`** and **`TRACE GET|RESET|LEN`** are
+//!   answered here — they never travel further down the stack, so they
+//!   are immune to deadline/rate/ACL policy and usable for diagnosis
+//!   even mid-overload.
+//! * **`STATS RESET`** travels down (the server zeroes its own plane)
+//!   and, on the way back up, zeroes the middleware counters and
+//!   histograms too — after this command's own recording, so the next
+//!   `STATS` starts from a clean slate.
 
 use crate::metrics::{debug_assert_unique_stat_names, PipelineMetrics};
 use crate::pipeline::{
-    partition_batch, BoxService, Layer, LayerKind, Request, Response, Service, Session, LAYER_COUNT,
+    partition_batch, BoxService, Layer, LayerKind, Request, Response, Service, Session,
 };
 use crate::protocol::{Command, CommandClass, Reply};
-use crate::slowlog::SlowLog;
 use crate::span;
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,17 +47,36 @@ fn class_name(class: CommandClass) -> &'static str {
     }
 }
 
-/// Answer a slowlog verb from the ring, or `None` for anything else.
-fn slowlog_reply(slowlog: &SlowLog, cmd: &Command) -> Option<Reply> {
+/// Answer a slowlog or flight-recorder verb from its ring, or `None`
+/// for anything else.
+fn observability_reply(metrics: &PipelineMetrics, cmd: &Command) -> Option<Reply> {
     match cmd {
         Command::SlowlogGet => Some(Reply::Array(
-            slowlog.entries().iter().map(|e| e.render_line()).collect(),
+            metrics
+                .slowlog
+                .entries()
+                .iter()
+                .map(|e| e.render_line())
+                .collect(),
         )),
         Command::SlowlogReset => {
-            slowlog.reset();
+            metrics.slowlog.reset();
             Some(Reply::Status("OK"))
         }
-        Command::SlowlogLen => Some(Reply::Int(slowlog.len() as i64)),
+        Command::SlowlogLen => Some(Reply::Int(metrics.slowlog.len() as i64)),
+        Command::TraceGet => Some(Reply::Array(
+            metrics
+                .flight
+                .entries()
+                .iter()
+                .map(|e| e.render_line())
+                .collect(),
+        )),
+        Command::TraceReset => {
+            metrics.flight.reset();
+            Some(Reply::Status("OK"))
+        }
+        Command::TraceLen => Some(Reply::Int(metrics.flight.len() as i64)),
         _ => None,
     }
 }
@@ -116,7 +144,8 @@ impl TraceService {
     }
 
     /// Close out one traced command/burst: harvest the span (if any)
-    /// into the per-layer histograms and offer the observation to the
+    /// into the per-layer histograms, offer the completed trace tree
+    /// to the flight recorder, and offer the observation to the
     /// slowlog ring.
     fn finish(
         &self,
@@ -126,10 +155,19 @@ impl TraceService {
         burst: usize,
         elapsed_us: u64,
     ) {
-        let costs: Option<[Option<u64>; LAYER_COUNT]> = span.map(|guard| {
-            let costs = guard.finish();
-            self.metrics.note_span(&costs);
-            costs
+        let costs = span.map(|guard| {
+            let harvest = guard.finish();
+            self.metrics.note_span(&harvest.layer_us);
+            self.metrics.flight.offer(
+                &self.client,
+                verb,
+                class,
+                burst,
+                elapsed_us,
+                harvest.layer_us,
+                harvest.store,
+            );
+            harvest.layer_us
         });
         self.metrics
             .slowlog
@@ -154,18 +192,26 @@ impl Service for TraceService {
             .iter()
             .map(|r| matches!(r.command, Command::Stats))
             .collect();
-        let has_slowlog_verbs = reqs.iter().any(|r| {
+        let has_reset = reqs
+            .iter()
+            .any(|r| matches!(r.command, Command::StatsReset));
+        let has_ring_verbs = reqs.iter().any(|r| {
             matches!(
                 r.command,
-                Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen
+                Command::SlowlogGet
+                    | Command::SlowlogReset
+                    | Command::SlowlogLen
+                    | Command::TraceGet
+                    | Command::TraceReset
+                    | Command::TraceLen
             )
         });
         let span = self.tick_sample().then(span::enter);
         let start = Instant::now();
-        let mut resps = if has_slowlog_verbs {
+        let mut resps = if has_ring_verbs {
             let metrics = Arc::clone(&self.metrics);
             partition_batch(&mut self.inner, reqs, |req| {
-                slowlog_reply(&metrics.slowlog, &req.command).map(Response::ok)
+                observability_reply(&metrics, &req.command).map(Response::ok)
             })
         } else {
             self.inner.call_batch(reqs)
@@ -186,17 +232,22 @@ impl Service for TraceService {
         self.metrics.batch_latency.record(elapsed_us);
         span::record(LayerKind::Trace, trace_t);
         self.finish(span, "BATCH", "batch", n as usize, elapsed_us);
+        if has_reset {
+            // Last, so the burst's own recording nets to zero too.
+            self.metrics.reset();
+        }
         resps
     }
 
     fn call(&mut self, req: Request) -> Response {
-        if let Some(reply) = slowlog_reply(&self.metrics.slowlog, &req.command) {
+        if let Some(reply) = observability_reply(&self.metrics, &req.command) {
             self.metrics.traced.increment();
             return Response::ok(reply);
         }
         let class = req.command.class();
         let verb = req.command.verb();
         let is_stats = matches!(req.command, Command::Stats);
+        let is_reset = matches!(req.command, Command::StatsReset);
         let span = self.tick_sample().then(span::enter);
         let start = Instant::now();
         let mut resp = self.inner.call(req);
@@ -218,6 +269,11 @@ impl Service for TraceService {
         }
         span::record(LayerKind::Trace, trace_t);
         self.finish(span, verb, class_name(class), 1, elapsed_us);
+        if is_reset {
+            // Zero the middleware plane last, after this command's own
+            // recording, so the next STATS starts from a clean slate.
+            self.metrics.reset();
+        }
         resp
     }
 }
@@ -391,6 +447,102 @@ mod tests {
         assert_eq!(resps[0].reply, Reply::Status("OK"), "inner store reply");
         assert_eq!(resps[1].reply, Reply::Int(1), "answered by trace");
         assert_eq!(resps[2].reply, Reply::Status("OK"));
+    }
+
+    #[test]
+    fn sampled_commands_enter_the_flight_recorder() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        assert_eq!(metrics.flight.len(), 1, "sampled tree captured");
+        let tree = &metrics.flight.entries()[0];
+        assert_eq!(tree.verb, "SET");
+        assert_eq!(tree.class, "write");
+        assert_eq!(&*tree.client, "t:1");
+        assert!(
+            tree.layers[LayerKind::Trace.index()].is_some(),
+            "trace segment present"
+        );
+    }
+
+    #[test]
+    fn unsampled_commands_skip_the_flight_recorder() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            sample_every: 2,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Ping)); // sampled (phase 0)
+        svc.call(Request::new(Command::Ping)); // not sampled
+        assert_eq!(metrics.flight.total(), 1, "only the sampled command");
+    }
+
+    #[test]
+    fn trace_verbs_are_answered_by_the_trace_layer() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        match svc.call(Request::new(Command::TraceLen)).reply {
+            Reply::Int(1) => {}
+            other => panic!("expected :1, got {other:?}"),
+        }
+        match svc.call(Request::new(Command::TraceGet)).reply {
+            Reply::Array(lines) => {
+                assert_eq!(lines.len(), 1);
+                assert!(lines[0].contains("verb=SET"), "line: {}", lines[0]);
+                assert!(lines[0].contains("conn/trace:"), "line: {}", lines[0]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            svc.call(Request::new(Command::TraceReset)).reply,
+            Reply::Status("OK")
+        );
+        assert_eq!(metrics.flight.len(), 0);
+        // The verbs themselves never became trees (they return before
+        // sampling) but were counted as traffic.
+        assert_eq!(metrics.traced.sum(), 4);
+    }
+
+    #[test]
+    fn trace_verbs_in_bursts_answer_in_place() {
+        let (mut svc, _) = traced_with(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        let resps = svc.call_batch(vec![
+            Request::new(Command::Get("k".into())),
+            Request::new(Command::TraceLen),
+            Request::new(Command::Ping),
+        ]);
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0].reply, Reply::Status("OK"), "inner store reply");
+        assert_eq!(resps[1].reply, Reply::Int(1), "answered by trace");
+        assert_eq!(resps[2].reply, Reply::Status("OK"));
+    }
+
+    #[test]
+    fn stats_reset_zeroes_the_middleware_plane() {
+        let (mut svc, metrics) = traced_with(TraceConfig {
+            slowlog_threshold_us: 0,
+            ..TraceConfig::default()
+        });
+        svc.call(Request::new(Command::Set("k".into(), "v".into())));
+        svc.call(Request::new(Command::Get("k".into())));
+        assert!(metrics.traced.sum() > 0);
+        let resp = svc.call(Request::new(Command::StatsReset));
+        assert_eq!(resp.reply, Reply::Status("OK"), "inner store answered");
+        assert_eq!(metrics.traced.sum(), 0, "counters zeroed after reply");
+        assert_eq!(metrics.read_latency.count(), 0);
+        assert_eq!(metrics.write_latency.count(), 0);
+        assert_eq!(metrics.control_latency.count(), 0);
+        assert_eq!(metrics.spans_sampled.sum(), 0);
+        // The rings are not touched: they have their own RESET verbs.
+        assert!(!metrics.slowlog.is_empty(), "slowlog survives STATS RESET");
     }
 
     #[test]

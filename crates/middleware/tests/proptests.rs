@@ -10,7 +10,7 @@
 use dego_middleware::protocol::{Command, CommandClass, Reply};
 use dego_middleware::{
     AuthConfig, MiddlewareConfig, PromText, Request, Response, Role, Service, Session, Stack,
-    TokenSpec,
+    TokenSpec, WindowedHistogram,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -59,6 +59,10 @@ fn command() -> impl Strategy<Value = Command> {
         Just(Command::SlowlogGet),
         Just(Command::SlowlogReset),
         Just(Command::SlowlogLen),
+        Just(Command::StatsReset),
+        Just(Command::TraceGet),
+        Just(Command::TraceReset),
+        Just(Command::TraceLen),
     )
 }
 
@@ -211,6 +215,7 @@ const KNOWN_VERBS: &[&str] = &[
     "AUTH",
     "EXPIRE",
     "SLOWLOG",
+    "TRACE",
 ];
 
 proptest! {
@@ -357,6 +362,26 @@ proptest! {
             .and_then(|rest| rest.strip_suffix("\"}"))
             .expect("label delimiters");
         prop_assert_eq!(unescape_label_value(inner), label);
+    }
+
+    /// The window-merge law: when every sample lands within one window
+    /// span (epochs covering fewer than the slot count), merging the
+    /// live slots reproduces the cumulative lifetime histogram exactly
+    /// — windowing drops only expired samples, never live ones, and
+    /// counts nothing twice.
+    #[test]
+    fn window_merge_matches_cumulative_histogram(
+        samples in proptest::collection::vec((0u64..100_000_000, 100u64..106), 1..200),
+    ) {
+        let h = WindowedHistogram::new(60);
+        let mut newest = 0u64;
+        for &(micros, epoch) in &samples {
+            h.record_at(micros, epoch);
+            newest = newest.max(epoch);
+        }
+        let merged = h.windowed_counts_at(newest);
+        prop_assert_eq!(merged, h.lifetime().counts());
+        prop_assert_eq!(h.count(), samples.len() as u64);
     }
 
     /// Reply rendering always emits exactly one line per element

@@ -15,8 +15,14 @@
 //!   default 64)
 //! * `--slowlog-threshold-us N` / `--slowlog-capacity N` — slowlog ring
 //!   tuning (0 threshold captures everything, 0 capacity disables)
+//! * `--trace-capacity N` / `--trace-threshold-us N` — flight-recorder
+//!   ring tuning for sampled trace trees (`TRACE GET`; 0 capacity
+//!   disables, 0 threshold keeps every sampled tree, default 64/0)
+//! * `--stats-window-secs N` — rolling window for `STATS` percentiles
+//!   (0 = lifetime only, default 60)
 //! * `--metrics-addr ADDR` — serve Prometheus text exposition at
-//!   `http://ADDR/metrics` (off by default)
+//!   `http://ADDR/metrics` and flight-recorder JSON at
+//!   `http://ADDR/trace` (off by default)
 //! * `--no-batch` — disable the batched pipeline path (A/B runs; the
 //!   group-commit batching is on by default)
 //! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
@@ -30,6 +36,7 @@ fn usage_exit(err: &str) -> ! {
          [--auth-token NAME:TOKEN:ROLE] [--anon-role ROLE] [--rate-burst N] \
          [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N] \
          [--trace-sample N] [--slowlog-threshold-us N] [--slowlog-capacity N] \
+         [--trace-capacity N] [--trace-threshold-us N] [--stats-window-secs N] \
          [--metrics-addr ADDR] [--no-batch] [--ack-timeout-ms N]"
     );
     std::process::exit(2);

@@ -351,6 +351,32 @@ impl Client {
             .expect_status("SLOWLOG RESET")
     }
 
+    /// `TRACE GET` — the flight recorder's captured trace trees,
+    /// slowest first, one rendered line per tree.
+    pub fn trace_get(&mut self) -> std::io::Result<Vec<String>> {
+        match self.request("TRACE GET")? {
+            ClientReply::Array(items) => Ok(items),
+            other => Err(bad_reply("TRACE GET", &other)),
+        }
+    }
+
+    /// `TRACE LEN` — trees currently held by the flight recorder.
+    pub fn trace_len(&mut self) -> std::io::Result<u64> {
+        Ok(self.request("TRACE LEN")?.expect_int("TRACE LEN")? as u64)
+    }
+
+    /// `TRACE RESET` — clear the flight recorder (ids keep counting).
+    pub fn trace_reset(&mut self) -> std::io::Result<()> {
+        self.request("TRACE RESET")?.expect_status("TRACE RESET")
+    }
+
+    /// `STATS RESET` — zero the middleware and server counter planes
+    /// (lifetime `_total` percentiles restart; slowlog and flight
+    /// recorder keep their own `RESET` verbs).
+    pub fn stats_reset(&mut self) -> std::io::Result<()> {
+        self.request("STATS RESET")?.expect_status("STATS RESET")
+    }
+
     /// `QUIT` (the server closes the connection afterwards).
     pub fn quit(&mut self) -> std::io::Result<()> {
         self.request("QUIT")?.expect_status("QUIT")

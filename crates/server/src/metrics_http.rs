@@ -2,15 +2,17 @@
 //!
 //! `--metrics-addr` spawns one thread running an HTTP/1.0 accept loop:
 //! `GET /metrics` renders a point-in-time snapshot of every server and
-//! middleware counter in the Prometheus text format (version 0.0.4)
-//! and closes the connection; anything else is a 404. One request per
-//! connection, served sequentially — a scrape endpoint, not a web
-//! server. No HTTP library is involved: the protocol surface is a
-//! request line in, a `Content-Length`-framed body out.
+//! middleware counter in the Prometheus text format (version 0.0.4);
+//! `GET /trace` renders the flight recorder's captured trace trees as
+//! JSON (slowest first). Either closes the connection after one reply;
+//! anything else is a 404. One request per connection, served
+//! sequentially — a scrape endpoint, not a web server. No HTTP library
+//! is involved: the protocol surface is a request line in, a
+//! `Content-Length`-framed body out.
 
 use crate::stats::ServerStats;
 use crate::store::Store;
-use dego_middleware::{LatencyHistogram, LayerKind, PromText, Stack};
+use dego_middleware::{LatencyHistogram, LayerKind, PromText, Stack, WindowedHistogram};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,14 +72,22 @@ fn serve_one(
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.split_whitespace();
-    let hit =
-        parts.next() == Some("GET") && matches!(parts.next(), Some("/metrics") | Some("/metrics/"));
+    let is_get = parts.next() == Some("GET");
+    let path = parts.next();
     let mut socket = socket;
-    if hit {
+    if is_get && matches!(path, Some("/metrics") | Some("/metrics/")) {
         let body = render_exposition(store, stats, stack);
         write!(
             socket,
             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else if is_get && matches!(path, Some("/trace") | Some("/trace/")) {
+        let body = render_trace_json(stack);
+        write!(
+            socket,
+            "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
             body
         )?;
@@ -91,6 +101,19 @@ fn serve_one(
         )?;
     }
     socket.flush()
+}
+
+/// Render the flight recorder's trace trees (slowest first) as one
+/// JSON object: `{"entries":[{...},...]}`.
+fn render_trace_json(stack: &Stack) -> String {
+    let entries: Vec<String> = stack
+        .metrics()
+        .flight
+        .entries()
+        .iter()
+        .map(|t| t.render_json())
+        .collect();
+    format!("{{\"entries\":[{}]}}\n", entries.join(","))
 }
 
 /// Render every counter, gauge and histogram the server knows about.
@@ -198,7 +221,7 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
         .telemetry()
         .iter()
         .enumerate()
-        .map(|(i, t)| (shard_label(i), t.drained_batch()))
+        .map(|(i, t)| (shard_label(i), t.drained_batch().lifetime()))
         .collect();
     prom.histogram_vec(
         "dego_shard_drained_batch_size",
@@ -209,7 +232,7 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
         .telemetry()
         .iter()
         .enumerate()
-        .map(|(i, t)| (shard_label(i), t.ack_us()))
+        .map(|(i, t)| (shard_label(i), t.ack_us().lifetime()))
         .collect();
     prom.histogram_vec(
         "dego_shard_ack_us",
@@ -231,17 +254,17 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
     prom.histogram(
         "dego_mw_read_us",
         "Read-class command latency below trace, microseconds.",
-        &m.read_latency,
+        m.read_latency.lifetime(),
     );
     prom.histogram(
         "dego_mw_write_us",
         "Write-class command latency below trace, microseconds.",
-        &m.write_latency,
+        m.write_latency.lifetime(),
     );
     prom.histogram(
         "dego_mw_control_us",
         "Control-class command latency below trace, microseconds.",
-        &m.control_latency,
+        m.control_latency.lifetime(),
     );
     prom.counter(
         "dego_mw_batches_total",
@@ -256,7 +279,7 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
     prom.histogram(
         "dego_mw_batch_us",
         "Whole-burst latency, microseconds.",
-        &m.batch_latency,
+        m.batch_latency.lifetime(),
     );
     prom.counter(
         "dego_mw_rate_admitted_total",
@@ -328,7 +351,7 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
         .map(|k| {
             (
                 vec![("layer", k.name().to_string())],
-                &m.layer_admission_us[k.index()],
+                m.layer_admission_us[k.index()].lifetime(),
             )
         })
         .collect();
@@ -346,6 +369,50 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
         "dego_mw_slowlog_total",
         "Slow commands captured since boot (resets keep counting).",
         m.slowlog.total(),
+    );
+    prom.gauge(
+        "dego_mw_flight_len",
+        "Trace trees currently held by the flight recorder.",
+        m.flight.len() as u64,
+    );
+    prom.counter(
+        "dego_mw_flight_total",
+        "Trace trees captured since boot (resets keep counting).",
+        m.flight.total(),
+    );
+
+    // Rolling-window views: the histogram families above are cumulative
+    // (Prometheus-idiomatic); these gauges report the last ~window
+    // only, matching what `STATS` serves.
+    prom.gauge(
+        "dego_mw_window_seconds",
+        "Rolling-percentile window width (0 = windowing disabled).",
+        m.read_latency.window_secs(),
+    );
+    let classes: [(&str, &WindowedHistogram); 4] = [
+        ("read", &m.read_latency),
+        ("write", &m.write_latency),
+        ("control", &m.control_latency),
+        ("batch", &m.batch_latency),
+    ];
+    let class_label = |c: &str| vec![("class", c.to_string())];
+    let p50: Vec<_> = classes
+        .iter()
+        .map(|(c, h)| (class_label(c), h.percentile_us(0.50)))
+        .collect();
+    prom.gauge_vec(
+        "dego_mw_p50_us_window",
+        "Windowed p50 latency per command class, microseconds.",
+        &p50,
+    );
+    let p99: Vec<_> = classes
+        .iter()
+        .map(|(c, h)| (class_label(c), h.percentile_us(0.99)))
+        .collect();
+    prom.gauge_vec(
+        "dego_mw_p99_us_window",
+        "Windowed p99 latency per command class, microseconds.",
+        &p99,
     );
     prom.finish()
 }

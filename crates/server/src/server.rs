@@ -30,7 +30,7 @@
 
 use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
-use crate::store::{self, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
+use crate::store::{self, AckItem, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
 use dego_middleware::{MiddlewareConfig, Request, Response, Service, Session, Stack};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -157,8 +157,8 @@ impl ServerHandle {
     pub fn stats(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         // The authoritative applied count lives in the storage plane's
-        // per-shard counter.
-        snap.applied = self.store.applied.get();
+        // per-shard counter (reported since the last `STATS RESET`).
+        snap.applied = self.store.applied_since_reset();
         snap
     }
 
@@ -219,6 +219,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         Arc::clone(&stats),
         Arc::clone(&shutdown),
         config.shard_delay,
+        config.middleware.trace.window_secs,
     );
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -419,10 +420,25 @@ impl ExecService {
                 seq,
                 reply: self.ack_tx.clone(),
                 enqueued_at: Instant::now(),
+                // Only span-sampled requests pay for shard-side
+                // stamping; the flag rides the envelope across the
+                // queue boundary.
+                traced: dego_middleware::span::active(),
                 op,
             },
         );
         seq
+    }
+
+    /// File one acknowledgement: the reply is keyed by sequence number
+    /// for reassembly, and a traced envelope's store-side segment is
+    /// handed to the connection thread's active span (no-op when the
+    /// span already closed — e.g. a late ack after a barrier).
+    fn accept_ack(ack: AckItem, received: &mut HashMap<u64, Reply>) {
+        if let Some(seg) = ack.seg {
+            dego_middleware::span::record_store(seg);
+        }
+        received.insert(ack.seq, ack.reply);
     }
 
     /// Collect acks until every sequence number in `want` has a reply
@@ -444,10 +460,14 @@ impl ExecService {
                 return Err(ACK_TIMEOUT_MSG);
             }
             match self.ack_rx.recv_timeout(left) {
-                Ok(ShardAck::One(seq, reply)) => {
-                    received.insert(seq, reply);
+                Ok(ShardAck::One(ack)) => {
+                    Self::accept_ack(ack, received);
                 }
-                Ok(ShardAck::Many(acks)) => received.extend(acks),
+                Ok(ShardAck::Many(acks)) => {
+                    for ack in acks {
+                        Self::accept_ack(ack, received);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => return Err(ACK_TIMEOUT_MSG),
                 Err(RecvTimeoutError::Disconnected) => return Err(ACK_GONE_MSG),
             }
@@ -535,7 +555,7 @@ impl ExecService {
             Command::Followers(user) => Some(vec![PendingKey::Follower(*user)]),
             Command::InGroup(user) => Some(vec![PendingKey::Group(*user)]),
             Command::ProfileVer(user) => Some(vec![PendingKey::Profile(*user)]),
-            Command::Stats | Command::StatsShards => None,
+            Command::Stats | Command::StatsShards | Command::StatsReset => None,
             _ => Some(Vec::new()),
         }
     }
@@ -579,10 +599,18 @@ impl ExecService {
             }
             Command::Stats => {
                 let mut snap = self.stats.snapshot();
-                snap.applied = self.store.applied.get();
+                snap.applied = self.store.applied_since_reset();
                 Reply::Array(snap.render_lines(self.store.shards(), self.store.kv.len()))
             }
             Command::StatsShards => Reply::Array(self.store.render_shard_lines()),
+            Command::StatsReset => {
+                // Zero the server-plane counters and shard telemetry;
+                // the trace layer (when present) resets the middleware
+                // plane after this reply travels back up through it.
+                self.stats.reset();
+                self.store.reset_telemetry();
+                Reply::Status("OK")
+            }
             Command::Ping => Reply::Status("PONG"),
             other => Reply::Error(format!("{} reached the read executor", other.verb())),
         }
@@ -639,9 +667,12 @@ impl Service for ExecService {
             // layer is not in the pipeline (they never reach the store).
             Command::Auth(_) => Response::rejection("AUTH", "auth layer not enabled"),
             Command::Expire(..) => Response::rejection("TTL", "ttl layer not enabled"),
-            Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => {
-                Response::rejection("TRACE", "trace layer not enabled")
-            }
+            Command::SlowlogGet
+            | Command::SlowlogReset
+            | Command::SlowlogLen
+            | Command::TraceGet
+            | Command::TraceReset
+            | Command::TraceLen => Response::rejection("TRACE", "trace layer not enabled"),
             Command::Quit => Response {
                 reply: Reply::Status("OK"),
                 close: true,
@@ -742,7 +773,12 @@ impl Service for ExecService {
                         Response::rejection("TTL", "ttl layer not enabled").reply,
                     ));
                 }
-                Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => {
+                Command::SlowlogGet
+                | Command::SlowlogReset
+                | Command::SlowlogLen
+                | Command::TraceGet
+                | Command::TraceReset
+                | Command::TraceLen => {
                     slots.push(Slot::Done(
                         Response::rejection("TRACE", "trace layer not enabled").reply,
                     ));

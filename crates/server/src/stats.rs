@@ -61,6 +61,22 @@ impl ServerStats {
         self.get_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zero every counter (`STATS RESET`). The process-wide contention
+    /// proxy is **not** touched — it is shared telemetry owned by
+    /// `dego_metrics::GLOBAL`, not this server instance.
+    pub fn reset(&self) {
+        self.connections.store(0, Ordering::Relaxed);
+        self.commands.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.get_hits.store(0, Ordering::Relaxed);
+        self.mutations.store(0, Ordering::Relaxed);
+        self.applied.store(0, Ordering::Relaxed);
+        self.timeline_reads.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.accept_errors.store(0, Ordering::Relaxed);
+        self.shard_batches.store(0, Ordering::Relaxed);
+    }
+
     /// Snapshot every counter plus the global contention proxy.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -164,5 +180,27 @@ mod tests {
         let lines = snap.render_lines(4, 10);
         assert!(lines.contains(&"shards=4".to_string()));
         assert!(lines.contains(&"get_hits=1".to_string()));
+    }
+
+    #[test]
+    fn reset_returns_every_counter_to_zero() {
+        let s = ServerStats::new();
+        s.note_connection();
+        s.note_command();
+        s.note_get_hit();
+        s.note_mutation();
+        s.note_error();
+        s.note_accept_error();
+        s.note_shard_batch();
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.connections, 0);
+        assert_eq!(snap.commands, 0);
+        assert_eq!(snap.gets, 0);
+        assert_eq!(snap.get_hits, 0);
+        assert_eq!(snap.mutations, 0);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.accept_errors, 0);
+        assert_eq!(snap.shard_batches, 0);
     }
 }

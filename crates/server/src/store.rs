@@ -29,7 +29,7 @@ use crate::stats::ServerStats;
 use dego_core::{
     home_segment, mpsc, CounterIncrementOnly, SegmentationKind, SegmentedHashMap, SegmentedSet,
 };
-use dego_middleware::{LatencyHistogram, StatLines};
+use dego_middleware::{StatLines, StoreSegment, WindowedHistogram};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -43,16 +43,28 @@ pub const TIMELINE_KEEP: usize = 64;
 /// `dego_retwis::FANOUT_LIMIT`).
 pub const FANOUT_LIMIT: usize = 16;
 
+/// One mutation's acknowledgement payload: the reply keyed by its
+/// per-connection sequence number, plus — when the issuing request is
+/// being traced — the store-side span segment the shard owner stamped
+/// (queue wait and apply time on the owner thread).
+pub(crate) struct AckItem {
+    /// Per-connection sequence number (reply reassembly key).
+    pub seq: u64,
+    /// The mutation's reply.
+    pub reply: Reply,
+    /// Store-side trace segment; `None` for untraced mutations.
+    pub seg: Option<StoreSegment>,
+}
+
 /// An acknowledgement from a shard owner back to a connection.
 ///
-/// Each entry pairs the mutation's per-connection sequence number with
-/// its reply; `Many` carries every consecutive mutation of one drained
-/// batch that belonged to the same connection.
+/// `Many` carries every consecutive mutation of one drained batch that
+/// belonged to the same connection.
 pub(crate) enum ShardAck {
     /// A lone mutation's ack.
-    One(u64, Reply),
+    One(AckItem),
     /// A group-commit ack: one send for a whole run of the batch.
-    Many(Vec<(u64, Reply)>),
+    Many(Vec<AckItem>),
 }
 
 /// A mutation envelope on its way to a shard-owner thread.
@@ -66,6 +78,10 @@ pub(crate) struct MutationMsg {
     /// When the envelope was built — the shard owner turns this into
     /// the enqueue→apply latency sample.
     pub enqueued_at: Instant,
+    /// Whether a trace span is open on the issuing connection: asks
+    /// the shard owner to stamp a [`StoreSegment`] into the ack.
+    /// Untraced envelopes pay nothing extra on the owner thread.
+    pub traced: bool,
     /// The payload.
     pub op: Mutation,
 }
@@ -74,7 +90,7 @@ pub(crate) struct MutationMsg {
 /// (`STATS SHARDS`, `/metrics`) for one shard owner.
 ///
 /// Counters are relaxed atomics and the histograms are the same
-/// log₂-bucket [`LatencyHistogram`]s the middleware uses — statistics,
+/// log₂-bucket windowed histograms the middleware uses — statistics,
 /// not synchronization, on the storage plane's hottest path.
 pub(crate) struct ShardTelemetry {
     /// Mutations handed to this shard's queue.
@@ -82,19 +98,30 @@ pub(crate) struct ShardTelemetry {
     /// Mutations the owner has drained and applied.
     drained: AtomicU64,
     /// Drained-batch sizes (the group-commit width, log₂ buckets).
-    drained_batch: LatencyHistogram,
+    drained_batch: WindowedHistogram,
     /// Enqueue→apply latency per mutation, microseconds.
-    ack_us: LatencyHistogram,
+    ack_us: WindowedHistogram,
 }
 
 impl ShardTelemetry {
-    fn new() -> Self {
+    fn new(window_secs: u64) -> Self {
         ShardTelemetry {
             enqueued: AtomicU64::new(0),
             drained: AtomicU64::new(0),
-            drained_batch: LatencyHistogram::new(),
-            ack_us: LatencyHistogram::new(),
+            drained_batch: WindowedHistogram::new(window_secs),
+            ack_us: WindowedHistogram::new(window_secs),
         }
+    }
+
+    /// `STATS RESET`: zero the counters and both histogram planes.
+    /// The enqueued/drained pair is zeroed together; a mutation in
+    /// flight across the reset can transiently read as depth, which
+    /// the next drain clears.
+    pub fn reset(&self) {
+        self.enqueued.store(0, Ordering::Relaxed);
+        self.drained.store(0, Ordering::Relaxed);
+        self.drained_batch.reset();
+        self.ack_us.reset();
     }
 
     /// Mutations enqueued but not yet applied. The two counters are
@@ -112,12 +139,12 @@ impl ShardTelemetry {
     }
 
     /// Drained-batch size histogram (group-commit width).
-    pub fn drained_batch(&self) -> &LatencyHistogram {
+    pub fn drained_batch(&self) -> &WindowedHistogram {
         &self.drained_batch
     }
 
     /// Enqueue→apply latency histogram, microseconds.
-    pub fn ack_us(&self) -> &LatencyHistogram {
+    pub fn ack_us(&self) -> &WindowedHistogram {
         &self.ack_us
     }
 }
@@ -157,6 +184,10 @@ pub(crate) struct Store {
     wakers: Vec<Thread>,
     /// Per-shard observability counters, indexed by shard.
     telemetry: Vec<Arc<ShardTelemetry>>,
+    /// `applied` reading at the last `STATS RESET`
+    /// ([`CounterIncrementOnly`] cells are owner-exclusive and cannot
+    /// be zeroed, so resets subtract an offset instead).
+    applied_offset: AtomicU64,
 }
 
 impl Store {
@@ -194,10 +225,32 @@ impl Store {
         &self.telemetry
     }
 
+    /// Mutations applied since boot or the last `STATS RESET` — the
+    /// number `STATS` reports as `applied` (`/metrics` keeps the raw
+    /// monotonic counter, as Prometheus counters must).
+    pub(crate) fn applied_since_reset(&self) -> u64 {
+        self.applied
+            .get()
+            .saturating_sub(self.applied_offset.load(Ordering::Relaxed))
+    }
+
+    /// `STATS RESET` on the storage plane: zero every shard's
+    /// telemetry and re-baseline the applied counter.
+    pub(crate) fn reset_telemetry(&self) {
+        for t in &self.telemetry {
+            t.reset();
+        }
+        self.applied_offset
+            .store(self.applied.get(), Ordering::Relaxed);
+    }
+
     /// The `name=value` lines of the `STATS SHARDS` array reply:
     /// per-shard queue depth, group-commit batch shape, and
     /// enqueue→apply latency percentiles — the inputs a load shedder
     /// (or a human squinting at a hot shard) needs.
+    /// Percentile lines report the rolling window, with
+    /// `_total`-suffixed lifetime twins (same contract as the `mw_*`
+    /// block).
     pub(crate) fn render_shard_lines(&self) -> Vec<String> {
         let mut out = StatLines::new();
         out.push("shards", self.shards);
@@ -217,12 +270,28 @@ impl Store {
                 t.drained_batch.percentile_us(0.99),
             );
             out.push(
+                &format!("shard{i}_batch_p50_total"),
+                t.drained_batch.lifetime().percentile_us(0.50),
+            );
+            out.push(
+                &format!("shard{i}_batch_p99_total"),
+                t.drained_batch.lifetime().percentile_us(0.99),
+            );
+            out.push(
                 &format!("shard{i}_ack_p50_us"),
                 t.ack_us.percentile_us(0.50),
             );
             out.push(
                 &format!("shard{i}_ack_p99_us"),
                 t.ack_us.percentile_us(0.99),
+            );
+            out.push(
+                &format!("shard{i}_ack_p50_us_total"),
+                t.ack_us.lifetime().percentile_us(0.50),
+            );
+            out.push(
+                &format!("shard{i}_ack_p99_us_total"),
+                t.ack_us.lifetime().percentile_us(0.99),
             );
         }
         out.into_lines()
@@ -244,12 +313,14 @@ pub(crate) struct ShardRuntime {
 ///
 /// `apply_delay` is a test hook: when set, the owner sleeps that long
 /// before applying each mutation (a "stuck shard" for timeout tests).
+/// `window_secs` sizes the telemetry histograms' rolling window.
 pub(crate) fn spawn_shards(
     shards: usize,
     capacity: usize,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     apply_delay: Option<Duration>,
+    window_secs: u64,
 ) -> ShardRuntime {
     assert!(shards > 0, "need at least one shard");
     let kv = SegmentedHashMap::new(shards, capacity, SegmentationKind::Hash);
@@ -259,7 +330,7 @@ pub(crate) fn spawn_shards(
     let group = SegmentedSet::new(shards, capacity, SegmentationKind::Hash);
     let applied = CounterIncrementOnly::new(shards);
     let telemetry: Vec<Arc<ShardTelemetry>> = (0..shards)
-        .map(|_| Arc::new(ShardTelemetry::new()))
+        .map(|_| Arc::new(ShardTelemetry::new(window_secs)))
         .collect();
 
     let mut producers = Vec::with_capacity(shards);
@@ -306,6 +377,7 @@ pub(crate) fn spawn_shards(
         producers,
         wakers,
         telemetry,
+        applied_offset: AtomicU64::new(0),
     });
     ShardRuntime { store, threads }
 }
@@ -329,7 +401,7 @@ struct ShardCtx {
 struct AckRun {
     conn: u64,
     reply: Sender<ShardAck>,
-    acks: Vec<(u64, Reply)>,
+    acks: Vec<AckItem>,
 }
 
 impl AckRun {
@@ -337,8 +409,7 @@ impl AckRun {
     /// connection died mid-flight; the mutations were still applied).
     fn flush(mut self) {
         let ack = if self.acks.len() == 1 {
-            let (seq, reply) = self.acks.pop().expect("one ack");
-            ShardAck::One(seq, reply)
+            ShardAck::One(self.acks.pop().expect("one ack"))
         } else {
             ShardAck::Many(self.acks)
         };
@@ -375,12 +446,22 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
         ctx.telemetry.drained_batch.record(batch.len() as u64);
         let mut run: Option<AckRun> = None;
         for msg in batch {
+            // Stamp the apply start before the delay hook: a stuck
+            // shard's stall is apply time, and the trace tree must
+            // account for it.
+            let apply_started = msg.traced.then(Instant::now);
             if let Some(delay) = ctx.apply_delay {
                 std::thread::sleep(delay);
             }
             let reply = apply(
                 &msg.op, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,
             );
+            let seg = apply_started.map(|started| StoreSegment {
+                shard: ctx.shard,
+                // Saturates to zero if clocks read out of order.
+                queue_us: started.duration_since(msg.enqueued_at).as_micros() as u64,
+                apply_us: started.elapsed().as_micros() as u64,
+            });
             ctx.telemetry
                 .ack_us
                 .record(msg.enqueued_at.elapsed().as_micros() as u64);
@@ -391,9 +472,14 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
                 cell.inc();
                 ctx.stats.note_applied();
             }
+            let item = AckItem {
+                seq: msg.seq,
+                reply,
+                seg,
+            };
             match &mut run {
                 Some(current) if current.conn == msg.conn => {
-                    current.acks.push((msg.seq, reply));
+                    current.acks.push(item);
                 }
                 _ => {
                     if let Some(done) = run.take() {
@@ -402,7 +488,7 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
                     run = Some(AckRun {
                         conn: msg.conn,
                         reply: msg.reply,
-                        acks: vec![(msg.seq, reply)],
+                        acks: vec![item],
                     });
                 }
             }

@@ -143,7 +143,14 @@ fn slowlog_rejects_structurally_without_a_trace_layer() {
     })
     .expect("server boots");
     let mut c = connect(&server);
-    for verb in ["SLOWLOG GET", "SLOWLOG RESET", "SLOWLOG LEN"] {
+    for verb in [
+        "SLOWLOG GET",
+        "SLOWLOG RESET",
+        "SLOWLOG LEN",
+        "TRACE GET",
+        "TRACE RESET",
+        "TRACE LEN",
+    ] {
         match c.request(verb).expect("reply") {
             ClientReply::Error(e) => assert!(e.starts_with("TRACE "), "got {e:?}"),
             other => panic!("expected TRACE rejection for {verb}, got {other:?}"),
@@ -152,6 +159,14 @@ fn slowlog_rejects_structurally_without_a_trace_layer() {
     // The batched path produces the identical rejection text.
     let replies = c
         .pipeline(["SET k v", "SLOWLOG LEN", "GET k"])
+        .expect("burst");
+    match &replies[1] {
+        ClientReply::Error(e) => assert!(e.starts_with("TRACE "), "got {e:?}"),
+        other => panic!("expected TRACE rejection in burst, got {other:?}"),
+    }
+    assert_eq!(replies[2], ClientReply::Value("v".into()));
+    let replies = c
+        .pipeline(["SET k v", "TRACE LEN", "GET k"])
         .expect("burst");
     match &replies[1] {
         ClientReply::Error(e) => assert!(e.starts_with("TRACE "), "got {e:?}"),
@@ -294,6 +309,172 @@ fn metrics_endpoint_serves_prometheus_text() {
     let miss = http_get(metrics_addr, "/nope");
     assert!(miss.starts_with("HTTP/1.0 404"), "got {miss:?}");
 
+    server.shutdown();
+}
+
+/// The tentpole end to end: a seeded slow write's trace tree crosses
+/// the conn-thread/shard-owner boundary — the captured tree carries
+/// both a conn-side layer segment and the shard's queue-wait and apply
+/// segments, and the store-side time accounts for most of the total.
+#[test]
+fn trace_tree_crosses_the_shard_boundary() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 1; // every command traced
+    let server = spawn(ServerConfig {
+        shards: shards(1),
+        capacity: 256,
+        middleware,
+        // The shard applies 30 ms late: the tree's apply segment must
+        // own that stall.
+        shard_delay: Some(Duration::from_millis(30)),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    c.set("slow", "v").expect("slow set");
+
+    assert!(c.trace_len().expect("trace len") >= 1);
+    let entries = c.trace_get().expect("trace get");
+    let tree = entries
+        .iter()
+        .find(|line| line.contains("verb=SET"))
+        .unwrap_or_else(|| panic!("no SET tree in {entries:?}"));
+    // Conn-thread segment and both store-side segments, in one tree.
+    assert!(tree.contains("conn/"), "conn-side segment in {tree:?}");
+    assert!(tree.contains("shard0/queue:"), "queue segment in {tree:?}");
+    assert!(tree.contains("shard0/apply:"), "apply segment in {tree:?}");
+
+    // The segments must account for the elapsed total: parse
+    // `total_us=N` and the `span=` breakdown, then check the sum lands
+    // within [50%, 110%] of the end-to-end time (the apply segment
+    // alone owns the 30 ms stall, so 50% is a loose floor).
+    let total_us: u64 = tree
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("total_us="))
+        .expect("total_us field")
+        .parse()
+        .expect("numeric total");
+    let span = tree
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("span="))
+        .expect("span field");
+    let segment_sum: u64 = span
+        .split(',')
+        .map(|seg| {
+            seg.rsplit_once(':')
+                .expect("thread/name:us segment")
+                .1
+                .parse::<u64>()
+                .expect("numeric segment")
+        })
+        .sum();
+    assert!(
+        segment_sum * 2 >= total_us && segment_sum <= total_us + total_us / 10,
+        "segments sum to {segment_sum} µs of total {total_us} µs: {tree:?}"
+    );
+    assert!(
+        total_us >= 30_000,
+        "the 30 ms stall is inside the total: {total_us}"
+    );
+
+    c.trace_reset().expect("trace reset");
+    assert_eq!(c.trace_len().expect("len after reset"), 0);
+    assert!(c.trace_get().expect("get after reset").is_empty());
+    server.shutdown();
+}
+
+/// `STATS RESET` zeroes both planes over the wire: server counters,
+/// shard telemetry and the middleware block all restart, while the
+/// slowlog (its own `RESET` verb) keeps its entries.
+#[test]
+fn stats_reset_zeroes_both_planes_over_the_wire() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 1;
+    middleware.trace.slowlog_threshold_us = 0; // capture everything
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+    for i in 0..8 {
+        c.set(&format!("r{i}"), "v").expect("set");
+        let _ = c.get(&format!("r{i}")).expect("get");
+    }
+    let stats = c.stats_map().expect("stats before reset");
+    assert!(lookup(&stats, "mutations") >= 8);
+    assert!(lookup(&stats, "applied") >= 8);
+    assert!(lookup(&stats, "mw_traced") >= 16);
+    // The windowed/lifetime split is visible: `_total` twins ride
+    // alongside the windowed percentiles.
+    assert!(stats.contains_key("mw_window_secs"), "window width line");
+    assert!(stats.contains_key("mw_read_p99_us_total"), "lifetime twin");
+    let slow_before = c.slowlog_len().expect("slowlog len");
+    assert!(slow_before >= 1, "threshold 0 captures everything");
+
+    c.stats_reset().expect("stats reset");
+
+    let stats = c.stats_map().expect("stats after reset");
+    assert_eq!(lookup(&stats, "mutations"), 0, "server plane zeroed");
+    assert_eq!(lookup(&stats, "applied"), 0, "shard applied re-based");
+    assert_eq!(lookup(&stats, "gets"), 0);
+    // Only the RESET itself and this STATS have passed through the
+    // trace layer since the zeroing.
+    assert!(lookup(&stats, "mw_traced") <= 2, "middleware plane zeroed");
+    let shard_stats = c.stats_shards().expect("stats shards after reset");
+    assert_eq!(lookup(&shard_stats, "shard0_enqueued"), 0);
+    assert_eq!(lookup(&shard_stats, "shard1_enqueued"), 0);
+    // The slowlog ring is owned by SLOWLOG RESET, not STATS RESET.
+    assert!(
+        c.slowlog_len().expect("slowlog survives") >= slow_before,
+        "slowlog untouched by STATS RESET"
+    );
+    server.shutdown();
+}
+
+/// `GET /trace` on the metrics endpoint serves the flight recorder as
+/// JSON, store-side segments included.
+#[test]
+fn trace_endpoint_serves_flight_recorder_json() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.trace.sample_every = 1;
+    let server = spawn(ServerConfig {
+        shards: shards(1),
+        capacity: 256,
+        middleware,
+        metrics_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
+        shard_delay: Some(Duration::from_millis(20)),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint configured");
+    let mut c = connect(&server);
+    c.set("jsonslow", "v").expect("set");
+
+    let body = http_get(metrics_addr, "/trace");
+    let (head, payload) = body.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "got {head:?}");
+    assert!(head.contains("Content-Type: application/json"));
+    let payload = payload.trim();
+    assert!(
+        payload.starts_with("{\"entries\":[") && payload.ends_with("]}"),
+        "JSON envelope: {payload:?}"
+    );
+    assert!(
+        payload.contains("\"spans\":["),
+        "span array present: {payload:?}"
+    );
+    assert!(
+        payload.contains("\"thread\":\"shard0\"") && payload.contains("\"name\":\"queue_wait\""),
+        "store-side segment crossed into the JSON: {payload:?}"
+    );
+    assert!(payload.contains("\"verb\":\"SET\""), "got {payload:?}");
+    // The windowed gauge families ride the Prometheus exposition too.
+    let metrics = http_get(metrics_addr, "/metrics");
+    assert!(metrics.contains("dego_mw_p99_us_window"));
+    assert!(metrics.contains("dego_mw_flight_total"));
     server.shutdown();
 }
 
