@@ -31,6 +31,13 @@
 //!    recorder, slowlog, span sampling and windowed histograms all off
 //!    vs every default on — at burst depth 5 (`tracing_overhead`,
 //!    target ≤ 3% at default sampling).
+//! 8. **Stack dispatch**: the fused (monomorphized) five-layer chain
+//!    vs the boxed `dyn Service` onion at burst 1/8/32, driven
+//!    in-process over an in-memory store (no sockets — TCP at
+//!    pipeline 1 is syscall-dominated and would mask the dispatch
+//!    cost this A/B isolates). `fused_batch1_speedup_x` is the
+//!    headline: the batch-1 inline fast path vs five virtual calls
+//!    (target ≥ 1.3×).
 //!
 //! Keys are **pinned per client** by default: each client owns a
 //! disjoint slice of the key range, so shard parallelism is measurable
@@ -45,7 +52,10 @@
 use dego_bench::harness::BenchEnv;
 use dego_metrics::rng::XorShift64;
 use dego_metrics::table::{fmt_kops, Table};
+use dego_middleware::protocol::{Command, Reply};
+use dego_middleware::{Request, Response, Service, Session, Stack};
 use dego_server::{spawn, Client, MiddlewareConfig, ServerConfig};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -304,6 +314,170 @@ struct TracingOverhead {
     on: Point,
 }
 
+/// One in-process dispatch measurement: full five-layer stack, fused
+/// or dyn, at one burst size.
+struct DispatchPoint {
+    mode: &'static str,
+    burst: usize,
+    ops: u64,
+    elapsed: Duration,
+}
+
+impl DispatchPoint {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The in-memory store the dispatch A/B bottoms out in — cheap enough
+/// that the middleware walk dominates, stateful enough that commands
+/// do real work.
+struct MapStore {
+    map: HashMap<String, String>,
+}
+
+impl Service for MapStore {
+    fn call(&mut self, req: Request) -> Response {
+        match req.command {
+            Command::Get(k) => Response::ok(match self.map.get(&k) {
+                Some(v) => Reply::Value(v.clone()),
+                None => Reply::Nil,
+            }),
+            Command::Set(k, v) => {
+                self.map.insert(k, v);
+                Response::ok(Reply::Status("OK"))
+            }
+            Command::Incr(k, d) => {
+                let next = self
+                    .map
+                    .get(&k)
+                    .and_then(|v| v.parse::<i64>().ok())
+                    .unwrap_or(0)
+                    + d;
+                self.map.insert(k, next.to_string());
+                Response::ok(Reply::Int(next))
+            }
+            _ => Response::ok(Reply::Status("OK")),
+        }
+    }
+}
+
+/// The full stack with the rate limiter effectively off, so the
+/// dispatch A/B measures dispatch, not token exhaustion.
+fn dispatch_stack() -> std::sync::Arc<Stack> {
+    let mut config = MiddlewareConfig::full();
+    config.rate.burst = 1 << 40;
+    config.rate.refill_per_sec = u64::MAX / (1 << 22);
+    Stack::build(&config)
+}
+
+/// A fresh command from the standard mix over a small key range.
+fn dispatch_command(rng: &mut XorShift64, ops: u64) -> Command {
+    let key = rng.next_bounded(KEY_RANGE as u64);
+    match rng.next_bounded(100) {
+        p if p < STANDARD.get => Command::Get(format!("k{key}")),
+        p if p < STANDARD.get + STANDARD.set => Command::Set(format!("k{key}"), format!("v{ops}")),
+        _ => Command::Incr(format!("c{key}"), 1),
+    }
+}
+
+/// One closed in-process loop: drive bursts of `burst` commands
+/// through the chain until the window closes. Request construction
+/// (rng draws, key formatting) happens *outside* the timed segments —
+/// the point measures dispatch, not `format!`.
+fn run_dispatch_point(mode: &'static str, burst: usize, window: Duration) -> DispatchPoint {
+    let stack = dispatch_stack();
+    let session = Session {
+        client: "bench:dispatch".into(),
+    };
+    let store = MapStore {
+        map: HashMap::new(),
+    };
+    let mut rng = XorShift64::new(0xd15);
+    // Pre-built command pool, cycled; singleton rounds are timed in
+    // chunks of this size so clock reads stay off the per-op cost.
+    const POOL: usize = 1024;
+    let pool: Vec<Command> = (0..POOL)
+        .map(|i| dispatch_command(&mut rng, i as u64))
+        .collect();
+    let mut next = 0usize;
+    let mut take = |n: usize| -> Vec<Request> {
+        (0..n)
+            .map(|_| {
+                let cmd = pool[next].clone();
+                next = (next + 1) % POOL;
+                Request::new(cmd)
+            })
+            .collect()
+    };
+    let mut ops = 0u64;
+    let mut timed = Duration::ZERO;
+    let started = Instant::now();
+    match mode {
+        "fused" => {
+            let mut chain = stack
+                .fused_service(&session, store)
+                .expect("full stack fuses");
+            while started.elapsed() < window {
+                if burst == 1 {
+                    let reqs = take(POOL);
+                    ops += reqs.len() as u64;
+                    let t = Instant::now();
+                    for req in reqs {
+                        chain.call_one(req);
+                    }
+                    timed += t.elapsed();
+                } else {
+                    let reqs = take(burst);
+                    let t = Instant::now();
+                    ops += chain.call_batch(reqs).len() as u64;
+                    timed += t.elapsed();
+                }
+            }
+        }
+        _ => {
+            let mut chain = stack.service(&session, Box::new(store));
+            while started.elapsed() < window {
+                if burst == 1 {
+                    let reqs = take(POOL);
+                    ops += reqs.len() as u64;
+                    let t = Instant::now();
+                    for req in reqs {
+                        chain.call(req);
+                    }
+                    timed += t.elapsed();
+                } else {
+                    let reqs = take(burst);
+                    let t = Instant::now();
+                    ops += chain.call_batch(reqs).len() as u64;
+                    timed += t.elapsed();
+                }
+            }
+        }
+    }
+    DispatchPoint {
+        mode,
+        burst,
+        ops,
+        elapsed: timed,
+    }
+}
+
+/// Best-of-`runs` per (mode, burst), same one-sided-noise argument as
+/// [`run_best`].
+fn run_dispatch_best(
+    runs: usize,
+    mode: &'static str,
+    burst: usize,
+    window: Duration,
+) -> DispatchPoint {
+    (0..runs)
+        .map(|_| run_dispatch_point(mode, burst, window))
+        .max_by(|a, b| a.ops_per_sec().total_cmp(&b.ops_per_sec()))
+        .expect("at least one run")
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     sweep: &[Point],
     batch_depth: &[Point],
@@ -312,6 +486,7 @@ fn write_json(
     conns: &[Point],
     obs: &ObservabilityOverhead,
     tracing: &TracingOverhead,
+    dispatch: &[DispatchPoint],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"key_range\": 4096,\n");
     let _ = writeln!(
@@ -367,6 +542,41 @@ fn write_json(
         tracing.off.ops_per_sec(),
         tracing.on.ops_per_sec(),
         overhead_pct(&tracing.off, &tracing.on),
+    );
+    // stack_dispatch: the fused (monomorphized) chain vs the boxed
+    // dyn onion, in-process over the full five-layer stack. The
+    // headline is the batch-1 inline fast path (target ≥ 1.3× the
+    // boxed path); at burst 8/32 group-commit amortization dominates
+    // and the two modes converge.
+    out.push_str(",\n  \"stack_dispatch\": {\"depth\": 5, \"points\": [\n");
+    for (i, p) in dispatch.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"batch\": {}, \"ops\": {}, \"elapsed_ms\": {}, \"ops_per_sec\": {:.0}}}",
+            p.mode,
+            p.burst,
+            p.ops,
+            p.elapsed.as_millis(),
+            p.ops_per_sec(),
+        );
+        out.push_str(if i + 1 < dispatch.len() { ",\n" } else { "\n" });
+    }
+    let speedup = |burst: usize| -> f64 {
+        let of = |mode: &str| {
+            dispatch
+                .iter()
+                .find(|p| p.mode == mode && p.burst == burst)
+                .map(|p| p.ops_per_sec())
+                .unwrap_or(0.0)
+        };
+        of("fused") / of("dyn").max(1e-9)
+    };
+    let _ = write!(
+        out,
+        "  ], \"fused_batch1_speedup_x\": {:.2}, \"fused_batch8_speedup_x\": {:.2}, \"fused_batch32_speedup_x\": {:.2}, \"target_x\": 1.3}}",
+        speedup(1),
+        speedup(8),
+        speedup(32),
     );
     if let [depth0, depth5] = overhead_pair {
         // middleware_overhead: the batched pipeline's throughput cost —
@@ -581,6 +791,14 @@ fn main() {
     row(&tracing.off, &mut table);
     row(&tracing.on, &mut table);
 
+    // 8. Stack dispatch: fused vs dyn, in-process, burst 1/8/32.
+    let mut dispatch_points = Vec::new();
+    for burst in [1usize, 8, 32] {
+        for mode in ["fused", "dyn"] {
+            dispatch_points.push(run_dispatch_best(3, mode, burst, env.duration));
+        }
+    }
+
     println!("{}", table.render());
     let pct = overhead_pct(&overhead_points[0], &overhead_points[1]);
     println!(
@@ -606,6 +824,14 @@ fn main() {
         tracing.off.ops_per_sec() as u64,
         tracing.on.ops_per_sec() as u64
     );
+    for p in &dispatch_points {
+        println!(
+            "stack dispatch {} batch {}: {} ops/s",
+            p.mode,
+            p.burst,
+            p.ops_per_sec() as u64
+        );
+    }
 
     let json = write_json(
         &points,
@@ -615,6 +841,7 @@ fn main() {
         &conn_points,
         &obs,
         &tracing,
+        &dispatch_points,
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!(

@@ -138,7 +138,7 @@ impl AuthState {
         admin.policy.update(|_| AclPolicy { anon_role: role });
     }
 
-    fn anon_role(&self) -> Role {
+    pub(crate) fn anon_role(&self) -> Role {
         self.policy.read(|p| p.anon_role)
     }
 }
@@ -184,30 +184,40 @@ impl AuthLayer {
     }
 }
 
+impl AuthLayer {
+    /// Wrap a concrete inner service, preserving its type — the typed
+    /// combinator the fused stack composes with.
+    pub fn wrap_typed<S: Service>(&self, _session: &Session, inner: S) -> AuthService<S> {
+        AuthService {
+            state: Arc::clone(&self.state),
+            metrics: Arc::clone(&self.metrics),
+            principal: None,
+            inner,
+        }
+    }
+}
+
 impl Layer for AuthLayer {
     fn kind(&self) -> LayerKind {
         LayerKind::Auth
     }
 
-    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
-        Box::new(AuthService {
-            state: Arc::clone(&self.state),
-            metrics: Arc::clone(&self.metrics),
-            principal: None,
-            inner,
-        })
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
+        Box::new(self.wrap_typed(session, inner))
     }
 }
 
-struct AuthService {
-    state: Arc<AuthState>,
-    metrics: Arc<PipelineMetrics>,
+/// The auth layer's per-session service, generic over the inner
+/// service it wraps.
+pub struct AuthService<S> {
+    pub(crate) state: Arc<AuthState>,
+    pub(crate) metrics: Arc<PipelineMetrics>,
     /// Session state: who this connection authenticated as.
-    principal: Option<Principal>,
-    inner: BoxService,
+    pub(crate) principal: Option<Principal>,
+    pub(crate) inner: S,
 }
 
-impl Service for AuthService {
+impl<S: Service> Service for AuthService<S> {
     /// Batch path: **one** role lookup for the whole burst — the
     /// session principal (or the RCU-published anon policy) is resolved
     /// once, then every command is a cheap class check against that

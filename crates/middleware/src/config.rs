@@ -61,6 +61,12 @@ pub struct MiddlewareConfig {
     pub deadline: DeadlineConfig,
     /// Span sampling and slowlog tuning.
     pub trace: TraceConfig,
+    /// Force the boxed `dyn Service` onion (`--dyn-stack`) even when
+    /// the configured layers match the canonical five-layer order the
+    /// fused (monomorphized) chain covers. The escape hatch for
+    /// third-party layers and A/B-testing the dispatch planes; replies
+    /// and metrics are identical either way.
+    pub dyn_stack: bool,
 }
 
 impl MiddlewareConfig {

@@ -48,27 +48,37 @@ impl DeadlineLayer {
     }
 }
 
+impl DeadlineLayer {
+    /// Wrap a concrete inner service, preserving its type — the typed
+    /// combinator the fused stack composes with.
+    pub fn wrap_typed<S: Service>(&self, _session: &Session, inner: S) -> DeadlineService<S> {
+        DeadlineService {
+            config: self.config.clone(),
+            metrics: Arc::clone(&self.metrics),
+            inner,
+        }
+    }
+}
+
 impl Layer for DeadlineLayer {
     fn kind(&self) -> LayerKind {
         LayerKind::Deadline
     }
 
-    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
-        Box::new(DeadlineService {
-            config: self.config.clone(),
-            metrics: Arc::clone(&self.metrics),
-            inner,
-        })
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
+        Box::new(self.wrap_typed(session, inner))
     }
 }
 
-struct DeadlineService {
-    config: DeadlineConfig,
+/// The deadline layer's per-session service, generic over the inner
+/// service it wraps.
+pub struct DeadlineService<S> {
+    pub(crate) config: DeadlineConfig,
     metrics: Arc<PipelineMetrics>,
-    inner: BoxService,
+    pub(crate) inner: S,
 }
 
-impl DeadlineService {
+impl<S: Service> DeadlineService<S> {
     /// This request's class budget (0 = exempt).
     fn budget_us(&self, req: &Request) -> u64 {
         match req.command.class() {
@@ -79,7 +89,7 @@ impl DeadlineService {
     }
 }
 
-impl Service for DeadlineService {
+impl<S: Service> Service for DeadlineService<S> {
     /// Batch path: **one** deadline check for the whole burst. The
     /// budget is the sum of the per-request class budgets (exempt
     /// requests contribute zero), so the SLO scales with the work

@@ -1,0 +1,431 @@
+//! The fused (monomorphized) five-layer chain and its batch-1 fast
+//! path.
+//!
+//! [`FusedService`] is the canonical pipeline
+//! (trace → deadline → auth → rate-limit → ttl) composed as **one
+//! concrete type**: every inter-layer call is a direct, inlinable call
+//! instead of a `Box<dyn Service>` vtable dispatch. Bursts of any size
+//! already run through the layers' monomorphized `call`/`call_batch`;
+//! on top of that, [`FusedService::call_one`] gives depth-1 bursts (the
+//! pipeline-1 workload, the stack's weakest point) a fast path that
+//! runs all five admission checks inline:
+//!
+//! * **one** clock read pair (shared by the trace histogram and the
+//!   deadline check, which in the onion each pay their own),
+//! * no `Vec<Request>` batch construction and no per-layer virtual
+//!   calls,
+//! * no span-scope bookkeeping (the fast path only runs on unsampled
+//!   ticks, where every `span::start()` would be a `None` anyway).
+//!
+//! The fast path **falls back** to the layered `call` the moment a
+//! command needs a layer's own handling — `AUTH` logins (session state
+//! changes inside the auth layer), `QUIT` (rate-limit exemption),
+//! `STATS`/`STATS RESET` (the trace layer folds/zeroes the `mw_*`
+//! lines), the `SLOWLOG`/`TRACE` ring verbs (answered by the trace
+//! layer) — or when the connection's sampling phase says this command
+//! opens a span scope (each layer must bracket its own segment, which
+//! only the layered path does). Armed TTL timers do **not** force the
+//! fallback: the fast path calls into the monomorphized TTL service,
+//! whose lock-serialized reap semantics apply unchanged; only the
+//! empty-sidecar probe is short-circuited.
+//!
+//! Replies are byte-identical to the dyn onion by construction (the
+//! proptest suite drives randomized bursts through both), and the
+//! metrics are too: every counter and histogram the five layers would
+//! touch for an unsampled singleton is touched here, in the same
+//! order.
+
+use crate::auth::{AuthService, Role};
+use crate::deadline::DeadlineService;
+use crate::pipeline::{Request, Response, Service};
+use crate::protocol::{Command, CommandClass, Reply};
+use crate::rate_limit::RateLimitService;
+use crate::trace::{class_name, TraceService};
+use crate::ttl::TtlService;
+use std::time::Instant;
+
+/// The canonical five-layer chain as one concrete (monomorphized)
+/// type, built by
+/// [`Stack::fused_service`](crate::pipeline::Stack::fused_service).
+pub type FusedService<S> =
+    TraceService<DeadlineService<AuthService<RateLimitService<TtlService<S>>>>>;
+
+/// Commands a specific layer handles itself (session logins, ring
+/// verbs, stats folding, the `QUIT` rate-limit exemption): these take
+/// the layered path so that handling runs exactly once, in its layer.
+fn needs_layer_dispatch(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Auth(_)
+            | Command::Quit
+            | Command::Stats
+            | Command::StatsReset
+            | Command::SlowlogGet
+            | Command::SlowlogReset
+            | Command::SlowlogLen
+            | Command::TraceGet
+            | Command::TraceReset
+            | Command::TraceLen
+    )
+}
+
+impl<S: Service> FusedService<S> {
+    /// The batch-1 fast path: all five admission checks inline, one
+    /// clock read pair, falling back to the layered [`Service::call`]
+    /// for commands a layer owns and for span-sampled ticks (see the
+    /// module doc for the exact conditions).
+    pub fn call_one(&mut self, req: Request) -> Response {
+        // Peek the sampling phase without consuming it: a sampled tick
+        // needs the layered path (each layer brackets its own span
+        // segment), and the delegated call advances the phase itself.
+        let sampled = self.sample_every != 0 && self.tick == 0;
+        if sampled || needs_layer_dispatch(&req.command) {
+            return self.call(req);
+        }
+        // Unsampled: advance the phase exactly as tick_sample() would.
+        if self.sample_every != 0 {
+            self.tick += 1;
+            if self.tick >= self.sample_every {
+                self.tick = 0;
+            }
+        }
+        let class = req.command.class();
+        let verb = req.command.verb();
+        // Deadline admission: the class budget (0 = exempt).
+        let budget_us = match class {
+            CommandClass::Read => self.inner.config.read_us,
+            CommandClass::Write => self.inner.config.write_us,
+            CommandClass::Control => 0,
+        };
+        // The one clock read pair, shared by the deadline check and
+        // the trace histograms.
+        let start = Instant::now();
+        let resp = {
+            // Auth admission: one role resolve (session principal or
+            // the RCU-published anon policy), one class check.
+            let auth = &mut self.inner.inner;
+            let role = match &auth.principal {
+                Some(p) => p.role,
+                None => auth.state.anon_role(),
+            };
+            if !role.allows(class) {
+                auth.metrics.auth_denied.increment();
+                Response::rejection(
+                    "AUTH",
+                    format_args!(
+                        "{} requires {}, session role is {}",
+                        verb,
+                        match class {
+                            CommandClass::Write => Role::ReadWrite.name(),
+                            _ => Role::ReadOnly.name(),
+                        },
+                        role.name()
+                    ),
+                )
+            } else {
+                auth.metrics.auth_admitted.increment();
+                // Rate-limit admission: one token take from the
+                // session's bucket (QUIT never reaches here — it is a
+                // layer-dispatch verb).
+                let rate = &mut auth.inner;
+                if !rate.state.admit(&rate.bucket) {
+                    Response::rejection(
+                        "RATELIMIT",
+                        format_args!("rejected retry_us={}", rate.state.retry_us()),
+                    )
+                } else {
+                    // TTL admission: with no timer armed anywhere no
+                    // key can be timed, so kv commands skip even the
+                    // sidecar probe; anything else (armed timers,
+                    // EXPIRE) runs the monomorphized TTL service with
+                    // its full reap semantics.
+                    let ttl = &mut rate.inner;
+                    match &req.command {
+                        Command::Get(_)
+                        | Command::Set(..)
+                        | Command::Del(_)
+                        | Command::Incr(..)
+                            if ttl.state.sidecar.is_empty() =>
+                        {
+                            ttl.state.metrics.ttl_checked.increment();
+                            ttl.inner.call(req)
+                        }
+                        _ => ttl.call(req),
+                    }
+                }
+            }
+        };
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        let metrics = &self.metrics;
+        // Deadline check, against the same clock pair.
+        let resp = if budget_us != 0 {
+            metrics.deadline_checked.increment();
+            if elapsed_us > budget_us {
+                metrics.deadline_missed.increment();
+                Response {
+                    reply: Reply::Error(format!(
+                        "DEADLINE {verb} took {elapsed_us}us budget {budget_us}us"
+                    )),
+                    close: resp.close,
+                }
+            } else {
+                resp
+            }
+        } else {
+            resp
+        };
+        // Trace bookkeeping: count, class histogram, slowlog offer —
+        // what the trace layer records for an unsampled singleton.
+        metrics.traced.increment();
+        match class {
+            CommandClass::Read => metrics.read_latency.record(elapsed_us),
+            CommandClass::Write => metrics.write_latency.record(elapsed_us),
+            CommandClass::Control => metrics.control_latency.record(elapsed_us),
+        }
+        metrics
+            .slowlog
+            .offer(&self.client, verb, class_name(class), 1, elapsed_us, None);
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::TokenSpec;
+    use crate::config::MiddlewareConfig;
+    use crate::pipeline::{BoxService, Session, Stack};
+    use std::collections::HashMap;
+
+    /// A deterministic in-memory store (the same shape the shard plane
+    /// presents to the innermost layer).
+    struct MapStore {
+        map: HashMap<String, String>,
+    }
+
+    impl MapStore {
+        fn new() -> Self {
+            MapStore {
+                map: HashMap::new(),
+            }
+        }
+    }
+
+    impl Service for MapStore {
+        fn call(&mut self, req: Request) -> Response {
+            match req.command {
+                Command::Get(k) => Response::ok(match self.map.get(&k) {
+                    Some(v) => Reply::Value(v.clone()),
+                    None => Reply::Nil,
+                }),
+                Command::Set(k, v) => {
+                    self.map.insert(k, v);
+                    Response::ok(Reply::Status("OK"))
+                }
+                Command::Del(k) => {
+                    self.map.remove(&k);
+                    Response::ok(Reply::Status("OK"))
+                }
+                Command::Incr(k, d) => {
+                    let next = self
+                        .map
+                        .get(&k)
+                        .and_then(|v| v.parse::<i64>().ok())
+                        .unwrap_or(0)
+                        + d;
+                    self.map.insert(k, next.to_string());
+                    Response::ok(Reply::Int(next))
+                }
+                Command::Quit => Response {
+                    reply: Reply::Status("OK"),
+                    close: true,
+                },
+                Command::Stats => Response::ok(Reply::Array(vec!["shards=1".into()])),
+                _ => Response::ok(Reply::Status("OK")),
+            }
+        }
+    }
+
+    fn config() -> MiddlewareConfig {
+        let mut config = MiddlewareConfig::full();
+        config.auth.tokens.push(TokenSpec {
+            name: "writer".into(),
+            token: "sekrit".into(),
+            role: Role::ReadWrite,
+        });
+        config
+    }
+
+    fn session() -> Session {
+        Session {
+            client: "t:1".into(),
+        }
+    }
+
+    /// One fused and one dyn chain over identically configured stacks.
+    fn pair() -> (FusedService<MapStore>, BoxService) {
+        let fused_stack = Stack::build(&config());
+        let fused = fused_stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        let dyn_stack = Stack::build(&config());
+        let chain = dyn_stack.service(&session(), Box::new(MapStore::new()));
+        (fused, chain)
+    }
+
+    #[test]
+    fn fused_chain_is_a_service() {
+        let stack = Stack::build(&config());
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        let resp = fused.call(Request::new(Command::Ping));
+        assert_eq!(resp.reply, Reply::Status("OK"));
+        let resps = fused.call_batch(vec![
+            Request::new(Command::Set("k".into(), "v".into())),
+            Request::new(Command::Get("k".into())),
+        ]);
+        assert_eq!(resps[1].reply, Reply::Value("v".into()));
+    }
+
+    #[test]
+    fn call_one_matches_the_dyn_onion_reply_for_reply() {
+        let (mut fused, mut chain) = pair();
+        let script: Vec<Command> = vec![
+            Command::Set("a".into(), "1".into()),
+            Command::Get("a".into()),
+            Command::Incr("n".into(), 4),
+            Command::Ping,
+            Command::Auth("sekrit".into()),
+            Command::Set("b".into(), "2".into()),
+            Command::Expire("b".into(), 10_000),
+            Command::Get("b".into()),
+            Command::Del("a".into()),
+            Command::Get("a".into()),
+            Command::SlowlogLen,
+            Command::Quit,
+        ];
+        for cmd in script {
+            let want = chain.call(Request::new(cmd.clone()));
+            let got = fused.call_one(Request::new(cmd.clone()));
+            assert_eq!(got.reply, want.reply, "command {cmd:?}");
+            assert_eq!(got.close, want.close, "command {cmd:?}");
+        }
+    }
+
+    #[test]
+    fn call_one_matches_the_onion_counters() {
+        let fused_stack = Stack::build(&config());
+        let mut fused = fused_stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        let dyn_stack = Stack::build(&config());
+        let mut chain = dyn_stack.service(&session(), Box::new(MapStore::new()));
+        let script: Vec<Command> = vec![
+            Command::Set("a".into(), "1".into()),
+            Command::Get("a".into()),
+            Command::Ping,
+            Command::Get("miss".into()),
+        ];
+        for cmd in &script {
+            chain.call(Request::new(cmd.clone()));
+            fused.call_one(Request::new(cmd.clone()));
+        }
+        let (f, d) = (fused_stack.metrics(), dyn_stack.metrics());
+        assert_eq!(f.traced.sum(), d.traced.sum());
+        assert_eq!(f.read_latency.count(), d.read_latency.count());
+        assert_eq!(f.write_latency.count(), d.write_latency.count());
+        assert_eq!(f.control_latency.count(), d.control_latency.count());
+        assert_eq!(f.auth_admitted.sum(), d.auth_admitted.sum());
+        assert_eq!(f.rate_admitted.sum(), d.rate_admitted.sum());
+        assert_eq!(f.deadline_checked.sum(), d.deadline_checked.sum());
+        assert_eq!(f.ttl_checked.sum(), d.ttl_checked.sum());
+        assert_eq!(f.spans_sampled.sum(), d.spans_sampled.sum());
+    }
+
+    #[test]
+    fn call_one_samples_the_same_ticks_as_the_onion() {
+        // sample_every = 3: commands 1, 4, 7 open span scopes (the
+        // fallback), the rest take the fast path; the sampled count
+        // must match the onion exactly.
+        let mut config = config();
+        config.trace.sample_every = 3;
+        let stack = Stack::build(&config);
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        for _ in 0..7 {
+            fused.call_one(Request::new(Command::Get("k".into())));
+        }
+        assert_eq!(stack.metrics().spans_sampled.sum(), 3);
+        assert_eq!(stack.metrics().traced.sum(), 7);
+    }
+
+    #[test]
+    fn call_one_enforces_auth_and_rate_limits() {
+        let mut config = config();
+        config.auth.anon_role = Role::ReadOnly;
+        config.rate.burst = 2;
+        config.rate.refill_per_sec = 1; // no refill mid-test
+        config.trace.sample_every = 0; // keep every call on the fast path
+        let stack = Stack::build(&config);
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        match fused
+            .call_one(Request::new(Command::Set("k".into(), "v".into())))
+            .reply
+        {
+            Reply::Error(e) => assert!(e.starts_with("AUTH "), "got {e:?}"),
+            other => panic!("expected AUTH rejection, got {other:?}"),
+        }
+        // The denied write still consumed a token (exactly like the
+        // onion, where rate-limit sits below auth — denied commands
+        // never reach it). Two reads exhaust the bucket...
+        fused.call_one(Request::new(Command::Get("k".into())));
+        fused.call_one(Request::new(Command::Get("k".into())));
+        match fused.call_one(Request::new(Command::Get("k".into()))).reply {
+            Reply::Error(e) => assert!(e.starts_with("RATELIMIT "), "got {e:?}"),
+            other => panic!("expected RATELIMIT rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_one_respects_armed_ttl_timers() {
+        let mut config = config();
+        config.trace.sample_every = 0;
+        let stack = Stack::build(&config);
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        fused.call_one(Request::new(Command::Set("k".into(), "v".into())));
+        assert_eq!(
+            fused
+                .call_one(Request::new(Command::Expire("k".into(), 20)))
+                .reply,
+            Reply::Int(1)
+        );
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(
+            fused.call_one(Request::new(Command::Get("k".into()))).reply,
+            Reply::Nil,
+            "lapsed timer observed on the fast path"
+        );
+        assert_eq!(stack.metrics().ttl_expired.sum(), 1);
+    }
+
+    #[test]
+    fn call_one_skips_spans_on_unsampled_ticks() {
+        let mut config = config();
+        config.trace.sample_every = 0;
+        let stack = Stack::build(&config);
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        for _ in 0..5 {
+            fused.call_one(Request::new(Command::Ping));
+        }
+        assert_eq!(stack.metrics().spans_sampled.sum(), 0);
+        assert_eq!(stack.metrics().traced.sum(), 5);
+    }
+}

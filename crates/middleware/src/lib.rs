@@ -22,6 +22,14 @@
 //! client → trace → deadline → auth → rate-limit → ttl → store
 //! ```
 //!
+//! Two dispatch planes build that chain: the full five-layer stack
+//! monomorphizes into one concrete [`FusedService`] (direct calls
+//! between layers, plus an inline batch-1 fast path via
+//! [`fused::FusedService::call_one`]), while partial/custom stacks
+//! compose as a boxed `dyn Service` onion ([`Stack::service`]).
+//! Replies and metrics are byte-identical across both — the
+//! `fused_stack_matches_dyn_stack` proptest pins it.
+//!
 //! Rejections are structured (`-ERR RATELIMIT …`, `-ERR AUTH …`,
 //! `-ERR DEADLINE …`); see the error-reply grammar in [`protocol`].
 //!
@@ -54,6 +62,7 @@ pub mod auth;
 pub mod config;
 pub mod deadline;
 pub mod flight;
+pub mod fused;
 pub mod metrics;
 pub mod pipeline;
 pub mod prom;
@@ -68,6 +77,7 @@ pub use auth::{AuthConfig, AuthLayer, Principal, Role, TokenSpec};
 pub use config::{MiddlewareConfig, TraceConfig};
 pub use deadline::{DeadlineConfig, DeadlineLayer};
 pub use flight::{FlightRecorder, StoreSegment, TraceTree};
+pub use fused::FusedService;
 pub use metrics::{
     LatencyHistogram, PipelineMetrics, RelaxedCounter, StatLines, WindowedHistogram,
 };

@@ -101,14 +101,30 @@ pub trait Service {
 /// their connection's thread, so no `Send` bound is needed.
 pub type BoxService = Box<dyn Service>;
 
+/// Boxing preserves service-ness: a `Box<S>` (including the type-erased
+/// [`BoxService`]) delegates both entry points to its contents, so the
+/// generic layer services compose identically over concrete inners and
+/// over boxed ones. The explicit `call_batch` forwarding matters — the
+/// default would loop `call` and silently lose the inner service's
+/// batch amortization.
+impl<S: Service + ?Sized> Service for Box<S> {
+    fn call(&mut self, req: Request) -> Response {
+        (**self).call(req)
+    }
+
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        (**self).call_batch(reqs)
+    }
+}
+
 /// Drive a burst through `inner` with per-request admission control:
 /// requests `admit` rejects are answered in place, the rest travel
 /// downstream as **one** inner batch, and the replies are zipped back
 /// around the rejections in request order. The shared partial path of
 /// the auth and rate-limit layers' `call_batch` — one implementation
 /// of the ordering invariant instead of two drifting copies.
-pub(crate) fn partition_batch(
-    inner: &mut BoxService,
+pub(crate) fn partition_batch<S: Service + ?Sized>(
+    inner: &mut S,
     reqs: Vec<Request>,
     mut admit: impl FnMut(&Request) -> Option<Response>,
 ) -> Vec<Response> {
@@ -228,10 +244,21 @@ impl LayerKind {
 
 /// The configured pipeline: shared layer state + the per-connection
 /// chain factory.
+///
+/// The five production layers are held as **typed** fields (not a
+/// `Vec<Box<dyn Layer>>`), which is what lets [`Stack::fused_service`]
+/// stamp out the fully monomorphized chain — one concrete
+/// `Trace<Deadline<Auth<RateLimit<Ttl<S>>>>>` type with zero virtual
+/// calls — while [`Stack::service`] keeps building the boxed `dyn`
+/// onion for partial/custom stacks and the `--dyn-stack` fallback.
 pub struct Stack {
-    layers: Vec<Box<dyn Layer>>,
+    trace: Option<TraceLayer>,
+    deadline: Option<DeadlineLayer>,
+    auth: Option<AuthLayer>,
+    rate: Option<RateLimitLayer>,
+    ttl: Option<TtlLayer>,
     metrics: Arc<PipelineMetrics>,
-    auth: Option<Arc<crate::auth::AuthState>>,
+    auth_state: Option<Arc<crate::auth::AuthState>>,
 }
 
 impl std::fmt::Debug for Stack {
@@ -239,11 +266,7 @@ impl std::fmt::Debug for Stack {
         f.debug_struct("Stack")
             .field(
                 "layers",
-                &self
-                    .layers
-                    .iter()
-                    .map(|l| l.kind().name())
-                    .collect::<Vec<_>>(),
+                &self.kinds().iter().map(|k| k.name()).collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -258,43 +281,71 @@ impl Stack {
         kinds.sort();
         kinds.dedup();
         let depth = kinds.len();
-        let mut auth_state = None;
-        let layers: Vec<Box<dyn Layer>> = kinds
-            .into_iter()
-            .map(|kind| -> Box<dyn Layer> {
-                match kind {
-                    LayerKind::Trace => Box::new(TraceLayer::new(
+        let mut stack = Stack {
+            trace: None,
+            deadline: None,
+            auth: None,
+            rate: None,
+            ttl: None,
+            metrics: Arc::clone(&metrics),
+            auth_state: None,
+        };
+        for kind in kinds {
+            match kind {
+                LayerKind::Trace => {
+                    stack.trace = Some(TraceLayer::new(
                         Arc::clone(&metrics),
                         depth,
                         config.trace.sample_every,
-                    )),
-                    LayerKind::Deadline => Box::new(DeadlineLayer::new(
+                    ))
+                }
+                LayerKind::Deadline => {
+                    stack.deadline = Some(DeadlineLayer::new(
                         config.deadline.clone(),
                         Arc::clone(&metrics),
-                    )),
-                    LayerKind::Auth => {
-                        let layer = AuthLayer::new(&config.auth, Arc::clone(&metrics));
-                        auth_state = Some(layer.state());
-                        Box::new(layer)
-                    }
-                    LayerKind::RateLimit => Box::new(RateLimitLayer::new(
+                    ))
+                }
+                LayerKind::Auth => {
+                    let layer = AuthLayer::new(&config.auth, Arc::clone(&metrics));
+                    stack.auth_state = Some(layer.state());
+                    stack.auth = Some(layer);
+                }
+                LayerKind::RateLimit => {
+                    stack.rate = Some(RateLimitLayer::new(
                         config.rate.clone(),
                         Arc::clone(&metrics),
-                    )),
-                    LayerKind::Ttl => Box::new(TtlLayer::new(Arc::clone(&metrics))),
+                    ))
                 }
-            })
-            .collect();
-        Arc::new(Stack {
-            layers,
-            metrics,
-            auth: auth_state,
-        })
+                LayerKind::Ttl => stack.ttl = Some(TtlLayer::new(Arc::clone(&metrics))),
+            }
+        }
+        Arc::new(stack)
+    }
+
+    /// The configured layers in canonical outer→inner order.
+    pub fn kinds(&self) -> Vec<LayerKind> {
+        let mut kinds = Vec::new();
+        if self.trace.is_some() {
+            kinds.push(LayerKind::Trace);
+        }
+        if self.deadline.is_some() {
+            kinds.push(LayerKind::Deadline);
+        }
+        if self.auth.is_some() {
+            kinds.push(LayerKind::Auth);
+        }
+        if self.rate.is_some() {
+            kinds.push(LayerKind::RateLimit);
+        }
+        if self.ttl.is_some() {
+            kinds.push(LayerKind::Ttl);
+        }
+        kinds
     }
 
     /// Number of configured layers.
     pub fn depth(&self) -> usize {
-        self.layers.len()
+        self.kinds().len()
     }
 
     /// The shared per-layer counters and histograms.
@@ -303,19 +354,73 @@ impl Stack {
     }
 
     /// Build one session's service chain around `inner` (the store
-    /// executor), innermost layer first.
+    /// executor), innermost layer first — the type-erased onion, one
+    /// `Box<dyn Service>` per layer. This is the `--dyn-stack` fallback
+    /// and the path for partial stacks and third-party [`Layer`]s.
     pub fn service(&self, session: &Session, inner: BoxService) -> BoxService {
         let mut chain = inner;
-        for layer in self.layers.iter().rev() {
+        if let Some(layer) = &self.ttl {
+            chain = layer.wrap(session, chain);
+        }
+        if let Some(layer) = &self.rate {
+            chain = layer.wrap(session, chain);
+        }
+        if let Some(layer) = &self.auth {
+            chain = layer.wrap(session, chain);
+        }
+        if let Some(layer) = &self.deadline {
+            chain = layer.wrap(session, chain);
+        }
+        if let Some(layer) = &self.trace {
             chain = layer.wrap(session, chain);
         }
         chain
     }
 
+    /// Whether this stack is the canonical full five-layer pipeline,
+    /// i.e. whether [`Stack::fused_service`] can build the
+    /// monomorphized chain for it.
+    pub fn fusible(&self) -> bool {
+        self.trace.is_some()
+            && self.deadline.is_some()
+            && self.auth.is_some()
+            && self.rate.is_some()
+            && self.ttl.is_some()
+    }
+
+    /// Build one session's **fused** chain around `inner`: the five
+    /// canonical layers composed as a single concrete type, so every
+    /// inter-layer call is a direct (inlinable) call rather than a
+    /// vtable dispatch, and batch-1 traffic can take
+    /// [`crate::fused::FusedService::call_one`]. Returns `None` unless
+    /// the stack is [`Stack::fusible`] (all five layers configured).
+    pub fn fused_service<S: Service>(
+        &self,
+        session: &Session,
+        inner: S,
+    ) -> Option<crate::fused::FusedService<S>> {
+        match (
+            &self.trace,
+            &self.deadline,
+            &self.auth,
+            &self.rate,
+            &self.ttl,
+        ) {
+            (Some(trace), Some(deadline), Some(auth), Some(rate), Some(ttl)) => {
+                let chain = ttl.wrap_typed(session, inner);
+                let chain = rate.wrap_typed(session, chain);
+                let chain = auth.wrap_typed(session, chain);
+                let chain = deadline.wrap_typed(session, chain);
+                Some(trace.wrap_typed(session, chain))
+            }
+            _ => None,
+        }
+    }
+
     /// Add (or replace) an auth token at runtime. Returns `false` when
     /// the auth layer is not configured.
     pub fn auth_set_token(&self, name: &str, token: &str, role: crate::auth::Role) -> bool {
-        match &self.auth {
+        match &self.auth_state {
             Some(auth) => {
                 auth.set_token(name, token, role);
                 self.metrics.auth_reloads.increment();
@@ -329,7 +434,7 @@ impl Stack {
     /// connection observes it on its next request). Returns `false`
     /// when the auth layer is not configured.
     pub fn auth_set_anon_role(&self, role: crate::auth::Role) -> bool {
-        match &self.auth {
+        match &self.auth_state {
             Some(auth) => {
                 auth.publish_anon_role(role);
                 self.metrics.auth_reloads.increment();
@@ -371,9 +476,8 @@ mod tests {
     fn full_stack_has_five_layers_in_canonical_order() {
         let stack = Stack::build(&MiddlewareConfig::full());
         assert_eq!(stack.depth(), 5);
-        let kinds: Vec<LayerKind> = stack.layers.iter().map(|l| l.kind()).collect();
         assert_eq!(
-            kinds,
+            stack.kinds(),
             vec![
                 LayerKind::Trace,
                 LayerKind::Deadline,
@@ -382,6 +486,17 @@ mod tests {
                 LayerKind::Ttl,
             ]
         );
+        assert!(stack.fusible());
+    }
+
+    #[test]
+    fn partial_stacks_are_not_fusible() {
+        let mut config = MiddlewareConfig::none();
+        assert!(!Stack::build(&config).fusible(), "empty stack");
+        config.layers = vec![LayerKind::Trace, LayerKind::Ttl];
+        let stack = Stack::build(&config);
+        assert!(!stack.fusible());
+        assert!(stack.fused_service(&session(), Echo).is_none());
     }
 
     #[test]

@@ -40,13 +40,13 @@ impl Default for RateLimitConfig {
 /// One client's token bucket. Tokens can briefly go negative under a
 /// concurrent burst; negative observations reject and restore.
 #[derive(Debug)]
-struct Bucket {
+pub(crate) struct Bucket {
     tokens: AtomicI64,
     /// Micros since the layer's epoch at the last refill.
     last_refill_us: AtomicU64,
 }
 
-struct RateLimitState {
+pub(crate) struct RateLimitState {
     config: RateLimitConfig,
     epoch: Instant,
     buckets: Arc<SegmentedHashMap<String, Arc<Bucket>>>,
@@ -108,7 +108,7 @@ impl RateLimitState {
     }
 
     /// Try to take one token; `false` means rejected.
-    fn admit(&self, bucket: &Bucket) -> bool {
+    pub(crate) fn admit(&self, bucket: &Bucket) -> bool {
         self.refill(bucket);
         if bucket.tokens.fetch_sub(1, Ordering::AcqRel) > 0 {
             self.metrics.rate_admitted.increment();
@@ -145,7 +145,7 @@ impl RateLimitState {
     }
 
     /// Micros until one token refills (the `retry_us` hint).
-    fn retry_us(&self) -> u64 {
+    pub(crate) fn retry_us(&self) -> u64 {
         1_000_000 / self.config.refill_per_sec.max(1)
     }
 }
@@ -174,30 +174,40 @@ impl RateLimitLayer {
     }
 }
 
+impl RateLimitLayer {
+    /// Wrap a concrete inner service, preserving its type — the typed
+    /// combinator the fused stack composes with.
+    pub fn wrap_typed<S: Service>(&self, session: &Session, inner: S) -> RateLimitService<S> {
+        let bucket = self.state.bucket_for(&session.client);
+        RateLimitService {
+            state: Arc::clone(&self.state),
+            bucket,
+            client: session.client.clone(),
+            inner,
+        }
+    }
+}
+
 impl Layer for RateLimitLayer {
     fn kind(&self) -> LayerKind {
         LayerKind::RateLimit
     }
 
     fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
-        let bucket = self.state.bucket_for(&session.client);
-        Box::new(RateLimitService {
-            state: Arc::clone(&self.state),
-            bucket,
-            client: session.client.clone(),
-            inner,
-        })
+        Box::new(self.wrap_typed(session, inner))
     }
 }
 
-struct RateLimitService {
-    state: Arc<RateLimitState>,
-    bucket: Arc<Bucket>,
+/// The rate-limit layer's per-session service, generic over the inner
+/// service it wraps.
+pub struct RateLimitService<S> {
+    pub(crate) state: Arc<RateLimitState>,
+    pub(crate) bucket: Arc<Bucket>,
     client: String,
-    inner: BoxService,
+    pub(crate) inner: S,
 }
 
-impl Drop for RateLimitService {
+impl<S> Drop for RateLimitService<S> {
     /// Reclaim the client's bucket when its last session ends —
     /// without this, peer-keyed buckets accumulate one entry per
     /// connection ever made. Strong-count 2 = the map and us; the
@@ -217,7 +227,7 @@ impl Drop for RateLimitService {
     }
 }
 
-impl Service for RateLimitService {
+impl<S: Service> Service for RateLimitService<S> {
     /// Batch path: `token_bucket.take(n)` instead of `n` takes — one
     /// refill and one `fetch_sub` admit the first `k` chargeable
     /// commands of the burst; the rest are rejected in place. `QUIT` is

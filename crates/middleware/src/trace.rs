@@ -39,7 +39,7 @@ use crate::span;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn class_name(class: CommandClass) -> &'static str {
+pub(crate) fn class_name(class: CommandClass) -> &'static str {
     match class {
         CommandClass::Read => "read",
         CommandClass::Write => "write",
@@ -101,36 +101,47 @@ impl TraceLayer {
     }
 }
 
-impl Layer for TraceLayer {
-    fn kind(&self) -> LayerKind {
-        LayerKind::Trace
-    }
-
-    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
-        Box::new(TraceService {
+impl TraceLayer {
+    /// Wrap a concrete inner service, preserving its type — the typed
+    /// combinator the fused stack composes with.
+    pub fn wrap_typed<S: Service>(&self, session: &Session, inner: S) -> TraceService<S> {
+        TraceService {
             metrics: Arc::clone(&self.metrics),
             depth: self.depth,
             client: Arc::from(session.client.as_str()),
             sample_every: self.sample_every,
             tick: 0,
             inner,
-        })
+        }
     }
 }
 
-struct TraceService {
-    metrics: Arc<PipelineMetrics>,
+impl Layer for TraceLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Trace
+    }
+
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
+        Box::new(self.wrap_typed(session, inner))
+    }
+}
+
+/// The trace layer's per-session service, generic over the inner
+/// service it wraps (a concrete type in the fused stack, a
+/// [`BoxService`] in the dyn onion).
+pub struct TraceService<S> {
+    pub(crate) metrics: Arc<PipelineMetrics>,
     depth: usize,
-    client: Arc<str>,
-    sample_every: u32,
+    pub(crate) client: Arc<str>,
+    pub(crate) sample_every: u32,
     /// Per-connection sampling phase: 0 means "sample now", so the
     /// first command of every connection is always covered —
     /// contention-free and deterministic for tests.
-    tick: u32,
-    inner: BoxService,
+    pub(crate) tick: u32,
+    pub(crate) inner: S,
 }
 
-impl TraceService {
+impl<S: Service> TraceService<S> {
     fn tick_sample(&mut self) -> bool {
         if self.sample_every == 0 {
             return false;
@@ -175,7 +186,7 @@ impl TraceService {
     }
 }
 
-impl Service for TraceService {
+impl<S: Service> Service for TraceService<S> {
     /// Batch path: one `Instant::now()` pair and one histogram sample
     /// for the whole burst (into `batch_latency`), instead of one per
     /// command — the per-class histograms only see singleton traffic,

@@ -34,17 +34,17 @@ use std::time::Instant;
 /// Sidecar entry: when the key's value expires (micros since the layer
 /// epoch).
 #[derive(Debug)]
-struct TtlEntry {
+pub(crate) struct TtlEntry {
     expires_at_us: AtomicU64,
 }
 
-struct TtlState {
+pub(crate) struct TtlState {
     epoch: Instant,
-    sidecar: Arc<SegmentedHashMap<String, Arc<TtlEntry>>>,
+    pub(crate) sidecar: Arc<SegmentedHashMap<String, Arc<TtlEntry>>>,
     /// Serializes entry insert/remove *and* every cross-plane sequence
     /// (reap `DEL`s, mutations on timed keys) — see the module doc.
     writer: Mutex<SegmentedHashMapWriter<String, Arc<TtlEntry>>>,
-    metrics: Arc<PipelineMetrics>,
+    pub(crate) metrics: Arc<PipelineMetrics>,
 }
 
 impl TtlState {
@@ -79,33 +79,43 @@ impl TtlLayer {
     }
 }
 
+impl TtlLayer {
+    /// Wrap a concrete inner service, preserving its type — the typed
+    /// combinator the fused stack composes with.
+    pub fn wrap_typed<S: Service>(&self, _session: &Session, inner: S) -> TtlService<S> {
+        TtlService {
+            state: Arc::clone(&self.state),
+            inner,
+        }
+    }
+}
+
 impl Layer for TtlLayer {
     fn kind(&self) -> LayerKind {
         LayerKind::Ttl
     }
 
-    fn wrap(&self, _session: &Session, inner: BoxService) -> BoxService {
-        Box::new(TtlService {
-            state: Arc::clone(&self.state),
-            inner,
-        })
+    fn wrap(&self, session: &Session, inner: BoxService) -> BoxService {
+        Box::new(self.wrap_typed(session, inner))
     }
 }
 
-struct TtlService {
-    state: Arc<TtlState>,
-    inner: BoxService,
+/// The TTL layer's per-session service, generic over the inner service
+/// it wraps (the innermost layer: `S` is usually the store executor).
+pub struct TtlService<S> {
+    pub(crate) state: Arc<TtlState>,
+    pub(crate) inner: S,
 }
 
 type SidecarWriter<'a> = MutexGuard<'a, SegmentedHashMapWriter<String, Arc<TtlEntry>>>;
 
-impl TtlService {
+impl<S: Service> TtlService<S> {
     /// With the lock held: if `key`'s entry is (still) lapsed, reap it
     /// — `DEL` the stale row downstream and drop the entry. Returns
     /// whether a reap happened. The lock stays held across the `DEL`,
     /// which is what makes expiry safe against concurrent rewrites.
     fn reap_if_lapsed(
-        inner: &mut BoxService,
+        inner: &mut S,
         state: &TtlState,
         writer: &mut SidecarWriter<'_>,
         key: &String,
@@ -188,7 +198,7 @@ impl TtlService {
     }
 }
 
-impl Service for TtlService {
+impl<S: Service> Service for TtlService<S> {
     /// Batch path: **one** sidecar sweep for the whole burst. When no
     /// timer is armed anywhere (`sidecar` empty — by far the common
     /// state under kv load) and the burst carries no `EXPIRE`, no key

@@ -4,6 +4,10 @@
 //! rejected rather than misparsed — plus the batch-path law: a
 //! pipelined burst through `call_batch` answers byte-identically, in
 //! order, to the same commands sent through `call` one at a time —
+//! plus the dispatch-plane law: the fused (monomorphized) five-layer
+//! chain and the boxed `dyn Service` onion produce byte-identical
+//! reply streams for any burst and tuning (the invariant behind
+//! `--dyn-stack` being a pure A/B switch) —
 //! plus Prometheus exposition invariants: metric names survive
 //! rendering and label values escape losslessly.
 
@@ -126,7 +130,7 @@ fn stable_command() -> impl Strategy<Value = Command> {
 /// timing-dependent layer can fire within the test (tiny refill, huge
 /// budgets) while every decision path (ACLs, bucket exhaustion,
 /// armed timers) stays reachable.
-fn equivalence_chain(burst: u64) -> dego_middleware::BoxService {
+fn equivalence_config(burst: u64) -> MiddlewareConfig {
     let mut config = MiddlewareConfig::full();
     config.auth = AuthConfig {
         tokens: vec![TokenSpec {
@@ -140,7 +144,11 @@ fn equivalence_chain(burst: u64) -> dego_middleware::BoxService {
     config.rate.refill_per_sec = 1; // no refill within a µs-scale test
     config.deadline.read_us = 60_000_000;
     config.deadline.write_us = 60_000_000;
-    let stack = Stack::build(&config);
+    config
+}
+
+fn equivalence_chain(burst: u64) -> dego_middleware::BoxService {
+    let stack = Stack::build(&equivalence_config(burst));
     let session = Session {
         client: "prop:1".into(),
     };
@@ -308,6 +316,63 @@ proptest! {
             .map(|resp| (resp.reply, resp.close))
             .collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The dispatch-plane law: for any burst and tuning (including
+    /// every span-sampling phase, which toggles the fused batch-1
+    /// fast path on and off mid-stream), the fused (monomorphized)
+    /// chain answers byte-identically to the boxed `dyn Service`
+    /// onion — singletons through `call_one` vs `call`, then the same
+    /// commands again as one `call_batch` burst through each.
+    #[test]
+    fn fused_stack_matches_dyn_stack(
+        burst in 4u64..200,
+        sample_every in 0u32..5,
+        cmds in proptest::collection::vec(stable_command(), 1..40),
+    ) {
+        let mut config = equivalence_config(burst);
+        config.trace.sample_every = sample_every;
+        let session = Session {
+            client: "prop:1".into(),
+        };
+        let fused_stack = Stack::build(&config);
+        let mut fused = fused_stack
+            .fused_service(&session, MapStore { map: HashMap::new() })
+            .expect("full stack fuses");
+        let dyn_stack = Stack::build(&config);
+        let mut onion = dyn_stack.service(
+            &session,
+            Box::new(MapStore { map: HashMap::new() }),
+        );
+        let want: Vec<(Reply, bool)> = cmds
+            .iter()
+            .map(|c| {
+                let resp = onion.call(Request::new(c.clone()));
+                (resp.reply, resp.close)
+            })
+            .collect();
+        let got: Vec<(Reply, bool)> = cmds
+            .iter()
+            .map(|c| {
+                let resp = fused.call_one(Request::new(c.clone()));
+                (resp.reply, resp.close)
+            })
+            .collect();
+        prop_assert_eq!(got, want, "singleton stream");
+
+        // Both chains advanced through identical state; the same burst
+        // again through each batch path must agree too.
+        let want: Vec<(Reply, bool)> = onion
+            .call_batch(cmds.iter().cloned().map(Request::new).collect())
+            .into_iter()
+            .map(|resp| (resp.reply, resp.close))
+            .collect();
+        let got: Vec<(Reply, bool)> = fused
+            .call_batch(cmds.into_iter().map(Request::new).collect())
+            .into_iter()
+            .map(|resp| (resp.reply, resp.close))
+            .collect();
+        prop_assert_eq!(got, want, "batched burst");
     }
 
     /// Escaping is lossless: unescape ∘ escape = identity, and the

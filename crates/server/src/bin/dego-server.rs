@@ -25,6 +25,9 @@
 //!   `http://ADDR/trace` (off by default)
 //! * `--no-batch` — disable the batched pipeline path (A/B runs; the
 //!   group-commit batching is on by default)
+//! * `--dyn-stack` — force the boxed `dyn Service` onion instead of
+//!   the fused (monomorphized) five-layer chain (A/B runs and custom
+//!   stacks; replies are identical either way)
 //! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
 
 use dego_server::{spawn, ServerConfig};
@@ -37,7 +40,7 @@ fn usage_exit(err: &str) -> ! {
          [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N] \
          [--trace-sample N] [--slowlog-threshold-us N] [--slowlog-capacity N] \
          [--trace-capacity N] [--trace-threshold-us N] [--stats-window-secs N] \
-         [--metrics-addr ADDR] [--no-batch] [--ack-timeout-ms N]"
+         [--metrics-addr ADDR] [--no-batch] [--dyn-stack] [--ack-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -59,6 +62,10 @@ fn main() {
             let flag = arg.as_str();
             if flag == "--no-batch" {
                 config.batch = false;
+                continue;
+            }
+            if flag == "--dyn-stack" {
+                config.middleware.dyn_stack = true;
                 continue;
             }
             let value = it

@@ -31,7 +31,9 @@
 use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::store::{self, AckItem, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
-use dego_middleware::{MiddlewareConfig, Request, Response, Service, Session, Stack};
+use dego_middleware::{
+    BoxService, FusedService, MiddlewareConfig, Request, Response, Service, Session, Stack,
+};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -232,6 +234,11 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let tuning = ConnTuning {
             batch: config.batch,
             ack_timeout: config.ack_timeout,
+            // DEGO_TEST_DYN_STACK=1 forces the boxed onion without
+            // touching the config — the CI matrix leg that runs the
+            // whole tier-1 suite against the fallback dispatch plane.
+            dyn_stack: config.middleware.dyn_stack
+                || std::env::var("DEGO_TEST_DYN_STACK").is_ok_and(|v| v == "1"),
         };
         let hook = config.accept_hook.clone();
         std::thread::Builder::new()
@@ -284,6 +291,38 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
 struct ConnTuning {
     batch: bool,
     ack_timeout: Duration,
+    dyn_stack: bool,
+}
+
+/// The per-connection dispatch chain. With the canonical five-layer
+/// stack (and no `--dyn-stack` override) the onion monomorphizes into
+/// one concrete [`FusedService`] — direct calls between layers, plus
+/// the batch-1 inline fast path — while partial/reordered stacks and
+/// the explicit fallback keep the boxed `dyn Service` onion. Replies
+/// and metrics are identical either way (the middleware proptests pin
+/// this).
+enum Chain {
+    Fused(Box<FusedService<ExecService>>),
+    Dyn(BoxService),
+}
+
+impl Chain {
+    /// Dispatch a singleton: the fused chain takes its inline batch-1
+    /// fast path; the dyn onion pays the per-layer virtual calls.
+    fn call_one(&mut self, req: Request) -> Response {
+        match self {
+            Chain::Fused(chain) => chain.call_one(req),
+            Chain::Dyn(chain) => chain.call(req),
+        }
+    }
+
+    /// Dispatch a pipelined burst through the group-commit batch path.
+    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        match self {
+            Chain::Fused(chain) => chain.call_batch(reqs),
+            Chain::Dyn(chain) => chain.call_batch(reqs),
+        }
+    }
 }
 
 /// The backoff slept after the `n`-th consecutive `accept()` failure:
@@ -658,21 +697,34 @@ impl ExecService {
             Some(e) => Reply::Error(e),
         }
     }
-}
 
-impl Service for ExecService {
-    fn call(&mut self, req: Request) -> Response {
-        match &req.command {
-            // The middleware-owned verbs answer structurally when their
-            // layer is not in the pipeline (they never reach the store).
-            Command::Auth(_) => Response::rejection("AUTH", "auth layer not enabled"),
-            Command::Expire(..) => Response::rejection("TTL", "ttl layer not enabled"),
+    /// The structural depth-0 rejections: middleware-owned verbs
+    /// (`AUTH`, `EXPIRE`, the `SLOWLOG`/`TRACE` rings) answered here,
+    /// at the innermost service, when their layer is not in the
+    /// pipeline — they never reach the store. One shared check for
+    /// `call` and `call_batch`, so the two paths can never drift apart
+    /// textually.
+    fn structural_rejection(cmd: &Command) -> Option<Response> {
+        match cmd {
+            Command::Auth(_) => Some(Response::rejection("AUTH", "auth layer not enabled")),
+            Command::Expire(..) => Some(Response::rejection("TTL", "ttl layer not enabled")),
             Command::SlowlogGet
             | Command::SlowlogReset
             | Command::SlowlogLen
             | Command::TraceGet
             | Command::TraceReset
-            | Command::TraceLen => Response::rejection("TRACE", "trace layer not enabled"),
+            | Command::TraceLen => Some(Response::rejection("TRACE", "trace layer not enabled")),
+            _ => None,
+        }
+    }
+}
+
+impl Service for ExecService {
+    fn call(&mut self, req: Request) -> Response {
+        if let Some(resp) = Self::structural_rejection(&req.command) {
+            return resp;
+        }
+        match &req.command {
             Command::Quit => Response {
                 reply: Reply::Status("OK"),
                 close: true,
@@ -760,29 +812,11 @@ impl Service for ExecService {
                 slots.push(Slot::Done(Reply::Error(cause.into())));
                 continue;
             }
+            if let Some(resp) = Self::structural_rejection(&req.command) {
+                slots.push(Slot::Done(resp.reply));
+                continue;
+            }
             match &req.command {
-                // Same rejections `call` produces, built the same way,
-                // so the two paths can never drift apart textually.
-                Command::Auth(_) => {
-                    slots.push(Slot::Done(
-                        Response::rejection("AUTH", "auth layer not enabled").reply,
-                    ));
-                }
-                Command::Expire(..) => {
-                    slots.push(Slot::Done(
-                        Response::rejection("TTL", "ttl layer not enabled").reply,
-                    ));
-                }
-                Command::SlowlogGet
-                | Command::SlowlogReset
-                | Command::SlowlogLen
-                | Command::TraceGet
-                | Command::TraceReset
-                | Command::TraceLen => {
-                    slots.push(Slot::Done(
-                        Response::rejection("TRACE", "trace layer not enabled").reply,
-                    ));
-                }
                 Command::Quit => slots.push(Slot::Done(Reply::Status("OK"))),
                 Command::Post(author, msg) => {
                     self.stats.note_mutation();
@@ -899,18 +933,23 @@ fn serve_connection(
     let mut reader = BufReader::new(socket.try_clone()?);
     let mut writer = BufWriter::new(socket);
     let (ack_tx, ack_rx) = channel::<ShardAck>();
-    let mut chain = stack.service(
-        &session,
-        Box::new(ExecService {
-            store,
-            stats: Arc::clone(&stats),
-            conn,
-            next_seq: 0,
-            ack_timeout: tuning.ack_timeout,
-            ack_tx,
-            ack_rx,
-        }),
-    );
+    let exec = ExecService {
+        store,
+        stats: Arc::clone(&stats),
+        conn,
+        next_seq: 0,
+        ack_timeout: tuning.ack_timeout,
+        ack_tx,
+        ack_rx,
+    };
+    let mut chain = if !tuning.dyn_stack && stack.fusible() {
+        let fused = stack
+            .fused_service(&session, exec)
+            .expect("fusible stack fuses");
+        Chain::Fused(Box::new(fused))
+    } else {
+        Chain::Dyn(stack.service(&session, Box::new(exec)))
+    };
     let mut line = String::new();
     let mut out = String::new();
 
@@ -966,7 +1005,7 @@ fn serve_connection(
                 // metrics (class latency histograms) stay meaningful.
                 let responses = match requests.len() {
                     0 => Vec::new(),
-                    1 => vec![chain.call(requests.pop().expect("one request"))],
+                    1 => vec![chain.call_one(requests.pop().expect("one request"))],
                     _ => chain.call_batch(requests),
                 };
                 let mut responses = responses.into_iter();
