@@ -1,17 +1,17 @@
 //! Closed-loop load generator for `dego-server` — the middleware
 //! deployment of the adjusted objects.
 //!
-//! Six sweeps, all written to `BENCH_server.json`:
+//! Nine sweeps, all written to `BENCH_server.json`:
 //!
 //! 1. **Client sweep** (no middleware): for each point, an in-process
 //!    server is booted on an ephemeral loopback port and `t` client
 //!    threads run pipelined closed-loop traffic for the configured
 //!    window (a 90/5/5 GET/SET/INCR mix, pipeline depth 16).
-//! 2. **Batch-depth sweep**: the full five-layer stack at pipeline
+//! 2. **Batch-depth sweep**: the full seven-layer stack at pipeline
 //!    (= batch) sizes 1/8/32, so the `call_batch` amortization curve
 //!    is tracked point to point.
 //! 3. **Middleware overhead** (batched): the same load at a fixed
-//!    client count against stack depth 0 and depth 5; `overhead_pct`
+//!    client count against stack depth 0 and depth 7; `overhead_pct`
 //!    is the pipeline's throughput cost (pre-batching it measured
 //!    14.7%, target ≤ 8% now that every layer pays once per burst).
 //! 4. **Group commit**: write-heavy bursts of 32 through the full
@@ -31,13 +31,19 @@
 //!    recorder, slowlog, span sampling and windowed histograms all off
 //!    vs every default on — at burst depth 5 (`tracing_overhead`,
 //!    target ≤ 3% at default sampling).
-//! 8. **Stack dispatch**: the fused (monomorphized) five-layer chain
+//! 8. **Stack dispatch**: the fused (monomorphized) seven-layer chain
 //!    vs the boxed `dyn Service` onion at burst 1/8/32, driven
 //!    in-process over an in-memory store (no sockets — TCP at
 //!    pipeline 1 is syscall-dominated and would mask the dispatch
 //!    cost this A/B isolates). `fused_batch1_speedup_x` is the
-//!    headline: the batch-1 inline fast path vs five virtual calls
+//!    headline: the batch-1 inline fast path vs seven virtual calls
 //!    (target ≥ 1.3×).
+//! 9. **Overload**: a write-heavy closed loop against a server whose
+//!    shard owners carry a seeded 1 ms apply stall, load shedding off
+//!    vs on (`--shed-queue-depth` semantics). The `overload` block
+//!    reports each side's windowed shard ack p99 and shed count —
+//!    shedding should hold the ack p99 bounded while the stalled
+//!    shard works down a short queue instead of an unbounded one.
 //!
 //! Keys are **pinned per client** by default: each client owns a
 //! disjoint slice of the key range, so shard parallelism is measurable
@@ -123,7 +129,7 @@ fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
 }
 
 /// The stack a sweep point runs behind: depth 0 = no middleware,
-/// anything else = the full five layers.
+/// anything else = the full seven layers.
 fn depth_config(depth: usize) -> MiddlewareConfig {
     match depth {
         0 => MiddlewareConfig::none(),
@@ -314,7 +320,7 @@ struct TracingOverhead {
     on: Point,
 }
 
-/// One in-process dispatch measurement: full five-layer stack, fused
+/// One in-process dispatch measurement: full seven-layer stack, fused
 /// or dyn, at one burst size.
 struct DispatchPoint {
     mode: &'static str,
@@ -477,6 +483,97 @@ fn run_dispatch_best(
         .expect("at least one run")
 }
 
+/// The seeded apply stall every shard owner carries during the
+/// overload A/B.
+const OVERLOAD_STALL: Duration = Duration::from_millis(1);
+/// The shed-on side's queue-depth threshold.
+const OVERLOAD_SHED_DEPTH: u64 = 8;
+/// Fixed load shape for the overload A/B (small on purpose — the
+/// stalled shards, not the socket plane, are the bottleneck).
+const OVERLOAD_CLIENTS: usize = 2;
+const OVERLOAD_PIPELINE: usize = 16;
+
+/// One side of the overload A/B: ops pushed through the closed loop
+/// (admitted or shed), the worst windowed shard ack p99, and how many
+/// writes were shed.
+struct OverloadPoint {
+    ops: u64,
+    elapsed: Duration,
+    ack_p99_us: u64,
+    shed: u64,
+}
+
+impl OverloadPoint {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Write-heavy closed loop against a server whose every shard owner
+/// sleeps [`OVERLOAD_STALL`] per apply; `shed` arms the queue-depth
+/// shedder. Telemetry is read over the wire (`STATS`/`STATS SHARDS`)
+/// while the server is still up, exactly as an operator would.
+fn run_overload_point(shed: bool, shards: usize, window: Duration) -> OverloadPoint {
+    let mut middleware = MiddlewareConfig::full();
+    if shed {
+        middleware.shed.queue_depth = OVERLOAD_SHED_DEPTH;
+    }
+    let server = spawn(ServerConfig {
+        shards,
+        capacity: KEY_RANGE * 2,
+        middleware,
+        shard_delay: Some(OVERLOAD_STALL),
+        ..ServerConfig::default()
+    })
+    .expect("overload server boots");
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + window;
+    let started = Instant::now();
+    let ops: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+            .map(|c| {
+                let stop = &stop;
+                let span = (KEY_RANGE / OVERLOAD_CLIENTS).max(1) as u64;
+                s.spawn(move || {
+                    client_loop(
+                        addr,
+                        0x0bad + c as u64,
+                        OVERLOAD_PIPELINE,
+                        WRITE_HEAVY,
+                        c as u64 * span,
+                        span,
+                        deadline,
+                        stop,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let elapsed = started.elapsed();
+    let mut probe = Client::connect(addr).expect("overload probe connects");
+    let shard_stats = probe.stats_shards().expect("STATS SHARDS");
+    let ack_p99_us = (0..shards)
+        .filter_map(|i| shard_stats.get(&format!("shard{i}_ack_p99_us")))
+        .filter_map(|v| v.parse().ok())
+        .max()
+        .unwrap_or(0);
+    let shed_count = probe
+        .stats_map()
+        .expect("STATS")
+        .get("mw_shed_shed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    server.shutdown();
+    OverloadPoint {
+        ops,
+        elapsed,
+        ack_p99_us,
+        shed: shed_count,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     sweep: &[Point],
@@ -487,6 +584,7 @@ fn write_json(
     obs: &ObservabilityOverhead,
     tracing: &TracingOverhead,
     dispatch: &[DispatchPoint],
+    overload: &(OverloadPoint, OverloadPoint),
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"server_load\",\n  \"key_range\": 4096,\n");
     let _ = writeln!(
@@ -544,11 +642,11 @@ fn write_json(
         overhead_pct(&tracing.off, &tracing.on),
     );
     // stack_dispatch: the fused (monomorphized) chain vs the boxed
-    // dyn onion, in-process over the full five-layer stack. The
+    // dyn onion, in-process over the full seven-layer stack. The
     // headline is the batch-1 inline fast path (target ≥ 1.3× the
     // boxed path); at burst 8/32 group-commit amortization dominates
     // and the two modes converge.
-    out.push_str(",\n  \"stack_dispatch\": {\"depth\": 5, \"points\": [\n");
+    out.push_str(",\n  \"stack_dispatch\": {\"depth\": 7, \"points\": [\n");
     for (i, p) in dispatch.iter().enumerate() {
         let _ = write!(
             out,
@@ -578,24 +676,43 @@ fn write_json(
         speedup(8),
         speedup(32),
     );
-    if let [depth0, depth5] = overhead_pair {
+    if let [depth0, depth7] = overhead_pair {
         // middleware_overhead: the batched pipeline's throughput cost —
-        // how much slower the same load runs at stack depth 5 vs depth
+        // how much slower the same load runs at stack depth 7 vs depth
         // 0 (positive = cost; 14.7% pre-batching, target ≤ 8%) — plus
         // the group-commit comparison: write bursts of 32 through the
         // full stack, batched vs the per-command path (target ≥ 1.5×).
         let _ = write!(
             out,
-            ",\n  \"middleware_overhead\": {{\"clients\": {}, \"batched\": true, \"depth0_ops_per_sec\": {:.0}, \"depth5_ops_per_sec\": {:.0}, \"overhead_pct\": {:.1}, \"write_batch32_ops_per_sec\": {:.0}, \"write_batch32_unbatched_ops_per_sec\": {:.0}, \"batched_speedup_x\": {:.2}}}",
+            ",\n  \"middleware_overhead\": {{\"clients\": {}, \"batched\": true, \"depth0_ops_per_sec\": {:.0}, \"depth7_ops_per_sec\": {:.0}, \"overhead_pct\": {:.1}, \"write_batch32_ops_per_sec\": {:.0}, \"write_batch32_unbatched_ops_per_sec\": {:.0}, \"batched_speedup_x\": {:.2}}}",
             depth0.clients,
             depth0.ops_per_sec(),
-            depth5.ops_per_sec(),
-            overhead_pct(depth0, depth5),
+            depth7.ops_per_sec(),
+            overhead_pct(depth0, depth7),
             commit.batched.ops_per_sec(),
             commit.unbatched.ops_per_sec(),
             commit.batched.ops_per_sec() / commit.unbatched.ops_per_sec().max(1e-9),
         );
     }
+    // overload: the shed A/B under a seeded per-apply stall. With
+    // shedding armed the stalled shards work down a short queue, so
+    // the windowed ack p99 stays bounded instead of growing with the
+    // closed-loop's whole in-flight window.
+    let (off, on) = overload;
+    let _ = write!(
+        out,
+        ",\n  \"overload\": {{\"stall_ms\": {}, \"clients\": {}, \"pipeline\": {}, \"shed_queue_depth\": {}, \"shed_off\": {{\"ops_per_sec\": {:.0}, \"ack_p99_us\": {}, \"shed\": {}}}, \"shed_on\": {{\"ops_per_sec\": {:.0}, \"ack_p99_us\": {}, \"shed\": {}}}}}",
+        OVERLOAD_STALL.as_millis(),
+        OVERLOAD_CLIENTS,
+        OVERLOAD_PIPELINE,
+        OVERLOAD_SHED_DEPTH,
+        off.ops_per_sec(),
+        off.ack_p99_us,
+        off.shed,
+        on.ops_per_sec(),
+        on.ack_p99_us,
+        on.shed,
+    );
     out.push_str("\n}\n");
     out
 }
@@ -653,7 +770,7 @@ fn main() {
             shards,
             depth,
             env.duration,
-            depth_config(5),
+            depth_config(7),
             true,
             STANDARD,
         );
@@ -666,7 +783,7 @@ fn main() {
     // at the batch-native burst size the tentpole targets).
     let overhead_pipeline = pipeline.max(32);
     let mut overhead_points = Vec::new();
-    for depth in [0usize, 5] {
+    for depth in [0usize, 7] {
         let p = run_best(
             3,
             overhead_clients,
@@ -689,7 +806,7 @@ fn main() {
             shards,
             32,
             env.duration,
-            &depth_config(5),
+            &depth_config(7),
             true,
             WRITE_HEAVY,
         ),
@@ -699,7 +816,7 @@ fn main() {
             shards,
             32,
             env.duration,
-            &depth_config(5),
+            &depth_config(7),
             false,
             WRITE_HEAVY,
         ),
@@ -717,7 +834,7 @@ fn main() {
             shards,
             pipeline,
             env.duration,
-            depth_config(5),
+            depth_config(7),
             true,
             STANDARD,
         );
@@ -799,10 +916,16 @@ fn main() {
         }
     }
 
+    // 9. Overload: the shed A/B under a seeded per-apply stall.
+    let overload = (
+        run_overload_point(false, shards, env.duration),
+        run_overload_point(true, shards, env.duration),
+    );
+
     println!("{}", table.render());
     let pct = overhead_pct(&overhead_points[0], &overhead_points[1]);
     println!(
-        "middleware overhead at depth 5 (batched): {pct:.1}% ({} -> {} ops/s)",
+        "middleware overhead at depth 7 (batched): {pct:.1}% ({} -> {} ops/s)",
         overhead_points[0].ops_per_sec() as u64,
         overhead_points[1].ops_per_sec() as u64
     );
@@ -832,6 +955,13 @@ fn main() {
             p.ops_per_sec() as u64
         );
     }
+    println!(
+        "overload (stall {}ms, write-heavy): shed off ack p99 {}us, shed on ack p99 {}us ({} writes shed)",
+        OVERLOAD_STALL.as_millis(),
+        overload.0.ack_p99_us,
+        overload.1.ack_p99_us,
+        overload.1.shed,
+    );
 
     let json = write_json(
         &points,
@@ -842,6 +972,7 @@ fn main() {
         &obs,
         &tracing,
         &dispatch_points,
+        &overload,
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!(

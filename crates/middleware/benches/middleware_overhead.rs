@@ -1,12 +1,12 @@
 //! Criterion bench: per-request middleware overhead, axum-style.
 //!
-//! * `layer_overhead` — each of the five layers in isolation
+//! * `layer_overhead` — each of the seven layers in isolation
 //!   (monomorphized over a no-op inner) against the bare inner, so a
 //!   layer's per-request cost is one subtraction away.
-//! * `stack_scaling` — the composed onion at depth 1, 3 and 5 (the
+//! * `stack_scaling` — the composed onion at increasing depth (the
 //!   boxed `dyn Service` path every partial stack takes), showing how
 //!   overhead accumulates per layer.
-//! * `stack_dispatch` — depth 5 fused vs dyn: the monomorphized
+//! * `stack_dispatch` — full-depth fused vs dyn: the monomorphized
 //!   chain's batch-1 `call_one` fast path against the boxed onion's
 //!   `call`, plus `call_batch` at 8 and 32 where group-commit
 //!   amortization dominates the dispatch mode.
@@ -19,8 +19,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dego_middleware::protocol::{Command, Reply};
 use dego_middleware::{
-    AuthLayer, DeadlineLayer, MiddlewareConfig, PipelineMetrics, RateLimitLayer, Request, Response,
-    Service, Session, Stack, TraceLayer, TtlLayer,
+    AuthLayer, BreakerLayer, DeadlineLayer, MiddlewareConfig, PipelineMetrics, RateLimitLayer,
+    Request, Response, Service, Session, ShedLayer, Stack, TraceLayer, TtlLayer,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,6 +73,13 @@ fn layer_overhead(c: &mut Criterion) {
         let mut svc = layer.wrap_typed(&session(), Nop);
         b.iter(|| svc.call(get_req()));
     });
+    group.bench_function("breaker", |b| {
+        // Disarmed, as in the default full stack: the cost measured is
+        // the pass-through check every request pays.
+        let layer = BreakerLayer::new(config.breaker.clone(), Arc::clone(&metrics));
+        let mut svc = layer.wrap_typed(&session(), Nop);
+        b.iter(|| svc.call(get_req()));
+    });
     group.bench_function("deadline", |b| {
         let layer = DeadlineLayer::new(config.deadline.clone(), Arc::clone(&metrics));
         let mut svc = layer.wrap_typed(&session(), Nop);
@@ -88,6 +95,13 @@ fn layer_overhead(c: &mut Criterion) {
         let mut svc = layer.wrap_typed(&session(), Nop);
         b.iter(|| svc.call(get_req()));
     });
+    group.bench_function("shed", |b| {
+        // Unarmed/unseated, as in the default full stack: a pure
+        // pass-through — the per-request floor of the admission check.
+        let layer = ShedLayer::new(config.shed.clone(), Arc::clone(&metrics));
+        let mut svc = layer.wrap_typed(&session(), Nop);
+        b.iter(|| svc.call(get_req()));
+    });
     group.bench_function("ttl", |b| {
         let layer = TtlLayer::new(Arc::clone(&metrics));
         let mut svc = layer.wrap_typed(&session(), Nop);
@@ -100,7 +114,7 @@ fn layer_overhead(c: &mut Criterion) {
 fn stack_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("middleware_overhead/stack_scaling");
     group.measurement_time(Duration::from_secs(1));
-    for (depth, layers) in [(1, "trace"), (3, "trace,deadline,auth"), (5, "full")] {
+    for (depth, layers) in [(1, "trace"), (3, "trace,deadline,auth"), (7, "full")] {
         group.bench_function(BenchmarkId::new("dyn", depth), |b| {
             let stack = Stack::build(&bench_config(layers));
             let mut chain = stack.service(&session(), Box::new(Nop));
@@ -110,7 +124,7 @@ fn stack_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// Depth-5 fused vs dyn, singleton and batched.
+/// Full-depth fused vs dyn, singleton and batched.
 fn stack_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("middleware_overhead/stack_dispatch");
     group.measurement_time(Duration::from_secs(1));

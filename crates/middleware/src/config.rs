@@ -6,9 +6,11 @@
 //! `--middleware`/`--auth-token`/`--rate-*`/`--deadline-*` CLI surface.
 
 use crate::auth::{AuthConfig, Role, TokenSpec};
+use crate::breaker::BreakerConfig;
 use crate::deadline::DeadlineConfig;
 use crate::pipeline::LayerKind;
 use crate::rate_limit::RateLimitConfig;
+use crate::shed::ShedConfig;
 
 /// Trace-layer tuning: span sampling and the slowlog ring.
 #[derive(Clone, Debug)]
@@ -59,10 +61,14 @@ pub struct MiddlewareConfig {
     pub auth: AuthConfig,
     /// Deadline budgets.
     pub deadline: DeadlineConfig,
+    /// Circuit-breaker thresholds (disabled by default).
+    pub breaker: BreakerConfig,
+    /// Load-shedding thresholds (disabled by default).
+    pub shed: ShedConfig,
     /// Span sampling and slowlog tuning.
     pub trace: TraceConfig,
     /// Force the boxed `dyn Service` onion (`--dyn-stack`) even when
-    /// the configured layers match the canonical five-layer order the
+    /// the configured layers match the canonical seven-layer order the
     /// fused (monomorphized) chain covers. The escape hatch for
     /// third-party layers and A/B-testing the dispatch planes; replies
     /// and metrics are identical either way.
@@ -76,16 +82,13 @@ impl MiddlewareConfig {
         MiddlewareConfig::default()
     }
 
-    /// All five production layers with default tuning.
+    /// All seven production layers with default tuning (the breaker
+    /// and shed layers are present but disarmed until their thresholds
+    /// are set, so `full` stays a behavioural no-op for admitted
+    /// traffic).
     pub fn full() -> Self {
         MiddlewareConfig {
-            layers: vec![
-                LayerKind::Trace,
-                LayerKind::Deadline,
-                LayerKind::Auth,
-                LayerKind::RateLimit,
-                LayerKind::Ttl,
-            ],
+            layers: LayerKind::ALL.to_vec(),
             ..MiddlewareConfig::default()
         }
     }
@@ -132,6 +135,11 @@ impl MiddlewareConfig {
             "--rate-per-sec" => self.rate.refill_per_sec = parse_u64(value)?.max(1),
             "--deadline-read-us" => self.deadline.read_us = parse_u64(value)?,
             "--deadline-write-us" => self.deadline.write_us = parse_u64(value)?,
+            "--breaker-failures" => self.breaker.failures = parse_u64(value)? as u32,
+            "--breaker-cooldown-ms" => self.breaker.cooldown_ms = parse_u64(value)?,
+            "--breaker-probes" => self.breaker.probes = (parse_u64(value)? as u32).max(1),
+            "--shed-queue-depth" => self.shed.queue_depth = parse_u64(value)?,
+            "--shed-ack-p99-us" => self.shed.ack_p99_us = parse_u64(value)?,
             "--trace-sample" => self.trace.sample_every = parse_u64(value)? as u32,
             "--slowlog-threshold-us" => self.trace.slowlog_threshold_us = parse_u64(value)?,
             "--slowlog-capacity" => self.trace.slowlog_capacity = parse_u64(value)? as usize,
@@ -151,7 +159,7 @@ mod tests {
     #[test]
     fn layer_specs_parse() {
         assert_eq!(MiddlewareConfig::parse_layers("none").unwrap(), vec![]);
-        assert_eq!(MiddlewareConfig::parse_layers("full").unwrap().len(), 5);
+        assert_eq!(MiddlewareConfig::parse_layers("full").unwrap().len(), 7);
         assert_eq!(
             MiddlewareConfig::parse_layers("trace, ttl").unwrap(),
             vec![LayerKind::Trace, LayerKind::Ttl]
@@ -173,7 +181,7 @@ mod tests {
     fn flags_apply_or_decline() {
         let mut config = MiddlewareConfig::none();
         assert!(config.apply_flag("--middleware", "full").unwrap());
-        assert_eq!(config.layers.len(), 5);
+        assert_eq!(config.layers.len(), 7);
         assert!(config.apply_flag("--rate-burst", "64").unwrap());
         assert_eq!(config.rate.burst, 64);
         assert!(config.apply_flag("--anon-role", "readonly").unwrap());
@@ -182,6 +190,25 @@ mod tests {
         assert_eq!(config.deadline.read_us, 1000);
         assert!(!config.apply_flag("--shards", "4").unwrap(), "not ours");
         assert!(config.apply_flag("--rate-burst", "lots").is_err());
+    }
+
+    #[test]
+    fn overload_flags_apply() {
+        let mut config = MiddlewareConfig::none();
+        assert_eq!(config.breaker.failures, 0, "breaker disarmed by default");
+        assert!(!config.shed.enabled(), "shed disarmed by default");
+        assert!(config.apply_flag("--breaker-failures", "5").unwrap());
+        assert!(config.apply_flag("--breaker-cooldown-ms", "250").unwrap());
+        assert!(config.apply_flag("--breaker-probes", "0").unwrap());
+        assert_eq!(config.breaker.failures, 5);
+        assert_eq!(config.breaker.cooldown_ms, 250);
+        assert_eq!(config.breaker.probes, 1, "probe quota clamps to >= 1");
+        assert!(config.apply_flag("--shed-queue-depth", "1024").unwrap());
+        assert!(config.apply_flag("--shed-ack-p99-us", "50000").unwrap());
+        assert_eq!(config.shed.queue_depth, 1024);
+        assert_eq!(config.shed.ack_p99_us, 50_000);
+        assert!(config.shed.enabled());
+        assert!(config.apply_flag("--breaker-failures", "many").is_err());
     }
 
     #[test]

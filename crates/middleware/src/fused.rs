@@ -1,14 +1,15 @@
-//! The fused (monomorphized) five-layer chain and its batch-1 fast
+//! The fused (monomorphized) seven-layer chain and its batch-1 fast
 //! path.
 //!
 //! [`FusedService`] is the canonical pipeline
-//! (trace → deadline → auth → rate-limit → ttl) composed as **one
-//! concrete type**: every inter-layer call is a direct, inlinable call
-//! instead of a `Box<dyn Service>` vtable dispatch. Bursts of any size
-//! already run through the layers' monomorphized `call`/`call_batch`;
-//! on top of that, [`FusedService::call_one`] gives depth-1 bursts (the
-//! pipeline-1 workload, the stack's weakest point) a fast path that
-//! runs all five admission checks inline:
+//! (trace → breaker → deadline → auth → rate-limit → shed → ttl)
+//! composed as **one concrete type**: every inter-layer call is a
+//! direct, inlinable call instead of a `Box<dyn Service>` vtable
+//! dispatch. Bursts of any size already run through the layers'
+//! monomorphized `call`/`call_batch`; on top of that,
+//! [`FusedService::call_one`] gives depth-1 bursts (the pipeline-1
+//! workload, the stack's weakest point) a fast path that runs all
+//! seven admission checks inline:
 //!
 //! * **one** clock read pair (shared by the trace histogram and the
 //!   deadline check, which in the onion each pay their own),
@@ -31,33 +32,39 @@
 //!
 //! Replies are byte-identical to the dyn onion by construction (the
 //! proptest suite drives randomized bursts through both), and the
-//! metrics are too: every counter and histogram the five layers would
+//! metrics are too: every counter and histogram the seven layers would
 //! touch for an unsampled singleton is touched here, in the same
 //! order.
 
 use crate::auth::{AuthService, Role};
+use crate::breaker::BreakerService;
 use crate::deadline::DeadlineService;
 use crate::pipeline::{Request, Response, Service};
 use crate::protocol::{Command, CommandClass, Reply};
 use crate::rate_limit::RateLimitService;
+use crate::shed::ShedService;
 use crate::trace::{class_name, TraceService};
 use crate::ttl::TtlService;
 use std::time::Instant;
 
-/// The canonical five-layer chain as one concrete (monomorphized)
+/// The canonical seven-layer chain as one concrete (monomorphized)
 /// type, built by
 /// [`Stack::fused_service`](crate::pipeline::Stack::fused_service).
-pub type FusedService<S> =
-    TraceService<DeadlineService<AuthService<RateLimitService<TtlService<S>>>>>;
+pub type FusedService<S> = TraceService<
+    BreakerService<DeadlineService<AuthService<RateLimitService<ShedService<TtlService<S>>>>>>,
+>;
 
 /// Commands a specific layer handles itself (session logins, ring
-/// verbs, stats folding, the `QUIT` rate-limit exemption): these take
-/// the layered path so that handling runs exactly once, in its layer.
+/// verbs, stats folding, the `QUIT`/`HEALTH`/`READY` rate-limit
+/// exemption): these take the layered path so that handling runs
+/// exactly once, in its layer.
 fn needs_layer_dispatch(cmd: &Command) -> bool {
     matches!(
         cmd,
         Command::Auth(_)
             | Command::Quit
+            | Command::Health
+            | Command::Ready
             | Command::Stats
             | Command::StatsReset
             | Command::SlowlogGet
@@ -70,7 +77,7 @@ fn needs_layer_dispatch(cmd: &Command) -> bool {
 }
 
 impl<S: Service> FusedService<S> {
-    /// The batch-1 fast path: all five admission checks inline, one
+    /// The batch-1 fast path: all seven admission checks inline, one
     /// clock read pair, falling back to the layered [`Service::call`]
     /// for commands a layer owns and for span-sampled ticks (see the
     /// module doc for the exact conditions).
@@ -91,74 +98,93 @@ impl<S: Service> FusedService<S> {
         }
         let class = req.command.class();
         let verb = req.command.verb();
-        // Deadline admission: the class budget (0 = exempt).
+        // Deadline admission: the class budget (0 = exempt). The
+        // deadline layer now sits one level below the breaker.
         let budget_us = match class {
-            CommandClass::Read => self.inner.config.read_us,
-            CommandClass::Write => self.inner.config.write_us,
+            CommandClass::Read => self.inner.inner.config.read_us,
+            CommandClass::Write => self.inner.inner.config.write_us,
             CommandClass::Control => 0,
         };
         // The one clock read pair, shared by the deadline check and
         // the trace histograms.
         let start = Instant::now();
-        let resp = {
-            // Auth admission: one role resolve (session principal or
-            // the RCU-published anon policy), one class check.
-            let auth = &mut self.inner.inner;
-            let role = match &auth.principal {
-                Some(p) => p.role,
-                None => auth.state.anon_role(),
-            };
-            if !role.allows(class) {
-                auth.metrics.auth_denied.increment();
-                Response::rejection(
-                    "AUTH",
-                    format_args!(
-                        "{} requires {}, session role is {}",
-                        verb,
-                        match class {
-                            CommandClass::Write => Role::ReadWrite.name(),
-                            _ => Role::ReadOnly.name(),
-                        },
-                        role.name()
-                    ),
-                )
-            } else {
-                auth.metrics.auth_admitted.increment();
-                // Rate-limit admission: one token take from the
-                // session's bucket (QUIT never reaches here — it is a
-                // layer-dispatch verb).
-                let rate = &mut auth.inner;
-                if !rate.state.admit(&rate.bucket) {
+        // Breaker admission, outside the deadline clock in the onion:
+        // a breaker rejection skips the deadline check (and is never
+        // observed), exactly like the layered path.
+        let breaker_verdict = self.inner.state.admit(class);
+        let breaker_admitted = breaker_verdict.is_none();
+        let resp = match breaker_verdict {
+            Some(rejection) => rejection,
+            None => {
+                // Auth admission: one role resolve (session principal
+                // or the RCU-published anon policy), one class check.
+                let auth = &mut self.inner.inner.inner;
+                let role = match &auth.principal {
+                    Some(p) => p.role,
+                    None => auth.state.anon_role(),
+                };
+                if !role.allows(class) {
+                    auth.metrics.auth_denied.increment();
                     Response::rejection(
-                        "RATELIMIT",
-                        format_args!("rejected retry_us={}", rate.state.retry_us()),
+                        "AUTH",
+                        format_args!(
+                            "{} requires {}, session role is {}",
+                            verb,
+                            match class {
+                                CommandClass::Write => Role::ReadWrite.name(),
+                                _ => Role::ReadOnly.name(),
+                            },
+                            role.name()
+                        ),
                     )
                 } else {
-                    // TTL admission: with no timer armed anywhere no
-                    // key can be timed, so kv commands skip even the
-                    // sidecar probe; anything else (armed timers,
-                    // EXPIRE) runs the monomorphized TTL service with
-                    // its full reap semantics.
-                    let ttl = &mut rate.inner;
-                    match &req.command {
-                        Command::Get(_)
-                        | Command::Set(..)
-                        | Command::Del(_)
-                        | Command::Incr(..)
-                            if ttl.state.sidecar.is_empty() =>
-                        {
-                            ttl.state.metrics.ttl_checked.increment();
-                            ttl.inner.call(req)
+                    auth.metrics.auth_admitted.increment();
+                    // Rate-limit admission: one token take from the
+                    // session's bucket (QUIT/HEALTH/READY never reach
+                    // here — they are layer-dispatch verbs).
+                    let rate = &mut auth.inner;
+                    if !rate.state.admit(&rate.bucket) {
+                        Response::rejection(
+                            "RATELIMIT",
+                            format_args!("rejected retry_us={}", rate.state.retry_us()),
+                        )
+                    } else {
+                        // Shed admission: one pressure read for writes
+                        // when the layer is armed and a probe seated.
+                        let shed = &mut rate.inner;
+                        if let Some(rejection) = shed.state.admit(&req.command) {
+                            rejection
+                        } else {
+                            // TTL admission: with no timer armed
+                            // anywhere no key can be timed, so kv
+                            // commands skip even the sidecar probe;
+                            // anything else (armed timers, EXPIRE)
+                            // runs the monomorphized TTL service with
+                            // its full reap semantics.
+                            let ttl = &mut shed.inner;
+                            match &req.command {
+                                Command::Get(_)
+                                | Command::Set(..)
+                                | Command::Del(_)
+                                | Command::Incr(..)
+                                    if ttl.state.sidecar.is_empty() =>
+                                {
+                                    ttl.state.metrics.ttl_checked.increment();
+                                    ttl.inner.call(req)
+                                }
+                                _ => ttl.call(req),
+                            }
                         }
-                        _ => ttl.call(req),
                     }
                 }
             }
         };
         let elapsed_us = start.elapsed().as_micros() as u64;
         let metrics = &self.metrics;
-        // Deadline check, against the same clock pair.
-        let resp = if budget_us != 0 {
+        // Deadline check, against the same clock pair — only for
+        // responses that passed the breaker (in the onion the deadline
+        // layer never sees a breaker rejection).
+        let resp = if breaker_admitted && budget_us != 0 {
             metrics.deadline_checked.increment();
             if elapsed_us > budget_us {
                 metrics.deadline_missed.increment();
@@ -174,6 +200,12 @@ impl<S: Service> FusedService<S> {
         } else {
             resp
         };
+        // Breaker observation of the post-deadline response: DEADLINE
+        // overruns count toward the trip threshold, successes reset
+        // the streak — same order as the onion.
+        if breaker_admitted {
+            self.inner.state.observe(class, &resp);
+        }
         // Trace bookkeeping: count, class histogram, slowlog offer —
         // what the trace layer records for an unsampled singleton.
         metrics.traced.increment();
@@ -412,6 +444,99 @@ mod tests {
             "lapsed timer observed on the fast path"
         );
         assert_eq!(stack.metrics().ttl_expired.sum(), 1);
+    }
+
+    #[test]
+    fn call_one_trips_and_recovers_the_breaker() {
+        // A slow store blows a 1ms read budget every time: the first
+        // read is a DEADLINE overrun, which (failures=1) trips the
+        // breaker; the next read is rejected by the breaker without
+        // touching the store; after the cooldown a probe is admitted
+        // and, still failing, re-opens it.
+        struct SlowStore;
+        impl Service for SlowStore {
+            fn call(&mut self, _req: Request) -> Response {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                Response::ok(Reply::Status("OK"))
+            }
+        }
+        let mut config = config();
+        config.trace.sample_every = 0;
+        config.deadline.read_us = 1_000;
+        config.deadline.write_us = 1_000;
+        config.breaker.failures = 1;
+        config.breaker.cooldown_ms = 60_000; // stays open for the test
+        let stack = Stack::build(&config);
+        let mut fused = stack
+            .fused_service(&session(), SlowStore)
+            .expect("full stack fuses");
+        match fused.call_one(Request::new(Command::Get("k".into()))).reply {
+            Reply::Error(e) => assert!(e.starts_with("DEADLINE "), "got {e:?}"),
+            other => panic!("expected deadline overrun, got {other:?}"),
+        }
+        match fused.call_one(Request::new(Command::Get("k".into()))).reply {
+            Reply::Error(e) => assert!(e.starts_with("BREAKER read open"), "got {e:?}"),
+            other => panic!("expected breaker rejection, got {other:?}"),
+        }
+        let m = stack.metrics();
+        assert_eq!(m.breaker_trips.sum(), 1);
+        assert_eq!(m.breaker_rejected.sum(), 1);
+        // The rejection skipped the deadline check (breaker sits
+        // outside it) but was still traced.
+        assert_eq!(m.deadline_checked.sum(), 1);
+        assert_eq!(m.traced.sum(), 2);
+        // Writes are a different class: still admitted.
+        match fused
+            .call_one(Request::new(Command::Set("k".into(), "v".into())))
+            .reply
+        {
+            Reply::Error(e) => assert!(e.starts_with("DEADLINE "), "got {e:?}"),
+            other => panic!("expected deadline overrun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_one_sheds_writes_on_shard_pressure() {
+        use crate::shed::{PressureProbe, ShardPressure};
+        struct StressedProbe;
+        impl PressureProbe for StressedProbe {
+            fn shard_of(&self, cmd: &Command) -> Option<usize> {
+                matches!(cmd.class(), CommandClass::Write).then_some(3)
+            }
+            fn pressure_of(&self, _shard: usize) -> ShardPressure {
+                ShardPressure {
+                    queue_depth: 4_096,
+                    ack_p99_us: 0,
+                }
+            }
+        }
+        let mut config = config();
+        config.trace.sample_every = 0;
+        config.shed.queue_depth = 1_024;
+        let stack = Stack::build(&config);
+        assert!(stack.shed_set_probe(std::sync::Arc::new(StressedProbe)));
+        let mut fused = stack
+            .fused_service(&session(), MapStore::new())
+            .expect("full stack fuses");
+        match fused
+            .call_one(Request::new(Command::Set("k".into(), "v".into())))
+            .reply
+        {
+            Reply::Error(e) => {
+                assert_eq!(e, "SHED shard=3 queue_depth=4096 limit=1024", "got {e:?}")
+            }
+            other => panic!("expected shed rejection, got {other:?}"),
+        }
+        // Reads pass untouched; the shed rejection was rate-charged
+        // and auth-admitted exactly like the onion.
+        assert_eq!(
+            fused.call_one(Request::new(Command::Get("k".into()))).reply,
+            Reply::Nil
+        );
+        let m = stack.metrics();
+        assert_eq!(m.shed_shed.sum(), 1);
+        assert_eq!(m.auth_admitted.sum(), 2);
+        assert_eq!(m.rate_admitted.sum(), 2);
     }
 
     #[test]

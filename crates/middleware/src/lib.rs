@@ -11,18 +11,20 @@
 //! | Layer | Concern | Shared state |
 //! |---|---|---|
 //! | [`TraceLayer`] | latency histograms + per-layer counters in `STATS` | relaxed-atomic histograms, `LongAdder`s |
+//! | [`BreakerLayer`] | per-class circuit breaker (closed/open/half-open) | lock-free per-class atomics |
 //! | [`DeadlineLayer`] | per-class execution budgets | none (config only) |
 //! | [`AuthLayer`] | `AUTH` tokens + role ACLs | SWMR hash map, RCU-published policy |
 //! | [`RateLimitLayer`] | per-client token buckets | `SegmentedHashMap` of atomic buckets, `LongAdder` refill counters |
+//! | [`ShedLayer`] | shard-pressure load shedding for writes | injected [`PressureProbe`] over live shard telemetry |
 //! | [`TtlLayer`] | `EXPIRE` timers, lazy expiry on `GET` | `SegmentedHashMap` expiry sidecar, reaps lock-serialized against rewrites |
 //!
 //! Composition is canonical regardless of configuration order:
 //!
 //! ```text
-//! client → trace → deadline → auth → rate-limit → ttl → store
+//! client → trace → breaker → deadline → auth → rate-limit → shed → ttl → store
 //! ```
 //!
-//! Two dispatch planes build that chain: the full five-layer stack
+//! Two dispatch planes build that chain: the full seven-layer stack
 //! monomorphizes into one concrete [`FusedService`] (direct calls
 //! between layers, plus an inline batch-1 fast path via
 //! [`fused::FusedService::call_one`]), while partial/custom stacks
@@ -31,7 +33,8 @@
 //! `fused_stack_matches_dyn_stack` proptest pins it.
 //!
 //! Rejections are structured (`-ERR RATELIMIT …`, `-ERR AUTH …`,
-//! `-ERR DEADLINE …`); see the error-reply grammar in [`protocol`].
+//! `-ERR DEADLINE …`, `-ERR SHED …`, `-ERR BREAKER …`); see the
+//! error-reply grammar in [`protocol`].
 //!
 //! ## Quickstart
 //!
@@ -49,7 +52,7 @@
 //! }
 //!
 //! let stack = Stack::build(&MiddlewareConfig::full());
-//! assert_eq!(stack.depth(), 5);
+//! assert_eq!(stack.depth(), 7);
 //! let session = Session { client: "10.0.0.7:5501".into() };
 //! let mut chain: BoxService = stack.service(&session, Box::new(Echo));
 //! let resp = chain.call(Request::new(Command::Ping));
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod breaker;
 pub mod config;
 pub mod deadline;
 pub mod flight;
@@ -68,12 +72,14 @@ pub mod pipeline;
 pub mod prom;
 pub mod protocol;
 pub mod rate_limit;
+pub mod shed;
 pub mod slowlog;
 pub mod span;
 pub mod trace;
 pub mod ttl;
 
 pub use auth::{AuthConfig, AuthLayer, Principal, Role, TokenSpec};
+pub use breaker::{BreakerConfig, BreakerLayer};
 pub use config::{MiddlewareConfig, TraceConfig};
 pub use deadline::{DeadlineConfig, DeadlineLayer};
 pub use flight::{FlightRecorder, StoreSegment, TraceTree};
@@ -86,6 +92,7 @@ pub use pipeline::{
 };
 pub use prom::PromText;
 pub use rate_limit::{RateLimitConfig, RateLimitLayer};
+pub use shed::{PressureProbe, ShardPressure, ShedConfig, ShedLayer};
 pub use slowlog::{SlowLog, SlowLogEntry};
 pub use trace::TraceLayer;
 pub use ttl::TtlLayer;

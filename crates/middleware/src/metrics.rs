@@ -430,6 +430,27 @@ pub struct PipelineMetrics {
     /// Commands that blew their budget.
     pub deadline_missed: RelaxedCounter,
 
+    /// Read/write commands evaluated by an armed circuit breaker.
+    pub breaker_checked: RelaxedCounter,
+    /// Commands rejected because their class was open (or the
+    /// half-open probe quota was spent).
+    pub breaker_rejected: RelaxedCounter,
+    /// Closed→open (and half-open→open) transitions.
+    pub breaker_trips: RelaxedCounter,
+    /// Half-open→closed transitions (every probe succeeded).
+    pub breaker_recoveries: RelaxedCounter,
+    /// Probe requests admitted while half-open.
+    pub breaker_probes: RelaxedCounter,
+    /// Live breaker state per class (read 0, write 1): 0 closed,
+    /// 1 open, 2 half-open — a gauge mirror, not reset by
+    /// `STATS RESET`.
+    pub breaker_state: [std::sync::atomic::AtomicU8; 2],
+
+    /// Write commands evaluated against live shard pressure.
+    pub shed_checked: RelaxedCounter,
+    /// Write commands shed with `-ERR SHED`.
+    pub shed_shed: RelaxedCounter,
+
     /// Commands inspected by the TTL layer.
     pub ttl_checked: RelaxedCounter,
     /// TTL timers armed by `EXPIRE`.
@@ -483,6 +504,17 @@ impl PipelineMetrics {
             auth_reloads: RelaxedCounter::new(),
             deadline_checked: RelaxedCounter::new(),
             deadline_missed: RelaxedCounter::new(),
+            breaker_checked: RelaxedCounter::new(),
+            breaker_rejected: RelaxedCounter::new(),
+            breaker_trips: RelaxedCounter::new(),
+            breaker_recoveries: RelaxedCounter::new(),
+            breaker_probes: RelaxedCounter::new(),
+            breaker_state: [
+                std::sync::atomic::AtomicU8::new(0),
+                std::sync::atomic::AtomicU8::new(0),
+            ],
+            shed_checked: RelaxedCounter::new(),
+            shed_shed: RelaxedCounter::new(),
             ttl_checked: RelaxedCounter::new(),
             ttl_armed: RelaxedCounter::new(),
             ttl_expired: RelaxedCounter::new(),
@@ -513,6 +545,13 @@ impl PipelineMetrics {
         self.auth_reloads.reset();
         self.deadline_checked.reset();
         self.deadline_missed.reset();
+        self.breaker_checked.reset();
+        self.breaker_rejected.reset();
+        self.breaker_trips.reset();
+        self.breaker_recoveries.reset();
+        self.breaker_probes.reset();
+        self.shed_checked.reset();
+        self.shed_shed.reset();
         self.ttl_checked.reset();
         self.ttl_armed.reset();
         self.ttl_expired.reset();
@@ -579,6 +618,21 @@ impl PipelineMetrics {
         out.push("mw_auth_reloads", self.auth_reloads.sum());
         out.push("mw_deadline_checked", self.deadline_checked.sum());
         out.push("mw_deadline_missed", self.deadline_missed.sum());
+        out.push("mw_breaker_checked", self.breaker_checked.sum());
+        out.push("mw_breaker_rejected", self.breaker_rejected.sum());
+        out.push("mw_breaker_trips", self.breaker_trips.sum());
+        out.push("mw_breaker_recoveries", self.breaker_recoveries.sum());
+        out.push("mw_breaker_probes", self.breaker_probes.sum());
+        out.push(
+            "mw_breaker_read_state",
+            self.breaker_state[0].load(std::sync::atomic::Ordering::Relaxed),
+        );
+        out.push(
+            "mw_breaker_write_state",
+            self.breaker_state[1].load(std::sync::atomic::Ordering::Relaxed),
+        );
+        out.push("mw_shed_checked", self.shed_checked.sum());
+        out.push("mw_shed_shed", self.shed_shed.sum());
         out.push("mw_ttl_checked", self.ttl_checked.sum());
         out.push("mw_ttl_armed", self.ttl_armed.sum());
         out.push("mw_ttl_expired", self.ttl_expired.sum());

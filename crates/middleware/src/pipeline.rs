@@ -12,19 +12,25 @@
 //! Layer order is canonical regardless of configuration order:
 //!
 //! ```text
-//! client → trace → deadline → auth → rate-limit → ttl → store
+//! client → trace → breaker → deadline → auth → rate-limit → shed → ttl → store
 //! ```
 //!
-//! so tracing observes every rejection, deadlines cover the layers
-//! below them, authentication gates rate-limit accounting, and the TTL
+//! so tracing observes every rejection, the circuit breaker sits
+//! outside the deadline layer whose `DEADLINE` overruns trip it,
+//! deadlines cover the layers below them, authentication gates
+//! rate-limit accounting, load shedding consults shard pressure only
+//! for writes that survived admission (and sits above TTL so the TTL
+//! layer's synthesized reap deletes are never shed), and the TTL
 //! rewriter sits immediately in front of the store.
 
 use crate::auth::AuthLayer;
+use crate::breaker::BreakerLayer;
 use crate::config::MiddlewareConfig;
 use crate::deadline::DeadlineLayer;
 use crate::metrics::PipelineMetrics;
 use crate::protocol::{Command, Reply};
 use crate::rate_limit::RateLimitLayer;
+use crate::shed::{PressureProbe, ShedLayer};
 use crate::trace::TraceLayer;
 use crate::ttl::TtlLayer;
 use std::sync::Arc;
@@ -81,10 +87,11 @@ pub trait Service {
     /// request **in request order**.
     ///
     /// The default forwards each request through [`Service::call`], so
-    /// third-party layers keep working unchanged; the five production
+    /// third-party layers keep working unchanged; the seven production
     /// layers override it to pay their per-request costs once per burst
-    /// (one clock read and histogram sample in trace, one deadline
-    /// check, one auth lookup, one bulk token-bucket take, one TTL
+    /// (one clock read and histogram sample in trace, one breaker
+    /// admission sweep, one deadline check, one auth lookup, one bulk
+    /// token-bucket take, one pressure read per shard in shed, one TTL
     /// sweep) — and the innermost store executor overrides it to
     /// group-acknowledge a whole burst of mutations per shard.
     ///
@@ -167,7 +174,7 @@ pub struct Session {
 /// A middleware layer: shared state plus a factory wrapping an inner
 /// service in this layer's per-connection service.
 pub trait Layer: Send + Sync {
-    /// Which of the five production layers this is.
+    /// Which of the seven production layers this is.
     fn kind(&self) -> LayerKind;
 
     /// Wrap `inner` for one session.
@@ -176,20 +183,26 @@ pub trait Layer: Send + Sync {
 
 /// Number of production [`LayerKind`]s — the size of every
 /// per-layer metric array (span cost tables, admission histograms).
-pub const LAYER_COUNT: usize = 5;
+pub const LAYER_COUNT: usize = 7;
 
-/// The five production layers, in canonical outer→inner order.
+/// The seven production layers, in canonical outer→inner order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LayerKind {
     /// Per-command latency histograms + per-layer counters folded into
     /// `STATS` (outermost, so it observes every rejection).
     Trace,
+    /// Per-verb-class circuit breaker (outside deadline, so it observes
+    /// the `DEADLINE` overruns that trip it).
+    Breaker,
     /// Per-class execution budgets.
     Deadline,
     /// Token-keyed authentication and role ACLs (`AUTH`).
     Auth,
     /// Per-client token-bucket admission control.
     RateLimit,
+    /// Shard-pressure load shedding for writes (below rate-limit, so a
+    /// shed burst still pays tokens; above TTL, so reap deletes pass).
+    Shed,
     /// TTL/expiry sidecar: `EXPIRE` arms timers, `GET` lazily expires
     /// (innermost, immediately in front of the store).
     Ttl,
@@ -199,9 +212,11 @@ impl LayerKind {
     /// Every production layer in canonical outer→inner order.
     pub const ALL: [LayerKind; LAYER_COUNT] = [
         LayerKind::Trace,
+        LayerKind::Breaker,
         LayerKind::Deadline,
         LayerKind::Auth,
         LayerKind::RateLimit,
+        LayerKind::Shed,
         LayerKind::Ttl,
     ];
 
@@ -210,10 +225,12 @@ impl LayerKind {
     pub fn index(self) -> usize {
         match self {
             LayerKind::Trace => 0,
-            LayerKind::Deadline => 1,
-            LayerKind::Auth => 2,
-            LayerKind::RateLimit => 3,
-            LayerKind::Ttl => 4,
+            LayerKind::Breaker => 1,
+            LayerKind::Deadline => 2,
+            LayerKind::Auth => 3,
+            LayerKind::RateLimit => 4,
+            LayerKind::Shed => 5,
+            LayerKind::Ttl => 6,
         }
     }
 
@@ -221,21 +238,25 @@ impl LayerKind {
     pub fn name(self) -> &'static str {
         match self {
             LayerKind::Trace => "trace",
+            LayerKind::Breaker => "breaker",
             LayerKind::Deadline => "deadline",
             LayerKind::Auth => "auth",
             LayerKind::RateLimit => "ratelimit",
+            LayerKind::Shed => "shed",
             LayerKind::Ttl => "ttl",
         }
     }
 
-    /// Parse a config name (`trace`, `deadline`, `auth`, `ratelimit`,
-    /// `ttl`).
+    /// Parse a config name (`trace`, `breaker`, `deadline`, `auth`,
+    /// `ratelimit`, `shed`, `ttl`).
     pub fn parse(name: &str) -> Result<LayerKind, String> {
         match name.trim().to_ascii_lowercase().as_str() {
             "trace" | "tracing" => Ok(LayerKind::Trace),
+            "breaker" | "circuit-breaker" => Ok(LayerKind::Breaker),
             "deadline" | "timeout" => Ok(LayerKind::Deadline),
             "auth" | "acl" => Ok(LayerKind::Auth),
             "ratelimit" | "rate" | "rate-limit" => Ok(LayerKind::RateLimit),
+            "shed" | "load-shed" | "loadshed" => Ok(LayerKind::Shed),
             "ttl" | "expiry" => Ok(LayerKind::Ttl),
             other => Err(format!("unknown middleware layer {other:?}")),
         }
@@ -245,20 +266,24 @@ impl LayerKind {
 /// The configured pipeline: shared layer state + the per-connection
 /// chain factory.
 ///
-/// The five production layers are held as **typed** fields (not a
+/// The seven production layers are held as **typed** fields (not a
 /// `Vec<Box<dyn Layer>>`), which is what lets [`Stack::fused_service`]
 /// stamp out the fully monomorphized chain — one concrete
-/// `Trace<Deadline<Auth<RateLimit<Ttl<S>>>>>` type with zero virtual
-/// calls — while [`Stack::service`] keeps building the boxed `dyn`
-/// onion for partial/custom stacks and the `--dyn-stack` fallback.
+/// `Trace<Breaker<Deadline<Auth<RateLimit<Shed<Ttl<S>>>>>>>` type with
+/// zero virtual calls — while [`Stack::service`] keeps building the
+/// boxed `dyn` onion for partial/custom stacks and the `--dyn-stack`
+/// fallback.
 pub struct Stack {
     trace: Option<TraceLayer>,
+    breaker: Option<BreakerLayer>,
     deadline: Option<DeadlineLayer>,
     auth: Option<AuthLayer>,
     rate: Option<RateLimitLayer>,
+    shed: Option<ShedLayer>,
     ttl: Option<TtlLayer>,
     metrics: Arc<PipelineMetrics>,
     auth_state: Option<Arc<crate::auth::AuthState>>,
+    shed_state: Option<Arc<crate::shed::ShedState>>,
 }
 
 impl std::fmt::Debug for Stack {
@@ -283,12 +308,15 @@ impl Stack {
         let depth = kinds.len();
         let mut stack = Stack {
             trace: None,
+            breaker: None,
             deadline: None,
             auth: None,
             rate: None,
+            shed: None,
             ttl: None,
             metrics: Arc::clone(&metrics),
             auth_state: None,
+            shed_state: None,
         };
         for kind in kinds {
             match kind {
@@ -297,6 +325,12 @@ impl Stack {
                         Arc::clone(&metrics),
                         depth,
                         config.trace.sample_every,
+                    ))
+                }
+                LayerKind::Breaker => {
+                    stack.breaker = Some(BreakerLayer::new(
+                        config.breaker.clone(),
+                        Arc::clone(&metrics),
                     ))
                 }
                 LayerKind::Deadline => {
@@ -316,6 +350,11 @@ impl Stack {
                         Arc::clone(&metrics),
                     ))
                 }
+                LayerKind::Shed => {
+                    let layer = ShedLayer::new(config.shed.clone(), Arc::clone(&metrics));
+                    stack.shed_state = Some(layer.state());
+                    stack.shed = Some(layer);
+                }
                 LayerKind::Ttl => stack.ttl = Some(TtlLayer::new(Arc::clone(&metrics))),
             }
         }
@@ -328,6 +367,9 @@ impl Stack {
         if self.trace.is_some() {
             kinds.push(LayerKind::Trace);
         }
+        if self.breaker.is_some() {
+            kinds.push(LayerKind::Breaker);
+        }
         if self.deadline.is_some() {
             kinds.push(LayerKind::Deadline);
         }
@@ -336,6 +378,9 @@ impl Stack {
         }
         if self.rate.is_some() {
             kinds.push(LayerKind::RateLimit);
+        }
+        if self.shed.is_some() {
+            kinds.push(LayerKind::Shed);
         }
         if self.ttl.is_some() {
             kinds.push(LayerKind::Ttl);
@@ -362,6 +407,9 @@ impl Stack {
         if let Some(layer) = &self.ttl {
             chain = layer.wrap(session, chain);
         }
+        if let Some(layer) = &self.shed {
+            chain = layer.wrap(session, chain);
+        }
         if let Some(layer) = &self.rate {
             chain = layer.wrap(session, chain);
         }
@@ -371,29 +419,34 @@ impl Stack {
         if let Some(layer) = &self.deadline {
             chain = layer.wrap(session, chain);
         }
+        if let Some(layer) = &self.breaker {
+            chain = layer.wrap(session, chain);
+        }
         if let Some(layer) = &self.trace {
             chain = layer.wrap(session, chain);
         }
         chain
     }
 
-    /// Whether this stack is the canonical full five-layer pipeline,
+    /// Whether this stack is the canonical full seven-layer pipeline,
     /// i.e. whether [`Stack::fused_service`] can build the
     /// monomorphized chain for it.
     pub fn fusible(&self) -> bool {
         self.trace.is_some()
+            && self.breaker.is_some()
             && self.deadline.is_some()
             && self.auth.is_some()
             && self.rate.is_some()
+            && self.shed.is_some()
             && self.ttl.is_some()
     }
 
-    /// Build one session's **fused** chain around `inner`: the five
+    /// Build one session's **fused** chain around `inner`: the seven
     /// canonical layers composed as a single concrete type, so every
     /// inter-layer call is a direct (inlinable) call rather than a
     /// vtable dispatch, and batch-1 traffic can take
     /// [`crate::fused::FusedService::call_one`]. Returns `None` unless
-    /// the stack is [`Stack::fusible`] (all five layers configured).
+    /// the stack is [`Stack::fusible`] (all seven layers configured).
     pub fn fused_service<S: Service>(
         &self,
         session: &Session,
@@ -401,19 +454,45 @@ impl Stack {
     ) -> Option<crate::fused::FusedService<S>> {
         match (
             &self.trace,
+            &self.breaker,
             &self.deadline,
             &self.auth,
             &self.rate,
+            &self.shed,
             &self.ttl,
         ) {
-            (Some(trace), Some(deadline), Some(auth), Some(rate), Some(ttl)) => {
+            (
+                Some(trace),
+                Some(breaker),
+                Some(deadline),
+                Some(auth),
+                Some(rate),
+                Some(shed),
+                Some(ttl),
+            ) => {
                 let chain = ttl.wrap_typed(session, inner);
+                let chain = shed.wrap_typed(session, chain);
                 let chain = rate.wrap_typed(session, chain);
                 let chain = auth.wrap_typed(session, chain);
                 let chain = deadline.wrap_typed(session, chain);
+                let chain = breaker.wrap_typed(session, chain);
                 Some(trace.wrap_typed(session, chain))
             }
             _ => None,
+        }
+    }
+
+    /// Seat the live shard-pressure probe the shed layer consults (the
+    /// storage plane does not exist yet when the stack is built, so the
+    /// embedding injects it here once the store is up). Returns `false`
+    /// when the shed layer is not configured.
+    pub fn shed_set_probe(&self, probe: Arc<dyn PressureProbe>) -> bool {
+        match &self.shed_state {
+            Some(shed) => {
+                shed.set_probe(probe);
+                true
+            }
+            None => false,
         }
     }
 
@@ -473,19 +552,10 @@ mod tests {
     }
 
     #[test]
-    fn full_stack_has_five_layers_in_canonical_order() {
+    fn full_stack_has_seven_layers_in_canonical_order() {
         let stack = Stack::build(&MiddlewareConfig::full());
-        assert_eq!(stack.depth(), 5);
-        assert_eq!(
-            stack.kinds(),
-            vec![
-                LayerKind::Trace,
-                LayerKind::Deadline,
-                LayerKind::Auth,
-                LayerKind::RateLimit,
-                LayerKind::Ttl,
-            ]
-        );
+        assert_eq!(stack.depth(), 7);
+        assert_eq!(stack.kinds(), LayerKind::ALL.to_vec());
         assert!(stack.fusible());
     }
 
@@ -558,15 +628,29 @@ mod tests {
 
     #[test]
     fn layer_names_round_trip() {
-        for kind in [
-            LayerKind::Trace,
-            LayerKind::Deadline,
-            LayerKind::Auth,
-            LayerKind::RateLimit,
-            LayerKind::Ttl,
-        ] {
+        for kind in LayerKind::ALL {
             assert_eq!(LayerKind::parse(kind.name()), Ok(kind));
         }
         assert!(LayerKind::parse("blorp").is_err());
+    }
+
+    #[test]
+    fn probe_injection_requires_the_shed_layer() {
+        struct NoPressure;
+        impl PressureProbe for NoPressure {
+            fn shard_of(&self, _cmd: &Command) -> Option<usize> {
+                None
+            }
+            fn pressure_of(&self, _shard: usize) -> crate::shed::ShardPressure {
+                crate::shed::ShardPressure {
+                    queue_depth: 0,
+                    ack_p99_us: 0,
+                }
+            }
+        }
+        let full = Stack::build(&MiddlewareConfig::full());
+        assert!(full.shed_set_probe(Arc::new(NoPressure)));
+        let none = Stack::build(&MiddlewareConfig::none());
+        assert!(!none.shed_set_probe(Arc::new(NoPressure)));
     }
 }

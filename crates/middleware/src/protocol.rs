@@ -22,8 +22,11 @@
 //!
 //! Middleware rejections are structured: the message after `-ERR ` is
 //! `<LAYER> <detail>` where `<LAYER>` is one of `AUTH`, `RATELIMIT`,
-//! `DEADLINE`, `TTL`, `TRACE`, and `<detail>` is free text that may carry
-//! `key=value` hints (e.g. `-ERR RATELIMIT rejected retry_us=50000`).
+//! `DEADLINE`, `TTL`, `TRACE`, `SHED`, `BREAKER`, and `<detail>` is
+//! free text that may carry `key=value` hints (e.g.
+//! `-ERR RATELIMIT rejected retry_us=50000`,
+//! `-ERR SHED shard=2 queue_depth=4096 limit=1024`,
+//! `-ERR BREAKER write open retry_us=740000`).
 //! Parse errors and store-level errors keep their historical free-form
 //! messages.
 
@@ -90,6 +93,12 @@ pub enum Command {
     TraceLen,
     /// `PING` → `+PONG`
     Ping,
+    /// `HEALTH` → `+OK` while the process is alive (a liveness probe;
+    /// exempt from rate-limit charging, like `PING`/`QUIT`)
+    Health,
+    /// `READY` → `+READY` while the server accepts work,
+    /// `-ERR NOTREADY draining` once a graceful drain has begun
+    Ready,
     /// `QUIT` → `+OK`, then the server closes the connection
     Quit,
     /// `AUTH token` → `+OK` | `-ERR AUTH ...` (handled by the auth
@@ -216,6 +225,8 @@ impl Command {
                 }
             }
             "PING" => Command::Ping,
+            "HEALTH" => Command::Health,
+            "READY" => Command::Ready,
             "QUIT" => Command::Quit,
             "AUTH" => Command::Auth(need(&mut parts, "token")?.to_string()),
             "EXPIRE" => {
@@ -254,6 +265,8 @@ impl Command {
             Command::SlowlogGet | Command::SlowlogReset | Command::SlowlogLen => "SLOWLOG",
             Command::TraceGet | Command::TraceReset | Command::TraceLen => "TRACE",
             Command::Ping => "PING",
+            Command::Health => "HEALTH",
+            Command::Ready => "READY",
             Command::Quit => "QUIT",
             Command::Auth(..) => "AUTH",
             Command::Expire(..) => "EXPIRE",
@@ -290,6 +303,8 @@ impl Command {
             | Command::TraceReset
             | Command::TraceLen
             | Command::Ping
+            | Command::Health
+            | Command::Ready
             | Command::Quit
             | Command::Auth(..) => CommandClass::Control,
         }
@@ -328,6 +343,8 @@ impl Command {
             Command::TraceReset => "TRACE RESET".into(),
             Command::TraceLen => "TRACE LEN".into(),
             Command::Ping => "PING".into(),
+            Command::Health => "HEALTH".into(),
+            Command::Ready => "READY".into(),
             Command::Quit => "QUIT".into(),
             Command::Auth(t) => format!("AUTH {t}"),
             Command::Expire(k, ms) => format!("EXPIRE {k} {ms}"),
@@ -483,6 +500,8 @@ mod tests {
             Command::TraceGet,
             Command::TraceReset,
             Command::TraceLen,
+            Command::Health,
+            Command::Ready,
             Command::Auth("tok".into()),
             Command::Expire("k".into(), 99),
         ];
@@ -501,6 +520,16 @@ mod tests {
         assert_eq!(Command::Expire("k".into(), 1).class(), CommandClass::Write);
         assert_eq!(Command::Auth("t".into()).class(), CommandClass::Control);
         assert_eq!(Command::Ping.class(), CommandClass::Control);
+        assert_eq!(Command::Health.class(), CommandClass::Control);
+        assert_eq!(Command::Ready.class(), CommandClass::Control);
+    }
+
+    #[test]
+    fn parses_the_health_verbs() {
+        assert_eq!(Command::parse("HEALTH"), Ok(Command::Health));
+        assert_eq!(Command::parse("health"), Ok(Command::Health));
+        assert_eq!(Command::parse("READY"), Ok(Command::Ready));
+        assert_eq!(Command::parse("ready"), Ok(Command::Ready));
     }
 
     #[test]

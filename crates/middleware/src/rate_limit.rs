@@ -230,15 +230,17 @@ impl<S> Drop for RateLimitService<S> {
 impl<S: Service> Service for RateLimitService<S> {
     /// Batch path: `token_bucket.take(n)` instead of `n` takes — one
     /// refill and one `fetch_sub` admit the first `k` chargeable
-    /// commands of the burst; the rest are rejected in place. `QUIT` is
-    /// never charged (a throttled client must still hang up cleanly),
-    /// and order is preserved: admitted commands travel downstream as
-    /// one inner batch and are zipped back around the rejections.
+    /// commands of the burst; the rest are rejected in place. `QUIT`
+    /// is never charged (a throttled client must still hang up
+    /// cleanly), nor are the `HEALTH`/`READY` probes (an orchestrator
+    /// must see liveness even through a throttled connection), and
+    /// order is preserved: admitted commands travel downstream as one
+    /// inner batch and are zipped back around the rejections.
     fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         let admission_t = crate::span::start();
         let chargeable = reqs
             .iter()
-            .filter(|r| !matches!(r.command, Command::Quit))
+            .filter(|r| !matches!(r.command, Command::Quit | Command::Health | Command::Ready))
             .count() as u64;
         let granted = self.state.admit_n(&self.bucket, chargeable);
         crate::span::record(LayerKind::RateLimit, admission_t);
@@ -250,7 +252,10 @@ impl<S: Service> Service for RateLimitService<S> {
         let retry_us = self.state.retry_us();
         let mut spent = 0u64;
         crate::pipeline::partition_batch(&mut self.inner, reqs, |req| {
-            if matches!(req.command, Command::Quit) {
+            if matches!(
+                req.command,
+                Command::Quit | Command::Health | Command::Ready
+            ) {
                 None
             } else if spent < granted {
                 spent += 1;
@@ -265,9 +270,13 @@ impl<S: Service> Service for RateLimitService<S> {
     }
 
     fn call(&mut self, req: Request) -> Response {
-        // QUIT always goes through: a throttled client must still be
-        // able to hang up cleanly.
-        if matches!(req.command, Command::Quit) {
+        // QUIT always goes through (a throttled client must still be
+        // able to hang up cleanly), and so do the HEALTH/READY probes
+        // (liveness must stay visible under throttling).
+        if matches!(
+            req.command,
+            Command::Quit | Command::Health | Command::Ready
+        ) {
             return self.inner.call(req);
         }
         let admission_t = crate::span::start();

@@ -4,7 +4,7 @@
 //! rejected rather than misparsed — plus the batch-path law: a
 //! pipelined burst through `call_batch` answers byte-identically, in
 //! order, to the same commands sent through `call` one at a time —
-//! plus the dispatch-plane law: the fused (monomorphized) five-layer
+//! plus the dispatch-plane law: the fused (monomorphized) seven-layer
 //! chain and the boxed `dyn Service` onion produce byte-identical
 //! reply streams for any burst and tuning (the invariant behind
 //! `--dyn-stack` being a pure A/B switch) —
@@ -57,6 +57,8 @@ fn command() -> impl Strategy<Value = Command> {
         Just(Command::Stats),
         Just(Command::StatsShards),
         Just(Command::Ping),
+        Just(Command::Health),
+        Just(Command::Ready),
         Just(Command::Quit),
         key().prop_map(Command::Auth),
         (key(), any::<u64>()).prop_map(|(k, ms)| Command::Expire(k, ms)),
@@ -118,6 +120,10 @@ fn stable_command() -> impl Strategy<Value = Command> {
         key().prop_map(Command::Del),
         (key(), -100i64..100).prop_map(|(k, d)| Command::Incr(k, d)),
         Just(Command::Ping),
+        // HEALTH/READY ride the rate-limit exemption; the equivalence
+        // must hold through the fused fallback and the batch partition.
+        Just(Command::Health),
+        Just(Command::Ready),
         // Both a valid and an invalid token: the sequential fallback
         // the batch path takes for AUTH must role-switch identically.
         Just(Command::Auth("sekrit".into())),
@@ -126,7 +132,7 @@ fn stable_command() -> impl Strategy<Value = Command> {
     )
 }
 
-/// A full five-layer stack over a fresh [`MapStore`], tuned so no
+/// A full seven-layer stack over a fresh [`MapStore`], tuned so no
 /// timing-dependent layer can fire within the test (tiny refill, huge
 /// budgets) while every decision path (ACLs, bucket exhaustion,
 /// armed timers) stays reachable.
@@ -219,6 +225,8 @@ const KNOWN_VERBS: &[&str] = &[
     "PROFILEVER",
     "STATS",
     "PING",
+    "HEALTH",
+    "READY",
     "QUIT",
     "AUTH",
     "EXPIRE",
@@ -292,7 +300,7 @@ proptest! {
     }
 
     /// The batch law: for any burst, `call_batch` through the full
-    /// five-layer stack produces byte-identical replies, in order, to
+    /// seven-layer stack produces byte-identical replies, in order, to
     /// the same commands driven through `call` one at a time — across
     /// every decision the layers can take (ACL denials, bucket
     /// exhaustion, armed TTL timers, mid-burst logins).

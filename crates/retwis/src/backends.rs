@@ -703,10 +703,10 @@ mod tests {
     #[test]
     fn network_backend_runs_the_full_stack() {
         // The same social workload, but every wire command now crosses
-        // the five-layer middleware pipeline.
+        // the seven-layer middleware pipeline.
         let backend =
             NetworkBackend::create_with_middleware(1, 64, dego_server::MiddlewareConfig::full());
-        assert_eq!(backend.middleware_depth(), 5);
+        assert_eq!(backend.middleware_depth(), 7);
         let mut w = backend.worker();
         for u in 0..4 {
             w.add_user(u);

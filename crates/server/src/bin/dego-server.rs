@@ -1,16 +1,31 @@
 //! Standalone server: `dego-server [addr] [flags]` (default
 //! 127.0.0.1:7878). Runs until killed; state is in-memory only.
+//! `SIGTERM` drains gracefully: readiness flips (`READY` answers
+//! `-ERR NOTREADY`, `/ready` answers 503), the listener closes, every
+//! in-flight burst finishes and the shard queues flush, then the
+//! process exits 0 — no acknowledged write is lost.
 //!
 //! Flags:
 //!
 //! * `--shards N` — storage shards (also `DEGO_SHARDS`, default 4)
 //! * `--middleware SPEC` — `none` (default), `full`, or a comma list
-//!   of `trace,deadline,auth,ratelimit,ttl`
+//!   of `trace,breaker,deadline,auth,ratelimit,shed,ttl`
 //! * `--auth-token NAME:TOKEN:ROLE` — add a token (repeatable; roles:
 //!   `none`, `readonly`, `readwrite`)
 //! * `--anon-role ROLE` — role of unauthenticated sessions
 //! * `--rate-burst N` / `--rate-per-sec N` — token-bucket tuning
 //! * `--deadline-read-us N` / `--deadline-write-us N` — class budgets
+//! * `--breaker-failures N` — consecutive deadline/ack-timeout
+//!   failures that trip a class's circuit breaker (0 = disabled,
+//!   the default)
+//! * `--breaker-cooldown-ms N` / `--breaker-probes N` — open-state
+//!   cooldown before half-open, and the half-open probe quota
+//! * `--shed-queue-depth N` / `--shed-ack-p99-us N` — shed writes when
+//!   their target shard's queue depth or windowed ack p99 crosses the
+//!   threshold (0 = signal disabled; both 0 — the default — disables
+//!   shedding)
+//! * `--shard-delay-ms N` — chaos hook: every shard owner sleeps this
+//!   long before applying each mutation (stuck-shard drills; 0 = off)
 //! * `--trace-sample N` — sample per-layer span costs 1-in-N (0 = off,
 //!   default 64)
 //! * `--slowlog-threshold-us N` / `--slowlog-capacity N` — slowlog ring
@@ -26,11 +41,12 @@
 //! * `--no-batch` — disable the batched pipeline path (A/B runs; the
 //!   group-commit batching is on by default)
 //! * `--dyn-stack` — force the boxed `dyn Service` onion instead of
-//!   the fused (monomorphized) five-layer chain (A/B runs and custom
+//!   the fused (monomorphized) seven-layer chain (A/B runs and custom
 //!   stacks; replies are identical either way)
 //! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
 
 use dego_server::{spawn, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage_exit(err: &str) -> ! {
     eprintln!("dego-server: {err}");
@@ -38,11 +54,31 @@ fn usage_exit(err: &str) -> ! {
         "usage: dego-server [addr] [--shards N] [--middleware none|full|LAYERS] \
          [--auth-token NAME:TOKEN:ROLE] [--anon-role ROLE] [--rate-burst N] \
          [--rate-per-sec N] [--deadline-read-us N] [--deadline-write-us N] \
+         [--breaker-failures N] [--breaker-cooldown-ms N] [--breaker-probes N] \
+         [--shed-queue-depth N] [--shed-ack-p99-us N] [--shard-delay-ms N] \
          [--trace-sample N] [--slowlog-threshold-us N] [--slowlog-capacity N] \
          [--trace-capacity N] [--trace-threshold-us N] [--stats-window-secs N] \
          [--metrics-addr ADDR] [--no-batch] [--dyn-stack] [--ack-timeout-ms N]"
     );
     std::process::exit(2);
+}
+
+/// Set once the process receives `SIGTERM`; the main thread polls it
+/// and runs the drain. (A signal handler may only do async-signal-safe
+/// work — flag-and-poll keeps the actual drain on a normal thread.)
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::Release);
+}
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)` — declared directly so the binary needs no
+    /// libc crate; the handler installed is async-signal-safe (one
+    /// relaxed store).
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
 }
 
 fn main() {
@@ -76,6 +112,11 @@ fn main() {
                 Ok(false) if flag == "--shards" => match value.parse() {
                     Ok(n) if n > 0 => config.shards = n,
                     _ => usage_exit(&format!("bad shard count {value:?}")),
+                },
+                Ok(false) if flag == "--shard-delay-ms" => match value.parse() {
+                    Ok(0u64) => config.shard_delay = None,
+                    Ok(ms) => config.shard_delay = Some(std::time::Duration::from_millis(ms)),
+                    _ => usage_exit(&format!("bad shard delay {value:?}")),
                 },
                 Ok(false) if flag == "--ack-timeout-ms" => match value.parse() {
                     Ok(ms) if ms > 0u64 => {
@@ -111,7 +152,17 @@ fn main() {
     if let Some(addr) = server.metrics_addr() {
         println!("metrics exposition at http://{addr}/metrics");
     }
-    loop {
-        std::thread::park();
+
+    // Graceful drain on SIGTERM: flip readiness, stop accepting, let
+    // in-flight bursts finish and the shard queues flush, exit 0.
+    unsafe {
+        signal(SIGTERM, on_term);
     }
+    while !TERM.load(Ordering::Acquire) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("dego-server: SIGTERM received, draining");
+    server.shutdown();
+    println!("dego-server: drain complete");
+    std::process::exit(0);
 }

@@ -300,6 +300,22 @@ impl Client {
         self.request("PING")?.expect_status("PING")
     }
 
+    /// `HEALTH` — liveness. `+OK` as long as the process serves at
+    /// all, even mid-drain.
+    pub fn health(&mut self) -> std::io::Result<()> {
+        self.request("HEALTH")?.expect_status("HEALTH")
+    }
+
+    /// `READY` — readiness. `Ok(true)` while the server accepts new
+    /// traffic, `Ok(false)` once a drain began (`-ERR NOTREADY …`).
+    pub fn ready(&mut self) -> std::io::Result<bool> {
+        match self.request("READY")? {
+            ClientReply::Status(_) => Ok(true),
+            ClientReply::Error(e) if e.starts_with("NOTREADY") => Ok(false),
+            other => Err(bad_reply("READY", &other)),
+        }
+    }
+
     /// `STATS` as `name=value` pairs.
     pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
         self.name_value_array("STATS")

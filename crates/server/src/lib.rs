@@ -345,7 +345,7 @@ mod tests {
         assert!(err.to_string().contains("AUTH"), "got {err}");
         // The trace layer folds mw_* lines into STATS.
         let stats = c.stats_map().unwrap();
-        assert_eq!(stats.get("mw_depth").map(String::as_str), Some("5"));
+        assert_eq!(stats.get("mw_depth").map(String::as_str), Some("7"));
         assert!(stats.contains_key("mw_ttl_expired"));
         server.shutdown();
     }

@@ -4,7 +4,10 @@
 //! `GET /metrics` renders a point-in-time snapshot of every server and
 //! middleware counter in the Prometheus text format (version 0.0.4);
 //! `GET /trace` renders the flight recorder's captured trace trees as
-//! JSON (slowest first). Either closes the connection after one reply;
+//! JSON (slowest first); `GET /health` is liveness (200 as long as the
+//! process serves); `GET /ready` is readiness (200 normally, 503 once
+//! a drain has begun — the signal an orchestrator uses to stop routing
+//! new traffic here). Each closes the connection after one reply;
 //! anything else is a 404. One request per connection, served
 //! sequentially — a scrape endpoint, not a web server. No HTTP library
 //! is involved: the protocol surface is a request line in, a
@@ -26,14 +29,18 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Bind `addr` and spawn the responder thread. Returns the bound
 /// address (port 0 resolves here) and the join handle; the thread
-/// exits once `shutdown` is up and the accept loop is poked with a
-/// throwaway connection.
+/// exits once `stop` is up and the accept loop is poked with a
+/// throwaway connection. `stop` is deliberately NOT the server's
+/// shutdown flag: during a drain the responder keeps serving probes
+/// (`/ready` answering 503 is how an orchestrator sees the drain) and
+/// only goes down after the connection plane has flushed.
 pub(crate) fn spawn_metrics(
     addr: SocketAddr,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
-    shutdown: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
 ) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
@@ -43,7 +50,7 @@ pub(crate) fn spawn_metrics(
             let socket = match listener.accept() {
                 Ok((socket, _)) => socket,
                 Err(_) => {
-                    if shutdown.load(Ordering::Acquire) {
+                    if stop.load(Ordering::Acquire) {
                         return;
                     }
                     // Accept failures (fd pressure) must not busy-spin.
@@ -51,10 +58,10 @@ pub(crate) fn spawn_metrics(
                     continue;
                 }
             };
-            if shutdown.load(Ordering::Acquire) {
+            if stop.load(Ordering::Acquire) {
                 return;
             }
-            let _ = serve_one(socket, &store, &stats, &stack);
+            let _ = serve_one(socket, &store, &stats, &stack, &ready);
         })?;
     Ok((bound, handle))
 }
@@ -66,6 +73,7 @@ fn serve_one(
     store: &Store,
     stats: &ServerStats,
     stack: &Stack,
+    ready: &AtomicBool,
 ) -> std::io::Result<()> {
     socket.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(socket.try_clone()?);
@@ -75,8 +83,32 @@ fn serve_one(
     let is_get = parts.next() == Some("GET");
     let path = parts.next();
     let mut socket = socket;
-    if is_get && matches!(path, Some("/metrics") | Some("/metrics/")) {
-        let body = render_exposition(store, stats, stack);
+    if is_get && matches!(path, Some("/health") | Some("/health/")) {
+        // Liveness: the responder thread answering *is* the signal.
+        let body = "ok\n";
+        write!(
+            socket,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else if is_get && matches!(path, Some("/ready") | Some("/ready/")) {
+        // Readiness: 503 once a drain has begun, so load balancers
+        // stop routing new traffic while the queues flush.
+        let (status, body) = if ready.load(Ordering::Acquire) {
+            ("200 OK", "ready\n")
+        } else {
+            ("503 Service Unavailable", "draining\n")
+        };
+        write!(
+            socket,
+            "HTTP/1.0 {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            status,
+            body.len(),
+            body
+        )?;
+    } else if is_get && matches!(path, Some("/metrics") | Some("/metrics/")) {
+        let body = render_exposition(store, stats, stack, ready.load(Ordering::Acquire));
         write!(
             socket,
             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -122,10 +154,15 @@ fn render_trace_json(stack: &Stack) -> String {
 /// storage-plane gauges and per-shard series (`dego_shard_*`), then
 /// the middleware pipeline (`dego_mw_*`) including the sampled
 /// per-layer admission-cost histograms.
-fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> String {
+fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack, ready: bool) -> String {
     let snap = stats.snapshot();
     let mut prom = PromText::new();
 
+    prom.gauge(
+        "dego_ready",
+        "1 while the server accepts new traffic, 0 once a drain began.",
+        ready as u64,
+    );
     prom.counter(
         "dego_connections_total",
         "Connections accepted since boot.",
@@ -325,6 +362,56 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack) -> Strin
         "dego_mw_deadline_missed_total",
         "Commands that blew their budget.",
         m.deadline_missed.sum(),
+    );
+    prom.counter(
+        "dego_mw_breaker_checked_total",
+        "Commands measured by the circuit breaker.",
+        m.breaker_checked.sum(),
+    );
+    prom.counter(
+        "dego_mw_breaker_rejected_total",
+        "Commands rejected while a breaker was open.",
+        m.breaker_rejected.sum(),
+    );
+    prom.counter(
+        "dego_mw_breaker_trips_total",
+        "Closed- or half-open-to-open breaker transitions.",
+        m.breaker_trips.sum(),
+    );
+    prom.counter(
+        "dego_mw_breaker_recoveries_total",
+        "Half-open-to-closed breaker transitions.",
+        m.breaker_recoveries.sum(),
+    );
+    prom.counter(
+        "dego_mw_breaker_probes_total",
+        "Probe commands admitted through a half-open breaker.",
+        m.breaker_probes.sum(),
+    );
+    let breaker_states: Vec<_> = ["read", "write"]
+        .iter()
+        .enumerate()
+        .map(|(slot, class)| {
+            (
+                vec![("class", class.to_string())],
+                m.breaker_state[slot].load(Ordering::Relaxed) as u64,
+            )
+        })
+        .collect();
+    prom.gauge_vec(
+        "dego_mw_breaker_state",
+        "Per-class breaker state: 0 closed, 1 open, 2 half-open.",
+        &breaker_states,
+    );
+    prom.counter(
+        "dego_mw_shed_checked_total",
+        "Writes whose target shard's pressure was read.",
+        m.shed_checked.sum(),
+    );
+    prom.counter(
+        "dego_mw_shed_total",
+        "Writes shed because their target shard was distressed.",
+        m.shed_shed.sum(),
     );
     prom.counter(
         "dego_mw_ttl_checked_total",

@@ -2,8 +2,9 @@
 //! middleware pipeline, batched pipelining and shutdown.
 //!
 //! A connection thread parses request lines and drives them through
-//! its session's middleware [`Stack`] chain (trace → deadline → auth →
-//! rate-limit → ttl, whichever are configured); the innermost service
+//! its session's middleware [`Stack`] chain (trace → breaker →
+//! deadline → auth → rate-limit → shed → ttl, whichever are
+//! configured); the innermost service
 //! executes against the store, splitting two ways: **reads** (`GET`,
 //! `TIMELINE`, `ISFOLLOWING`, …) are served inline from the lock-free
 //! segment readers; **mutations** are enqueued to the owning shard
@@ -32,7 +33,8 @@ use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::store::{self, AckItem, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
 use dego_middleware::{
-    BoxService, FusedService, MiddlewareConfig, Request, Response, Service, Session, Stack,
+    BoxService, FusedService, MiddlewareConfig, PressureProbe, Request, Response, Service, Session,
+    ShardPressure, Stack,
 };
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -126,6 +128,11 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
+    /// Stops the metrics responder. Separate from `shutdown` so the
+    /// responder keeps serving probes (`/ready` → 503) while the drain
+    /// flushes in-flight work; it only goes down last.
+    metrics_stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
@@ -164,6 +171,28 @@ impl ServerHandle {
         snap
     }
 
+    /// Whether the server currently reports itself ready (the `READY`
+    /// verb and the `/ready` endpoint). Flips to `false` the moment a
+    /// drain begins.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Flip the readiness gate by hand (e.g. to take the server out of
+    /// rotation before an orchestrated drain). `READY` answers
+    /// `-ERR NOTREADY draining` and `/ready` answers 503 while down.
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::Release);
+    }
+
+    /// Set (or clear) the chaos stall every shard owner sleeps before
+    /// applying each mutation. Runtime-tunable: the stuck-shard and
+    /// load-shedding tests stall a live server, watch shedding engage,
+    /// then clear it and watch the backlog drain.
+    pub fn set_shard_delay(&self, delay: Option<Duration>) {
+        self.store.set_shard_delay(delay);
+    }
+
     /// Stop accepting, drain the shards, join every thread.
     pub fn shutdown(mut self) {
         self.finish();
@@ -173,21 +202,27 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Readiness goes first: anything probing `/ready` or `READY`
+        // stops routing new work here before the listener closes.
+        self.ready.store(false, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Same trick for the metrics responder's accept loop.
+        let conns = std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        for c in conns {
+            let _ = c.join();
+        }
+        // The metrics responder is the last plane to go down — it joins
+        // after the connections so `/ready` keeps answering 503 (and
+        // `/metrics` keeps scraping) while the in-flight bursts flush.
+        self.metrics_stop.store(true, Ordering::Release);
         if let Some(addr) = self.metrics_addr {
             let _ = TcpStream::connect(addr);
         }
         if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
-        }
-        let conns = std::mem::take(&mut *self.connections.lock().expect("connection registry"));
-        for c in conns {
-            let _ = c.join();
         }
         // Shard threads exit once the flag is up and their queue is
         // drained; wake any parked ones.
@@ -215,6 +250,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let stats = Arc::new(ServerStats::new());
     let stack = Stack::build(&config.middleware);
     let shutdown = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(AtomicBool::new(true));
     let runtime = store::spawn_shards(
         config.shards,
         config.capacity,
@@ -224,12 +260,19 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config.middleware.trace.window_secs,
     );
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // The shed layer's pressure probe reads the live shard telemetry;
+    // the store exists only now, so the probe is seated post-build.
+    // A no-op when the shed layer is not configured.
+    let _ = stack.shed_set_probe(Arc::new(StorePressure {
+        store: Arc::clone(&runtime.store),
+    }));
 
     let accept_thread = {
         let store = Arc::clone(&runtime.store);
         let stats = Arc::clone(&stats);
         let stack = Arc::clone(&stack);
         let shutdown = Arc::clone(&shutdown);
+        let ready = Arc::clone(&ready);
         let connections = Arc::clone(&connections);
         let tuning = ConnTuning {
             batch: config.batch,
@@ -250,6 +293,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     stats,
                     stack,
                     shutdown,
+                    ready,
                     connections,
                     tuning,
                     hook,
@@ -258,6 +302,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .expect("spawn accept thread")
     };
 
+    let metrics_stop = Arc::new(AtomicBool::new(false));
     let (metrics_addr, metrics_thread) = match config.metrics_addr {
         Some(addr) => {
             let (bound, handle) = crate::metrics_http::spawn_metrics(
@@ -265,7 +310,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 Arc::clone(&runtime.store),
                 Arc::clone(&stats),
                 Arc::clone(&stack),
-                Arc::clone(&shutdown),
+                Arc::clone(&metrics_stop),
+                Arc::clone(&ready),
             )?;
             (Some(bound), Some(handle))
         }
@@ -279,6 +325,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         stats,
         stack,
         shutdown,
+        ready,
+        metrics_stop,
         accept_thread: Some(accept_thread),
         metrics_thread,
         shard_threads: runtime.threads,
@@ -294,7 +342,47 @@ struct ConnTuning {
     dyn_stack: bool,
 }
 
-/// The per-connection dispatch chain. With the canonical five-layer
+/// The shed layer's window onto live shard pressure: routes a write
+/// the way [`ExecService::plan_mutation`] will (same `home_segment`
+/// hash), then reads the target shard's queue-depth gauge and windowed
+/// ack p99 straight off the telemetry the shard owners already
+/// publish. Lock-free on both calls — this runs on every write's
+/// admission path when shedding is armed.
+struct StorePressure {
+    store: Arc<Store>,
+}
+
+impl PressureProbe for StorePressure {
+    fn shard_of(&self, cmd: &Command) -> Option<usize> {
+        let shard = match cmd {
+            Command::Set(key, _) | Command::Del(key) | Command::Incr(key, _) => {
+                self.store.shard_of_key(key)
+            }
+            Command::AddUser(user)
+            | Command::Join(user)
+            | Command::Leave(user)
+            | Command::Profile(user) => self.store.shard_of_user(*user),
+            Command::Follow(_, followee) | Command::Unfollow(_, followee) => {
+                self.store.shard_of_user(*followee)
+            }
+            // A POST fans out to many shards; gate it on the author's
+            // timeline shard (always a target, and the hottest row).
+            Command::Post(author, _) => self.store.shard_of_user(*author),
+            _ => return None,
+        };
+        Some(shard)
+    }
+
+    fn pressure_of(&self, shard: usize) -> ShardPressure {
+        let t = &self.store.telemetry()[shard];
+        ShardPressure {
+            queue_depth: t.queue_depth(),
+            ack_p99_us: t.ack_us().percentile_us(0.99),
+        }
+    }
+}
+
+/// The per-connection dispatch chain. With the canonical seven-layer
 /// stack (and no `--dyn-stack` override) the onion monomorphizes into
 /// one concrete [`FusedService`] — direct calls between layers, plus
 /// the batch-1 inline fast path — while partial/reordered stacks and
@@ -341,6 +429,7 @@ fn accept_loop(
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
     tuning: ConnTuning,
     hook: Option<AcceptHook>,
@@ -380,11 +469,12 @@ fn accept_loop(
         let stats = Arc::clone(&stats);
         let stack = Arc::clone(&stack);
         let flag = Arc::clone(&shutdown);
+        let ready = Arc::clone(&ready);
         let conn = next_conn;
         let handle = std::thread::Builder::new()
             .name(format!("dego-conn-{next_conn}"))
             .spawn(move || {
-                let _ = serve_connection(socket, store, stats, stack, flag, conn, tuning);
+                let _ = serve_connection(socket, store, stats, stack, flag, ready, conn, tuning);
             })
             .expect("spawn connection thread");
         next_conn += 1;
@@ -436,6 +526,9 @@ enum Slot {
 struct ExecService {
     store: Arc<Store>,
     stats: Arc<ServerStats>,
+    /// The readiness gate `READY` reports; flips to `false` the moment
+    /// a drain begins.
+    ready: Arc<AtomicBool>,
     /// This connection's id: the group-ack run key shard owners batch
     /// consecutive mutations by.
     conn: u64,
@@ -651,6 +744,18 @@ impl ExecService {
                 Reply::Status("OK")
             }
             Command::Ping => Reply::Status("PONG"),
+            // Liveness: answers as long as the process serves at all —
+            // even mid-drain (the orchestrator must not kill a server
+            // that is still flushing its queues).
+            Command::Health => Reply::Status("OK"),
+            // Readiness: whether *new* traffic should route here.
+            Command::Ready => {
+                if self.ready.load(Ordering::Acquire) {
+                    Reply::Status("READY")
+                } else {
+                    Reply::Error("NOTREADY draining".into())
+                }
+            }
             other => Reply::Error(format!("{} reached the read executor", other.verb())),
         }
     }
@@ -913,12 +1018,14 @@ enum LineSlot {
 /// buffered socket write. Blank/whitespace-only lines are keepalives:
 /// skipped before parsing and before any counter or rate-limit token
 /// is touched, Redis-style.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     socket: TcpStream,
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
     conn: u64,
     tuning: ConnTuning,
 ) -> std::io::Result<()> {
@@ -936,6 +1043,7 @@ fn serve_connection(
     let exec = ExecService {
         store,
         stats: Arc::clone(&stats),
+        ready,
         conn,
         next_seq: 0,
         ack_timeout: tuning.ack_timeout,
@@ -1048,6 +1156,12 @@ fn serve_connection(
                     out.clear();
                 }
                 if closing {
+                    break;
+                }
+                // Draining: this burst's replies are flushed, so stop
+                // reading new requests and hang up. Input still in the
+                // socket buffer was never acknowledged.
+                if out.is_empty() && shutdown.load(Ordering::Acquire) {
                     break;
                 }
             }

@@ -188,6 +188,11 @@ pub(crate) struct Store {
     /// ([`CounterIncrementOnly`] cells are owner-exclusive and cannot
     /// be zeroed, so resets subtract an offset instead).
     applied_offset: AtomicU64,
+    /// Chaos hook: nanoseconds every shard owner sleeps before applying
+    /// each mutation (0 = off). Shared with every [`ShardCtx`] so the
+    /// stall can be turned on and off at runtime
+    /// ([`crate::ServerHandle::set_shard_delay`]).
+    shard_delay_ns: Arc<AtomicU64>,
 }
 
 impl Store {
@@ -232,6 +237,14 @@ impl Store {
         self.applied
             .get()
             .saturating_sub(self.applied_offset.load(Ordering::Relaxed))
+    }
+
+    /// Set (or clear) the per-mutation apply stall — the chaos hook the
+    /// stuck-shard tests and the CI chaos-smoke job lean on. Takes
+    /// effect on the next mutation each shard owner applies.
+    pub(crate) fn set_shard_delay(&self, delay: Option<Duration>) {
+        let ns = delay.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        self.shard_delay_ns.store(ns, Ordering::Relaxed);
     }
 
     /// `STATS RESET` on the storage plane: zero every shard's
@@ -311,8 +324,10 @@ pub(crate) struct ShardRuntime {
 /// slot `i` of every segmented structure and key routing stays aligned
 /// with writer ownership.
 ///
-/// `apply_delay` is a test hook: when set, the owner sleeps that long
-/// before applying each mutation (a "stuck shard" for timeout tests).
+/// `apply_delay` seeds the chaos hook: when set, every owner sleeps
+/// that long before applying each mutation (a "stuck shard" for
+/// timeout and load-shedding tests). The stall lives in a shared
+/// atomic, so [`Store::set_shard_delay`] can change it at runtime.
 /// `window_secs` sizes the telemetry histograms' rolling window.
 pub(crate) fn spawn_shards(
     shards: usize,
@@ -332,6 +347,9 @@ pub(crate) fn spawn_shards(
     let telemetry: Vec<Arc<ShardTelemetry>> = (0..shards)
         .map(|_| Arc::new(ShardTelemetry::new(window_secs)))
         .collect();
+    let shard_delay_ns = Arc::new(AtomicU64::new(
+        apply_delay.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64),
+    ));
 
     let mut producers = Vec::with_capacity(shards);
     let mut wakers = Vec::with_capacity(shards);
@@ -351,7 +369,7 @@ pub(crate) fn spawn_shards(
             stats: Arc::clone(&stats),
             telemetry: Arc::clone(shard_telemetry),
             shutdown: Arc::clone(&shutdown),
-            apply_delay,
+            apply_delay: Arc::clone(&shard_delay_ns),
         };
         let handle = Builder::new()
             .name(format!("dego-shard-{shard}"))
@@ -378,6 +396,7 @@ pub(crate) fn spawn_shards(
         wakers,
         telemetry,
         applied_offset: AtomicU64::new(0),
+        shard_delay_ns,
     });
     ShardRuntime { store, threads }
 }
@@ -393,7 +412,9 @@ struct ShardCtx {
     stats: Arc<ServerStats>,
     telemetry: Arc<ShardTelemetry>,
     shutdown: Arc<AtomicBool>,
-    apply_delay: Option<Duration>,
+    /// Nanoseconds slept before each apply (0 = off); shared with the
+    /// store so the stall can change at runtime.
+    apply_delay: Arc<AtomicU64>,
 }
 
 /// One connection's run of acks within a drained batch, flushed as a
@@ -450,8 +471,9 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
             // shard's stall is apply time, and the trace tree must
             // account for it.
             let apply_started = msg.traced.then(Instant::now);
-            if let Some(delay) = ctx.apply_delay {
-                std::thread::sleep(delay);
+            let stall_ns = ctx.apply_delay.load(Ordering::Relaxed);
+            if stall_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(stall_ns));
             }
             let reply = apply(
                 &msg.op, &mut kv_w, &mut tl_w, &mut fo_w, &mut pr_w, &mut gr_w,

@@ -1,5 +1,5 @@
 //! The middleware server end to end: boot a sharded `dego-server`
-//! behind the full five-layer pipeline, speak the wire protocol,
+//! behind the full seven-layer pipeline, speak the wire protocol,
 //! inspect both planes' stats.
 //!
 //! Run with: `cargo run --example server_roundtrip`

@@ -109,7 +109,7 @@ fn batched_replies_match_sequential_plain() {
     unbatched.shutdown();
 }
 
-/// The same equivalence through the full five-layer stack (generous
+/// The same equivalence through the full seven-layer stack (generous
 /// limits, so no timing-dependent rejection can fire).
 #[test]
 fn batched_replies_match_sequential_full_stack() {

@@ -1,5 +1,6 @@
-//! Integration of the middleware pipeline: the full five-layer stack
-//! (trace → deadline → auth → rate-limit → ttl) in front of a real
+//! Integration of the middleware pipeline: the full seven-layer stack
+//! (trace → breaker → deadline → auth → rate-limit → shed → ttl) in
+//! front of a real
 //! sharded server, driven by concurrent pipelined clients over
 //! loopback TCP.
 //!
@@ -10,7 +11,7 @@
 //! * a client that blows through its token bucket gets structured
 //!   `RATELIMIT` errors while other clients' buckets are untouched;
 //! * an `EXPIRE`d key reads as a miss after its TTL (lazy expiry);
-//! * `STATS` reports non-zero per-layer counters for all five layers;
+//! * `STATS` reports non-zero per-layer counters for all seven layers;
 //! * 8 pipelined clients through the full stack keep per-key
 //!   GET-after-SET linearizability.
 
@@ -56,9 +57,9 @@ fn connect(server: &ServerHandle) -> Client {
 }
 
 #[test]
-fn five_layer_stack_end_to_end() {
+fn seven_layer_stack_end_to_end() {
     let server = boot();
-    assert_eq!(server.stack().depth(), 5);
+    assert_eq!(server.stack().depth(), 7);
 
     // ------------------------------------------------ auth rejection
     let mut anon = connect(&server);
@@ -179,7 +180,7 @@ fn five_layer_stack_end_to_end() {
             .parse()
             .expect("numeric stat")
     };
-    assert_eq!(lookup("mw_depth"), 5);
+    assert_eq!(lookup("mw_depth"), 7);
     assert!(lookup("mw_traced") > 0, "trace layer saw traffic");
     assert!(lookup("mw_deadline_checked") > 0, "deadline layer measured");
     assert!(lookup("mw_auth_admitted") > 0, "auth layer admitted");

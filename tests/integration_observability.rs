@@ -24,7 +24,7 @@ fn lookup(stats: &std::collections::BTreeMap<String, String>, name: &str) -> u64
         .expect("numeric stat")
 }
 
-/// Every request sampled (1-in-1): the five per-layer histograms fill
+/// Every request sampled (1-in-1): the seven per-layer histograms fill
 /// and surface as `mw_<layer>_us_p50/p99` in `STATS`.
 #[test]
 fn sampled_spans_attribute_cost_per_layer() {

@@ -1,0 +1,291 @@
+//! Chaos integration of the overload-protection suite: shard stalls,
+//! deadline bursts, and graceful drain against a real sharded server
+//! over loopback TCP.
+//!
+//! Asserted end to end:
+//!
+//! * a stalled shard plane sheds new writes with structured `SHED`
+//!   errors instead of hanging the client, and admission recovers once
+//!   the stall clears;
+//! * every write acknowledged `+OK` under shedding reads back — shed
+//!   rejections never eat an acked write;
+//! * a burst of `DEADLINE` failures trips the write-class circuit
+//!   breaker (`BREAKER` rejections answer instantly), reads keep
+//!   flowing, and the class recovers through a half-open probe after
+//!   the cooldown;
+//! * `HEALTH`/`READY` are admitted even with the token bucket drained,
+//!   and readiness flips are visible to connected clients;
+//! * a drain under live write load completes promptly and every
+//!   acknowledged write remains readable until the connection closes.
+
+use dego_server::{spawn, Client, ClientReply, MiddlewareConfig, ServerConfig, ServerHandle};
+use std::time::{Duration, Instant};
+
+mod common;
+use common::shards;
+
+fn connect(server: &ServerHandle) -> Client {
+    Client::connect(server.local_addr()).expect("connect")
+}
+
+fn stat(c: &mut Client, name: &str) -> u64 {
+    c.stats_map()
+        .expect("stats")
+        .get(name)
+        .unwrap_or_else(|| panic!("stat {name} missing"))
+        .parse()
+        .expect("numeric stat")
+}
+
+/// Stall every shard owner, pile up a backlog from one client, and
+/// watch a second client's writes get shed — quickly, with structured
+/// errors — then recover once the stall clears.
+#[test]
+fn shard_stall_sheds_writes_instead_of_hanging() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.shed.queue_depth = 4;
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 4096,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    server.set_shard_delay(Some(Duration::from_millis(10)));
+
+    // Client A: one pipelined burst big enough that, at 10 ms per
+    // apply, the shard queues stay above the threshold for hundreds of
+    // milliseconds. Its admission sweep runs against empty queues, so
+    // the burst itself is (mostly) admitted.
+    let mut backlog = connect(&server);
+    for i in 0..64 {
+        backlog.send(&format!("SET sta{i} v")).expect("send");
+    }
+    backlog.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Client B arrives mid-backlog: its writes must be answered
+    // promptly with SHED rejections, not queued behind the stall.
+    let mut latecomer = connect(&server);
+    for i in 0..16 {
+        latecomer.send(&format!("SET stb{i} v")).expect("send");
+    }
+    latecomer.flush().expect("flush");
+    let mut shed = 0usize;
+    for _ in 0..16 {
+        match latecomer.read_reply().expect("reply") {
+            ClientReply::Error(e) => {
+                assert!(e.starts_with("SHED "), "structured shed error, got {e:?}");
+                assert!(
+                    e.contains("shard="),
+                    "shed detail names the shard, got {e:?}"
+                );
+                shed += 1;
+            }
+            ClientReply::Status(_) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(shed > 0, "a backlogged shard plane must shed new writes");
+
+    // Clear the stall and collect client A's replies: every write the
+    // server acknowledged must read back — shedding never eats an ack.
+    server.set_shard_delay(None);
+    let mut acked = Vec::new();
+    for i in 0..64 {
+        match backlog.read_reply().expect("reply") {
+            ClientReply::Status(_) => acked.push(i),
+            ClientReply::Error(e) => {
+                assert!(e.starts_with("SHED "), "got {e:?}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(!acked.is_empty(), "the first burst must land some writes");
+    for i in acked {
+        assert_eq!(
+            backlog.get(&format!("sta{i}")).expect("get").as_deref(),
+            Some("v"),
+            "acked write sta{i} must be applied"
+        );
+    }
+
+    // With the backlog drained, admission recovers.
+    let recovered = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        matches!(
+            latecomer.request("SET recover v").expect("reply"),
+            ClientReply::Status(_)
+        )
+    });
+    assert!(recovered, "shedding must stop once the pressure clears");
+
+    let mut observer = connect(&server);
+    assert!(stat(&mut observer, "mw_shed_checked") > 0);
+    assert!(stat(&mut observer, "mw_shed_shed") > 0);
+    server.shutdown();
+}
+
+/// Consecutive deadline overruns trip the write-class breaker; the
+/// open class rejects instantly while reads keep flowing; after the
+/// cooldown a half-open probe closes it again.
+#[test]
+fn deadline_burst_trips_breaker_then_recovers() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.breaker.failures = 2;
+    middleware.breaker.cooldown_ms = 200;
+    middleware.breaker.probes = 1;
+    // Writes get a 1 ms budget the 20 ms stall always blows; reads stay
+    // generous so their class never trips.
+    middleware.deadline.write_us = 1_000;
+    middleware.deadline.read_us = 30_000_000;
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 1024,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    server.set_shard_delay(Some(Duration::from_millis(20)));
+
+    let mut c = connect(&server);
+    for key in ["bk1", "bk2"] {
+        match c.request(&format!("SET {key} v")).expect("reply") {
+            ClientReply::Error(e) => {
+                assert!(e.starts_with("DEADLINE "), "budget overrun, got {e:?}")
+            }
+            other => panic!("stalled write must miss its deadline, got {other:?}"),
+        }
+    }
+    // Two consecutive failures: the write class is now open and
+    // rejects before touching the shard plane.
+    let rejected_at = Instant::now();
+    match c.request("SET bk3 v").expect("reply") {
+        ClientReply::Error(e) => {
+            assert!(e.starts_with("BREAKER "), "breaker rejection, got {e:?}");
+            assert!(e.contains("write"), "names the tripped class, got {e:?}");
+            assert!(e.contains("retry_us="), "retry hint, got {e:?}");
+        }
+        other => panic!("open breaker must reject, got {other:?}"),
+    }
+    assert!(
+        rejected_at.elapsed() < Duration::from_millis(15),
+        "an open breaker answers without queueing behind the stall"
+    );
+    // The read class is independent: deadline-blown writes were still
+    // applied, and reads never tripped.
+    assert_eq!(c.get("bk1").expect("get").as_deref(), Some("v"));
+
+    // Clear the fault, wait out the cooldown, and let the half-open
+    // probe close the class.
+    server.set_shard_delay(None);
+    std::thread::sleep(Duration::from_millis(300));
+    c.set("bk4", "v").expect("half-open probe succeeds");
+    c.set("bk5", "v").expect("closed class admits");
+
+    let stats = c.stats_map().expect("stats");
+    let lookup = |name: &str| -> u64 {
+        stats
+            .get(name)
+            .unwrap_or_else(|| panic!("stat {name} missing"))
+            .parse()
+            .expect("numeric stat")
+    };
+    assert!(lookup("mw_breaker_rejected") >= 1, "open state rejected");
+    assert!(lookup("mw_breaker_trips") >= 1, "trip was counted");
+    assert!(lookup("mw_breaker_recoveries") >= 1, "recovery was counted");
+    assert_eq!(lookup("mw_breaker_write_state"), 0, "class closed again");
+    server.shutdown();
+}
+
+/// HEALTH/READY are liveness/readiness probes: admitted even when the
+/// session's token bucket is drained, and readiness flips are visible
+/// mid-session without reconnecting.
+#[test]
+fn health_and_ready_bypass_the_rate_limiter() {
+    let mut middleware = MiddlewareConfig::full();
+    middleware.rate.burst = 2;
+    middleware.rate.refill_per_sec = 1;
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = connect(&server);
+
+    // Drain the bucket and prove the limiter is actually armed.
+    let mut limited = false;
+    for i in 0..10 {
+        if let ClientReply::Error(e) = c.request(&format!("GET rl{i}")).expect("reply") {
+            assert!(e.starts_with("RATELIMIT "), "got {e:?}");
+            limited = true;
+            break;
+        }
+    }
+    assert!(limited, "a 2-token bucket must trip within 10 reads");
+
+    // Probes keep answering on the drained bucket: 50 in a row, none
+    // charged, none rejected.
+    for _ in 0..25 {
+        c.health().expect("HEALTH bypasses the limiter");
+        assert!(c.ready().expect("READY bypasses the limiter"));
+    }
+
+    // A readiness flip is observable mid-session; liveness stays up.
+    server.set_ready(false);
+    assert!(!server.ready());
+    assert!(!c.ready().expect("READY still answers"), "drain visible");
+    c.health().expect("liveness stays up during a drain");
+    server.set_ready(true);
+    assert!(c.ready().expect("READY answers"), "readiness restored");
+    server.shutdown();
+}
+
+/// Drain under live write load: shutdown completes promptly (in-flight
+/// bursts finish, the connection closes after its current burst), and
+/// every write acknowledged before the cut reads back consistently.
+#[test]
+fn drain_under_load_keeps_acked_writes() {
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 1024,
+        middleware: MiddlewareConfig::full(),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = server.local_addr();
+
+    let worker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        let mut pairs = 0u64;
+        loop {
+            let key = format!("drain{pairs}");
+            if c.set(&key, "v").is_err() {
+                break; // Connection cut before the ack: write unacked.
+            }
+            match c.get(&key) {
+                Ok(got) => assert_eq!(
+                    got.as_deref(),
+                    Some("v"),
+                    "acked write {key} must be readable"
+                ),
+                Err(_) => break, // Cut between ack and read-back.
+            }
+            pairs += 1;
+        }
+        pairs
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(server.ready(), "serving before the drain");
+    let begun = Instant::now();
+    server.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(2),
+        "drain must not wait out a chatty client"
+    );
+    let pairs = worker.join().expect("worker");
+    assert!(pairs > 0, "the worker made progress before the drain");
+}
