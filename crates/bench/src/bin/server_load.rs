@@ -21,8 +21,12 @@
 //!    acknowledgement shows up (`batched_speedup_x`, target ≥ 1.5×).
 //! 5. **Connection sweep** (full stack, fixed pipeline depth): a
 //!    `connections` probe block tracking throughput across connection
-//!    counts (`DEGO_BENCH_CONNS`, default 4/16/64) — the accept/funnel
-//!    scaling curve in its own JSON block.
+//!    counts (`DEGO_BENCH_CONNS`, default 4/64/256/1024), each count
+//!    run on **both planes** — the default event loops and
+//!    `thread_per_conn: true` — so the accept/funnel scaling curve is
+//!    an A/B. `conn_scaling_x` is the headline: event-loop throughput
+//!    at 256 connections over 4 connections (target ≥ 0.9 — fan-in
+//!    must not collapse under connection count).
 //! 6. **Observability overhead**: the full stack with span sampling
 //!    off vs the default 1-in-64, at burst depth 5 — the cost of the
 //!    per-layer attribution plane (`observability_overhead`, target
@@ -53,7 +57,7 @@
 //! Environment/flags: the [`BenchEnv`] conventions
 //! (`DEGO_BENCH_MILLIS`, `DEGO_BENCH_THREADS`, `--quick`) plus
 //! `DEGO_BENCH_SHARDS` (default 4), `DEGO_BENCH_PIPELINE`
-//! (default 16) and `DEGO_BENCH_CONNS` (default `4,16,64`).
+//! (default 16) and `DEGO_BENCH_CONNS` (default `4,64,256,1024`).
 
 use dego_bench::harness::BenchEnv;
 use dego_metrics::rng::XorShift64;
@@ -94,6 +98,9 @@ struct Point {
     pipeline: usize,
     middleware_depth: usize,
     batch: bool,
+    /// Which connection plane served the point: `"event_loop"` (the
+    /// default) or `"threaded"` (`thread_per_conn: true`).
+    plane: &'static str,
     mix: Mix,
     elapsed: Duration,
     total_ops: u64,
@@ -144,6 +151,11 @@ fn shared_keys() -> bool {
 /// One client thread's closed loop: issue `pipeline` commands, read
 /// `pipeline` replies, repeat until the deadline. With pinned keys the
 /// client draws from its own `[base, base+span)` slice.
+///
+/// Every client connects first and then parks on `barrier`, so the
+/// measured window holds sustained load only — at hundreds of
+/// connections the connect/spawn ramp would otherwise eat a visible
+/// slice of the window and skew the wide points low.
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: std::net::SocketAddr,
@@ -152,10 +164,13 @@ fn client_loop(
     mix: Mix,
     key_base: u64,
     key_span: u64,
-    deadline: Instant,
+    window: Duration,
+    barrier: &std::sync::Barrier,
     stop: &AtomicBool,
 ) -> u64 {
     let mut client = Client::connect(addr).expect("load client connects");
+    barrier.wait();
+    let deadline = Instant::now() + window;
     let mut rng = XorShift64::new(seed);
     let mut ops = 0u64;
     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
@@ -177,6 +192,7 @@ fn client_loop(
     ops
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     clients: usize,
     shards: usize,
@@ -184,6 +200,7 @@ fn run_point(
     window: Duration,
     middleware: MiddlewareConfig,
     batch: bool,
+    thread_per_conn: bool,
     mix: Mix,
 ) -> Point {
     let server = spawn(ServerConfig {
@@ -191,19 +208,23 @@ fn run_point(
         capacity: KEY_RANGE * 2,
         middleware,
         batch,
+        thread_per_conn,
         ..ServerConfig::default()
     })
     .expect("bench server boots");
     let middleware_depth = server.stack().depth();
     let addr = server.local_addr();
     let stop = AtomicBool::new(false);
-    let deadline = Instant::now() + window;
-    let started = Instant::now();
+    // +1: the bench thread joins the barrier to timestamp the window
+    // start the instant the whole fleet is connected.
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let mut started = Instant::now();
     let shared = shared_keys();
     let total_ops: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let stop = &stop;
+                let barrier = &barrier;
                 // Pinned mode: client c owns keys [c*span, (c+1)*span).
                 let span = if shared {
                     KEY_RANGE as u64
@@ -219,12 +240,15 @@ fn run_point(
                         mix,
                         base,
                         span,
-                        deadline,
+                        window,
+                        barrier,
                         stop,
                     )
                 })
             })
             .collect();
+        barrier.wait();
+        started = Instant::now();
         handles.into_iter().map(|h| h.join().expect("client")).sum()
     });
     let elapsed = started.elapsed();
@@ -236,6 +260,11 @@ fn run_point(
         pipeline,
         middleware_depth,
         batch,
+        plane: if thread_per_conn {
+            "threaded"
+        } else {
+            "event_loop"
+        },
         mix,
         elapsed,
         total_ops,
@@ -268,6 +297,7 @@ fn run_best(
                 window,
                 middleware.clone(),
                 batch,
+                false,
                 mix,
             )
         })
@@ -278,12 +308,13 @@ fn run_best(
 fn write_point(out: &mut String, p: &Point) {
     let _ = write!(
         out,
-        "{{\"clients\": {}, \"shards\": {}, \"pipeline\": {}, \"middleware_depth\": {}, \"batch\": {}, \"mix\": \"{}\", \"elapsed_ms\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"applied\": {}, \"gets\": {}, \"get_hits\": {}}}",
+        "{{\"clients\": {}, \"shards\": {}, \"pipeline\": {}, \"middleware_depth\": {}, \"batch\": {}, \"plane\": \"{}\", \"mix\": \"{}\", \"elapsed_ms\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"applied\": {}, \"gets\": {}, \"get_hits\": {}}}",
         p.clients,
         p.shards,
         p.pipeline,
         p.middleware_depth,
         p.batch,
+        p.plane,
         p.mix.label(),
         p.elapsed.as_millis(),
         p.total_ops,
@@ -298,6 +329,30 @@ fn write_point(out: &mut String, p: &Point) {
 /// (positive = cost).
 fn overhead_pct(fast: &Point, slow: &Point) -> f64 {
     100.0 * (1.0 - slow.ops_per_sec() / fast.ops_per_sec().max(1e-9))
+}
+
+/// The (base, high) pair the `conn_scaling_x` ratio is computed over:
+/// event-loop points at 4 and 256 connections when the sweep includes
+/// them, otherwise the narrowest and widest counts swept.
+fn conn_scaling_pair(conns: &[Point]) -> Option<(&Point, &Point)> {
+    let at = |want: usize| {
+        conns
+            .iter()
+            .find(|p| p.plane == "event_loop" && p.clients == want)
+    };
+    let base = at(4).or_else(|| {
+        conns
+            .iter()
+            .filter(|p| p.plane == "event_loop")
+            .min_by_key(|p| p.clients)
+    })?;
+    let high = at(256).or_else(|| {
+        conns
+            .iter()
+            .filter(|p| p.plane == "event_loop")
+            .max_by_key(|p| p.clients)
+    })?;
+    (base.clients < high.clients).then_some((base, high))
 }
 
 struct GroupCommit {
@@ -486,12 +541,16 @@ fn run_dispatch_best(
 /// The seeded apply stall every shard owner carries during the
 /// overload A/B.
 const OVERLOAD_STALL: Duration = Duration::from_millis(1);
-/// The shed-on side's queue-depth threshold.
-const OVERLOAD_SHED_DEPTH: u64 = 8;
+/// The shed-on side's queue-depth threshold. Two clients flooding
+/// 32-deep write bursts over the stalled shards hold each queue well
+/// past this, so the shedder demonstrably fires on either connection
+/// plane (at 8 it sat right at the expected depth and shedding was
+/// marginal).
+const OVERLOAD_SHED_DEPTH: u64 = 4;
 /// Fixed load shape for the overload A/B (small on purpose — the
 /// stalled shards, not the socket plane, are the bottleneck).
 const OVERLOAD_CLIENTS: usize = 2;
-const OVERLOAD_PIPELINE: usize = 16;
+const OVERLOAD_PIPELINE: usize = 32;
 
 /// One side of the overload A/B: ops pushed through the closed loop
 /// (admitted or shed), the worst windowed shard ack p99, and how many
@@ -528,12 +587,13 @@ fn run_overload_point(shed: bool, shards: usize, window: Duration) -> OverloadPo
     .expect("overload server boots");
     let addr = server.local_addr();
     let stop = AtomicBool::new(false);
-    let deadline = Instant::now() + window;
-    let started = Instant::now();
+    let barrier = std::sync::Barrier::new(OVERLOAD_CLIENTS + 1);
+    let mut started = Instant::now();
     let ops: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
             .map(|c| {
                 let stop = &stop;
+                let barrier = &barrier;
                 let span = (KEY_RANGE / OVERLOAD_CLIENTS).max(1) as u64;
                 s.spawn(move || {
                     client_loop(
@@ -543,12 +603,15 @@ fn run_overload_point(shed: bool, shards: usize, window: Duration) -> OverloadPo
                         WRITE_HEAVY,
                         c as u64 * span,
                         span,
-                        deadline,
+                        window,
+                        barrier,
                         stop,
                     )
                 })
             })
             .collect();
+        barrier.wait();
+        started = Instant::now();
         handles.into_iter().map(|h| h.join().expect("client")).sum()
     });
     let elapsed = started.elapsed();
@@ -616,6 +679,20 @@ fn write_json(
         out.push_str(if i + 1 < conns.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]");
+    // conn_scaling: the event-loop plane's sustained throughput at 256
+    // connections relative to 4 (or the widest/narrowest swept counts)
+    // — fan-in across the loops must not collapse as connections grow.
+    if let Some((base, high)) = conn_scaling_pair(conns) {
+        let _ = write!(
+            out,
+            ",\n  \"conn_scaling\": {{\"plane\": \"event_loop\", \"base_clients\": {}, \"high_clients\": {}, \"base_ops_per_sec\": {:.0}, \"high_ops_per_sec\": {:.0}, \"conn_scaling_x\": {:.3}, \"target_x\": 0.9}}",
+            base.clients,
+            high.clients,
+            base.ops_per_sec(),
+            high.ops_per_sec(),
+            high.ops_per_sec() / base.ops_per_sec().max(1e-9),
+        );
+    }
     // observability_overhead: the cost of the sampled per-layer span
     // plane — the same full-stack load with tracing spans off vs the
     // default 1-in-N sampling (positive = cost; target ≤ 2%).
@@ -730,7 +807,7 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "clients", "mw", "pipe", "batch", "mix", "Kops/s", "applied", "hit%",
+        "clients", "mw", "pipe", "batch", "plane", "mix", "Kops/s", "applied", "hit%",
     ]);
     let row = |p: &Point, table: &mut Table| {
         table.row([
@@ -738,6 +815,7 @@ fn main() {
             p.middleware_depth.to_string(),
             p.pipeline.to_string(),
             if p.batch { "on".into() } else { "off".into() },
+            p.plane.to_string(),
             p.mix.label(),
             fmt_kops(p.ops_per_sec()),
             p.applied.to_string(),
@@ -755,6 +833,7 @@ fn main() {
             env.duration,
             depth_config(0),
             true,
+            false,
             STANDARD,
         );
         row(&p, &mut table);
@@ -772,6 +851,7 @@ fn main() {
             env.duration,
             depth_config(7),
             true,
+            false,
             STANDARD,
         );
         row(&p, &mut table);
@@ -825,21 +905,25 @@ fn main() {
     row(&commit.unbatched, &mut table);
 
     // 5. Connection sweep: the full stack at a fixed pipeline depth,
-    // across connection counts — the accept/funnel scaling curve.
-    let conn_counts = env_usize_list("DEGO_BENCH_CONNS", &[4, 16, 64]);
+    // across connection counts, on both planes — the accept/funnel
+    // scaling curve as an event-loop vs thread-per-connection A/B.
+    let conn_counts = env_usize_list("DEGO_BENCH_CONNS", &[4, 64, 256, 1024]);
     let mut conn_points = Vec::new();
     for &conns in &conn_counts {
-        let p = run_point(
-            conns,
-            shards,
-            pipeline,
-            env.duration,
-            depth_config(7),
-            true,
-            STANDARD,
-        );
-        row(&p, &mut table);
-        conn_points.push(p);
+        for thread_per_conn in [false, true] {
+            let p = run_point(
+                conns,
+                shards,
+                pipeline,
+                env.duration,
+                depth_config(7),
+                true,
+                thread_per_conn,
+                STANDARD,
+            );
+            row(&p, &mut table);
+            conn_points.push(p);
+        }
     }
 
     // 6. Observability overhead: the full stack with span sampling off
@@ -935,6 +1019,16 @@ fn main() {
         commit.unbatched.ops_per_sec() as u64,
         commit.batched.ops_per_sec() as u64
     );
+    if let Some((base, high)) = conn_scaling_pair(&conn_points) {
+        println!(
+            "connection scaling (event loop, {} -> {} conns): {:.2}x ({} -> {} ops/s)",
+            base.clients,
+            high.clients,
+            high.ops_per_sec() / base.ops_per_sec().max(1e-9),
+            base.ops_per_sec() as u64,
+            high.ops_per_sec() as u64
+        );
+    }
     println!(
         "observability overhead at sample 1-in-{sample_every}: {:.1}% ({} -> {} ops/s)",
         overhead_pct(&obs.nosample, &obs.sampled),

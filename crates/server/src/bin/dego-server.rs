@@ -43,6 +43,13 @@
 //! * `--dyn-stack` — force the boxed `dyn Service` onion instead of
 //!   the fused (monomorphized) seven-layer chain (A/B runs and custom
 //!   stacks; replies are identical either way)
+//! * `--thread-per-conn` — serve each connection on a dedicated thread
+//!   instead of the default epoll event-loop plane (A/B runs; replies
+//!   are byte-identical either way)
+//! * `--event-loops N` — event-loop thread count (0 = one per core,
+//!   the default; ignored under `--thread-per-conn`)
+//! * `--idle-timeout-ms N` — event loops close connections idle this
+//!   long with nothing in flight (0 = never, the default)
 //! * `--ack-timeout-ms N` — overall shard-ack deadline per burst/fan-out
 
 use dego_server::{spawn, ServerConfig};
@@ -58,7 +65,8 @@ fn usage_exit(err: &str) -> ! {
          [--shed-queue-depth N] [--shed-ack-p99-us N] [--shard-delay-ms N] \
          [--trace-sample N] [--slowlog-threshold-us N] [--slowlog-capacity N] \
          [--trace-capacity N] [--trace-threshold-us N] [--stats-window-secs N] \
-         [--metrics-addr ADDR] [--no-batch] [--dyn-stack] [--ack-timeout-ms N]"
+         [--metrics-addr ADDR] [--no-batch] [--dyn-stack] [--thread-per-conn] \
+         [--event-loops N] [--idle-timeout-ms N] [--ack-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -104,6 +112,10 @@ fn main() {
                 config.middleware.dyn_stack = true;
                 continue;
             }
+            if flag == "--thread-per-conn" {
+                config.thread_per_conn = true;
+                continue;
+            }
             let value = it
                 .next()
                 .unwrap_or_else(|| usage_exit(&format!("flag {flag} needs a value")));
@@ -117,6 +129,15 @@ fn main() {
                     Ok(0u64) => config.shard_delay = None,
                     Ok(ms) => config.shard_delay = Some(std::time::Duration::from_millis(ms)),
                     _ => usage_exit(&format!("bad shard delay {value:?}")),
+                },
+                Ok(false) if flag == "--event-loops" => match value.parse() {
+                    Ok(n) => config.event_loops = n,
+                    _ => usage_exit(&format!("bad event-loop count {value:?}")),
+                },
+                Ok(false) if flag == "--idle-timeout-ms" => match value.parse() {
+                    Ok(0u64) => config.idle_timeout = None,
+                    Ok(ms) => config.idle_timeout = Some(std::time::Duration::from_millis(ms)),
+                    _ => usage_exit(&format!("bad idle timeout {value:?}")),
                 },
                 Ok(false) if flag == "--ack-timeout-ms" => match value.parse() {
                     Ok(ms) if ms > 0u64 => {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod event_loop;
 mod metrics_http;
 mod server;
 pub mod stats;

@@ -27,6 +27,12 @@ use std::time::Duration;
 /// responder hangs up (one stuck scraper must not wedge the loop).
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// And this long to drain the reply. Without a write timeout a scraper
+/// that stops reading mid-body pins the responder in `write` — during a
+/// drain that keeps `/ready` probes from being answered, so the
+/// orchestrator never sees the 503.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Bind `addr` and spawn the responder thread. Returns the bound
 /// address (port 0 resolves here) and the join handle; the thread
 /// exits once `stop` is up and the accept loop is poked with a
@@ -76,6 +82,7 @@ fn serve_one(
     ready: &AtomicBool,
 ) -> std::io::Result<()> {
     socket.set_read_timeout(Some(READ_TIMEOUT))?;
+    socket.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut reader = BufReader::new(socket.try_clone()?);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -208,6 +215,11 @@ fn render_exposition(store: &Store, stats: &ServerStats, stack: &Stack, ready: b
         "dego_shard_batches_total",
         "Mutation batches drained by shard owners (group commits).",
         snap.shard_batches,
+    );
+    prom.counter(
+        "dego_idle_closed_total",
+        "Connections reaped by the event loops' idle-timeout sweep.",
+        snap.idle_closed,
     );
     prom.counter(
         "dego_cas_failures_total",

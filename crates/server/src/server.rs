@@ -1,7 +1,16 @@
-//! The TCP front-end: accept loop, per-connection threads, the
+//! The TCP front-end: accept loop, the connection planes, the
 //! middleware pipeline, batched pipelining and shutdown.
 //!
-//! A connection thread parses request lines and drives them through
+//! Connections are served by one of two **planes**: the default
+//! event-loop plane (`event_loop.rs` — N epoll loop threads
+//! multiplexing every connection, deferring ack barriers so bursts
+//! from different connections group-commit into one shard sweep) or
+//! the original thread-per-connection plane behind
+//! [`ServerConfig::thread_per_conn`], kept for A/B equivalence and
+//! regression measurement. Both planes drive the same per-session
+//! middleware chain and are byte-identical on the wire.
+//!
+//! A connection parses request lines and drives them through
 //! its session's middleware [`Stack`] chain (trace → breaker →
 //! deadline → auth → rate-limit → shed → ttl, whichever are
 //! configured); the innermost service
@@ -29,6 +38,7 @@
 //! for the acks (a *barrier*) before being served — reads on untouched
 //! keys proceed immediately, which is where the batching wins.
 
+use crate::event_loop::{run_loop, Epoll, LoopCtx, LoopWaker};
 use crate::protocol::{Command, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::store::{self, AckItem, Mutation, MutationMsg, ShardAck, Store, FANOUT_LIMIT};
@@ -36,9 +46,11 @@ use dego_middleware::{
     BoxService, FusedService, MiddlewareConfig, PressureProbe, Request, Response, Service, Session,
     ShardPressure, Stack,
 };
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -50,9 +62,21 @@ use std::time::{Duration, Instant};
 pub const TIMELINE_LIMIT: usize = 50;
 
 /// The reply when a shard acknowledgement never arrived in time.
-const ACK_TIMEOUT_MSG: &str = "shard ack timeout; closing connection";
+pub(crate) const ACK_TIMEOUT_MSG: &str = "shard ack timeout; closing connection";
 /// The reply when the shard plane is gone (shutdown mid-request).
 const ACK_GONE_MSG: &str = "shard gone; closing connection";
+
+/// The placeholder status a deferred slot answers with inside
+/// `call_batch` — patched by the event loop once the acks arrive. The
+/// sentinel is unforgeable as a *status*: `Reply::Status` only ever
+/// carries compile-time literals (client bytes travel in
+/// `Reply::Value`/`Error`), and no other literal contains `\u{1}`.
+pub(crate) const PENDING_MARKER: &str = "\u{1}DEGO-DEFERRED\u{1}";
+
+/// Whether `reply` is the deferral placeholder (see [`PENDING_MARKER`]).
+pub(crate) fn is_pending_marker(reply: &Reply) -> bool {
+    matches!(reply, Reply::Status(s) if *s == PENDING_MARKER)
+}
 
 /// Longest single backoff sleep after an `accept()` failure.
 const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(100);
@@ -95,6 +119,20 @@ pub struct ServerConfig {
     /// fan-out**, not per ack (only reachable when a shard is stuck or
     /// shutting down mid-request).
     pub ack_timeout: Duration,
+    /// Serve every connection on its own blocking OS thread instead of
+    /// the event-loop plane (`--thread-per-conn`). The pre-event-loop
+    /// architecture, kept for A/B equivalence and regression
+    /// measurement — it can never reach the 100k+ connection regime.
+    pub thread_per_conn: bool,
+    /// Number of event-loop threads (`--event-loops`); `0` (the
+    /// default) means one per available core. Ignored when
+    /// `thread_per_conn` is set.
+    pub event_loops: usize,
+    /// Close connections that have read nothing for this long
+    /// (`--idle-timeout-ms`), freeing their fds; `None` (the default)
+    /// never reaps. Event-loop plane only — an idle threaded
+    /// connection parks its own thread and leaks nothing shared.
+    pub idle_timeout: Option<Duration>,
     /// Test hook: inject `accept()` failures (fd-pressure regression
     /// tests). Leave `None` in production.
     pub accept_hook: Option<AcceptHook>,
@@ -113,6 +151,9 @@ impl Default for ServerConfig {
             middleware: MiddlewareConfig::none(),
             batch: true,
             ack_timeout: Duration::from_secs(5),
+            thread_per_conn: false,
+            event_loops: 0,
+            idle_timeout: None,
             accept_hook: None,
             shard_delay: None,
         }
@@ -137,6 +178,8 @@ pub struct ServerHandle {
     metrics_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loop_threads: Vec<JoinHandle<()>>,
+    loop_wakers: Vec<Arc<LoopWaker>>,
 }
 
 impl ServerHandle {
@@ -214,6 +257,15 @@ impl ServerHandle {
         for c in conns {
             let _ = c.join();
         }
+        // Event-loop plane: wake every loop so it observes the flag,
+        // then join. Before the shard threads go down, so in-flight
+        // deferred bursts still receive their acks while draining.
+        for waker in &self.loop_wakers {
+            waker.wake();
+        }
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
+        }
         // The metrics responder is the last plane to go down — it joins
         // after the connections so `/ready` keeps answering 503 (and
         // `/metrics` keeps scraping) while the in-flight bursts flush.
@@ -267,38 +319,113 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         store: Arc::clone(&runtime.store),
     }));
 
-    let accept_thread = {
+    let tuning = ConnTuning {
+        batch: config.batch,
+        ack_timeout: config.ack_timeout,
+        // DEGO_TEST_DYN_STACK=1 forces the boxed onion without
+        // touching the config — the CI matrix leg that runs the
+        // whole tier-1 suite against the fallback dispatch plane.
+        dyn_stack: config.middleware.dyn_stack
+            || std::env::var("DEGO_TEST_DYN_STACK").is_ok_and(|v| v == "1"),
+    };
+    // DEGO_TEST_THREAD_PER_CONN=1 forces the threaded plane without
+    // touching the config — the CI matrix leg that runs the whole
+    // tier-1 suite against the A/B fallback.
+    let thread_per_conn = config.thread_per_conn
+        || std::env::var("DEGO_TEST_THREAD_PER_CONN").is_ok_and(|v| v == "1");
+
+    // The accept loop is plane-agnostic: it hands each accepted socket
+    // (plus its global connection id) to a dispatch sink. The threaded
+    // plane spawns a dedicated thread per socket; the event-loop plane
+    // round-robins sockets across the loop threads and wakes the
+    // target's epoll.
+    let mut loop_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut loop_wakers: Vec<Arc<LoopWaker>> = Vec::new();
+    let dispatch: DispatchSink = if thread_per_conn {
         let store = Arc::clone(&runtime.store);
         let stats = Arc::clone(&stats);
         let stack = Arc::clone(&stack);
-        let shutdown = Arc::clone(&shutdown);
+        let flag = Arc::clone(&shutdown);
         let ready = Arc::clone(&ready);
         let connections = Arc::clone(&connections);
-        let tuning = ConnTuning {
-            batch: config.batch,
-            ack_timeout: config.ack_timeout,
-            // DEGO_TEST_DYN_STACK=1 forces the boxed onion without
-            // touching the config — the CI matrix leg that runs the
-            // whole tier-1 suite against the fallback dispatch plane.
-            dyn_stack: config.middleware.dyn_stack
-                || std::env::var("DEGO_TEST_DYN_STACK").is_ok_and(|v| v == "1"),
+        Box::new(move |socket, conn| {
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let stack = Arc::clone(&stack);
+            let flag = Arc::clone(&flag);
+            let ready = Arc::clone(&ready);
+            let handle = std::thread::Builder::new()
+                .name(format!("dego-conn-{conn}"))
+                .spawn(move || {
+                    let _ =
+                        serve_connection(socket, store, stats, stack, flag, ready, conn, tuning);
+                })
+                .expect("spawn connection thread");
+            let mut registry = connections.lock().expect("connection registry");
+            // Reap dead sessions so a long-lived server with connection
+            // churn does not accumulate handles without bound.
+            registry.retain(|h| !h.is_finished());
+            registry.push(handle);
+        })
+    } else {
+        // Default: one loop per core, floored at two. A dispatch can
+        // still block its loop for a bounded stretch (a span-sampled
+        // burst waits for its store segments, a read-after-write
+        // barrier waits for acks), and with a single loop that would
+        // head-of-line block every other connection on the box — two
+        // is the minimum that keeps one stalled burst from serializing
+        // the whole connection plane. An explicit `--event-loops 1`
+        // is honored (A/B runs and reproductions).
+        let loops = if config.event_loops == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        } else {
+            config.event_loops
         };
+        let mut senders: Vec<LoopSink> = Vec::new();
+        for i in 0..loops {
+            let waker = Arc::new(LoopWaker::new()?);
+            let epoll = Epoll::new()?;
+            let (conn_tx, conn_rx) = channel::<(TcpStream, u64)>();
+            let ctx = LoopCtx {
+                epoll,
+                waker: Arc::clone(&waker),
+                inbox: conn_rx,
+                store: Arc::clone(&runtime.store),
+                stats: Arc::clone(&stats),
+                stack: Arc::clone(&stack),
+                shutdown: Arc::clone(&shutdown),
+                ready: Arc::clone(&ready),
+                tuning,
+                idle_timeout: config.idle_timeout,
+            };
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dego-loop-{i}"))
+                    .spawn(move || run_loop(ctx))?,
+            );
+            senders.push((conn_tx, Arc::clone(&waker)));
+            loop_wakers.push(waker);
+        }
+        let mut next = 0usize;
+        Box::new(move |socket, conn| {
+            let (conn_tx, waker) = &senders[next];
+            next = (next + 1) % senders.len();
+            if conn_tx.send((socket, conn)).is_ok() {
+                waker.wake();
+            }
+        })
+    };
+
+    let accept_thread = {
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
         let hook = config.accept_hook.clone();
         std::thread::Builder::new()
             .name("dego-accept".into())
-            .spawn(move || {
-                accept_loop(
-                    listener,
-                    store,
-                    stats,
-                    stack,
-                    shutdown,
-                    ready,
-                    connections,
-                    tuning,
-                    hook,
-                )
-            })
+            .spawn(move || accept_loop(listener, stats, shutdown, dispatch, hook))
             .expect("spawn accept thread")
     };
 
@@ -331,15 +458,24 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics_thread,
         shard_threads: runtime.threads,
         connections,
+        loop_threads,
+        loop_wakers,
     })
 }
 
-/// Per-connection knobs threaded from the config into each session.
+/// The accept loop's per-socket sink (see `spawn`).
+type DispatchSink = Box<dyn FnMut(TcpStream, u64) + Send>;
+
+/// One event loop's connection inlet plus its epoll doorbell.
+type LoopSink = (Sender<(TcpStream, u64)>, Arc<LoopWaker>);
+
+/// Per-connection knobs threaded from the config into each session
+/// (shared by both connection planes).
 #[derive(Clone, Copy)]
-struct ConnTuning {
-    batch: bool,
-    ack_timeout: Duration,
-    dyn_stack: bool,
+pub(crate) struct ConnTuning {
+    pub(crate) batch: bool,
+    pub(crate) ack_timeout: Duration,
+    pub(crate) dyn_stack: bool,
 }
 
 /// The shed layer's window onto live shard pressure: routes a write
@@ -389,7 +525,7 @@ impl PressureProbe for StorePressure {
 /// the explicit fallback keep the boxed `dyn Service` onion. Replies
 /// and metrics are identical either way (the middleware proptests pin
 /// this).
-enum Chain {
+pub(crate) enum Chain {
     Fused(Box<FusedService<ExecService>>),
     Dyn(BoxService),
 }
@@ -397,7 +533,7 @@ enum Chain {
 impl Chain {
     /// Dispatch a singleton: the fused chain takes its inline batch-1
     /// fast path; the dyn onion pays the per-layer virtual calls.
-    fn call_one(&mut self, req: Request) -> Response {
+    pub(crate) fn call_one(&mut self, req: Request) -> Response {
         match self {
             Chain::Fused(chain) => chain.call_one(req),
             Chain::Dyn(chain) => chain.call(req),
@@ -405,11 +541,30 @@ impl Chain {
     }
 
     /// Dispatch a pipelined burst through the group-commit batch path.
-    fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+    pub(crate) fn call_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         match self {
             Chain::Fused(chain) => chain.call_batch(reqs),
             Chain::Dyn(chain) => chain.call_batch(reqs),
         }
+    }
+}
+
+/// Build one connection's dispatch chain around its innermost service
+/// (shared by both connection planes — the fusibility rules must not
+/// drift between them).
+pub(crate) fn build_chain(
+    stack: &Arc<Stack>,
+    session: &Session,
+    exec: ExecService,
+    dyn_stack: bool,
+) -> Chain {
+    if !dyn_stack && stack.fusible() {
+        let fused = stack
+            .fused_service(session, exec)
+            .expect("fusible stack fuses");
+        Chain::Fused(Box::new(fused))
+    } else {
+        Chain::Dyn(stack.service(session, Box::new(exec)))
     }
 }
 
@@ -422,16 +577,11 @@ pub(crate) fn accept_backoff(consecutive: u32) -> Duration {
     Duration::from_millis(1u64 << consecutive.min(10)).min(ACCEPT_BACKOFF_CAP)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
-    store: Arc<Store>,
     stats: Arc<ServerStats>,
-    stack: Arc<Stack>,
     shutdown: Arc<AtomicBool>,
-    ready: Arc<AtomicBool>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    tuning: ConnTuning,
+    mut dispatch: DispatchSink,
     hook: Option<AcceptHook>,
 ) {
     let mut next_conn = 0u64;
@@ -465,24 +615,8 @@ fn accept_loop(
             return;
         }
         stats.note_connection();
-        let store = Arc::clone(&store);
-        let stats = Arc::clone(&stats);
-        let stack = Arc::clone(&stack);
-        let flag = Arc::clone(&shutdown);
-        let ready = Arc::clone(&ready);
-        let conn = next_conn;
-        let handle = std::thread::Builder::new()
-            .name(format!("dego-conn-{next_conn}"))
-            .spawn(move || {
-                let _ = serve_connection(socket, store, stats, stack, flag, ready, conn, tuning);
-            })
-            .expect("spawn connection thread");
+        dispatch(socket, next_conn);
         next_conn += 1;
-        let mut registry = connections.lock().expect("connection registry");
-        // Reap dead sessions so a long-lived server with connection
-        // churn does not accumulate handles without bound.
-        registry.retain(|h| !h.is_finished());
-        registry.push(handle);
     }
 }
 
@@ -521,9 +655,86 @@ enum Slot {
     Fanout(Vec<u64>),
 }
 
+/// A slot the event loop must still resolve: the subset of [`Slot`]
+/// that can cross the deferral boundary (inline replies never defer).
+pub(crate) enum PendingSlot {
+    /// One mutation: the ack with this sequence number.
+    Single(u64),
+    /// A `POST` fan-out: every one of these acks.
+    Fanout(Vec<u64>),
+}
+
+/// The contract between an event loop and its connection's innermost
+/// service, threaded through the middleware onion out of band (the
+/// chain is thread-local, so plain `Rc` + interior mutability).
+///
+/// The loop **arms** the cell immediately before a `call_batch`
+/// dispatch; the innermost service consumes the armed flag and — if
+/// the burst ended healthy and unsampled — skips its final ack
+/// barrier, answering unresolved slots with [`PENDING_MARKER`]
+/// placeholders and parking the real work here. The loop pairs the
+/// placeholders with the parked slots positionally (both emitted in
+/// request order) and collects the acks without blocking, which is
+/// what lets bursts from many connections share one shard sweep.
+///
+/// Mid-burst barriers (read-after-write and friends) stay synchronous
+/// inside `call_batch`, so reply bytes are identical to the threaded
+/// plane.
+pub(crate) struct DeferCell {
+    armed: Cell<bool>,
+    pending: RefCell<Vec<PendingSlot>>,
+    received: RefCell<HashMap<u64, Reply>>,
+}
+
+impl DeferCell {
+    pub(crate) fn new() -> DeferCell {
+        DeferCell {
+            armed: Cell::new(false),
+            pending: RefCell::new(Vec::new()),
+            received: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Allow the next `call_batch` to defer its final barrier.
+    pub(crate) fn arm(&self) {
+        self.armed.set(true);
+    }
+
+    /// Defensive reset after dispatch: a batch that never reached the
+    /// innermost service (e.g. the TTL layer's sequential fallback)
+    /// must not leave the flag armed.
+    pub(crate) fn disarm(&self) {
+        self.armed.set(false);
+    }
+
+    /// Consume the armed flag (the innermost `call_batch` calls this
+    /// exactly once per dispatch).
+    fn consume_armed(&self) -> bool {
+        self.armed.replace(false)
+    }
+
+    fn park(&self, slot: PendingSlot) {
+        self.pending.borrow_mut().push(slot);
+    }
+
+    fn stash_received(&self, received: HashMap<u64, Reply>) {
+        *self.received.borrow_mut() = received;
+    }
+
+    /// The deferred burst's unresolved slots (in emission order) and
+    /// any acks that had already arrived before the barrier was
+    /// skipped. Empties the cell.
+    pub(crate) fn take_output(&self) -> (Vec<PendingSlot>, HashMap<u64, Reply>) {
+        (
+            std::mem::take(&mut self.pending.borrow_mut()),
+            std::mem::take(&mut self.received.borrow_mut()),
+        )
+    }
+}
+
 /// The innermost service: executes commands against the storage plane
 /// (the thing every middleware layer ultimately wraps).
-struct ExecService {
+pub(crate) struct ExecService {
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     /// The readiness gate `READY` reports; flips to `false` the moment
@@ -536,10 +747,48 @@ struct ExecService {
     next_seq: u64,
     ack_timeout: Duration,
     ack_tx: Sender<ShardAck>,
-    ack_rx: Receiver<ShardAck>,
+    /// Shared with the event loop (which drains deferred acks); the
+    /// chain is thread-local, so `Rc` suffices.
+    ack_rx: Rc<Receiver<ShardAck>>,
+    /// The deferral contract with the owning event loop; `None` on the
+    /// threaded plane (every barrier synchronous).
+    defer: Option<Rc<DeferCell>>,
+    /// The owning event loop's `epoll` waker, carried on every
+    /// mutation envelope so a shard's group-ack flush can unblock the
+    /// loop; `None` on the threaded plane (a blocking `recv` needs no
+    /// wakeup).
+    waker: Option<Arc<LoopWaker>>,
 }
 
 impl ExecService {
+    /// Wire up the innermost service for one connection. Both planes
+    /// build it; only the event loop passes `defer`/`waker`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        store: Arc<Store>,
+        stats: Arc<ServerStats>,
+        ready: Arc<AtomicBool>,
+        conn: u64,
+        ack_timeout: Duration,
+        ack_tx: Sender<ShardAck>,
+        ack_rx: Rc<Receiver<ShardAck>>,
+        defer: Option<Rc<DeferCell>>,
+        waker: Option<Arc<LoopWaker>>,
+    ) -> ExecService {
+        ExecService {
+            store,
+            stats,
+            ready,
+            conn,
+            next_seq: 0,
+            ack_timeout,
+            ack_tx,
+            ack_rx,
+            defer,
+            waker,
+        }
+    }
+
     /// Enqueue one mutation to its shard, returning its sequence
     /// number.
     fn enqueue(&mut self, shard: usize, op: Mutation) -> u64 {
@@ -551,6 +800,7 @@ impl ExecService {
                 conn: self.conn,
                 seq,
                 reply: self.ack_tx.clone(),
+                waker: self.waker.clone(),
                 enqueued_at: Instant::now(),
                 // Only span-sampled requests pay for shard-side
                 // stamping; the flag rides the envelope across the
@@ -783,8 +1033,9 @@ impl ExecService {
     }
 
     /// Resolve a fan-out's collected acks: any error (or missing ack)
-    /// fails the whole `POST`.
-    fn fanout_reply(
+    /// fails the whole `POST`. Also called by the event loop when it
+    /// completes a deferred fan-out slot.
+    pub(crate) fn fanout_reply(
         received: &mut HashMap<u64, Reply>,
         seqs: &[u64],
         missing: &'static str,
@@ -969,21 +1220,46 @@ impl Service for ExecService {
                 }
             }
         }
-        if dead.is_none() {
+        // The final barrier — skipped when the owning event loop armed
+        // the deferral and the burst ended healthy: the loop collects
+        // the tail acks asynchronously, so bursts from *other*
+        // connections can hit the same shard sweep (cross-connection
+        // group commit). A span-sampled burst stays synchronous so its
+        // store segments land in the trace tree before the span
+        // closes; a poisoned burst already has its answer.
+        let deferring = dead.is_none()
+            && self.defer.as_ref().is_some_and(|cell| cell.consume_armed())
+            && !dego_middleware::span::active();
+        if dead.is_none() && !deferring {
             barrier!();
         }
 
         let missing = dead.unwrap_or(ACK_GONE_MSG);
+        let defer = self.defer.clone();
         let mut responses: Vec<Response> = reqs
             .iter()
             .zip(slots)
             .map(|(req, slot)| {
                 let reply = match slot {
                     Slot::Done(reply) => reply,
-                    Slot::Single(seq) => received
-                        .remove(&seq)
-                        .unwrap_or_else(|| Reply::Error(missing.into())),
-                    Slot::Fanout(seqs) => Self::fanout_reply(&mut received, &seqs, missing),
+                    Slot::Single(seq) => match received.remove(&seq) {
+                        Some(reply) => reply,
+                        None if deferring => {
+                            let cell = defer.as_ref().expect("deferring implies a cell");
+                            cell.park(PendingSlot::Single(seq));
+                            Reply::Status(PENDING_MARKER)
+                        }
+                        None => Reply::Error(missing.into()),
+                    },
+                    Slot::Fanout(seqs) => {
+                        if deferring && seqs.iter().any(|seq| !received.contains_key(seq)) {
+                            let cell = defer.as_ref().expect("deferring implies a cell");
+                            cell.park(PendingSlot::Fanout(seqs));
+                            Reply::Status(PENDING_MARKER)
+                        } else {
+                            Self::fanout_reply(&mut received, &seqs, missing)
+                        }
+                    }
                 };
                 Response {
                     reply,
@@ -991,6 +1267,13 @@ impl Service for ExecService {
                 }
             })
             .collect();
+        if deferring && !received.is_empty() {
+            // Acks that arrived early but belong to a parked fan-out:
+            // hand them to the loop alongside the parked slots.
+            if let Some(cell) = defer.as_ref() {
+                cell.stash_received(received);
+            }
+        }
         if dead.is_some() {
             // Poisoned: whatever the client was told, the session ends.
             if let Some(last) = responses.last_mut() {
@@ -1040,24 +1323,18 @@ fn serve_connection(
     let mut reader = BufReader::new(socket.try_clone()?);
     let mut writer = BufWriter::new(socket);
     let (ack_tx, ack_rx) = channel::<ShardAck>();
-    let exec = ExecService {
+    let exec = ExecService::new(
         store,
-        stats: Arc::clone(&stats),
+        Arc::clone(&stats),
         ready,
         conn,
-        next_seq: 0,
-        ack_timeout: tuning.ack_timeout,
+        tuning.ack_timeout,
         ack_tx,
-        ack_rx,
-    };
-    let mut chain = if !tuning.dyn_stack && stack.fusible() {
-        let fused = stack
-            .fused_service(&session, exec)
-            .expect("fusible stack fuses");
-        Chain::Fused(Box::new(fused))
-    } else {
-        Chain::Dyn(stack.service(&session, Box::new(exec)))
-    };
+        Rc::new(ack_rx),
+        None,
+        None,
+    );
+    let mut chain = build_chain(&stack, &session, exec, tuning.dyn_stack);
     let mut line = String::new();
     let mut out = String::new();
 

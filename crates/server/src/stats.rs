@@ -24,6 +24,7 @@ pub struct ServerStats {
     errors: AtomicU64,
     accept_errors: AtomicU64,
     shard_batches: AtomicU64,
+    idle_closed: AtomicU64,
 }
 
 macro_rules! bump {
@@ -52,6 +53,7 @@ impl ServerStats {
         note_error => errors,
         note_accept_error => accept_errors,
         note_shard_batch => shard_batches,
+        note_idle_closed => idle_closed,
     }
 
     /// Count a `GET` that found its key.
@@ -75,6 +77,7 @@ impl ServerStats {
         self.errors.store(0, Ordering::Relaxed);
         self.accept_errors.store(0, Ordering::Relaxed);
         self.shard_batches.store(0, Ordering::Relaxed);
+        self.idle_closed.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot every counter plus the global contention proxy.
@@ -90,6 +93,7 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             shard_batches: self.shard_batches.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
             contention: dego_metrics::GLOBAL.snapshot(),
         }
     }
@@ -121,6 +125,9 @@ pub struct StatsSnapshot {
     /// Mutation batches drained by shard owners (group commits); the
     /// amortization ratio is `applied / shard_batches`.
     pub shard_batches: u64,
+    /// Connections reaped by the event loops' `--idle-timeout-ms`
+    /// sweep (idle past the deadline with nothing in flight).
+    pub idle_closed: u64,
     /// The process-wide stall proxy at snapshot time.
     pub contention: ContentionSnapshot,
 }
@@ -145,6 +152,7 @@ impl StatsSnapshot {
         out.push("errors", self.errors);
         out.push("accept_errors", self.accept_errors);
         out.push("shard_batches", self.shard_batches);
+        out.push("idle_closed", self.idle_closed);
         out.push("cas_failures", self.contention.cas_failures);
         out.push("lock_spins", self.contention.lock_spins);
         out.push("rmw_ops", self.contention.rmw_ops);

@@ -75,6 +75,10 @@ pub(crate) struct MutationMsg {
     pub seq: u64,
     /// The issuing connection's ack inlet.
     pub reply: Sender<ShardAck>,
+    /// The issuing connection's event-loop waker, rung after the ack
+    /// send so the loop's `epoll_wait` observes it; `None` on the
+    /// threaded plane (its blocking `recv` needs no doorbell).
+    pub waker: Option<std::sync::Arc<crate::event_loop::LoopWaker>>,
     /// When the envelope was built — the shard owner turns this into
     /// the enqueue→apply latency sample.
     pub enqueued_at: Instant,
@@ -422,12 +426,15 @@ struct ShardCtx {
 struct AckRun {
     conn: u64,
     reply: Sender<ShardAck>,
+    waker: Option<std::sync::Arc<crate::event_loop::LoopWaker>>,
     acks: Vec<AckItem>,
 }
 
 impl AckRun {
     /// Send the run to its connection (a closed channel means the
-    /// connection died mid-flight; the mutations were still applied).
+    /// connection died mid-flight; the mutations were still applied),
+    /// then ring the connection's event-loop doorbell — the send must
+    /// land first so the woken loop's sweep observes it.
     fn flush(mut self) {
         let ack = if self.acks.len() == 1 {
             ShardAck::One(self.acks.pop().expect("one ack"))
@@ -435,6 +442,9 @@ impl AckRun {
             ShardAck::Many(self.acks)
         };
         let _ = self.reply.send(ack);
+        if let Some(waker) = self.waker {
+            waker.wake();
+        }
     }
 }
 
@@ -510,6 +520,7 @@ fn shard_loop(ctx: ShardCtx, mut inbox: mpsc::Consumer<MutationMsg>, ready: Send
                     run = Some(AckRun {
                         conn: msg.conn,
                         reply: msg.reply,
+                        waker: msg.waker,
                         acks: vec![item],
                     });
                 }

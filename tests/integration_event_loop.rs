@@ -1,0 +1,316 @@
+//! Integration of the event-loop connection plane, over real loopback
+//! TCP:
+//!
+//! * **event loop ≡ thread-per-connection**: randomized pipelined
+//!   scripts (kv + social verbs + parse errors) produce byte-identical
+//!   reply streams on the default epoll plane and a
+//!   `thread_per_conn: true` server, with and without the full
+//!   middleware stack;
+//! * **idle timeout**: `idle_timeout` reaps connections that stay
+//!   quiet past the deadline (counted in `idle_closed`) while active
+//!   connections on the same loop keep serving;
+//! * **drain**: a shutdown under live write load completes promptly on
+//!   the event-loop plane and never loses an acknowledged write.
+
+use dego_metrics::rng::XorShift64;
+use dego_server::{spawn, Client, MiddlewareConfig, Role, ServerConfig, ServerHandle, TokenSpec};
+use std::time::{Duration, Instant};
+
+mod common;
+use common::shards;
+
+/// `true` when the CI matrix leg forces every server onto the threaded
+/// plane — plane-specific behavior (the idle sweep) is skipped there,
+/// and the A/B equivalence tests degenerate to threaded-vs-threaded
+/// (trivially true, still cheap).
+fn forced_threaded() -> bool {
+    std::env::var("DEGO_TEST_THREAD_PER_CONN").as_deref() == Ok("1")
+}
+
+fn boot(thread_per_conn: bool, middleware: MiddlewareConfig) -> ServerHandle {
+    spawn(ServerConfig {
+        shards: shards(4),
+        capacity: 4096,
+        thread_per_conn,
+        middleware,
+        ..ServerConfig::default()
+    })
+    .expect("server boots")
+}
+
+/// A deterministic pseudo-random script over kv and social verbs (no
+/// `STATS` — its counters legitimately differ between the two planes).
+fn random_script(seed: u64, len: usize) -> Vec<String> {
+    let mut rng = XorShift64::new(seed);
+    let mut script = Vec::with_capacity(len);
+    for i in 0..len {
+        let key = rng.next_bounded(6);
+        let user = rng.next_bounded(5);
+        let line = match rng.next_bounded(16) {
+            0..=3 => format!("GET k{key}"),
+            4..=5 => format!("SET k{key} v{i}"),
+            6 => format!("DEL k{key}"),
+            7 => format!("INCR c{key} {}", rng.next_bounded(9) as i64 - 4),
+            8 => format!("ADDUSER {user}"),
+            9 => format!("FOLLOW {} {user}", rng.next_bounded(5)),
+            10 => format!("UNFOLLOW {} {user}", rng.next_bounded(5)),
+            11 => format!("POST {user} {i}"),
+            12 => format!("TIMELINE {user}"),
+            13 => format!("ISFOLLOWING {} {user}", rng.next_bounded(5)),
+            14 => match rng.next_bounded(4) {
+                0 => format!("JOIN {user}"),
+                1 => format!("LEAVE {user}"),
+                2 => format!("INGROUP {user}"),
+                _ => format!("PROFILE {user}"),
+            },
+            _ => match rng.next_bounded(3) {
+                0 => "PING".to_string(),
+                1 => format!("FOLLOWERS {user}"),
+                // Parse errors must keep their positional slot.
+                _ => format!("BLORP {i}"),
+            },
+        };
+        script.push(line);
+    }
+    script
+}
+
+/// Drive `script` through `client` in pipelined bursts of pseudo-random
+/// sizes, returning the raw reply stream.
+fn drive(client: &mut Client, script: &[String], seed: u64) -> Vec<dego_server::ClientReply> {
+    let mut rng = XorShift64::new(seed);
+    let mut replies = Vec::with_capacity(script.len());
+    let mut at = 0;
+    while at < script.len() {
+        let burst = (1 + rng.next_bounded(48) as usize).min(script.len() - at);
+        replies.extend(
+            client
+                .pipeline(&script[at..at + burst])
+                .expect("pipelined burst"),
+        );
+        at += burst;
+    }
+    replies
+}
+
+/// The tentpole equivalence guarantee: the epoll plane — deferred ack
+/// barriers, cross-connection group commit, vectored writes and all —
+/// produces byte-identical reply streams, in order, to the
+/// thread-per-connection plane.
+#[test]
+fn event_loop_replies_match_thread_per_conn_plain() {
+    let event_loop = boot(false, MiddlewareConfig::none());
+    let threaded = boot(true, MiddlewareConfig::none());
+    for seed in [0xe5001, 0xe5002, 0xe5003] {
+        let script = random_script(seed, 400);
+        let mut a = Client::connect(event_loop.local_addr()).expect("connect");
+        let mut b = Client::connect(threaded.local_addr()).expect("connect");
+        let got_a = drive(&mut a, &script, seed ^ 0xff);
+        let got_b = drive(&mut b, &script, seed ^ 0xff);
+        assert_eq!(got_a, got_b, "reply streams diverged for seed {seed:#x}");
+    }
+    event_loop.shutdown();
+    threaded.shutdown();
+}
+
+/// The same equivalence through the full seven-layer stack (generous
+/// limits, so no timing-dependent rejection can fire).
+#[test]
+fn event_loop_replies_match_thread_per_conn_full_stack() {
+    let stack = || {
+        let mut mw = MiddlewareConfig::full();
+        mw.auth.tokens = vec![TokenSpec {
+            name: "writer".into(),
+            token: "sekrit".into(),
+            role: Role::ReadWrite,
+        }];
+        mw.auth.anon_role = Role::ReadWrite;
+        mw.deadline.read_us = 30_000_000;
+        mw.deadline.write_us = 30_000_000;
+        mw
+    };
+    let event_loop = boot(false, stack());
+    let threaded = boot(true, stack());
+    let script = random_script(0xfee1, 400);
+    let mut a = Client::connect(event_loop.local_addr()).expect("connect");
+    let mut b = Client::connect(threaded.local_addr()).expect("connect");
+    a.auth("sekrit").expect("login");
+    b.auth("sekrit").expect("login");
+    let got_a = drive(&mut a, &script, 7);
+    let got_b = drive(&mut b, &script, 7);
+    assert_eq!(got_a, got_b, "full-stack reply streams diverged");
+    event_loop.shutdown();
+    threaded.shutdown();
+}
+
+/// `--idle-timeout-ms`: a connection quiet past the deadline with
+/// nothing in flight is reaped (and counted), while a chatty
+/// connection sharing the plane keeps serving.
+#[test]
+fn idle_timeout_reaps_quiet_connections() {
+    if forced_threaded() {
+        return; // The idle sweep lives in the event loops only.
+    }
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+
+    let mut idle = Client::connect(server.local_addr()).expect("connect");
+    let mut active = Client::connect(server.local_addr()).expect("connect");
+    idle.ping().expect("idle client serves before going quiet");
+    active.ping().expect("active client serves");
+
+    // Stay quiet well past the deadline; the active client keeps the
+    // clock honest by talking the whole time.
+    let parked = Instant::now();
+    while parked.elapsed() < Duration::from_millis(400) {
+        active
+            .ping()
+            .expect("active connection must survive the sweep");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    assert!(
+        idle.ping().is_err(),
+        "the idle connection must have been closed by the sweep"
+    );
+    assert!(
+        server.stats().idle_closed >= 1,
+        "the reap must be counted in idle_closed"
+    );
+    // Reconnecting after a reap works — the slot is gone, not poisoned.
+    let mut again = Client::connect(server.local_addr()).expect("reconnect");
+    again.ping().expect("fresh connection serves");
+    server.shutdown();
+}
+
+/// Idle timeout off (the default): a quiet connection lives
+/// indefinitely.
+#[test]
+fn no_idle_timeout_means_no_reaping() {
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 512,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    c.ping().expect("serves");
+    std::thread::sleep(Duration::from_millis(300));
+    c.ping().expect("still serving after a long quiet spell");
+    assert_eq!(server.stats().idle_closed, 0);
+    server.shutdown();
+}
+
+/// Drain under live write load on the event-loop plane: shutdown
+/// completes promptly (deferred acks are still collected, in-flight
+/// bursts finish) and every write acknowledged before the cut reads
+/// back consistently.
+#[test]
+fn event_loop_drain_under_load_keeps_acked_writes() {
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 1024,
+        thread_per_conn: false,
+        middleware: MiddlewareConfig::full(),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = server.local_addr();
+
+    let worker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        let mut pairs = 0u64;
+        loop {
+            let key = format!("evdrain{pairs}");
+            if c.set(&key, "v").is_err() {
+                break; // Connection cut before the ack: write unacked.
+            }
+            match c.get(&key) {
+                Ok(got) => assert_eq!(
+                    got.as_deref(),
+                    Some("v"),
+                    "acked write {key} must be readable"
+                ),
+                Err(_) => break, // Cut between ack and read-back.
+            }
+            pairs += 1;
+        }
+        pairs
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(server.ready(), "serving before the drain");
+    let begun = Instant::now();
+    server.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(2),
+        "drain must not wait out a chatty client"
+    );
+    let pairs = worker.join().expect("worker");
+    assert!(pairs > 0, "the worker made progress before the drain");
+}
+
+/// Cross-connection group commit: several connections flooding
+/// pipelined writes at a slow shard plane (1 ms per apply, so the
+/// queues actually build) produce far fewer shard batches than
+/// mutations — bursts from different connections coalesce into shared
+/// shard sweeps (and all of it stays correct: every ack reads back).
+#[test]
+fn concurrent_bursts_share_shard_sweeps() {
+    if forced_threaded() {
+        return; // Deferred barriers exist on the event-loop plane only.
+    }
+    let server = spawn(ServerConfig {
+        shards: shards(2),
+        capacity: 4096,
+        shard_delay: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = server.local_addr();
+    const WRITERS: usize = 4;
+    const BURSTS: usize = 5;
+    const BURST: usize = 32;
+
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for b in 0..BURSTS {
+                    let lines: Vec<String> =
+                        (0..BURST).map(|i| format!("SET w{w}b{b}i{i} v")).collect();
+                    for reply in c.pipeline(&lines).expect("burst") {
+                        assert!(
+                            matches!(reply, dego_server::ClientReply::Status(_)),
+                            "got {reply:?}"
+                        );
+                    }
+                }
+                c.get(&format!("w{w}b0i0", w = w)).expect("read back")
+            })
+        })
+        .collect();
+    for worker in workers {
+        assert_eq!(
+            worker.join().expect("writer").as_deref(),
+            Some("v"),
+            "acked writes read back"
+        );
+    }
+
+    let snap = server.stats();
+    let writes = (WRITERS * BURSTS * BURST) as u64;
+    assert_eq!(snap.applied, writes, "every write applied exactly once");
+    assert!(
+        snap.shard_batches < writes / 4,
+        "group commit must amortize: {} batches for {} writes",
+        snap.shard_batches,
+        writes
+    );
+    server.shutdown();
+}
